@@ -1,0 +1,37 @@
+//! Criterion ablation: which parts of Algorithm 6 buy the speedup?
+//!
+//! Toggles the two design choices DESIGN.md calls out: quick-path
+//! summaries (Fig. 9 label deletion) and intra-procedural preprocessing of
+//! local conditions before cloning (§3.2.3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fusion::checkers::Checker;
+use fusion::graph_solver::FusionSolver;
+use fusion_bench::{build_subject, default_budget, run_checker};
+use fusion_workloads::SUBJECTS;
+
+fn bench_ablation(c: &mut Criterion) {
+    let subject = build_subject(&SUBJECTS[13], 0.002); // v8 shape
+    let checker = Checker::null_deref();
+    let mut group = c.benchmark_group("ablation/v8");
+    group.sample_size(10);
+    for (name, quick, pre) in [
+        ("full", true, true),
+        ("no_quick_paths", false, true),
+        ("no_local_preprocess", true, false),
+        ("neither", false, false),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut engine = FusionSolver::new(default_budget());
+                engine.use_quick_paths = quick;
+                engine.use_local_preprocess = pre;
+                run_checker(&subject, &checker, &mut engine)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

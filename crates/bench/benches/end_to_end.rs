@@ -1,0 +1,39 @@
+//! Criterion end-to-end benchmark: whole-program null checking with each
+//! engine on a mid-sized subject (the headline Table 3 comparison as a
+//! statistically sampled measurement).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fusion::checkers::Checker;
+use fusion::graph_solver::{FusionSolver, UnoptimizedGraphSolver};
+use fusion_baselines::PinpointEngine;
+use fusion_bench::{build_subject, default_budget, run_checker};
+use fusion_workloads::SUBJECTS;
+
+fn bench_engines(c: &mut Criterion) {
+    let subject = build_subject(&SUBJECTS[13], 0.002); // v8 shape
+    let checker = Checker::null_deref();
+    let mut group = c.benchmark_group("end_to_end/v8");
+    group.sample_size(10);
+    group.bench_function("fusion", |b| {
+        b.iter(|| {
+            let mut engine = FusionSolver::new(default_budget());
+            run_checker(&subject, &checker, &mut engine)
+        })
+    });
+    group.bench_function("unopt_graph", |b| {
+        b.iter(|| {
+            let mut engine = UnoptimizedGraphSolver::new(default_budget());
+            run_checker(&subject, &checker, &mut engine)
+        })
+    });
+    group.bench_function("pinpoint", |b| {
+        b.iter(|| {
+            let mut engine = PinpointEngine::new(default_budget());
+            run_checker(&subject, &checker, &mut engine)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

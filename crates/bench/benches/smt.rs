@@ -1,0 +1,70 @@
+//! Criterion micro-benchmarks for the SMT substrate: preprocessing,
+//! bit-blasting + SAT, and the Fig. 1(b) condition end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fusion_smt::preprocess::preprocess;
+use fusion_smt::solver::{smt_solve, SolverConfig};
+use fusion_smt::term::{BvOp, BvPred, Sort, TermId, TermPool};
+
+/// The Fig. 1(b) condition with `k` clones of bar's return-value condition.
+fn figure1_condition(pool: &mut TermPool, k: usize) -> TermId {
+    let mut parts = Vec::new();
+    let mut results = Vec::new();
+    for i in 0..k {
+        let x = pool.var(&format!("x{i}"), Sort::Bv(32));
+        let y = pool.var(&format!("y{i}"), Sort::Bv(32));
+        let z = pool.var(&format!("z{i}"), Sort::Bv(32));
+        let two = pool.bv_const(2, 32);
+        let m = pool.bv(BvOp::Mul, x, two);
+        parts.push(pool.eq(y, m));
+        parts.push(pool.eq(z, y));
+        results.push(z);
+    }
+    // Chain of comparisons over consecutive results.
+    for w in results.windows(2) {
+        let c = pool.pred(BvPred::Slt, w[0], w[1]);
+        parts.push(c);
+    }
+    pool.and(&parts)
+}
+
+fn bench_preprocess(c: &mut Criterion) {
+    c.bench_function("preprocess/fig1b_k16", |b| {
+        b.iter(|| {
+            let mut pool = TermPool::new();
+            let f = figure1_condition(&mut pool, 16);
+            preprocess(&mut pool, f)
+        })
+    });
+}
+
+fn bench_solve_decided(c: &mut Criterion) {
+    c.bench_function("smt_solve/preprocess_decided", |b| {
+        b.iter(|| {
+            let mut pool = TermPool::new();
+            let f = figure1_condition(&mut pool, 8);
+            smt_solve(&mut pool, f, &SolverConfig::default())
+        })
+    });
+}
+
+fn bench_solve_bitblast(c: &mut Criterion) {
+    c.bench_function("smt_solve/bitblast_mul", |b| {
+        b.iter(|| {
+            let mut pool = TermPool::new();
+            let x = pool.var("x", Sort::Bv(16));
+            let y = pool.var("y", Sort::Bv(16));
+            let prod = pool.bv(BvOp::Mul, x, y);
+            let c391 = pool.bv_const(391, 16); // 17 * 23
+            let f1 = pool.eq(prod, c391);
+            let one = pool.bv_const(1, 16);
+            let xg = pool.pred(BvPred::Ult, one, x);
+            let yg = pool.pred(BvPred::Ult, one, y);
+            let f = pool.and(&[f1, xg, yg]);
+            smt_solve(&mut pool, f, &SolverConfig::default())
+        })
+    });
+}
+
+criterion_group!(benches, bench_preprocess, bench_solve_decided, bench_solve_bitblast);
+criterion_main!(benches);

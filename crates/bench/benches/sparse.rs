@@ -1,0 +1,48 @@
+//! Criterion micro-benchmarks for the sparse analysis substrate:
+//! compilation, PDG construction, and sparse fact propagation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fusion::checkers::Checker;
+use fusion::propagate::{discover, PropagateOptions};
+use fusion_bench::build_subject;
+use fusion_ir::{compile_ast, CompileOptions};
+use fusion_pdg::graph::Pdg;
+use fusion_workloads::{generate, SUBJECTS};
+
+fn bench_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile");
+    for &idx in &[0usize, 7, 11] {
+        let spec = &SUBJECTS[idx];
+        let cfg = spec.gen_config(0.002);
+        group.bench_with_input(BenchmarkId::from_parameter(spec.name), &cfg, |b, cfg| {
+            b.iter(|| {
+                let mut s = generate(cfg);
+                compile_ast(&s.surface, &mut s.interner, CompileOptions::default()).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_pdg_build(c: &mut Criterion) {
+    let subject = build_subject(&SUBJECTS[11], 0.002); // gcc shape
+    c.bench_function("pdg_build/gcc", |b| b.iter(|| Pdg::build(&subject.program)));
+}
+
+fn bench_propagation(c: &mut Criterion) {
+    let subject = build_subject(&SUBJECTS[11], 0.002);
+    let checker = Checker::null_deref();
+    c.bench_function("sparse_propagation/gcc", |b| {
+        b.iter(|| {
+            discover(
+                &subject.program,
+                &subject.pdg,
+                &checker,
+                &PropagateOptions::default(),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_compile, bench_pdg_build, bench_propagation);
+criterion_main!(benches);

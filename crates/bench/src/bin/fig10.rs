@@ -1,0 +1,94 @@
+//! Figure 10 — Fusion vs Pinpoint and its variants across all subjects.
+//!
+//! Time and memory curves for Fusion, Pinpoint, Pinpoint+LFS and
+//! Pinpoint+HFS; Pinpoint+QE and Pinpoint+AR are run with their budgets
+//! and reported as memory-out/timeout when they trip — the paper found QE
+//! succeeded only on the smallest subject and AR only below 50 KLoC.
+
+use fusion::checkers::Checker;
+use fusion::graph_solver::FusionSolver;
+use fusion_baselines::{ArEngine, PinpointEngine, Tactic};
+use fusion_bench::{banner, build_subject, default_budget, run_checker, scale_from_env};
+use fusion_workloads::SUBJECTS;
+use std::time::Duration;
+
+fn main() {
+    banner(
+        "Figure 10: Fusion vs Pinpoint and its variants (null exceptions)",
+        "time (ms) and memory (KiB) per subject; MEMOUT/TIMEOUT per the variant budgets",
+    );
+    let scale = scale_from_env();
+    let checker = Checker::null_deref();
+    // Emulate the paper's per-analysis wall budget, scaled.
+    let wall_budget = Duration::from_secs(
+        std::env::var("FUSION_WALL_BUDGET_S").ok().and_then(|s| s.parse().ok()).unwrap_or(120),
+    );
+    println!(
+        "{:>2} {:>8} | {:>18} {:>18} {:>18} {:>18} {:>18} {:>18}",
+        "ID", "program", "fusion", "pinpoint", "pinpoint+lfs", "pinpoint+hfs", "pinpoint+qe", "pinpoint+ar"
+    );
+    for spec in &SUBJECTS {
+        let subject = build_subject(spec, scale);
+        let mut cells: Vec<String> = Vec::new();
+        for variant in 0..6 {
+            let started = std::time::Instant::now();
+            let cell = match variant {
+                0 => {
+                    let mut e = FusionSolver::new(default_budget());
+                    let run = run_checker(&subject, &checker, &mut e);
+                    fmt_cell(run.total_time(), run.peak_memory)
+                }
+                1 => {
+                    let mut e = PinpointEngine::new(default_budget());
+                    let run = run_checker(&subject, &checker, &mut e);
+                    fmt_cell(run.total_time(), run.peak_memory)
+                }
+                2 => {
+                    let mut e = PinpointEngine::with_tactic(default_budget(), Tactic::Lfs);
+                    let run = run_checker(&subject, &checker, &mut e);
+                    fmt_cell(run.total_time(), run.peak_memory)
+                }
+                3 => {
+                    // HFS is expensive: respect the wall budget.
+                    let mut e = PinpointEngine::with_tactic(default_budget(), Tactic::Hfs);
+                    let run = run_checker(&subject, &checker, &mut e);
+                    if started.elapsed() > wall_budget {
+                        "TIMEOUT".to_string()
+                    } else {
+                        fmt_cell(run.total_time(), run.peak_memory)
+                    }
+                }
+                4 => {
+                    let mut e = PinpointEngine::with_tactic(default_budget(), Tactic::Qe);
+                    let run = run_checker(&subject, &checker, &mut e);
+                    if e.qe_blowups() > 0 {
+                        "MEMOUT".to_string()
+                    } else {
+                        fmt_cell(run.total_time(), run.peak_memory)
+                    }
+                }
+                _ => {
+                    let mut e = ArEngine::new(default_budget());
+                    let run = run_checker(&subject, &checker, &mut e);
+                    if started.elapsed() > wall_budget {
+                        "TIMEOUT".to_string()
+                    } else {
+                        fmt_cell(run.total_time(), run.peak_memory)
+                    }
+                }
+            };
+            cells.push(cell);
+        }
+        println!(
+            "{:>2} {:>8} | {:>18} {:>18} {:>18} {:>18} {:>18} {:>18}",
+            spec.id, spec.name, cells[0], cells[1], cells[2], cells[3], cells[4], cells[5]
+        );
+    }
+    println!("\nexpected shape: fusion lowest in both time and memory; LFS/HFS do not");
+    println!("reduce memory but add time; QE blows its budget beyond tiny subjects;");
+    println!("AR multiplies solver calls on subjects needing refinement.");
+}
+
+fn fmt_cell(t: Duration, mem: u64) -> String {
+    format!("{:.0}ms/{}K", t.as_secs_f64() * 1e3, mem / 1024)
+}

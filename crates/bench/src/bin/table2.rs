@@ -1,0 +1,39 @@
+//! Table 2 — evaluation subjects: size, functions, PDG vertices and edges.
+//!
+//! Prints the paper's numbers beside the scaled synthetic reproduction so
+//! the shape (relative ordering and vertex/edge ratios) can be compared.
+
+use fusion_bench::{banner, build_subject, scale_from_env};
+use fusion_workloads::SUBJECTS;
+
+fn main() {
+    banner(
+        "Table 2: subjects for evaluation",
+        "paper numbers vs scaled synthetic subjects (same generator seeds as all tables)",
+    );
+    let scale = scale_from_env();
+    println!(
+        "{:>2} {:>8} | {:>8} {:>9} {:>12} {:>12} | {:>7} {:>9} {:>10} {:>10}",
+        "ID", "program", "KLoC", "#fn", "#vertices", "#edges", "our#fn", "our#vert", "our#edge", "ratio(e/v)"
+    );
+    for spec in &SUBJECTS {
+        let subject = build_subject(spec, scale);
+        let stats = subject.pdg.stats();
+        let nfuncs = subject.program.functions.iter().filter(|f| !f.is_extern).count();
+        let ratio = stats.edges() as f64 / stats.vertices.max(1) as f64;
+        println!(
+            "{:>2} {:>8} | {:>8} {:>9} {:>12} {:>12} | {:>7} {:>9} {:>10} {:>10.2}",
+            spec.id,
+            spec.name,
+            spec.kloc,
+            spec.functions,
+            spec.vertices,
+            spec.edges,
+            nfuncs,
+            stats.vertices,
+            stats.edges(),
+            ratio,
+        );
+    }
+    println!("\npaper edge/vertex ratios are ~1.2-1.35; the generator should land nearby.");
+}

@@ -1,0 +1,567 @@
+//! # fusion-cli
+//!
+//! `fusion-scan`: a command-line whole-program bug scanner built on the
+//! Fusion analysis — the deployment story the paper motivates ("analyzing
+//! millions of lines of code in a common personal computer").
+//!
+//! ```sh
+//! fusion-scan [OPTIONS] FILE...
+//!     --checker null|cwe23|cwe402|all    which checkers to run (default: all)
+//!     --engine fusion|unopt|pinpoint|ar  feasibility engine (default: fusion)
+//!     --timeout-secs N                   per-query SMT budget (default: 10)
+//!     --json                             machine-readable output
+//!     --stats                            print PDG and cost statistics
+//!     --threads N                        parallel candidate checking
+//!     --dot FILE                         export the PDG in Graphviz format
+//!     --source NAME                      extra taint-source function (repeatable)
+//!     --sink NAME                        extra taint-sink function (repeatable)
+//!     --unroll N                         loop/recursion unroll factor (default 2)
+//!     --sanitizer NAME                   extra taint-killing function (repeatable)
+//! ```
+//!
+//! Multiple files are concatenated into one translation unit, so flows may
+//! cross files — the cross-file reasoning Table 5 highlights.
+
+#![warn(missing_docs)]
+
+use fusion::checkers::Checker;
+use fusion::engine::{analyze, AnalysisOptions, AnalysisRun, Feasibility, FeasibilityEngine};
+use fusion::graph_solver::{FusionSolver, UnoptimizedGraphSolver};
+use fusion_baselines::{ArEngine, PinpointEngine};
+use fusion_ir::{compile, CompileOptions};
+use fusion_pdg::graph::Pdg;
+use fusion_smt::solver::SolverConfig;
+use serde::Serialize;
+use std::fmt;
+use std::time::Duration;
+
+/// Which feasibility engine to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineChoice {
+    /// Algorithm 6 (the paper's contribution).
+    Fusion,
+    /// Algorithm 4 (clone-everything graph solver).
+    Unopt,
+    /// The conventional Pinpoint-style baseline.
+    Pinpoint,
+    /// Abstraction refinement.
+    Ar,
+}
+
+/// Which checkers to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckerChoice {
+    /// Null dereference only.
+    Null,
+    /// CWE-23 only.
+    Cwe23,
+    /// CWE-402 only.
+    Cwe402,
+    /// All three.
+    All,
+}
+
+/// Parsed command line.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Input files, in order.
+    pub files: Vec<String>,
+    /// Engine selection.
+    pub engine: EngineChoice,
+    /// Checker selection.
+    pub checker: CheckerChoice,
+    /// Per-query solver budget.
+    pub timeout: Duration,
+    /// Emit JSON instead of text.
+    pub json: bool,
+    /// Print statistics.
+    pub stats: bool,
+    /// Worker threads for candidate checking (1 = sequential).
+    pub threads: usize,
+    /// Write the PDG as Graphviz DOT to this path.
+    pub dot: Option<String>,
+    /// Extra taint-source function names (added to both taint checkers).
+    pub extra_sources: Vec<String>,
+    /// Extra taint-sink function names (added to both taint checkers).
+    pub extra_sinks: Vec<String>,
+    /// Loop and recursion unroll factor.
+    pub unroll: usize,
+    /// Extra taint-sanitizer function names.
+    pub extra_sanitizers: Vec<String>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            files: Vec::new(),
+            engine: EngineChoice::Fusion,
+            checker: CheckerChoice::All,
+            timeout: Duration::from_secs(10),
+            json: false,
+            stats: false,
+            threads: 1,
+            dot: None,
+            extra_sources: Vec::new(),
+            extra_sinks: Vec::new(),
+            unroll: 2,
+            extra_sanitizers: Vec::new(),
+        }
+    }
+}
+
+/// A CLI error with a user-facing message.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Parses command-line arguments (excluding `argv[0]`).
+///
+/// # Errors
+///
+/// Returns [`CliError`] on unknown flags, missing values, or no input
+/// files.
+pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
+    let mut opts = Options::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--engine" => {
+                let v = it.next().ok_or_else(|| CliError("--engine needs a value".into()))?;
+                opts.engine = match v.as_str() {
+                    "fusion" => EngineChoice::Fusion,
+                    "unopt" => EngineChoice::Unopt,
+                    "pinpoint" => EngineChoice::Pinpoint,
+                    "ar" => EngineChoice::Ar,
+                    other => return Err(CliError(format!("unknown engine `{other}`"))),
+                };
+            }
+            "--checker" => {
+                let v = it.next().ok_or_else(|| CliError("--checker needs a value".into()))?;
+                opts.checker = match v.as_str() {
+                    "null" => CheckerChoice::Null,
+                    "cwe23" => CheckerChoice::Cwe23,
+                    "cwe402" => CheckerChoice::Cwe402,
+                    "all" => CheckerChoice::All,
+                    other => return Err(CliError(format!("unknown checker `{other}`"))),
+                };
+            }
+            "--timeout-secs" => {
+                let v = it.next().ok_or_else(|| CliError("--timeout-secs needs a value".into()))?;
+                let secs: u64 = v
+                    .parse()
+                    .map_err(|_| CliError(format!("invalid timeout `{v}`")))?;
+                opts.timeout = Duration::from_secs(secs);
+            }
+            "--threads" => {
+                let v = it.next().ok_or_else(|| CliError("--threads needs a value".into()))?;
+                opts.threads = v
+                    .parse()
+                    .map_err(|_| CliError(format!("invalid thread count `{v}`")))?;
+                if opts.threads == 0 {
+                    return Err(CliError("--threads must be at least 1".into()));
+                }
+            }
+            "--dot" => {
+                let v = it.next().ok_or_else(|| CliError("--dot needs a value".into()))?;
+                opts.dot = Some(v.clone());
+            }
+            "--source" => {
+                let v = it.next().ok_or_else(|| CliError("--source needs a value".into()))?;
+                opts.extra_sources.push(v.clone());
+            }
+            "--sink" => {
+                let v = it.next().ok_or_else(|| CliError("--sink needs a value".into()))?;
+                opts.extra_sinks.push(v.clone());
+            }
+            "--sanitizer" => {
+                let v = it.next().ok_or_else(|| CliError("--sanitizer needs a value".into()))?;
+                opts.extra_sanitizers.push(v.clone());
+            }
+            "--unroll" => {
+                let v = it.next().ok_or_else(|| CliError("--unroll needs a value".into()))?;
+                opts.unroll = v
+                    .parse()
+                    .map_err(|_| CliError(format!("invalid unroll factor `{v}`")))?;
+                if opts.unroll == 0 {
+                    return Err(CliError("--unroll must be at least 1".into()));
+                }
+            }
+            "--json" => opts.json = true,
+            "--stats" => opts.stats = true,
+            "--help" | "-h" => {
+                return Err(CliError(
+                    "usage: fusion-scan [--engine fusion|unopt|pinpoint|ar] \
+                     [--checker null|cwe23|cwe402|all] [--timeout-secs N] [--threads N] \
+                     [--dot FILE] [--json] [--stats] FILE..."
+                        .into(),
+                ))
+            }
+            flag if flag.starts_with("--") => {
+                return Err(CliError(format!("unknown flag `{flag}`")))
+            }
+            file => opts.files.push(file.to_owned()),
+        }
+    }
+    if opts.files.is_empty() {
+        return Err(CliError("no input files (try --help)".into()));
+    }
+    Ok(opts)
+}
+
+/// One finding in machine-readable form.
+#[derive(Debug, Clone, Serialize)]
+pub struct Finding {
+    /// Checker that produced the finding.
+    pub checker: String,
+    /// Function containing the source.
+    pub source_function: String,
+    /// Function containing the sink.
+    pub sink_function: String,
+    /// `feasible` or `undecided` (solver budget exhausted).
+    pub verdict: String,
+    /// Number of dependence-graph vertices on the witness path.
+    pub path_length: usize,
+}
+
+/// Machine-readable scan result.
+#[derive(Debug, Clone, Serialize, Default)]
+pub struct ScanReport {
+    /// All findings across checkers.
+    pub findings: Vec<Finding>,
+    /// Candidates proven infeasible (suppressed).
+    pub suppressed: usize,
+    /// PDG vertex count.
+    pub vertices: usize,
+    /// PDG edge count.
+    pub edges: usize,
+    /// Total wall-clock milliseconds.
+    pub elapsed_ms: f64,
+    /// Peak tracked memory in bytes.
+    pub peak_memory_bytes: u64,
+}
+
+fn make_engine(choice: EngineChoice, timeout: Duration) -> Box<dyn FeasibilityEngine> {
+    let cfg = SolverConfig { timeout: Some(timeout), ..Default::default() };
+    match choice {
+        EngineChoice::Fusion => Box::new(FusionSolver::new(cfg)),
+        EngineChoice::Unopt => Box::new(UnoptimizedGraphSolver::new(cfg)),
+        EngineChoice::Pinpoint => Box::new(PinpointEngine::new(cfg)),
+        EngineChoice::Ar => Box::new(ArEngine::new(cfg)),
+    }
+}
+
+/// Runs a scan over already-loaded source text.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for compile errors (with position information).
+pub fn scan_source(source: &str, opts: &Options) -> Result<ScanReport, CliError> {
+    let started = std::time::Instant::now();
+    let compile_opts =
+        CompileOptions { loop_unroll: opts.unroll, recursion_unroll: opts.unroll };
+    let program =
+        compile(source, compile_opts).map_err(|e| CliError(format!("compile error: {e}")))?;
+    let pdg = Pdg::build(&program);
+    let mut checkers: Vec<Checker> = match opts.checker {
+        CheckerChoice::Null => vec![Checker::null_deref()],
+        CheckerChoice::Cwe23 => vec![Checker::cwe23()],
+        CheckerChoice::Cwe402 => vec![Checker::cwe402()],
+        CheckerChoice::All => fusion::checkers::default_checkers(),
+    };
+    for c in &mut checkers {
+        if c.kind != fusion::checkers::CheckKind::NullDeref {
+            c.source_fns.extend(opts.extra_sources.iter().cloned());
+            c.sink_fns.extend(opts.extra_sinks.iter().cloned());
+            c.sanitizer_fns.extend(opts.extra_sanitizers.iter().cloned());
+        }
+    }
+    let mut report = ScanReport {
+        vertices: pdg.stats().vertices,
+        edges: pdg.stats().edges(),
+        ..Default::default()
+    };
+    if let Some(path) = &opts.dot {
+        let dot = fusion_pdg::dot::pdg_to_dot(&program, &pdg, None);
+        std::fs::write(path, dot)
+            .map_err(|e| CliError(format!("cannot write `{path}`: {e}")))?;
+    }
+    let mut peak = 0u64;
+    for checker in &checkers {
+        let run: AnalysisRun = if opts.threads > 1 {
+            let engine_choice = opts.engine;
+            let timeout = opts.timeout;
+            let factory = move || make_engine(engine_choice, timeout);
+            fusion::engine::analyze_parallel(
+                &program,
+                &pdg,
+                checker,
+                &factory,
+                opts.threads,
+                &AnalysisOptions::new(),
+            )
+        } else {
+            let mut engine = make_engine(opts.engine, opts.timeout);
+            analyze(&program, &pdg, checker, engine.as_mut(), &AnalysisOptions::new())
+        };
+        peak = peak.max(run.peak_memory);
+        report.suppressed += run.suppressed;
+        for r in &run.reports {
+            report.findings.push(Finding {
+                checker: checker.kind.to_string(),
+                source_function: program.name(program.func(r.source.func).name).to_owned(),
+                sink_function: program.name(program.func(r.sink.func).name).to_owned(),
+                verdict: match r.verdict {
+                    Feasibility::Feasible => "feasible".into(),
+                    Feasibility::Unknown => "undecided".into(),
+                    Feasibility::Infeasible => unreachable!("not reported"),
+                },
+                path_length: r.path.nodes.len(),
+            });
+        }
+    }
+    report.elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+    report.peak_memory_bytes = peak;
+    Ok(report)
+}
+
+/// Loads the input files, runs the scan, and renders output to `out`.
+///
+/// Returns the process exit code: 0 for a clean scan, 1 when findings
+/// exist, 2 on errors.
+pub fn run(args: &[String], out: &mut dyn std::io::Write) -> i32 {
+    let opts = match parse_args(args) {
+        Ok(o) => o,
+        Err(e) => {
+            let _ = writeln!(out, "{e}");
+            return 2;
+        }
+    };
+    let mut source = String::new();
+    for f in &opts.files {
+        match std::fs::read_to_string(f) {
+            Ok(s) => {
+                source.push_str(&s);
+                source.push('\n');
+            }
+            Err(e) => {
+                let _ = writeln!(out, "cannot read `{f}`: {e}");
+                return 2;
+            }
+        }
+    }
+    let report = match scan_source(&source, &opts) {
+        Ok(r) => r,
+        Err(e) => {
+            let _ = writeln!(out, "{e}");
+            return 2;
+        }
+    };
+    if opts.json {
+        let _ = writeln!(
+            out,
+            "{}",
+            serde_json::to_string_pretty(&report).expect("report serializes")
+        );
+    } else {
+        for f in &report.findings {
+            let _ = writeln!(
+                out,
+                "[{}] {} flow: {} -> {} ({} vertices)",
+                f.verdict, f.checker, f.source_function, f.sink_function, f.path_length
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{} finding(s), {} candidate(s) suppressed as infeasible",
+            report.findings.len(),
+            report.suppressed
+        );
+        if opts.stats {
+            let _ = writeln!(
+                out,
+                "pdg: {} vertices, {} edges; {:.1} ms; peak {} KiB",
+                report.vertices,
+                report.edges,
+                report.elapsed_ms,
+                report.peak_memory_bytes / 1024
+            );
+        }
+    }
+    if report.findings.is_empty() {
+        0
+    } else {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_defaults() {
+        let o = parse_args(&args(&["a.fus"])).unwrap();
+        assert_eq!(o.engine, EngineChoice::Fusion);
+        assert_eq!(o.checker, CheckerChoice::All);
+        assert!(!o.json);
+        assert_eq!(o.files, vec!["a.fus"]);
+    }
+
+    #[test]
+    fn parses_flags() {
+        let o = parse_args(&args(&[
+            "--engine", "pinpoint", "--checker", "cwe23", "--timeout-secs", "3", "--json",
+            "--stats", "x.fus", "y.fus",
+        ]))
+        .unwrap();
+        assert_eq!(o.engine, EngineChoice::Pinpoint);
+        assert_eq!(o.checker, CheckerChoice::Cwe23);
+        assert_eq!(o.timeout, Duration::from_secs(3));
+        assert!(o.json && o.stats);
+        assert_eq!(o.files.len(), 2);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse_args(&args(&[])).is_err());
+        assert!(parse_args(&args(&["--engine"])).is_err());
+        assert!(parse_args(&args(&["--engine", "z3", "a"])).is_err());
+        assert!(parse_args(&args(&["--nope", "a"])).is_err());
+    }
+
+    #[test]
+    fn scan_reports_and_suppresses() {
+        let src = "extern fn deref(p);\n\
+            fn f(x) { let q = null; let r = 1; if (x > 0) { r = q; } deref(r); return 0; }\n\
+            fn g(x) { let q = null; let r = 1; if (x * 2 == 7) { r = q; } deref(r); return 0; }";
+        let opts = Options { checker: CheckerChoice::Null, ..Default::default() };
+        let report = scan_source(src, &opts).unwrap();
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.suppressed, 1);
+        assert_eq!(report.findings[0].source_function, "f");
+        assert_eq!(report.findings[0].verdict, "feasible");
+    }
+
+    #[test]
+    fn scan_all_checkers() {
+        let src = "extern fn deref(p); extern fn gets(); extern fn fopen(p);\n\
+            fn f() { let q = null; deref(q); let i = gets(); fopen(i); return 0; }";
+        let opts = Options::default();
+        let report = scan_source(src, &opts).unwrap();
+        let kinds: Vec<&str> = report.findings.iter().map(|f| f.checker.as_str()).collect();
+        assert!(kinds.contains(&"null-deref"));
+        assert!(kinds.contains(&"cwe-23"));
+    }
+
+    #[test]
+    fn compile_errors_are_reported() {
+        let opts = Options::default();
+        let err = scan_source("fn f( {", &opts).unwrap_err();
+        assert!(err.0.contains("compile error"));
+    }
+
+    #[test]
+    fn run_returns_exit_codes() {
+        let mut out = Vec::new();
+        // 2: no files
+        assert_eq!(run(&[], &mut out), 2);
+        // Write a temp file with a clean program.
+        let dir = std::env::temp_dir();
+        let clean = dir.join("fusion_cli_clean.fus");
+        std::fs::write(&clean, "fn f(x) { return x; }").unwrap();
+        let mut out = Vec::new();
+        assert_eq!(run(&[clean.display().to_string()], &mut out), 0);
+        // 1: findings present.
+        let buggy = dir.join("fusion_cli_buggy.fus");
+        std::fs::write(&buggy, "extern fn deref(p); fn f() { let q = null; deref(q); return 0; }")
+            .unwrap();
+        let mut out = Vec::new();
+        assert_eq!(run(&[buggy.display().to_string()], &mut out), 1);
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("null-deref"));
+    }
+
+    #[test]
+    fn custom_sources_and_sinks() {
+        let src = "extern fn fetch(); extern fn exfil(x);\n\
+            fn f() { let d = fetch(); exfil(d); return 0; }";
+        let opts = Options {
+            checker: CheckerChoice::Cwe402,
+            extra_sources: vec!["fetch".into()],
+            extra_sinks: vec!["exfil".into()],
+            ..Default::default()
+        };
+        let report = scan_source(src, &opts).unwrap();
+        assert_eq!(report.findings.len(), 1);
+        // Without the extensions nothing is flagged.
+        let plain = Options { checker: CheckerChoice::Cwe402, ..Default::default() };
+        assert!(scan_source(src, &plain).unwrap().findings.is_empty());
+    }
+
+    #[test]
+    fn unroll_factor_changes_reachability() {
+        // The guard i == 4 needs four loop iterations: invisible at the
+        // default unroll of 2, found at 4.
+        let src = "extern fn deref(p);\n\
+            fn f(n) { let q = null; let r = 1; let i = 0;\n\
+              while (i < n) { i = i + 1; }\n\
+              if (i == 4) { r = q; } deref(r); return 0; }";
+        let shallow = Options { checker: CheckerChoice::Null, ..Default::default() };
+        assert_eq!(scan_source(src, &shallow).unwrap().findings.len(), 0);
+        let deep = Options { checker: CheckerChoice::Null, unroll: 4, ..Default::default() };
+        assert_eq!(scan_source(src, &deep).unwrap().findings.len(), 1);
+    }
+
+    #[test]
+    fn parallel_scan_matches_sequential() {
+        let src = "extern fn deref(p);\n\
+            fn a(x) { let q = null; let r = 1; if (x > 1) { r = q; } deref(r); return 0; }\n\
+            fn b(x) { let q = null; let r = 1; if (x * 2 == 5) { r = q; } deref(r); return 0; }";
+        let seq = Options { checker: CheckerChoice::Null, ..Default::default() };
+        let par = Options { checker: CheckerChoice::Null, threads: 3, ..Default::default() };
+        let r1 = scan_source(src, &seq).unwrap();
+        let r2 = scan_source(src, &par).unwrap();
+        assert_eq!(r1.findings.len(), r2.findings.len());
+        assert_eq!(r1.suppressed, r2.suppressed);
+    }
+
+    #[test]
+    fn sanitizer_flag_parses_and_applies() {
+        let o = parse_args(&args(&["--sanitizer", "scrub", "a.fus"])).unwrap();
+        assert_eq!(o.extra_sanitizers, vec!["scrub"]);
+        let src = "extern fn gets(); extern fn scrub(x); extern fn fopen(p);\n\
+            fn f() { let i = gets(); let c = scrub(i); fopen(c); return 0; }";
+        let opts = Options {
+            checker: CheckerChoice::Cwe23,
+            extra_sanitizers: vec!["scrub".into()],
+            ..Default::default()
+        };
+        assert!(scan_source(src, &opts).unwrap().findings.is_empty());
+        // Without the sanitizer registration the flow is reported.
+        let plain = Options { checker: CheckerChoice::Cwe23, ..Default::default() };
+        assert_eq!(scan_source(src, &plain).unwrap().findings.len(), 1);
+    }
+
+    #[test]
+    fn json_output_is_valid() {
+        let dir = std::env::temp_dir();
+        let buggy = dir.join("fusion_cli_json.fus");
+        std::fs::write(&buggy, "extern fn deref(p); fn f() { let q = null; deref(q); return 0; }")
+            .unwrap();
+        let mut out = Vec::new();
+        run(&[buggy.display().to_string(), "--json".into()], &mut out);
+        let v: serde_json::Value = serde_json::from_slice(&out).expect("valid json");
+        assert_eq!(v["findings"].as_array().unwrap().len(), 1);
+    }
+}

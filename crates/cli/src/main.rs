@@ -1,0 +1,7 @@
+//! `fusion-scan` entry point; all logic lives in the library for testing.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = fusion_cli::run(&args, &mut std::io::stdout());
+    std::process::exit(code);
+}

@@ -1,0 +1,259 @@
+//! Checker specifications: what is a source, what is a sink, and through
+//! which dependence edges a fact propagates.
+//!
+//! §4 of the paper: Fusion detects *null exceptions* and two taint issues —
+//! relative path traversal (CWE-23, "from `input = gets(..)` to
+//! `fopen(..)`") and transmission of private resources (CWE-402, "from
+//! `password = getpass(..)` to `sendmsg(..)`"). Checkers are data: lists of
+//! external source/sink function names plus a propagation policy, so new
+//! checkers need no engine changes.
+
+use fusion_ir::ssa::{DefKind, Function, Op, Program, VarId};
+
+/// Which bug class a checker reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CheckKind {
+    /// Null-pointer dereference.
+    NullDeref,
+    /// CWE-23 relative path traversal.
+    Cwe23,
+    /// CWE-402 transmission of private resources.
+    Cwe402,
+}
+
+impl std::fmt::Display for CheckKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            CheckKind::NullDeref => "null-deref",
+            CheckKind::Cwe23 => "cwe-23",
+            CheckKind::Cwe402 => "cwe-402",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A checker: sources, sinks, and propagation policy.
+#[derive(Debug, Clone)]
+pub struct Checker {
+    /// The reported bug class.
+    pub kind: CheckKind,
+    /// Names of external functions whose results are sources (taint
+    /// checkers; empty for the null checker, which seeds from `null`
+    /// constants).
+    pub source_fns: Vec<String>,
+    /// Names of external functions whose arguments are sinks.
+    pub sink_fns: Vec<String>,
+    /// Whether the fact survives arithmetic (`taint(a) → taint(a + 1)`).
+    /// Null-ness does not; taint does.
+    pub through_binary: bool,
+    /// Whether the fact flows through external library calls
+    /// (`taint(x) → taint(lib(x))`, the empty-function rule). Null-ness
+    /// does not; taint does.
+    pub through_extern: bool,
+    /// Names of external functions that *kill* the fact: a value passing
+    /// through them comes out clean (e.g. `realpath` for CWE-23, `hash`
+    /// for CWE-402).
+    pub sanitizer_fns: Vec<String>,
+}
+
+impl Checker {
+    /// The null-dereference checker: sources are `null` literals; sinks are
+    /// arguments of `deref`.
+    pub fn null_deref() -> Checker {
+        Checker {
+            kind: CheckKind::NullDeref,
+            source_fns: Vec::new(),
+            sink_fns: vec!["deref".into()],
+            through_binary: false,
+            through_extern: false,
+            sanitizer_fns: Vec::new(),
+        }
+    }
+
+    /// CWE-23: external input reaching file-system operations.
+    pub fn cwe23() -> Checker {
+        Checker {
+            kind: CheckKind::Cwe23,
+            source_fns: vec!["gets".into(), "recv".into(), "read_input".into(), "getenv".into()],
+            sink_fns: vec!["fopen".into(), "open_file".into(), "remove".into()],
+            through_binary: true,
+            through_extern: true,
+            sanitizer_fns: vec!["realpath".into(), "basename".into()],
+        }
+    }
+
+    /// CWE-402: private data reaching I/O operations.
+    pub fn cwe402() -> Checker {
+        Checker {
+            kind: CheckKind::Cwe402,
+            source_fns: vec!["getpass".into(), "read_key".into(), "load_secret".into()],
+            sink_fns: vec!["sendmsg".into(), "send".into(), "write_log".into()],
+            through_binary: true,
+            through_extern: true,
+            sanitizer_fns: vec!["hash".into(), "redact".into()],
+        }
+    }
+
+    /// Whether `def` in `func` is a source for this checker.
+    pub fn is_source(&self, program: &Program, func: &Function, var: VarId) -> bool {
+        match &func.def(var).kind {
+            DefKind::Const { is_null: true, .. } => self.kind == CheckKind::NullDeref,
+            DefKind::Call { callee, .. } => {
+                let callee_f = program.func(*callee);
+                callee_f.is_extern
+                    && self
+                        .source_fns
+                        .iter()
+                        .any(|n| n == program.name(callee_f.name))
+            }
+            _ => false,
+        }
+    }
+
+    /// Whether `def` is a call to a sanitizer: the fact does not survive
+    /// passing through it.
+    pub fn is_sanitizer(&self, program: &Program, func: &Function, var: VarId) -> bool {
+        match &func.def(var).kind {
+            DefKind::Call { callee, .. } => {
+                let callee_f = program.func(*callee);
+                callee_f.is_extern
+                    && self
+                        .sanitizer_fns
+                        .iter()
+                        .any(|n| n == program.name(callee_f.name))
+            }
+            _ => false,
+        }
+    }
+
+    /// Whether `def` is a sink call; facts arriving in any argument
+    /// position trigger a report.
+    pub fn is_sink(&self, program: &Program, func: &Function, var: VarId) -> bool {
+        match &func.def(var).kind {
+            DefKind::Call { callee, .. } => {
+                let callee_f = program.func(*callee);
+                callee_f.is_extern
+                    && self.sink_fns.iter().any(|n| n == program.name(callee_f.name))
+            }
+            _ => false,
+        }
+    }
+
+    /// Whether the fact propagates from operand slot `slot` of `def` to the
+    /// value `def` produces (the transfer-function policy of Algorithm 1).
+    pub fn propagates_through(&self, func: &Function, user: VarId, slot: usize) -> bool {
+        match &func.def(user).kind {
+            DefKind::Copy { .. } | DefKind::Return { .. } => true,
+            // Through either data input of an ite, not its condition.
+            DefKind::Ite { .. } => slot == 1 || slot == 2,
+            DefKind::Binary { op, .. } => {
+                // Even for taint, comparisons produce a 0/1 word, not the
+                // tainted datum.
+                self.through_binary && !op.is_predicate()
+            }
+            // Branch conditions consume the value; nothing flows on.
+            DefKind::Branch { .. } => false,
+            // Call arguments are handled by the inter-procedural edges.
+            DefKind::Call { .. } => true,
+            DefKind::Param { .. } | DefKind::Const { .. } => false,
+        }
+    }
+
+    /// Whether arithmetic that *discards* the operand still counts; used to
+    /// prune silly flows like `x - x`.
+    pub fn keeps_fact(&self, func: &Function, user: VarId) -> bool {
+        if let DefKind::Binary { op: Op::Sub, lhs, rhs } = func.def(user).kind {
+            if lhs == rhs {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// The three checkers of the paper's evaluation.
+pub fn default_checkers() -> Vec<Checker> {
+    vec![Checker::null_deref(), Checker::cwe23(), Checker::cwe402()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusion_ir::{compile, CompileOptions};
+
+    #[test]
+    fn null_checker_finds_sources_and_sinks() {
+        let p = compile(
+            "extern fn deref(p); fn f() { let q = null; deref(q); return 0; }",
+            CompileOptions::default(),
+        )
+        .unwrap();
+        let c = Checker::null_deref();
+        let f = p.func_by_name("f").unwrap();
+        let sources: Vec<_> =
+            f.defs.iter().filter(|d| c.is_source(&p, f, d.var)).collect();
+        let sinks: Vec<_> = f.defs.iter().filter(|d| c.is_sink(&p, f, d.var)).collect();
+        assert_eq!(sources.len(), 1);
+        assert_eq!(sinks.len(), 1);
+    }
+
+    #[test]
+    fn taint_checker_uses_function_names() {
+        let p = compile(
+            "extern fn gets(); extern fn fopen(path); extern fn misc(x);\n\
+             fn f() { let input = gets(); fopen(input); misc(input); return 0; }",
+            CompileOptions::default(),
+        )
+        .unwrap();
+        let c = Checker::cwe23();
+        let f = p.func_by_name("f").unwrap();
+        assert_eq!(f.defs.iter().filter(|d| c.is_source(&p, f, d.var)).count(), 1);
+        assert_eq!(f.defs.iter().filter(|d| c.is_sink(&p, f, d.var)).count(), 1);
+    }
+
+    #[test]
+    fn sanitizers_are_recognized() {
+        let p = compile(
+            "extern fn gets(); extern fn realpath(x); extern fn fopen(p);\n\
+             fn f() { let i = gets(); let c = realpath(i); fopen(c); return 0; }",
+            CompileOptions::default(),
+        )
+        .unwrap();
+        let c = Checker::cwe23();
+        let f = p.func_by_name("f").unwrap();
+        assert_eq!(
+            f.defs.iter().filter(|d| c.is_sanitizer(&p, f, d.var)).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn null_does_not_flow_through_arithmetic_but_taint_does() {
+        let p = compile(
+            "fn f(a, b) { let x = a + b; return x; }",
+            CompileOptions::default(),
+        )
+        .unwrap();
+        let f = p.func_by_name("f").unwrap();
+        let add = f
+            .defs
+            .iter()
+            .find(|d| matches!(d.kind, DefKind::Binary { op: Op::Add, .. }))
+            .unwrap();
+        assert!(!Checker::null_deref().propagates_through(f, add.var, 0));
+        assert!(Checker::cwe23().propagates_through(f, add.var, 0));
+    }
+
+    #[test]
+    fn nothing_flows_through_predicates() {
+        let p = compile("fn f(a, b) { let x = a < b; return x; }", CompileOptions::default())
+            .unwrap();
+        let f = p.func_by_name("f").unwrap();
+        let cmp = f
+            .defs
+            .iter()
+            .find(|d| matches!(d.kind, DefKind::Binary { op: Op::Slt, .. }))
+            .unwrap();
+        assert!(!Checker::cwe23().propagates_through(f, cmp.var, 0));
+    }
+}

@@ -1,0 +1,396 @@
+//! The analysis driver: propagate facts sparsely, then decide feasibility.
+//!
+//! This is the outer loop of Algorithm 5: sparse propagation collects Π
+//! (with **no** conditions), and a pluggable [`FeasibilityEngine`] answers
+//! `ir_based_smt_solve(Π)`. Engines implement the fused designs of this
+//! crate or the conventional baselines of `fusion-baselines`; the driver,
+//! reports and accounting are shared so comparisons are apples-to-apples.
+
+use crate::checkers::Checker;
+use crate::memory::{Category, MemoryAccountant, BYTES_PER_DEF};
+use crate::propagate::{discover, Candidate, PropagateOptions};
+use fusion_ir::ssa::Program;
+use fusion_pdg::graph::{Pdg, Vertex};
+use fusion_pdg::paths::DependencePath;
+use std::time::{Duration, Instant};
+
+/// The verdict on one path set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Feasibility {
+    /// Some execution takes the paths: a real flow.
+    Feasible,
+    /// No execution can take the paths.
+    Infeasible,
+    /// Budget exhausted before a verdict.
+    Unknown,
+}
+
+/// Everything a feasibility query reports back.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckOutcome {
+    /// The verdict.
+    pub feasibility: Feasibility,
+    /// Wall-clock time of the query.
+    pub duration: Duration,
+    /// DAG node count of the condition the engine built (0 if none).
+    pub condition_nodes: u64,
+    /// `(context, function)` clones materialized.
+    pub instances: usize,
+    /// Whether preprocessing alone decided the query.
+    pub preprocess_decided: bool,
+}
+
+/// A per-query record kept for the Fig. 11 scatter plot.
+#[derive(Debug, Clone, Copy)]
+pub struct SolveRecord {
+    /// The verdict.
+    pub feasibility: Feasibility,
+    /// Query duration.
+    pub duration: Duration,
+    /// Whether preprocessing decided it.
+    pub preprocess_decided: bool,
+    /// Condition size (DAG nodes).
+    pub condition_nodes: u64,
+}
+
+impl SolveRecord {
+    /// Extracts the record from an outcome.
+    pub fn from_outcome(o: &CheckOutcome) -> SolveRecord {
+        SolveRecord {
+            feasibility: o.feasibility,
+            duration: o.duration,
+            preprocess_decided: o.preprocess_decided,
+            condition_nodes: o.condition_nodes,
+        }
+    }
+}
+
+/// A path-feasibility decision procedure — the pluggable half of the fused
+/// design. Implementations must not require the caller to compute any
+/// condition: they receive the dependence paths and the graph only.
+pub trait FeasibilityEngine {
+    /// A short identifier for tables.
+    fn name(&self) -> &'static str;
+
+    /// Decides whether the conjunction of the given paths' conditions is
+    /// satisfiable (`⋀_{π ∈ Π} φ_π` of Algorithm 2).
+    fn check_paths(
+        &mut self,
+        program: &Program,
+        pdg: &Pdg,
+        paths: &[DependencePath],
+    ) -> CheckOutcome;
+
+    /// The engine's memory accountant.
+    fn memory(&self) -> &MemoryAccountant;
+
+    /// Per-query records collected so far.
+    fn records(&self) -> &[SolveRecord];
+}
+
+/// One reported bug.
+#[derive(Debug, Clone)]
+pub struct BugReport {
+    /// The fact's origin.
+    pub source: Vertex,
+    /// The sink statement.
+    pub sink: Vertex,
+    /// The verdict that triggered the report ([`Feasibility::Feasible`] or,
+    /// conservatively, [`Feasibility::Unknown`]).
+    pub verdict: Feasibility,
+    /// The witnessing (or undecided) path.
+    pub path: DependencePath,
+}
+
+/// Aggregate results of one analysis run.
+#[derive(Debug, Clone)]
+pub struct AnalysisRun {
+    /// Engine name.
+    pub engine: &'static str,
+    /// Bug reports (feasible or undecided candidates).
+    pub reports: Vec<BugReport>,
+    /// Candidates whose every path was proven infeasible.
+    pub suppressed: usize,
+    /// Total candidates discovered by propagation.
+    pub candidates: usize,
+    /// Feasibility queries issued.
+    pub queries: usize,
+    /// Wall-clock duration: propagation phase.
+    pub propagate_time: Duration,
+    /// Wall-clock duration: solving phase.
+    pub solve_time: Duration,
+    /// Peak tracked memory, bytes (all categories).
+    pub peak_memory: u64,
+}
+
+impl AnalysisRun {
+    /// Total wall-clock time.
+    pub fn total_time(&self) -> Duration {
+        self.propagate_time + self.solve_time
+    }
+}
+
+/// Configuration of [`analyze`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnalysisOptions {
+    /// Propagation limits.
+    pub propagate: PropagateOptions,
+}
+
+impl AnalysisOptions {
+    /// Default options.
+    pub fn new() -> Self {
+        Self { propagate: PropagateOptions::default() }
+    }
+}
+
+/// Runs one checker over a program with the given feasibility engine.
+///
+/// A candidate is reported when *any* of its alternative paths is feasible;
+/// it is suppressed only when every path is proven infeasible; undecided
+/// candidates are reported conservatively (matching how bug detectors treat
+/// solver timeouts).
+pub fn analyze(
+    program: &Program,
+    pdg: &Pdg,
+    checker: &Checker,
+    engine: &mut dyn FeasibilityEngine,
+    options: &AnalysisOptions,
+) -> AnalysisRun {
+    let t0 = Instant::now();
+    let candidates: Vec<Candidate> = discover(program, pdg, checker, &options.propagate);
+    let propagate_time = t0.elapsed();
+
+    let mut reports = Vec::new();
+    let mut suppressed = 0usize;
+    let mut queries = 0usize;
+    let t1 = Instant::now();
+    for cand in &candidates {
+        let mut verdict = Feasibility::Infeasible;
+        let mut witness: Option<&DependencePath> = None;
+        for path in &cand.paths {
+            queries += 1;
+            let outcome = engine.check_paths(program, pdg, std::slice::from_ref(path));
+            match outcome.feasibility {
+                Feasibility::Feasible => {
+                    verdict = Feasibility::Feasible;
+                    witness = Some(path);
+                    break;
+                }
+                Feasibility::Unknown => {
+                    verdict = Feasibility::Unknown;
+                    witness.get_or_insert(path);
+                }
+                Feasibility::Infeasible => {}
+            }
+        }
+        match verdict {
+            Feasibility::Infeasible => suppressed += 1,
+            v => reports.push(BugReport {
+                source: cand.source,
+                sink: cand.sink,
+                verdict: v,
+                path: witness.expect("non-infeasible verdict has a path").clone(),
+            }),
+        }
+    }
+    let solve_time = t1.elapsed();
+
+    // The graph itself is retained for the whole run, for every engine.
+    let graph_bytes = program.size() as u64 * BYTES_PER_DEF;
+    let mut mem = engine.memory().clone();
+    mem.charge(Category::Graph, graph_bytes);
+
+    AnalysisRun {
+        engine: engine.name(),
+        reports,
+        suppressed,
+        candidates: candidates.len(),
+        queries,
+        propagate_time,
+        solve_time,
+        peak_memory: mem.peak_total(),
+    }
+}
+
+/// Runs one checker with per-thread engines, fanning candidates out over
+/// `threads` worker threads (the paper's evaluation used fifteen). Each
+/// worker owns an engine built by `factory`, so no locking is needed on
+/// solver state; reports are merged and sorted for determinism.
+pub fn analyze_parallel(
+    program: &Program,
+    pdg: &Pdg,
+    checker: &Checker,
+    factory: &(dyn Fn() -> Box<dyn FeasibilityEngine> + Sync),
+    threads: usize,
+    options: &AnalysisOptions,
+) -> AnalysisRun {
+    let t0 = Instant::now();
+    let candidates: Vec<Candidate> = discover(program, pdg, checker, &options.propagate);
+    let propagate_time = t0.elapsed();
+    let threads = threads.max(1);
+
+    struct WorkerOut {
+        reports: Vec<BugReport>,
+        suppressed: usize,
+        queries: usize,
+        peak_memory: u64,
+    }
+
+    let t1 = Instant::now();
+    let outputs: Vec<WorkerOut> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for worker in 0..threads {
+            let cands = &candidates;
+            handles.push(scope.spawn(move || {
+                let mut engine = factory();
+                let mut out = WorkerOut {
+                    reports: Vec::new(),
+                    suppressed: 0,
+                    queries: 0,
+                    peak_memory: 0,
+                };
+                // Strided partition keeps the assignment deterministic.
+                for cand in cands.iter().skip(worker).step_by(threads) {
+                    let mut verdict = Feasibility::Infeasible;
+                    let mut witness: Option<&DependencePath> = None;
+                    for path in &cand.paths {
+                        out.queries += 1;
+                        let o = engine.check_paths(program, pdg, std::slice::from_ref(path));
+                        match o.feasibility {
+                            Feasibility::Feasible => {
+                                verdict = Feasibility::Feasible;
+                                witness = Some(path);
+                                break;
+                            }
+                            Feasibility::Unknown => {
+                                verdict = Feasibility::Unknown;
+                                witness.get_or_insert(path);
+                            }
+                            Feasibility::Infeasible => {}
+                        }
+                    }
+                    match verdict {
+                        Feasibility::Infeasible => out.suppressed += 1,
+                        v => out.reports.push(BugReport {
+                            source: cand.source,
+                            sink: cand.sink,
+                            verdict: v,
+                            path: witness.expect("non-infeasible has a path").clone(),
+                        }),
+                    }
+                }
+                out.peak_memory = engine.memory().peak_total();
+                out
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("worker thread")).collect()
+    });
+    let solve_time = t1.elapsed();
+
+    let mut reports: Vec<BugReport> = Vec::new();
+    let mut suppressed = 0usize;
+    let mut queries = 0usize;
+    let mut engine_peak = 0u64;
+    for o in outputs {
+        reports.extend(o.reports);
+        suppressed += o.suppressed;
+        queries += o.queries;
+        // Engines run concurrently: their peaks coexist.
+        engine_peak += o.peak_memory;
+    }
+    reports.sort_by_key(|r| (r.source, r.sink));
+    let graph_bytes = program.size() as u64 * BYTES_PER_DEF;
+
+    AnalysisRun {
+        engine: "parallel",
+        reports,
+        suppressed,
+        candidates: candidates.len(),
+        queries,
+        propagate_time,
+        solve_time,
+        peak_memory: engine_peak + graph_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph_solver::FusionSolver;
+    use fusion_ir::{compile, CompileOptions};
+    use fusion_smt::solver::SolverConfig;
+
+    fn run(src: &str) -> AnalysisRun {
+        let p = compile(src, CompileOptions::default()).expect("compile");
+        let g = Pdg::build(&p);
+        let mut engine = FusionSolver::new(SolverConfig::default());
+        analyze(&p, &g, &Checker::null_deref(), &mut engine, &AnalysisOptions::new())
+    }
+
+    #[test]
+    fn reports_feasible_and_suppresses_infeasible() {
+        let run = run(
+            "extern fn deref(p);\n\
+             fn feasible(x) { let q = null; let r = 1; if (x > 0) { r = q; } deref(r); return 0; }\n\
+             fn infeasible(x) { let q = null; let r = 1; if (x > 5) { if (x < 3) { r = q; } } deref(r); return 0; }",
+        );
+        assert_eq!(run.candidates, 2);
+        assert_eq!(run.reports.len(), 1);
+        assert_eq!(run.suppressed, 1);
+        assert_eq!(run.reports[0].verdict, Feasibility::Feasible);
+    }
+
+    #[test]
+    fn unconditional_flow_is_reported() {
+        let run = run("extern fn deref(p); fn f() { let q = null; deref(q); return 0; }");
+        assert_eq!(run.reports.len(), 1);
+        assert_eq!(run.suppressed, 0);
+    }
+
+    #[test]
+    fn clean_program_reports_nothing() {
+        let run = run("extern fn deref(p); fn f(x) { deref(x); return 0; }");
+        assert_eq!(run.candidates, 0);
+        assert!(run.reports.is_empty());
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let src = "extern fn deref(p);\n\
+             fn a(x) { let q = null; let r = 1; if (x > 1) { r = q; } deref(r); return 0; }\n\
+             fn b(x) { let q = null; let r = 1; if (x * 2 == 5) { r = q; } deref(r); return 0; }\n\
+             fn c(x) { let q = null; let r = 1; if (x == 9) { r = q; } deref(r); return 0; }";
+        let p = compile(src, CompileOptions::default()).expect("compile");
+        let g = Pdg::build(&p);
+        let mut engine = FusionSolver::new(SolverConfig::default());
+        let seq = analyze(&p, &g, &Checker::null_deref(), &mut engine, &AnalysisOptions::new());
+        let factory = || -> Box<dyn FeasibilityEngine> {
+            Box::new(FusionSolver::new(SolverConfig::default()))
+        };
+        for threads in [1usize, 2, 4] {
+            let par = analyze_parallel(
+                &p,
+                &g,
+                &Checker::null_deref(),
+                &factory,
+                threads,
+                &AnalysisOptions::new(),
+            );
+            let key = |r: &crate::engine::BugReport| (r.source, r.sink);
+            let mut a: Vec<_> = seq.reports.iter().map(key).collect();
+            let mut b: Vec<_> = par.reports.iter().map(key).collect();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "threads = {threads}");
+            assert_eq!(seq.suppressed, par.suppressed);
+        }
+    }
+
+    #[test]
+    fn timings_and_memory_are_populated() {
+        let run = run("extern fn deref(p); fn f() { let q = null; deref(q); return 0; }");
+        assert!(run.peak_memory > 0);
+        assert!(run.queries >= 1);
+    }
+}

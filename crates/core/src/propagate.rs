@@ -1,0 +1,361 @@
+//! Sparse propagation of data-flow facts (Algorithms 1, 2 and 5).
+//!
+//! This is the analysis half of the fused design: facts travel along
+//! data-dependence edges only (spatial + temporal sparsity, §3.1),
+//! collecting the set Π of dependence paths from sources to sinks. Crossing
+//! call and return edges respects the CFL parenthesis discipline — an exit
+//! must match the call site through which the path entered, or escape to an
+//! unentered outer frame.
+//!
+//! Crucially for the paper's contribution, the propagation computes **no
+//! conditions at all** (Algorithm 5): a discovered path is handed to a
+//! feasibility engine afterwards. The per-function summary cache stores
+//! only reachability, never formulas.
+
+use crate::checkers::Checker;
+use fusion_pdg::graph::{FlowTarget, Pdg, Vertex};
+use fusion_pdg::paths::{DependencePath, Link};
+use fusion_ir::ssa::{CallSiteId, Program};
+
+/// Exploration limits (deterministic).
+#[derive(Debug, Clone, Copy)]
+pub struct PropagateOptions {
+    /// Alternative paths kept per (source, sink) pair.
+    pub max_paths_per_pair: usize,
+    /// Total DFS steps per source before giving up (budget).
+    pub max_steps_per_source: usize,
+    /// Maximum vertices in one path.
+    pub max_path_len: usize,
+    /// Maximum call-string depth.
+    pub max_call_depth: usize,
+}
+
+impl Default for PropagateOptions {
+    fn default() -> Self {
+        Self {
+            max_paths_per_pair: 4,
+            max_steps_per_source: 50_000,
+            max_path_len: 256,
+            max_call_depth: 32,
+        }
+    }
+}
+
+/// A (source, sink) pair with the discovered dependence paths connecting
+/// it. Each path alone witnesses the flow; feasibility of *any* of them
+/// makes the candidate a bug.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// Where the fact is born.
+    pub source: Vertex,
+    /// The sink call statement the fact reaches.
+    pub sink: Vertex,
+    /// Alternative dependence paths from source to sink.
+    pub paths: Vec<DependencePath>,
+}
+
+struct Dfs<'a> {
+    program: &'a Program,
+    pdg: &'a Pdg,
+    checker: &'a Checker,
+    opts: PropagateOptions,
+    steps: usize,
+    candidates: Vec<Candidate>,
+    /// DFS states on the current path: (vertex, CFL stack). A path may
+    /// legitimately revisit a vertex under a *different* calling context
+    /// (e.g. `id(id(q))`), so cycle detection keys on the full state.
+    states: Vec<(Vertex, Vec<CallSiteId>)>,
+}
+
+impl<'a> Dfs<'a> {
+    fn record(&mut self, path: &DependencePath, sink: Vertex) {
+        let mut full = path.clone();
+        full.push(Link::Local, sink);
+        debug_assert!(full.is_realizable());
+        let source = full.source();
+        if let Some(c) = self
+            .candidates
+            .iter_mut()
+            .find(|c| c.source == source && c.sink == sink)
+        {
+            if c.paths.len() < self.opts.max_paths_per_pair {
+                c.paths.push(full);
+            }
+        } else {
+            self.candidates.push(Candidate { source, sink, paths: vec![full] });
+        }
+    }
+
+    /// Steps to `v` (with the stack already updated), recurses, and
+    /// undoes the step. Returns without recursing if the (vertex, stack)
+    /// state already occurs on the current path.
+    fn step(
+        &mut self,
+        path: &mut DependencePath,
+        stack: &mut Vec<CallSiteId>,
+        link: Link,
+        v: Vertex,
+    ) {
+        let state = (v, stack.clone());
+        if self.states.contains(&state) {
+            return; // a cycle in DFS state space
+        }
+        self.states.push(state);
+        path.push(link, v);
+        self.explore(path, stack);
+        path.nodes.pop();
+        path.links.pop();
+        self.states.pop();
+    }
+
+    fn explore(&mut self, path: &mut DependencePath, stack: &mut Vec<CallSiteId>) {
+        if self.steps >= self.opts.max_steps_per_source
+            || path.nodes.len() >= self.opts.max_path_len
+        {
+            return;
+        }
+        self.steps += 1;
+        let at = path.sink();
+        let targets = self.pdg.flow_targets(self.program, at);
+        for target in targets {
+            match target {
+                FlowTarget::Local { to, operand } => {
+                    let func = self.program.func(at.func);
+                    if !self.checker.propagates_through(func, to, operand)
+                        || !self.checker.keeps_fact(func, to)
+                    {
+                        continue;
+                    }
+                    self.step(path, stack, Link::Local, Vertex::new(at.func, to));
+                }
+                FlowTarget::IntoCallee { site, callee, param } => {
+                    if stack.len() >= self.opts.max_call_depth {
+                        continue;
+                    }
+                    stack.push(site);
+                    self.step(path, stack, Link::Enter(site), Vertex::new(callee, param));
+                    stack.pop();
+                }
+                FlowTarget::BackToCaller { site, caller, dst } => {
+                    // CFL discipline: match the entering site, or escape
+                    // upward with an empty stack.
+                    let popped = match stack.last() {
+                        Some(&top) if top == site => {
+                            stack.pop();
+                            true
+                        }
+                        Some(_) => continue, // mismatched parenthesis
+                        None => false,       // upward escape
+                    };
+                    self.step(path, stack, Link::Exit(site), Vertex::new(caller, dst));
+                    if popped {
+                        stack.push(site);
+                    }
+                }
+                FlowTarget::ThroughExtern { to, arg: _, .. } => {
+                    let func = self.program.func(at.func);
+                    let sink_here = self.checker.is_sink(self.program, func, to);
+                    if sink_here {
+                        self.record(path, Vertex::new(at.func, to));
+                    }
+                    // Sanitizers kill the fact; other externs pass it
+                    // through (taint only).
+                    if self.checker.through_extern
+                        && !sink_here
+                        && !self.checker.is_sanitizer(self.program, func, to)
+                    {
+                        self.step(path, stack, Link::Local, Vertex::new(at.func, to));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Runs sparse propagation for one checker, returning all (source, sink)
+/// candidates with their dependence paths.
+pub fn discover(
+    program: &Program,
+    pdg: &Pdg,
+    checker: &Checker,
+    opts: &PropagateOptions,
+) -> Vec<Candidate> {
+    let mut all = Vec::new();
+    for func in program.functions.iter().filter(|f| !f.is_extern) {
+        for def in &func.defs {
+            if !checker.is_source(program, func, def.var) {
+                continue;
+            }
+            let mut dfs = Dfs {
+                program,
+                pdg,
+                checker,
+                opts: *opts,
+                steps: 0,
+                candidates: Vec::new(),
+                states: Vec::new(),
+            };
+            let mut path = DependencePath::unit(Vertex::new(func.id, def.var));
+            let mut stack = Vec::new();
+            dfs.explore(&mut path, &mut stack);
+            all.extend(dfs.candidates);
+        }
+    }
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkers::Checker;
+    use fusion_ir::{compile, CompileOptions};
+
+    fn candidates(src: &str, checker: &Checker) -> (Program, Vec<Candidate>) {
+        let p = compile(src, CompileOptions::default()).expect("compile");
+        let g = Pdg::build(&p);
+        let cs = discover(&p, &g, checker, &PropagateOptions::default());
+        (p, cs)
+    }
+
+    #[test]
+    fn direct_null_flow() {
+        let (_, cs) = candidates(
+            "extern fn deref(p); fn f() { let q = null; deref(q); return 0; }",
+            &Checker::null_deref(),
+        );
+        assert_eq!(cs.len(), 1);
+        assert_eq!(cs[0].paths.len(), 1);
+        assert_eq!(cs[0].paths[0].nodes.len(), 2);
+    }
+
+    #[test]
+    fn null_does_not_survive_arithmetic() {
+        let (_, cs) = candidates(
+            "extern fn deref(p); fn f() { let q = null; let r = q + 1; deref(r); return 0; }",
+            &Checker::null_deref(),
+        );
+        assert!(cs.is_empty());
+    }
+
+    #[test]
+    fn sanitizers_kill_taint() {
+        let (_, cs) = candidates(
+            "extern fn gets(); extern fn realpath(x); extern fn fopen(p);\n\
+             fn f() { let i = gets(); let clean = realpath(i); fopen(clean); return 0; }",
+            &Checker::cwe23(),
+        );
+        assert!(cs.is_empty(), "sanitized flow must not be reported");
+    }
+
+    #[test]
+    fn taint_survives_arithmetic_and_library() {
+        let (_, cs) = candidates(
+            "extern fn gets(); extern fn sanitize_noop(x); extern fn fopen(p);\n\
+             fn f() { let i = gets(); let j = i + 1; let k = sanitize_noop(j); fopen(k); return 0; }",
+            &Checker::cwe23(),
+        );
+        assert_eq!(cs.len(), 1);
+        // gets → j → k → fopen.
+        assert_eq!(cs[0].paths[0].nodes.len(), 4);
+    }
+
+    #[test]
+    fn interprocedural_flow_via_call_and_return() {
+        let (_, cs) = candidates(
+            "extern fn deref(p);\n\
+             fn id(x) { return x; }\n\
+             fn f() { let q = null; let r = id(q); deref(r); return 0; }",
+            &Checker::null_deref(),
+        );
+        assert_eq!(cs.len(), 1);
+        let path = &cs[0].paths[0];
+        assert!(path.is_realizable());
+        assert!(path.links.iter().any(|l| matches!(l, Link::Enter(_))));
+        assert!(path.links.iter().any(|l| matches!(l, Link::Exit(_))));
+    }
+
+    #[test]
+    fn cfl_discipline_blocks_site_mixing() {
+        // null enters id at site 1 but must not exit through site 2.
+        let (p, cs) = candidates(
+            "extern fn deref(p);\n\
+             fn id(x) { return x; }\n\
+             fn f(a) {\n\
+               let q = null;\n\
+               let r1 = id(q);\n\
+               let r2 = id(a);\n\
+               deref(r2);\n\
+               return r1;\n\
+             }",
+            &Checker::null_deref(),
+        );
+        // The only sink is deref(r2), which the null value cannot reach
+        // without mixing call sites.
+        assert!(cs.is_empty(), "{:?}", cs.iter().map(|c| c.paths.len()).collect::<Vec<_>>());
+        drop(p);
+    }
+
+    #[test]
+    fn upward_escape_to_caller() {
+        // The source lives in the callee, the sink in the caller.
+        let (_, cs) = candidates(
+            "extern fn deref(p);\n\
+             fn make() { let q = null; return q; }\n\
+             fn f() { let r = make(); deref(r); return 0; }",
+            &Checker::null_deref(),
+        );
+        assert_eq!(cs.len(), 1);
+        assert!(cs[0].paths[0].links.iter().any(|l| matches!(l, Link::Exit(_))));
+    }
+
+    #[test]
+    fn multiple_alternative_paths() {
+        let (_, cs) = candidates(
+            "extern fn deref(p);\n\
+             fn f(a, b) {\n\
+               let q = null;\n\
+               let r = 0;\n\
+               let s = 0;\n\
+               if (a) { r = q; }\n\
+               if (b) { s = q; }\n\
+               let t = 0;\n\
+               if (a < b) { t = r; } else { t = s; }\n\
+               deref(t);\n\
+               return 0;\n\
+             }",
+            &Checker::null_deref(),
+        );
+        assert_eq!(cs.len(), 1);
+        // q reaches deref both via r (then-arm) and via s (else-arm).
+        assert_eq!(cs[0].paths.len(), 2);
+    }
+
+    #[test]
+    fn sources_in_different_functions() {
+        let (_, cs) = candidates(
+            "extern fn deref(p);\n\
+             fn g() { let q = null; deref(q); return 0; }\n\
+             fn h() { let q = null; deref(q); return 0; }",
+            &Checker::null_deref(),
+        );
+        assert_eq!(cs.len(), 2);
+    }
+
+    #[test]
+    fn respects_step_budget() {
+        let (_, cs) = candidates(
+            "extern fn deref(p); fn f() { let q = null; deref(q); return 0; }",
+            &Checker::null_deref(),
+        );
+        assert_eq!(cs.len(), 1);
+        // With a zero budget nothing is found.
+        let p = compile(
+            "extern fn deref(p); fn f() { let q = null; deref(q); return 0; }",
+            CompileOptions::default(),
+        )
+        .unwrap();
+        let g = Pdg::build(&p);
+        let opts = PropagateOptions { max_steps_per_source: 0, ..Default::default() };
+        assert!(discover(&p, &g, &Checker::null_deref(), &opts).is_empty());
+    }
+}

@@ -1,0 +1,270 @@
+//! Quick paths: entry→exit value summaries on the dependence graph.
+//!
+//! §2 of the paper: "we can establish a quick path from the vertex `y=2x`
+//! to the vertex `return z`. The quick path allows the same propagation
+//! from the variable `b` to the branch condition without going through the
+//! function `bar`." §3.2.3 uses the same idea for inter-procedural
+//! preprocessing (Fig. 9): constant and affine return values let the solver
+//! delete call/return parenthesis labels without cloning the callee.
+//!
+//! A [`RetSummary`] states what a function's return value is as a function
+//! of its parameters, computed once per function (memoized — never per call
+//! site) by value propagation over the gated SSA graph. Because the IR is
+//! pure and total, these equalities hold unconditionally.
+
+use fusion_ir::ssa::{DefKind, FuncId, Op, Program, VarId};
+
+/// What a function returns, as seen through the quick path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetSummary {
+    /// The return value is this constant.
+    Const(u32),
+    /// `ret = mul · param[index] + add` (wrapping 32-bit arithmetic).
+    /// `mul = 1, add = 0` is the identity.
+    Affine {
+        /// Parameter position.
+        index: usize,
+        /// Multiplier.
+        mul: u32,
+        /// Offset.
+        add: u32,
+    },
+    /// No quick path: the callee must be visited (cloned) to reason about
+    /// its return value.
+    Opaque,
+}
+
+/// The value summary of an individual definition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ValSummary {
+    Const(u32),
+    Affine { index: usize, mul: u32, add: u32 },
+    Opaque,
+}
+
+impl ValSummary {
+    fn param(index: usize) -> Self {
+        ValSummary::Affine { index, mul: 1, add: 0 }
+    }
+}
+
+/// Computes the return summary of every function, bottom-up over the
+/// (acyclic, post-unrolling) call graph.
+pub fn ret_summaries(program: &Program) -> Vec<RetSummary> {
+    let n = program.functions.len();
+    let mut out = vec![None::<RetSummary>; n];
+    for f in &program.functions {
+        summary_of(program, f.id, &mut out);
+    }
+    out.into_iter().map(|s| s.expect("all functions summarized")).collect()
+}
+
+fn summary_of(program: &Program, fid: FuncId, memo: &mut Vec<Option<RetSummary>>) -> RetSummary {
+    if let Some(s) = memo[fid.index()] {
+        return s;
+    }
+    // Break (should-be-impossible) cycles conservatively.
+    memo[fid.index()] = Some(RetSummary::Opaque);
+    let func = program.func(fid);
+    let summary = match func.ret {
+        None => RetSummary::Opaque, // extern
+        Some(ret) => {
+            let mut vals: Vec<Option<ValSummary>> = vec![None; func.defs.len()];
+            let s = value_of(program, fid, ret, &mut vals, memo);
+            match s {
+                ValSummary::Const(c) => RetSummary::Const(c),
+                ValSummary::Affine { index, mul, add } => RetSummary::Affine { index, mul, add },
+                ValSummary::Opaque => RetSummary::Opaque,
+            }
+        }
+    };
+    memo[fid.index()] = Some(summary);
+    summary
+}
+
+fn value_of(
+    program: &Program,
+    fid: FuncId,
+    var: VarId,
+    vals: &mut Vec<Option<ValSummary>>,
+    memo: &mut Vec<Option<RetSummary>>,
+) -> ValSummary {
+    if let Some(v) = vals[var.index()] {
+        return v;
+    }
+    let func = program.func(fid);
+    let v = match &func.def(var).kind {
+        DefKind::Param { index } => ValSummary::param(*index),
+        DefKind::Const { value, .. } => ValSummary::Const(*value),
+        DefKind::Copy { src } | DefKind::Return { src } => {
+            value_of(program, fid, *src, vals, memo)
+        }
+        DefKind::Ite { then_v, else_v, .. } => {
+            let a = value_of(program, fid, *then_v, vals, memo);
+            let b = value_of(program, fid, *else_v, vals, memo);
+            if a == b && a != ValSummary::Opaque {
+                a
+            } else {
+                ValSummary::Opaque
+            }
+        }
+        DefKind::Branch { .. } => ValSummary::Opaque,
+        DefKind::Binary { op, lhs, rhs } => {
+            let a = value_of(program, fid, *lhs, vals, memo);
+            let b = value_of(program, fid, *rhs, vals, memo);
+            combine(*op, a, b)
+        }
+        DefKind::Call { callee, args, .. } => {
+            match summary_of(program, *callee, memo) {
+                RetSummary::Const(c) => ValSummary::Const(c),
+                RetSummary::Affine { index, mul, add } => {
+                    // Compose with the argument's own summary.
+                    match args
+                        .get(index)
+                        .map(|a| value_of(program, fid, *a, vals, memo))
+                    {
+                        Some(ValSummary::Const(c)) => {
+                            ValSummary::Const(mul.wrapping_mul(c).wrapping_add(add))
+                        }
+                        Some(ValSummary::Affine { index: i, mul: m, add: a }) => {
+                            ValSummary::Affine {
+                                index: i,
+                                mul: mul.wrapping_mul(m),
+                                add: mul.wrapping_mul(a).wrapping_add(add),
+                            }
+                        }
+                        _ => ValSummary::Opaque,
+                    }
+                }
+                RetSummary::Opaque => ValSummary::Opaque,
+            }
+        }
+    };
+    vals[var.index()] = Some(v);
+    v
+}
+
+fn combine(op: Op, a: ValSummary, b: ValSummary) -> ValSummary {
+    use ValSummary::*;
+    match (op, a, b) {
+        (_, Const(x), Const(y)) => Const(op.eval(x, y)),
+        (Op::Add, Affine { index, mul, add }, Const(c))
+        | (Op::Add, Const(c), Affine { index, mul, add }) => {
+            Affine { index, mul, add: add.wrapping_add(c) }
+        }
+        (Op::Sub, Affine { index, mul, add }, Const(c)) => {
+            Affine { index, mul, add: add.wrapping_sub(c) }
+        }
+        (Op::Sub, Const(c), Affine { index, mul, add }) => Affine {
+            index,
+            mul: 0u32.wrapping_sub(mul),
+            add: c.wrapping_sub(add),
+        },
+        (Op::Mul, Affine { index, mul, add }, Const(c))
+        | (Op::Mul, Const(c), Affine { index, mul, add }) => Affine {
+            index,
+            mul: mul.wrapping_mul(c),
+            add: add.wrapping_mul(c),
+        },
+        (Op::Shl, Affine { index, mul, add }, Const(c)) if c < 32 => Affine {
+            index,
+            mul: mul.wrapping_shl(c),
+            add: add.wrapping_shl(c),
+        },
+        _ => Opaque,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusion_ir::{compile, CompileOptions};
+
+    fn summaries(src: &str) -> (Program, Vec<RetSummary>) {
+        let p = compile(src, CompileOptions::default()).expect("compile");
+        let s = ret_summaries(&p);
+        (p, s)
+    }
+
+    fn of<'a>(p: &Program, s: &'a [RetSummary], name: &str) -> &'a RetSummary {
+        &s[p.func_by_name(name).unwrap().id.index()]
+    }
+
+    #[test]
+    fn paper_bar_is_affine_times_two() {
+        let (p, s) = summaries("fn bar(x) { let y = x * 2; let z = y; return z; }");
+        assert_eq!(*of(&p, &s, "bar"), RetSummary::Affine { index: 0, mul: 2, add: 0 });
+    }
+
+    #[test]
+    fn identity_and_const() {
+        let (p, s) = summaries("fn id(x) { return x; } fn seven() { return 7; }");
+        assert_eq!(*of(&p, &s, "id"), RetSummary::Affine { index: 0, mul: 1, add: 0 });
+        assert_eq!(*of(&p, &s, "seven"), RetSummary::Const(7));
+    }
+
+    #[test]
+    fn composition_through_calls() {
+        // h(x) = g(f(x)) = 2(x + 1) + 3 = 2x + 5.
+        let (p, s) = summaries(
+            "fn f(x) { return x + 1; }\n\
+             fn g(x) { return x * 2 + 3; }\n\
+             fn h(x) { return g(f(x)); }",
+        );
+        assert_eq!(*of(&p, &s, "h"), RetSummary::Affine { index: 0, mul: 2, add: 5 });
+    }
+
+    #[test]
+    fn branching_is_opaque_unless_arms_agree() {
+        let (p, s) = summaries(
+            "fn pick(x) { if (x > 0) { return x + 1; } return x; }\n\
+             fn same(x) { let r = 5; if (x > 0) { r = 5; } return r; }\n\
+             fn early(x) { if (x > 0) { return 5; } return 5; }",
+        );
+        assert_eq!(*of(&p, &s, "pick"), RetSummary::Opaque);
+        // Both merge arms agree: the summary sees through the ite.
+        assert_eq!(*of(&p, &s, "same"), RetSummary::Const(5));
+        // Early returns thread `__ret_val` (initially 0) through the merge
+        // chain, so the value summary is conservatively opaque even though
+        // the function always returns 5.
+        assert_eq!(*of(&p, &s, "early"), RetSummary::Opaque);
+    }
+
+    #[test]
+    fn extern_and_extern_users_are_opaque() {
+        let (p, s) = summaries("extern fn lib(x); fn f(x) { return lib(x); }");
+        assert_eq!(*of(&p, &s, "lib"), RetSummary::Opaque);
+        assert_eq!(*of(&p, &s, "f"), RetSummary::Opaque);
+    }
+
+    #[test]
+    fn two_param_mix_is_opaque() {
+        let (p, s) = summaries("fn f(x, y) { return x + y; }");
+        assert_eq!(*of(&p, &s, "f"), RetSummary::Opaque);
+    }
+
+    #[test]
+    fn shl_by_const_is_affine() {
+        let (p, s) = summaries("fn f(x) { return (x << 3) + 1; }");
+        assert_eq!(*of(&p, &s, "f"), RetSummary::Affine { index: 0, mul: 8, add: 1 });
+    }
+
+    #[test]
+    fn summaries_validate_dynamically() {
+        // Cross-check against the interpreter on a few inputs.
+        let src = "fn f(x) { return x + 1; }\n\
+                   fn g(x) { return x * 2 + 3; }\n\
+                   fn h(x) { return g(f(x)); }";
+        let (p, s) = summaries(src);
+        let h = p.func_by_name("h").unwrap();
+        let RetSummary::Affine { index, mul, add } = of(&p, &s, "h") else {
+            panic!("expected affine")
+        };
+        for x in [0u32, 1, 7, u32::MAX] {
+            let (ev, _) = fusion_ir::interp::eval_core(&p, h.id, &[x], 100_000).unwrap();
+            let args = [x];
+            let want = mul.wrapping_mul(args[*index]).wrapping_add(*add);
+            assert_eq!(ev.ret, want, "x = {x}");
+        }
+    }
+}

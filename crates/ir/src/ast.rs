@@ -1,0 +1,211 @@
+//! Surface abstract syntax of the Fig. 4 mini-language.
+//!
+//! The surface language is a structured, C-like superset of the paper's core
+//! language: it has expressions with literals, `if`/`else`, `while` loops and
+//! early returns. [`crate::lower`] normalizes it to the paper's loop-free,
+//! SSA-form core (gated with `ite`-assignments, single exit).
+
+use crate::interner::Symbol;
+
+/// Unary operators in surface expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Logical negation: `!e` is 1 when `e == 0`, else 0.
+    Not,
+    /// Arithmetic negation modulo 2^32.
+    Neg,
+    /// Bitwise complement.
+    BitNot,
+}
+
+/// Binary operators in surface expressions.
+///
+/// Comparison and logical operators produce 0/1 (C semantics); all values are
+/// 32-bit words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Unsigned division with the SMT-LIB convention `x / 0 = 2^32 - 1`.
+    Div,
+    /// Unsigned remainder with `x % 0 = x`.
+    Rem,
+    /// Bitwise and.
+    BitAnd,
+    /// Bitwise or.
+    BitOr,
+    /// Bitwise xor.
+    BitXor,
+    /// Left shift.
+    Shl,
+    /// Logical (unsigned) right shift.
+    Shr,
+    /// Signed less-than, produces 0/1.
+    Lt,
+    /// Signed less-or-equal, produces 0/1.
+    Le,
+    /// Signed greater-than, produces 0/1.
+    Gt,
+    /// Signed greater-or-equal, produces 0/1.
+    Ge,
+    /// Equality, produces 0/1.
+    Eq,
+    /// Disequality, produces 0/1.
+    Ne,
+    /// Non-short-circuit logical and: `(a != 0) & (b != 0)`.
+    And,
+    /// Non-short-circuit logical or: `(a != 0) | (b != 0)`.
+    Or,
+}
+
+/// A surface expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal, wrapped to 32 bits during lowering.
+    Int(i64),
+    /// The distinguished null constant (value 0, flagged as a null source).
+    Null,
+    /// Variable reference.
+    Var(Symbol),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Call to a named function.
+    Call(Symbol, Vec<Expr>),
+}
+
+/// A surface statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `let x = e;` — introduces a block-scoped binding.
+    Let(Symbol, Expr),
+    /// `x = e;` — assigns to an existing binding.
+    Assign(Symbol, Expr),
+    /// `if (e) { .. } else { .. }` — the `else` block may be empty.
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `while (e) { .. }` — unrolled a fixed number of times by lowering.
+    While(Expr, Vec<Stmt>),
+    /// `return e;`
+    Return(Expr),
+    /// Expression evaluated for its effects (e.g. a call to a sink).
+    Expr(Expr),
+}
+
+/// A surface function definition or external declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Function {
+    /// The function's name.
+    pub name: Symbol,
+    /// Parameter names, in order.
+    pub params: Vec<Symbol>,
+    /// Body statements; meaningless when [`Function::is_extern`] is set.
+    pub body: Vec<Stmt>,
+    /// External declarations have no body (`f(v1, v2, ..) = ∅` in Fig. 4).
+    pub is_extern: bool,
+}
+
+/// A whole surface program: a list of functions.
+///
+/// The identifier interner is owned separately (see
+/// [`crate::parser::parse`]) so programs can be assembled programmatically.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Program {
+    /// All functions, externs included.
+    pub functions: Vec<Function>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Finds a function by name.
+    pub fn function(&self, name: Symbol) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+}
+
+impl Expr {
+    /// Convenience constructor for a binary expression.
+    pub fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Binary(op, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Convenience constructor for a unary expression.
+    pub fn un(op: UnOp, e: Expr) -> Expr {
+        Expr::Unary(op, Box::new(e))
+    }
+
+    /// Visits every sub-expression, including `self`, depth first.
+    pub fn walk(&self, f: &mut impl FnMut(&Expr)) {
+        f(self);
+        match self {
+            Expr::Unary(_, e) => e.walk(f),
+            Expr::Binary(_, a, b) => {
+                a.walk(f);
+                b.walk(f);
+            }
+            Expr::Call(_, args) => {
+                for a in args {
+                    a.walk(f);
+                }
+            }
+            Expr::Int(_) | Expr::Null | Expr::Var(_) => {}
+        }
+    }
+}
+
+/// Visits every statement in a body, depth first, including nested blocks.
+pub fn walk_stmts(stmts: &[Stmt], f: &mut impl FnMut(&Stmt)) {
+    for s in stmts {
+        f(s);
+        match s {
+            Stmt::If(_, t, e) => {
+                walk_stmts(t, f);
+                walk_stmts(e, f);
+            }
+            Stmt::While(_, b) => walk_stmts(b, f),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interner::Interner;
+
+    #[test]
+    fn walk_visits_all_subexpressions() {
+        let mut i = Interner::new();
+        let x = i.intern("x");
+        let e = Expr::bin(
+            BinOp::Add,
+            Expr::Var(x),
+            Expr::un(UnOp::Not, Expr::Int(3)),
+        );
+        let mut count = 0;
+        e.walk(&mut |_| count += 1);
+        assert_eq!(count, 4); // add, var, not, int
+    }
+
+    #[test]
+    fn walk_stmts_recurses_into_branches() {
+        let mut i = Interner::new();
+        let x = i.intern("x");
+        let body = vec![Stmt::If(
+            Expr::Var(x),
+            vec![Stmt::Return(Expr::Int(1))],
+            vec![Stmt::While(Expr::Var(x), vec![Stmt::Expr(Expr::Int(0))])],
+        )];
+        let mut count = 0;
+        walk_stmts(&body, &mut |_| count += 1);
+        assert_eq!(count, 4); // if, return, while, expr
+    }
+}

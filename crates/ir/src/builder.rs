@@ -1,0 +1,257 @@
+//! Ergonomic construction of surface programs.
+//!
+//! A fluent builder over [`crate::ast`] for tests, tools and generators
+//! that assemble programs programmatically instead of parsing text. The
+//! builder owns the interner, so names are plain `&str`s at the call sites.
+//!
+//! # Examples
+//!
+//! ```
+//! use fusion_ir::builder::ProgramBuilder;
+//! use fusion_ir::CompileOptions;
+//!
+//! let mut b = ProgramBuilder::new();
+//! b.extern_fn("deref", 1);
+//! b.function("f", &["x"], |f| {
+//!     f.let_("q", f.null());
+//!     f.let_("r", f.int(1));
+//!     let cond = f.gt(f.var("x"), f.int(3));
+//!     f.if_(cond, |t| t.assign("r", t.var("q")), |_| {});
+//!     f.call_stmt("deref", &[f.var("r")]);
+//!     f.ret(f.int(0));
+//! });
+//! let program = b.compile(CompileOptions::default())?;
+//! assert_eq!(program.functions.len(), 2);
+//! # Ok::<(), fusion_ir::CompileError>(())
+//! ```
+
+use crate::ast::{BinOp, Expr, Function, Program, Stmt, UnOp};
+use crate::interner::Interner;
+use crate::{compile_ast, CompileError, CompileOptions};
+use std::cell::RefCell;
+
+/// Builds a whole surface program.
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    interner: RefCell<Interner>,
+    functions: Vec<Function>,
+}
+
+/// Builds one function body; obtained via [`ProgramBuilder::function`].
+#[derive(Debug)]
+pub struct FnBuilder<'p> {
+    interner: &'p RefCell<Interner>,
+    stmts: Vec<Stmt>,
+}
+
+impl ProgramBuilder {
+    /// An empty program builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares an external function with the given arity.
+    pub fn extern_fn(&mut self, name: &str, arity: usize) {
+        let mut i = self.interner.borrow_mut();
+        let name = i.intern(name);
+        let params = (0..arity).map(|k| i.intern(&format!("x{k}"))).collect();
+        self.functions.push(Function { name, params, body: Vec::new(), is_extern: true });
+    }
+
+    /// Defines a function; the closure receives an [`FnBuilder`] to emit
+    /// the body.
+    pub fn function(&mut self, name: &str, params: &[&str], build: impl FnOnce(&mut FnBuilder)) {
+        let (name, params) = {
+            let mut i = self.interner.borrow_mut();
+            let name = i.intern(name);
+            let params = params.iter().map(|p| i.intern(p)).collect();
+            (name, params)
+        };
+        let mut f = FnBuilder { interner: &self.interner, stmts: Vec::new() };
+        build(&mut f);
+        self.functions
+            .push(Function { name, params, body: f.stmts, is_extern: false });
+    }
+
+    /// Finishes the surface program (AST + interner).
+    pub fn finish(self) -> (Program, Interner) {
+        (Program { functions: self.functions }, self.interner.into_inner())
+    }
+
+    /// Compiles straight to validated core SSA.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`CompileError`] from the pipeline.
+    pub fn compile(self, options: CompileOptions) -> Result<crate::Program, CompileError> {
+        let (surface, mut interner) = self.finish();
+        compile_ast(&surface, &mut interner, options)
+    }
+}
+
+impl FnBuilder<'_> {
+    // --- expressions (pure; no statement emitted) ---
+
+    /// Integer literal.
+    pub fn int(&self, v: i64) -> Expr {
+        Expr::Int(v)
+    }
+
+    /// The null literal.
+    pub fn null(&self) -> Expr {
+        Expr::Null
+    }
+
+    /// Variable reference.
+    pub fn var(&self, name: &str) -> Expr {
+        Expr::Var(self.interner.borrow_mut().intern(name))
+    }
+
+    /// Function call expression.
+    pub fn call(&self, name: &str, args: &[Expr]) -> Expr {
+        Expr::Call(self.interner.borrow_mut().intern(name), args.to_vec())
+    }
+
+    /// `a + b`.
+    pub fn add(&self, a: Expr, b: Expr) -> Expr {
+        Expr::bin(BinOp::Add, a, b)
+    }
+
+    /// `a * b`.
+    pub fn mul(&self, a: Expr, b: Expr) -> Expr {
+        Expr::bin(BinOp::Mul, a, b)
+    }
+
+    /// `a == b` (0/1).
+    pub fn eq(&self, a: Expr, b: Expr) -> Expr {
+        Expr::bin(BinOp::Eq, a, b)
+    }
+
+    /// `a < b` (signed, 0/1).
+    pub fn lt(&self, a: Expr, b: Expr) -> Expr {
+        Expr::bin(BinOp::Lt, a, b)
+    }
+
+    /// `a > b` (signed, 0/1).
+    pub fn gt(&self, a: Expr, b: Expr) -> Expr {
+        Expr::bin(BinOp::Gt, a, b)
+    }
+
+    /// `!a`.
+    pub fn not(&self, a: Expr) -> Expr {
+        Expr::un(UnOp::Not, a)
+    }
+
+    /// Any other binary operator.
+    pub fn bin(&self, op: BinOp, a: Expr, b: Expr) -> Expr {
+        Expr::bin(op, a, b)
+    }
+
+    // --- statements ---
+
+    /// `let name = e;`
+    pub fn let_(&mut self, name: &str, e: Expr) {
+        let sym = self.interner.borrow_mut().intern(name);
+        self.stmts.push(Stmt::Let(sym, e));
+    }
+
+    /// `name = e;`
+    pub fn assign(&mut self, name: &str, e: Expr) {
+        let sym = self.interner.borrow_mut().intern(name);
+        self.stmts.push(Stmt::Assign(sym, e));
+    }
+
+    /// `if (cond) { then } else { else }`.
+    pub fn if_(
+        &mut self,
+        cond: Expr,
+        then_b: impl FnOnce(&mut FnBuilder),
+        else_b: impl FnOnce(&mut FnBuilder),
+    ) {
+        let mut t = FnBuilder { interner: self.interner, stmts: Vec::new() };
+        then_b(&mut t);
+        let mut e = FnBuilder { interner: self.interner, stmts: Vec::new() };
+        else_b(&mut e);
+        self.stmts.push(Stmt::If(cond, t.stmts, e.stmts));
+    }
+
+    /// `while (cond) { body }` (unrolled by compilation).
+    pub fn while_(&mut self, cond: Expr, body: impl FnOnce(&mut FnBuilder)) {
+        let mut b = FnBuilder { interner: self.interner, stmts: Vec::new() };
+        body(&mut b);
+        self.stmts.push(Stmt::While(cond, b.stmts));
+    }
+
+    /// A call evaluated for its effects: `name(args);`
+    pub fn call_stmt(&mut self, name: &str, args: &[Expr]) {
+        let e = self.call(name, args);
+        self.stmts.push(Stmt::Expr(e));
+    }
+
+    /// `return e;`
+    pub fn ret(&mut self, e: Expr) {
+        self.stmts.push(Stmt::Return(e));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::eval_core;
+
+    #[test]
+    fn builds_and_compiles_a_guarded_function() {
+        let mut b = ProgramBuilder::new();
+        b.function("clamp", &["x"], |f| {
+            f.let_("r", f.var("x"));
+            let cond = f.gt(f.var("x"), f.int(100));
+            f.if_(cond, |t| t.assign("r", t.int(100)), |_| {});
+            f.ret(f.var("r"));
+        });
+        let program = b.compile(CompileOptions::default()).expect("compiles");
+        let clamp = program.func_by_name("clamp").unwrap();
+        let (ev, _) = eval_core(&program, clamp.id, &[42], 10_000).unwrap();
+        assert_eq!(ev.ret, 42);
+        let (ev, _) = eval_core(&program, clamp.id, &[250], 10_000).unwrap();
+        assert_eq!(ev.ret, 100);
+    }
+
+    #[test]
+    fn builds_calls_and_loops() {
+        let mut b = ProgramBuilder::new();
+        b.function("double", &["v"], |f| {
+            f.ret(f.mul(f.var("v"), f.int(2)));
+        });
+        b.function("main", &["n"], |f| {
+            f.let_("acc", f.int(0));
+            let cond = f.lt(f.var("acc"), f.var("n"));
+            f.while_(cond, |w| {
+                let next = w.call("double", &[w.add(w.var("acc"), w.int(1))]);
+                w.assign("acc", next);
+            });
+            f.ret(f.var("acc"));
+        });
+        let program = b.compile(CompileOptions::default()).expect("compiles");
+        assert_eq!(program.functions.len(), 2);
+    }
+
+    #[test]
+    fn builder_errors_propagate() {
+        let mut b = ProgramBuilder::new();
+        b.function("broken", &[], |f| {
+            f.ret(f.var("undefined_name"));
+        });
+        assert!(b.compile(CompileOptions::default()).is_err());
+    }
+
+    #[test]
+    fn finish_exposes_surface_ast() {
+        let mut b = ProgramBuilder::new();
+        b.extern_fn("sink", 1);
+        b.function("f", &[], |f| f.ret(f.int(0)));
+        let (surface, interner) = b.finish();
+        assert_eq!(surface.functions.len(), 2);
+        let text = crate::pretty::surface_to_string(&surface, &interner);
+        assert!(text.contains("extern fn sink"));
+    }
+}

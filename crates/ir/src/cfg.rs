@@ -1,0 +1,248 @@
+//! Control-flow-graph reconstruction for core SSA functions.
+//!
+//! Lowering records control dependence syntactically (guard chains). This
+//! module rebuilds an explicit statement-level CFG from those guards so that
+//! the classical Ferrante–Ottenstein–Warren control-dependence computation
+//! ([`crate::dominance::control_dependence`]) can be run against it — the
+//! two views must agree, which the test suite checks. The CFG is also what
+//! a non-sparse analysis (e.g. the Infer-like baseline) iterates over.
+
+use crate::dominance::DiGraph;
+use crate::ssa::{Function, VarId};
+
+/// A statement-level CFG for one function.
+///
+/// Nodes `0..defs.len()` are the function's definitions (node `i` is
+/// `VarId(i)`); node `defs.len()` is a virtual entry and node
+/// `defs.len() + 1` a virtual exit.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// The underlying graph.
+    pub graph: DiGraph,
+    /// Virtual entry node index.
+    pub entry: usize,
+    /// Virtual exit node index.
+    pub exit: usize,
+}
+
+impl Cfg {
+    /// The CFG node for a definition.
+    pub fn node(&self, v: VarId) -> usize {
+        v.index()
+    }
+}
+
+/// One item of the region tree reconstructed from guard nesting.
+#[derive(Debug)]
+enum Item {
+    Def(usize),
+    Region(Box<Region>),
+}
+
+/// A maximal run of definitions sharing one guard, with nested regions.
+#[derive(Debug, Default)]
+struct Region {
+    /// The branch vertex guarding this region (`None` for the top level).
+    branch: Option<usize>,
+    items: Vec<Item>,
+}
+
+/// Builds the region tree from the guard chain structure. Definitions are
+/// in program order and a region's definitions are contiguous, so a simple
+/// stack reconstruction suffices.
+fn build_regions(func: &Function) -> Region {
+    let mut stack: Vec<Region> = vec![Region::default()];
+    for def in &func.defs {
+        // Unwind to the region whose branch matches this def's guard.
+        loop {
+            let cur_branch = stack.last().expect("nonempty").branch;
+            let guard = def.guard.map(VarId::index);
+            if cur_branch == guard {
+                break;
+            }
+            // If the def's guard is deeper than anything on the stack, the
+            // guard chain tells us which branches to push. Otherwise pop.
+            let chain: Vec<usize> =
+                func.guards(def.var).iter().rev().map(|g| g.index()).collect();
+            if let Some(pos) = chain.iter().position(|&g| Some(g) == cur_branch) {
+                // push the remaining guards deeper than cur_branch
+                let next = chain[pos + 1];
+                stack.push(Region { branch: Some(next), items: Vec::new() });
+            } else if cur_branch.is_none() {
+                // push the outermost guard
+                let next = chain[0];
+                stack.push(Region { branch: Some(next), items: Vec::new() });
+            } else {
+                let done = stack.pop().expect("nonempty");
+                stack
+                    .last_mut()
+                    .expect("top level never popped")
+                    .items
+                    .push(Item::Region(Box::new(done)));
+            }
+        }
+        stack.last_mut().expect("nonempty").items.push(Item::Def(def.var.index()));
+    }
+    while stack.len() > 1 {
+        let done = stack.pop().expect("len > 1");
+        stack
+            .last_mut()
+            .expect("top level")
+            .items
+            .push(Item::Region(Box::new(done)));
+    }
+    stack.pop().expect("top level")
+}
+
+/// Emits CFG edges for a region. Returns the region's entry node and the
+/// set of nodes that fall through to whatever follows the region.
+fn emit(region: &Region, g: &mut DiGraph) -> (usize, Vec<usize>) {
+    let mut entry = None;
+    // Nodes whose control flow falls through to the next item.
+    let mut frontier: Vec<usize> = Vec::new();
+    for item in &region.items {
+        match item {
+            Item::Def(n) => {
+                for &f in &frontier {
+                    g.add_edge(f, *n);
+                }
+                frontier.clear();
+                frontier.push(*n);
+                entry.get_or_insert(*n);
+            }
+            Item::Region(sub) => {
+                // The branch vertex itself is a Def item emitted just
+                // before; the sub-region's entry hangs off the current
+                // frontier (the branch), and the branch also skips past.
+                let (sub_entry, sub_exits) = emit(sub, g);
+                let branch = sub.branch.expect("nested regions are branched");
+                debug_assert!(frontier.contains(&branch));
+                g.add_edge(branch, sub_entry);
+                // fall-through = branch (not taken) + sub region exits
+                let mut new_frontier = frontier.clone();
+                new_frontier.extend(sub_exits);
+                frontier = new_frontier;
+                entry.get_or_insert(branch);
+            }
+        }
+    }
+    (entry.expect("regions are nonempty"), frontier)
+}
+
+/// Reconstructs the statement-level CFG of `func` from its guard structure.
+///
+/// # Panics
+///
+/// Panics if the function is an external declaration with no body.
+pub fn build_cfg(func: &Function) -> Cfg {
+    assert!(!func.is_extern, "externs have no CFG");
+    let n = func.defs.len();
+    let entry = n;
+    let exit = n + 1;
+    let mut g = DiGraph::new(n + 2);
+    if n == 0 {
+        g.add_edge(entry, exit);
+        return Cfg { graph: g, entry, exit };
+    }
+    let region = build_regions(func);
+    let (first, last) = emit(&region, &mut g);
+    g.add_edge(entry, first);
+    for f in last {
+        g.add_edge(f, exit);
+    }
+    Cfg { graph: g, entry, exit }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dominance::control_dependence;
+    use crate::interner::Interner;
+    use crate::lower::{lower, LowerOptions};
+    use crate::parser::parse;
+    use crate::ssa::Program;
+
+    fn compile(src: &str) -> Program {
+        let mut i = Interner::new();
+        let s = parse(src, &mut i).expect("parse");
+        lower(&s, &mut i, LowerOptions::default()).expect("lower")
+    }
+
+    /// The FOW control dependence computed on the reconstructed CFG must
+    /// coincide with the guard chains recorded by lowering: the direct
+    /// control dependences of a definition are exactly its innermost guard.
+    fn check_guards_match_fow(src: &str) {
+        let p = compile(src);
+        for f in p.functions.iter().filter(|f| !f.is_extern) {
+            let cfg = build_cfg(f);
+            let cd = control_dependence(&cfg.graph, cfg.exit);
+            for def in &f.defs {
+                let expected: Vec<usize> = def.guard.iter().map(|g| g.index()).collect();
+                assert_eq!(
+                    cd[def.var.index()],
+                    expected,
+                    "control dependence mismatch for {} in {}",
+                    def.var,
+                    p.name(f.name),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn straight_line_has_no_control_dependence() {
+        check_guards_match_fow("fn f(x) { let y = x + 1; return y; }");
+    }
+
+    #[test]
+    fn single_if_matches() {
+        check_guards_match_fow("fn f(a) { let r = 0; if (a) { r = 1; } return r; }");
+    }
+
+    #[test]
+    fn if_else_matches() {
+        check_guards_match_fow(
+            "fn f(a) { let r = 0; if (a) { r = 1; } else { r = 2; } return r; }",
+        );
+    }
+
+    #[test]
+    fn nested_ifs_match() {
+        check_guards_match_fow(
+            "fn f(a, b, c) { let r = 0; if (a) { if (b) { r = 1; } if (c) { r = 2; } } return r; }",
+        );
+    }
+
+    #[test]
+    fn early_returns_match() {
+        check_guards_match_fow(
+            "extern fn sink(x);\n\
+             fn f(a, b) { if (a) { return 1; } sink(b); if (b) { return 2; } return 3; }",
+        );
+    }
+
+    #[test]
+    fn unrolled_loops_match() {
+        check_guards_match_fow(
+            "fn f(n) { let i = 0; while (i < n) { i = i + 1; } return i; }",
+        );
+    }
+
+    #[test]
+    fn figure7_example_matches() {
+        // The paper's Fig. 7 program.
+        check_guards_match_fow(
+            "fn foo(a, p) {\n\
+               let q = 0; let r = 0;\n\
+               let b = a > 20;\n\
+               if (b) {\n\
+                 q = p;\n\
+                 let d = a * 2;\n\
+                 let e = d > 90;\n\
+                 if (e) { r = q; }\n\
+               }\n\
+               return r;\n\
+             }",
+        );
+    }
+}

@@ -1,0 +1,317 @@
+//! Generic dominator / post-dominator / control-dependence computation.
+//!
+//! The paper (§3.1) builds control dependence edges "in almost linear time"
+//! with the classic algorithms of Cytron et al. and Ferrante–Ottenstein–
+//! Warren. This module provides those algorithms over a plain directed
+//! graph: the iterative dominator algorithm of Cooper, Harvey and Kennedy,
+//! post-dominators as dominators of the reverse graph, and control
+//! dependence via post-dominance frontiers.
+
+/// A directed graph over nodes `0..n`.
+#[derive(Debug, Clone, Default)]
+pub struct DiGraph {
+    succs: Vec<Vec<usize>>,
+    preds: Vec<Vec<usize>>,
+}
+
+impl DiGraph {
+    /// Creates a graph with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        Self { succs: vec![Vec::new(); n], preds: vec![Vec::new(); n] }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.succs.is_empty()
+    }
+
+    /// Adds the edge `from -> to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, from: usize, to: usize) {
+        assert!(from < self.len() && to < self.len(), "edge endpoint out of range");
+        self.succs[from].push(to);
+        self.preds[to].push(from);
+    }
+
+    /// Successors of `n`.
+    pub fn succs(&self, n: usize) -> &[usize] {
+        &self.succs[n]
+    }
+
+    /// Predecessors of `n`.
+    pub fn preds(&self, n: usize) -> &[usize] {
+        &self.preds[n]
+    }
+
+    /// The same graph with every edge reversed.
+    pub fn reversed(&self) -> DiGraph {
+        DiGraph { succs: self.preds.clone(), preds: self.succs.clone() }
+    }
+
+    /// Reverse post-order from `entry`, visiting only reachable nodes.
+    pub fn reverse_post_order(&self, entry: usize) -> Vec<usize> {
+        let mut visited = vec![false; self.len()];
+        let mut post = Vec::with_capacity(self.len());
+        // Iterative DFS with an explicit stack of (node, next-child-index).
+        let mut stack = vec![(entry, 0usize)];
+        visited[entry] = true;
+        while let Some(&mut (n, ref mut i)) = stack.last_mut() {
+            if *i < self.succs[n].len() {
+                let child = self.succs[n][*i];
+                *i += 1;
+                if !visited[child] {
+                    visited[child] = true;
+                    stack.push((child, 0));
+                }
+            } else {
+                post.push(n);
+                stack.pop();
+            }
+        }
+        post.reverse();
+        post
+    }
+}
+
+/// The immediate-dominator tree of a graph, rooted at its entry.
+#[derive(Debug, Clone)]
+pub struct DomTree {
+    /// `idom[n]` is the immediate dominator of `n`; `idom[entry] == entry`;
+    /// `usize::MAX` marks unreachable nodes.
+    idom: Vec<usize>,
+    entry: usize,
+}
+
+/// Sentinel for unreachable nodes in [`DomTree`].
+pub const UNREACHABLE: usize = usize::MAX;
+
+impl DomTree {
+    /// Computes dominators with the iterative algorithm of Cooper, Harvey
+    /// and Kennedy ("A Simple, Fast Dominance Algorithm").
+    pub fn compute(g: &DiGraph, entry: usize) -> DomTree {
+        let rpo = g.reverse_post_order(entry);
+        let mut order = vec![UNREACHABLE; g.len()];
+        for (i, &n) in rpo.iter().enumerate() {
+            order[n] = i;
+        }
+        let mut idom = vec![UNREACHABLE; g.len()];
+        idom[entry] = entry;
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &n in rpo.iter().skip(1) {
+                let mut new_idom = UNREACHABLE;
+                for &p in g.preds(n) {
+                    if idom[p] == UNREACHABLE {
+                        continue; // not yet processed or unreachable
+                    }
+                    new_idom = if new_idom == UNREACHABLE {
+                        p
+                    } else {
+                        intersect(&idom, &order, p, new_idom)
+                    };
+                }
+                if new_idom != UNREACHABLE && idom[n] != new_idom {
+                    idom[n] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+        DomTree { idom, entry }
+    }
+
+    /// The immediate dominator of `n`, or `None` for the entry and
+    /// unreachable nodes.
+    pub fn idom(&self, n: usize) -> Option<usize> {
+        if n == self.entry || self.idom[n] == UNREACHABLE {
+            None
+        } else {
+            Some(self.idom[n])
+        }
+    }
+
+    /// Whether `a` dominates `b` (reflexively).
+    pub fn dominates(&self, a: usize, b: usize) -> bool {
+        if self.idom[b] == UNREACHABLE {
+            return false;
+        }
+        let mut n = b;
+        loop {
+            if n == a {
+                return true;
+            }
+            if n == self.entry {
+                return false;
+            }
+            n = self.idom[n];
+        }
+    }
+
+    /// Whether `n` is reachable from the entry.
+    pub fn is_reachable(&self, n: usize) -> bool {
+        self.idom[n] != UNREACHABLE
+    }
+}
+
+fn intersect(idom: &[usize], order: &[usize], mut a: usize, mut b: usize) -> usize {
+    while a != b {
+        while order[a] > order[b] {
+            a = idom[a];
+        }
+        while order[b] > order[a] {
+            b = idom[b];
+        }
+    }
+    a
+}
+
+/// Computes the control-dependence relation of a CFG with a unique `exit`,
+/// per Ferrante–Ottenstein–Warren: node `y` is control dependent on node
+/// `x` iff `x` has a successor from which `y` is (post-)reachable such that
+/// `y` post-dominates that successor, and `y` does not post-dominate `x`.
+///
+/// Returns, for every node, the set of nodes it is *directly* control
+/// dependent on (deduplicated, sorted).
+pub fn control_dependence(g: &DiGraph, exit: usize) -> Vec<Vec<usize>> {
+    let rev = g.reversed();
+    let pdom = DomTree::compute(&rev, exit);
+    let mut deps: Vec<Vec<usize>> = vec![Vec::new(); g.len()];
+    for x in 0..g.len() {
+        for &s in g.succs(x) {
+            if !pdom.is_reachable(s) {
+                continue;
+            }
+            // Walk the post-dominator tree from s up to (but excluding)
+            // ipdom(x); every node on the way is control dependent on x.
+            let stop = pdom.idom(x);
+            let mut y = s;
+            loop {
+                if Some(y) == stop || (stop.is_none() && y == exit && x != exit) {
+                    break;
+                }
+                deps[y].push(x);
+                if y == exit {
+                    break;
+                }
+                match pdom.idom(y) {
+                    Some(p) => y = p,
+                    None => break,
+                }
+            }
+        }
+    }
+    for d in &mut deps {
+        d.sort_unstable();
+        d.dedup();
+    }
+    deps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The classic diamond:
+    /// ```text
+    ///   0 -> 1 -> 3
+    ///   0 -> 2 -> 3
+    /// ```
+    fn diamond() -> DiGraph {
+        let mut g = DiGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(1, 3);
+        g.add_edge(2, 3);
+        g
+    }
+
+    #[test]
+    fn dominators_of_diamond() {
+        let g = diamond();
+        let d = DomTree::compute(&g, 0);
+        assert_eq!(d.idom(1), Some(0));
+        assert_eq!(d.idom(2), Some(0));
+        assert_eq!(d.idom(3), Some(0));
+        assert!(d.dominates(0, 3));
+        assert!(!d.dominates(1, 3));
+        assert!(d.dominates(3, 3));
+    }
+
+    #[test]
+    fn control_dependence_of_diamond() {
+        let g = diamond();
+        let cd = control_dependence(&g, 3);
+        assert_eq!(cd[1], vec![0]);
+        assert_eq!(cd[2], vec![0]);
+        assert!(cd[3].is_empty());
+        assert!(cd[0].is_empty());
+    }
+
+    /// Nested one-armed ifs:
+    /// ```text
+    /// 0 -> 1 -> 2 -> 3 -> 4   (all-true path)
+    /// 0 -> 4, 1 -> 3          (branch exits)
+    /// ```
+    /// Node 2 is directly control dependent on 1; node 1 on 0; node 3 on 0.
+    #[test]
+    fn control_dependence_of_nested_ifs() {
+        let mut g = DiGraph::new(5);
+        g.add_edge(0, 1);
+        g.add_edge(0, 4);
+        g.add_edge(1, 2);
+        g.add_edge(1, 3);
+        g.add_edge(2, 3);
+        g.add_edge(3, 4);
+        let cd = control_dependence(&g, 4);
+        assert_eq!(cd[1], vec![0]);
+        assert_eq!(cd[2], vec![1]);
+        assert_eq!(cd[3], vec![0]);
+        assert!(cd[4].is_empty());
+    }
+
+    #[test]
+    fn dominators_of_textbook_graph() {
+        // Appel-style example with a loop.
+        let mut g = DiGraph::new(6);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(1, 3);
+        g.add_edge(2, 4);
+        g.add_edge(3, 4);
+        g.add_edge(4, 1); // back edge
+        g.add_edge(4, 5);
+        let d = DomTree::compute(&g, 0);
+        assert_eq!(d.idom(1), Some(0));
+        assert_eq!(d.idom(4), Some(1));
+        assert_eq!(d.idom(5), Some(4));
+    }
+
+    #[test]
+    fn unreachable_nodes_are_flagged() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(0, 1);
+        // node 2 unreachable
+        let d = DomTree::compute(&g, 0);
+        assert!(d.is_reachable(1));
+        assert!(!d.is_reachable(2));
+        assert_eq!(d.idom(2), None);
+        assert!(!d.dominates(0, 2));
+    }
+
+    #[test]
+    fn rpo_starts_at_entry() {
+        let g = diamond();
+        let rpo = g.reverse_post_order(0);
+        assert_eq!(rpo[0], 0);
+        assert_eq!(rpo.len(), 4);
+        assert_eq!(*rpo.last().unwrap(), 3);
+    }
+}

@@ -1,0 +1,125 @@
+//! A small string interner for identifiers.
+//!
+//! Every name that appears in a program (function names, variable names) is
+//! interned into a [`Symbol`], a cheap `Copy` handle that supports O(1)
+//! equality and hashing. The interner lives inside the program that owns the
+//! names, so symbols from different programs must not be mixed.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned string handle.
+///
+/// Symbols are only meaningful relative to the [`Interner`] that produced
+/// them; resolve them back with [`Interner::resolve`].
+///
+/// # Examples
+///
+/// ```
+/// use fusion_ir::interner::Interner;
+///
+/// let mut interner = Interner::new();
+/// let a = interner.intern("foo");
+/// let b = interner.intern("foo");
+/// assert_eq!(a, b);
+/// assert_eq!(interner.resolve(a), "foo");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// Returns the raw index of this symbol inside its interner.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Interns strings and resolves [`Symbol`]s back to `&str`.
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    map: HashMap<String, Symbol>,
+    strings: Vec<String>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `s`, returning the existing symbol if `s` was seen before.
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        if let Some(&sym) = self.map.get(s) {
+            return sym;
+        }
+        let sym = Symbol(self.strings.len() as u32);
+        self.strings.push(s.to_owned());
+        self.map.insert(s.to_owned(), sym);
+        sym
+    }
+
+    /// Returns the symbol for `s` if it has been interned.
+    pub fn lookup(&self, s: &str) -> Option<Symbol> {
+        self.map.get(s).copied()
+    }
+
+    /// Resolves a symbol back to the interned string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` was produced by a different interner and is out of
+    /// range for this one.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.strings[sym.index()]
+    }
+
+    /// Number of distinct strings interned so far.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Returns `true` if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sym#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("x");
+        let b = i.intern("x");
+        let c = i.intern("y");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut i = Interner::new();
+        let names = ["foo", "bar", "baz", ""];
+        let syms: Vec<_> = names.iter().map(|n| i.intern(n)).collect();
+        for (n, s) in names.iter().zip(&syms) {
+            assert_eq!(i.resolve(*s), *n);
+        }
+    }
+
+    #[test]
+    fn lookup_without_interning() {
+        let mut i = Interner::new();
+        assert!(i.lookup("missing").is_none());
+        let s = i.intern("present");
+        assert_eq!(i.lookup("present"), Some(s));
+    }
+}

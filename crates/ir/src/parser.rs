@@ -1,0 +1,705 @@
+//! Lexer and recursive-descent parser for the surface language.
+//!
+//! The concrete syntax is a small C-like notation for the Fig. 4 language:
+//!
+//! ```text
+//! extern fn gets();
+//! fn bar(x) { let y = x * 2; let z = y; return z; }
+//! fn foo(a, b) {
+//!     let p = null;
+//!     let c = bar(a);
+//!     let d = bar(b);
+//!     if (c < d) { return p; }
+//!     return 1;
+//! }
+//! ```
+//!
+//! # Errors
+//!
+//! All entry points return [`ParseError`] with a line/column position and a
+//! human-readable message on malformed input.
+
+use crate::ast::{BinOp, Expr, Function, Program, Stmt, UnOp};
+use crate::interner::{Interner, Symbol};
+use std::error::Error;
+use std::fmt;
+
+/// A parse failure with source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line of the offending token.
+    pub line: u32,
+    /// 1-based column of the offending token.
+    pub col: u32,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    KwFn,
+    KwExtern,
+    KwLet,
+    KwIf,
+    KwElse,
+    KwWhile,
+    KwReturn,
+    KwNull,
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    Comma,
+    Semi,
+    Assign,
+    // operators
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Bang,
+    Shl,
+    Shr,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    EqEq,
+    Ne,
+    AndAnd,
+    OrOr,
+    Eof,
+}
+
+#[derive(Debug, Clone)]
+struct SpannedTok {
+    tok: Tok,
+    line: u32,
+    col: u32,
+}
+
+fn lex(src: &str) -> Result<Vec<SpannedTok>, ParseError> {
+    let mut toks = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+    macro_rules! push {
+        ($t:expr, $l:expr, $c:expr) => {
+            toks.push(SpannedTok { tok: $t, line: $l, col: $c })
+        };
+    }
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let (tl, tc) = (line, col);
+        let adv = |i: &mut usize, n: usize, col: &mut u32| {
+            *i += n;
+            *col += n as u32;
+        };
+        match c {
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            ' ' | '\t' | '\r' => adv(&mut i, 1, &mut col),
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                push!(Tok::LParen, tl, tc);
+                adv(&mut i, 1, &mut col)
+            }
+            ')' => {
+                push!(Tok::RParen, tl, tc);
+                adv(&mut i, 1, &mut col)
+            }
+            '{' => {
+                push!(Tok::LBrace, tl, tc);
+                adv(&mut i, 1, &mut col)
+            }
+            '}' => {
+                push!(Tok::RBrace, tl, tc);
+                adv(&mut i, 1, &mut col)
+            }
+            ',' => {
+                push!(Tok::Comma, tl, tc);
+                adv(&mut i, 1, &mut col)
+            }
+            ';' => {
+                push!(Tok::Semi, tl, tc);
+                adv(&mut i, 1, &mut col)
+            }
+            '+' => {
+                push!(Tok::Plus, tl, tc);
+                adv(&mut i, 1, &mut col)
+            }
+            '-' => {
+                push!(Tok::Minus, tl, tc);
+                adv(&mut i, 1, &mut col)
+            }
+            '*' => {
+                push!(Tok::Star, tl, tc);
+                adv(&mut i, 1, &mut col)
+            }
+            '/' => {
+                push!(Tok::Slash, tl, tc);
+                adv(&mut i, 1, &mut col)
+            }
+            '%' => {
+                push!(Tok::Percent, tl, tc);
+                adv(&mut i, 1, &mut col)
+            }
+            '^' => {
+                push!(Tok::Caret, tl, tc);
+                adv(&mut i, 1, &mut col)
+            }
+            '~' => {
+                push!(Tok::Tilde, tl, tc);
+                adv(&mut i, 1, &mut col)
+            }
+            '&' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'&' {
+                    push!(Tok::AndAnd, tl, tc);
+                    adv(&mut i, 2, &mut col)
+                } else {
+                    push!(Tok::Amp, tl, tc);
+                    adv(&mut i, 1, &mut col)
+                }
+            }
+            '|' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'|' {
+                    push!(Tok::OrOr, tl, tc);
+                    adv(&mut i, 2, &mut col)
+                } else {
+                    push!(Tok::Pipe, tl, tc);
+                    adv(&mut i, 1, &mut col)
+                }
+            }
+            '!' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    push!(Tok::Ne, tl, tc);
+                    adv(&mut i, 2, &mut col)
+                } else {
+                    push!(Tok::Bang, tl, tc);
+                    adv(&mut i, 1, &mut col)
+                }
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    push!(Tok::Le, tl, tc);
+                    adv(&mut i, 2, &mut col)
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'<' {
+                    push!(Tok::Shl, tl, tc);
+                    adv(&mut i, 2, &mut col)
+                } else {
+                    push!(Tok::Lt, tl, tc);
+                    adv(&mut i, 1, &mut col)
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    push!(Tok::Ge, tl, tc);
+                    adv(&mut i, 2, &mut col)
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    push!(Tok::Shr, tl, tc);
+                    adv(&mut i, 2, &mut col)
+                } else {
+                    push!(Tok::Gt, tl, tc);
+                    adv(&mut i, 1, &mut col)
+                }
+            }
+            '=' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    push!(Tok::EqEq, tl, tc);
+                    adv(&mut i, 2, &mut col)
+                } else {
+                    push!(Tok::Assign, tl, tc);
+                    adv(&mut i, 1, &mut col)
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                col += (i - start) as u32;
+                let value: i64 = text.parse().map_err(|_| ParseError {
+                    line: tl,
+                    col: tc,
+                    message: format!("integer literal `{text}` out of range"),
+                })?;
+                push!(Tok::Int(value), tl, tc);
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric()
+                        || bytes[i] == b'_'
+                        || bytes[i] == b'#'
+                        || bytes[i] == b'.')
+                {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                col += (i - start) as u32;
+                let t = match text {
+                    "fn" => Tok::KwFn,
+                    "extern" => Tok::KwExtern,
+                    "let" => Tok::KwLet,
+                    "if" => Tok::KwIf,
+                    "else" => Tok::KwElse,
+                    "while" => Tok::KwWhile,
+                    "return" => Tok::KwReturn,
+                    "null" => Tok::KwNull,
+                    _ => Tok::Ident(text.to_owned()),
+                };
+                push!(t, tl, tc);
+            }
+            other => {
+                return Err(ParseError {
+                    line: tl,
+                    col: tc,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    toks.push(SpannedTok { tok: Tok::Eof, line, col });
+    Ok(toks)
+}
+
+struct Parser<'a> {
+    toks: Vec<SpannedTok>,
+    pos: usize,
+    interner: &'a mut Interner,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        let t = &self.toks[self.pos.min(self.toks.len() - 1)];
+        ParseError { line: t.line, col: t.col, message: message.into() }
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: Tok, what: &str) -> Result<(), ParseError> {
+        if *self.peek() == want {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}, found {:?}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<Symbol, ParseError> {
+        match self.peek().clone() {
+            Tok::Ident(name) => {
+                self.bump();
+                Ok(self.interner.intern(&name))
+            }
+            other => Err(self.err(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        let mut functions = Vec::new();
+        while *self.peek() != Tok::Eof {
+            functions.push(self.function()?);
+        }
+        Ok(Program { functions })
+    }
+
+    fn function(&mut self) -> Result<Function, ParseError> {
+        let is_extern = if *self.peek() == Tok::KwExtern {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        self.expect(Tok::KwFn, "`fn`")?;
+        let name = self.ident("function name")?;
+        self.expect(Tok::LParen, "`(`")?;
+        let mut params = Vec::new();
+        if *self.peek() != Tok::RParen {
+            loop {
+                params.push(self.ident("parameter name")?);
+                if *self.peek() == Tok::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(Tok::RParen, "`)`")?;
+        let body = if is_extern {
+            self.expect(Tok::Semi, "`;` after extern declaration")?;
+            Vec::new()
+        } else {
+            self.block()?
+        };
+        Ok(Function { name, params, body, is_extern })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.expect(Tok::LBrace, "`{`")?;
+        let mut stmts = Vec::new();
+        while *self.peek() != Tok::RBrace {
+            if *self.peek() == Tok::Eof {
+                return Err(self.err("unexpected end of input in block"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        self.bump(); // RBrace
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        match self.peek().clone() {
+            Tok::KwLet => {
+                self.bump();
+                let name = self.ident("binding name")?;
+                self.expect(Tok::Assign, "`=`")?;
+                let e = self.expr()?;
+                self.expect(Tok::Semi, "`;`")?;
+                Ok(Stmt::Let(name, e))
+            }
+            Tok::KwIf => {
+                self.bump();
+                self.expect(Tok::LParen, "`(`")?;
+                let c = self.expr()?;
+                self.expect(Tok::RParen, "`)`")?;
+                let then_b = self.block()?;
+                let else_b = if *self.peek() == Tok::KwElse {
+                    self.bump();
+                    if *self.peek() == Tok::KwIf {
+                        vec![self.stmt()?]
+                    } else {
+                        self.block()?
+                    }
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If(c, then_b, else_b))
+            }
+            Tok::KwWhile => {
+                self.bump();
+                self.expect(Tok::LParen, "`(`")?;
+                let c = self.expr()?;
+                self.expect(Tok::RParen, "`)`")?;
+                let body = self.block()?;
+                Ok(Stmt::While(c, body))
+            }
+            Tok::KwReturn => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(Tok::Semi, "`;`")?;
+                Ok(Stmt::Return(e))
+            }
+            Tok::Ident(name) if self.toks[self.pos + 1].tok == Tok::Assign => {
+                self.bump();
+                self.bump();
+                let sym = self.interner.intern(&name);
+                let e = self.expr()?;
+                self.expect(Tok::Semi, "`;`")?;
+                Ok(Stmt::Assign(sym, e))
+            }
+            _ => {
+                let e = self.expr()?;
+                self.expect(Tok::Semi, "`;`")?;
+                Ok(Stmt::Expr(e))
+            }
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.bin_expr(0)
+    }
+
+    /// Precedence-climbing binary expression parser. Levels, loosest first:
+    /// `||`, `&&`, `|`, `^`, `&`, `== !=`, `< <= > >=`, `<< >>`, `+ -`,
+    /// `* / %`.
+    fn bin_expr(&mut self, min_level: u8) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let (level, op) = match self.peek() {
+                Tok::OrOr => (0, BinOp::Or),
+                Tok::AndAnd => (1, BinOp::And),
+                Tok::Pipe => (2, BinOp::BitOr),
+                Tok::Caret => (3, BinOp::BitXor),
+                Tok::Amp => (4, BinOp::BitAnd),
+                Tok::EqEq => (5, BinOp::Eq),
+                Tok::Ne => (5, BinOp::Ne),
+                Tok::Lt => (6, BinOp::Lt),
+                Tok::Le => (6, BinOp::Le),
+                Tok::Gt => (6, BinOp::Gt),
+                Tok::Ge => (6, BinOp::Ge),
+                Tok::Shl => (7, BinOp::Shl),
+                Tok::Shr => (7, BinOp::Shr),
+                Tok::Plus => (8, BinOp::Add),
+                Tok::Minus => (8, BinOp::Sub),
+                Tok::Star => (9, BinOp::Mul),
+                Tok::Slash => (9, BinOp::Div),
+                Tok::Percent => (9, BinOp::Rem),
+                _ => break,
+            };
+            if level < min_level {
+                break;
+            }
+            self.bump();
+            let rhs = self.bin_expr(level + 1)?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek() {
+            Tok::Bang => {
+                self.bump();
+                Ok(Expr::un(UnOp::Not, self.unary()?))
+            }
+            Tok::Minus => {
+                self.bump();
+                Ok(Expr::un(UnOp::Neg, self.unary()?))
+            }
+            Tok::Tilde => {
+                self.bump();
+                Ok(Expr::un(UnOp::BitNot, self.unary()?))
+            }
+            _ => self.primary(),
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(Expr::Int(v))
+            }
+            Tok::KwNull => {
+                self.bump();
+                Ok(Expr::Null)
+            }
+            Tok::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(Tok::RParen, "`)`")?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                let sym = self.interner.intern(&name);
+                if *self.peek() == Tok::LParen {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if *self.peek() != Tok::RParen {
+                        loop {
+                            args.push(self.expr()?);
+                            if *self.peek() == Tok::Comma {
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(Tok::RParen, "`)`")?;
+                    Ok(Expr::Call(sym, args))
+                } else {
+                    Ok(Expr::Var(sym))
+                }
+            }
+            other => Err(self.err(format!("expected expression, found {other:?}"))),
+        }
+    }
+}
+
+/// Parses a whole program, interning names into `interner`.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on any lexical or syntactic problem.
+///
+/// # Examples
+///
+/// ```
+/// use fusion_ir::interner::Interner;
+/// use fusion_ir::parser::parse;
+///
+/// let mut interner = Interner::new();
+/// let prog = parse("fn id(x) { return x; }", &mut interner)?;
+/// assert_eq!(prog.functions.len(), 1);
+/// # Ok::<(), fusion_ir::parser::ParseError>(())
+/// ```
+pub fn parse(src: &str, interner: &mut Interner) -> Result<Program, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0, interner };
+    p.program()
+}
+
+/// Parses a single expression (useful in tests).
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on malformed input or trailing tokens.
+pub fn parse_expr(src: &str, interner: &mut Interner) -> Result<Expr, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0, interner };
+    let e = p.expr()?;
+    if *p.peek() != Tok::Eof {
+        return Err(p.err("trailing input after expression"));
+    }
+    Ok(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{BinOp, Expr, Stmt};
+
+    fn parse_ok(src: &str) -> (Program, Interner) {
+        let mut i = Interner::new();
+        let p = parse(src, &mut i).expect("parse");
+        (p, i)
+    }
+
+    #[test]
+    fn parses_figure_1_program() {
+        let (p, i) = parse_ok(
+            "fn bar(x) { let y = x * 2; let z = y; return z; }\n\
+             fn foo(a, b) {\n\
+               let p = null;\n\
+               let c = bar(a);\n\
+               let d = bar(b);\n\
+               if (c < d) { return p; }\n\
+               return 1;\n\
+             }",
+        );
+        assert_eq!(p.functions.len(), 2);
+        let foo = p.function(i.lookup("foo").unwrap()).unwrap();
+        assert_eq!(foo.params.len(), 2);
+        assert_eq!(foo.body.len(), 5);
+    }
+
+    #[test]
+    fn parses_extern_declaration() {
+        let (p, _) = parse_ok("extern fn gets(); extern fn fopen(path);");
+        assert!(p.functions.iter().all(|f| f.is_extern));
+        assert_eq!(p.functions[1].params.len(), 1);
+    }
+
+    #[test]
+    fn precedence_mul_binds_tighter_than_add() {
+        let mut i = Interner::new();
+        let e = parse_expr("1 + 2 * 3", &mut i).unwrap();
+        assert_eq!(
+            e,
+            Expr::bin(
+                BinOp::Add,
+                Expr::Int(1),
+                Expr::bin(BinOp::Mul, Expr::Int(2), Expr::Int(3))
+            )
+        );
+    }
+
+    #[test]
+    fn precedence_comparison_vs_logic() {
+        let mut i = Interner::new();
+        let e = parse_expr("a < b && c < d", &mut i).unwrap();
+        match e {
+            Expr::Binary(BinOp::And, l, r) => {
+                assert!(matches!(*l, Expr::Binary(BinOp::Lt, _, _)));
+                assert!(matches!(*r, Expr::Binary(BinOp::Lt, _, _)));
+            }
+            other => panic!("bad parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn else_if_chains() {
+        let (p, _) = parse_ok(
+            "fn f(x) { if (x) { return 1; } else if (x > 1) { return 2; } else { return 3; } }",
+        );
+        match &p.functions[0].body[0] {
+            Stmt::If(_, _, else_b) => {
+                assert_eq!(else_b.len(), 1);
+                assert!(matches!(else_b[0], Stmt::If(_, _, _)));
+            }
+            other => panic!("bad parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn while_and_comments() {
+        let (p, _) = parse_ok(
+            "// leading comment\nfn f(n) { let i = 0; while (i < n) { i = i + 1; } return i; }",
+        );
+        assert!(matches!(p.functions[0].body[1], Stmt::While(_, _)));
+    }
+
+    #[test]
+    fn error_reports_position() {
+        let mut i = Interner::new();
+        let err = parse("fn f( { }", &mut i).unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("parameter name"));
+    }
+
+    #[test]
+    fn error_on_unterminated_block() {
+        let mut i = Interner::new();
+        let err = parse("fn f() { let x = 1;", &mut i).unwrap_err();
+        assert!(err.message.contains("end of input"));
+    }
+
+    #[test]
+    fn rejects_huge_int_literal() {
+        let mut i = Interner::new();
+        assert!(parse("fn f() { return 99999999999999999999; }", &mut i).is_err());
+    }
+
+    #[test]
+    fn unary_operators_nest() {
+        let mut i = Interner::new();
+        let e = parse_expr("!!x", &mut i).unwrap();
+        assert!(matches!(e, Expr::Unary(crate::ast::UnOp::Not, _)));
+    }
+
+    #[test]
+    fn call_with_no_args_and_nested_calls() {
+        let mut i = Interner::new();
+        let e = parse_expr("f(g(), h(1, 2))", &mut i).unwrap();
+        match e {
+            Expr::Call(_, args) => assert_eq!(args.len(), 2),
+            other => panic!("bad parse: {other:?}"),
+        }
+    }
+}

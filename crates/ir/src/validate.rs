@@ -1,0 +1,230 @@
+//! Well-formedness validation for core SSA programs.
+//!
+//! Lowering and the workload generator both promise the invariants checked
+//! here; the analyses depend on them (e.g. guard-region contiguity is what
+//! lets [`crate::cfg`] reconstruct control flow, and operand ordering is
+//! what makes single-pass evaluation sound).
+
+use crate::ssa::{DefKind, Program, VarId};
+use std::error::Error;
+use std::fmt;
+
+/// A violated invariant, with a human-readable description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidateError {
+    /// The function in which the violation occurred.
+    pub function: String,
+    /// Description of the violated invariant.
+    pub message: String,
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid IR in `{}`: {}", self.function, self.message)
+    }
+}
+
+impl Error for ValidateError {}
+
+/// Checks all core-IR invariants.
+///
+/// # Errors
+///
+/// Returns the first violated invariant:
+///
+/// * definition ids are dense and ordered (`defs[i].var == VarId(i)`);
+/// * every operand and guard refers to an earlier definition;
+/// * guards refer to [`DefKind::Branch`] definitions;
+/// * guard regions are contiguous and properly nested;
+/// * parameters come first, in declaration order;
+/// * non-extern functions end with their unique [`DefKind::Return`];
+/// * call sites reference existing functions with matching arity, and the
+///   global call-site table is consistent;
+/// * externs have no body.
+pub fn validate(program: &Program) -> Result<(), ValidateError> {
+    for func in &program.functions {
+        let fname = program.name(func.name).to_owned();
+        let err = |message: String| ValidateError { function: fname.clone(), message };
+        if func.is_extern {
+            if !func.defs.is_empty() {
+                return Err(err("extern function has a body".into()));
+            }
+            continue;
+        }
+        // Dense ids, operand ordering, guard sanity.
+        let mut return_count = 0usize;
+        for (i, def) in func.defs.iter().enumerate() {
+            if def.var.index() != i {
+                return Err(err(format!("definition {i} has id {}", def.var)));
+            }
+            for o in def.kind.operands() {
+                if o.index() >= i {
+                    return Err(err(format!("{} uses {o} before its definition", def.var)));
+                }
+            }
+            if let Some(g) = def.guard {
+                if g.index() >= i {
+                    return Err(err(format!("{} guarded by later vertex {g}", def.var)));
+                }
+                if !matches!(func.def(g).kind, DefKind::Branch { .. }) {
+                    return Err(err(format!("guard {g} of {} is not a branch", def.var)));
+                }
+            }
+            if let DefKind::Return { .. } = def.kind {
+                return_count += 1;
+                if def.guard.is_some() {
+                    return Err(err("return statement is guarded".into()));
+                }
+            }
+            if let DefKind::Call { callee, args, site } = &def.kind {
+                let callee_f = program
+                    .functions
+                    .get(callee.index())
+                    .ok_or_else(|| err(format!("call to out-of-range function {callee}")))?;
+                if !callee_f.is_extern && callee_f.params.len() != args.len() {
+                    return Err(err(format!(
+                        "call at {} passes {} args to `{}` ({} params)",
+                        def.var,
+                        args.len(),
+                        program.name(callee_f.name),
+                        callee_f.params.len()
+                    )));
+                }
+                let cs = program
+                    .call_sites
+                    .get(site.index())
+                    .ok_or_else(|| err(format!("call site {site} out of range")))?;
+                if cs.caller != func.id || cs.stmt != def.var || cs.callee != *callee {
+                    return Err(err(format!("call-site table inconsistent at {site}")));
+                }
+            }
+        }
+        // Parameters first and in order.
+        for (pi, &p) in func.params.iter().enumerate() {
+            if p.index() != pi {
+                return Err(err(format!("parameter {pi} is not definition {pi}")));
+            }
+            match func.def(p).kind {
+                DefKind::Param { index } if index == pi => {}
+                _ => return Err(err(format!("definition {p} is not parameter #{pi}"))),
+            }
+        }
+        // Single trailing return.
+        if return_count != 1 {
+            return Err(err(format!("{return_count} return statements (want 1)")));
+        }
+        match func.ret {
+            Some(r) if r.index() == func.defs.len() - 1 => {}
+            _ => return Err(err("return is not the final definition".into())),
+        }
+        // Guard regions contiguous and properly nested: once a guard's
+        // region is left, it never reopens.
+        let mut closed: Vec<bool> = vec![false; func.defs.len()];
+        let mut prev_chain: Vec<VarId> = Vec::new();
+        for def in &func.defs {
+            let mut chain = func.guards(def.var);
+            chain.reverse(); // outermost first
+            for g in &chain {
+                if closed[g.index()] {
+                    return Err(err(format!(
+                        "guard region of {g} reopened at {}",
+                        def.var
+                    )));
+                }
+            }
+            // Any guard present previously but absent now is closed.
+            for g in &prev_chain {
+                if !chain.contains(g) {
+                    closed[g.index()] = true;
+                }
+            }
+            prev_chain = chain;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interner::Interner;
+    use crate::lower::{lower, LowerOptions};
+    use crate::parser::parse;
+    use crate::ssa::{Def, DefKind, Function, VarId};
+
+    fn compile(src: &str) -> Program {
+        let mut i = Interner::new();
+        let s = parse(src, &mut i).unwrap();
+        lower(&s, &mut i, LowerOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn lowered_programs_validate() {
+        let p = compile(
+            "extern fn sink(x);\n\
+             fn g(x) { if (x > 3) { return x * 2; } return 0; }\n\
+             fn f(a, b) { let r = 0; while (r < a) { r = r + g(b); } \
+               if (r == 7) { sink(r); return 1; } return r; }",
+        );
+        validate(&p).expect("lowered IR must validate");
+    }
+
+    #[test]
+    fn detects_use_before_def() {
+        let mut p = compile("fn f(a) { return a; }");
+        // Corrupt: make the return read a later (nonexistent-order) var.
+        let f = &mut p.functions[0];
+        let last = f.defs.len() - 1;
+        f.defs[0] = Def {
+            var: VarId(0),
+            kind: DefKind::Copy { src: VarId(last as u32) },
+            guard: None,
+            name: f.defs[0].name,
+        };
+        assert!(validate(&p).is_err());
+    }
+
+    #[test]
+    fn detects_missing_return() {
+        let mut p = compile("fn f(a) { return a; }");
+        let f = &mut p.functions[0];
+        let name = f.defs[0].name;
+        let last = f.defs.len() - 1;
+        f.defs[last] = Def {
+            var: VarId(last as u32),
+            kind: DefKind::Copy { src: VarId(0) },
+            guard: None,
+            name,
+        };
+        assert!(validate(&p).is_err());
+    }
+
+    #[test]
+    fn detects_extern_with_body() {
+        let mut p = compile("extern fn e(); fn f() { return e(); }");
+        let name = p.functions[0].name;
+        p.functions[0] = Function {
+            name,
+            id: p.functions[0].id,
+            params: vec![],
+            defs: p.functions[1].defs.clone(),
+            ret: p.functions[1].ret,
+            is_extern: true,
+        };
+        assert!(validate(&p).is_err());
+    }
+
+    #[test]
+    fn detects_bad_guard_target() {
+        let mut p = compile("fn f(a) { let r = 0; if (a) { r = 1; } return r; }");
+        let f = &mut p.functions[0];
+        // Point some guarded def's guard at a non-branch (param 0).
+        for d in &mut f.defs {
+            if d.guard.is_some() {
+                d.guard = Some(VarId(0));
+                break;
+            }
+        }
+        assert!(validate(&p).is_err());
+    }
+}

@@ -1,0 +1,98 @@
+//! Property tests for the dominance machinery against naive definitions.
+
+use fusion_ir::dominance::{control_dependence, DiGraph, DomTree};
+use proptest::prelude::*;
+
+const N: usize = 10;
+
+/// Random digraph over `N` nodes; an extra node `N` acts as a sink/exit
+/// that every node can reach (so post-dominance is well defined).
+fn graph_strategy() -> impl Strategy<Value = DiGraph> {
+    prop::collection::vec((0..N, 0..N), 0..30).prop_map(|edges| {
+        let mut g = DiGraph::new(N + 1);
+        for (a, b) in edges {
+            g.add_edge(a, b);
+        }
+        for v in 0..N {
+            g.add_edge(v, N); // everything can exit
+        }
+        g
+    })
+}
+
+/// Naive dominance: `a` dominates `b` iff `b` is unreachable from the
+/// entry once `a` is removed (and `b` was reachable to begin with).
+fn reachable_avoiding(g: &DiGraph, from: usize, avoid: Option<usize>) -> Vec<bool> {
+    let mut seen = vec![false; g.len()];
+    if Some(from) == avoid {
+        return seen;
+    }
+    let mut stack = vec![from];
+    seen[from] = true;
+    while let Some(n) = stack.pop() {
+        for &s in g.succs(n) {
+            if Some(s) != avoid && !seen[s] {
+                seen[s] = true;
+                stack.push(s);
+            }
+        }
+    }
+    seen
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn dominators_match_naive_definition(g in graph_strategy()) {
+        let entry = 0usize;
+        let dom = DomTree::compute(&g, entry);
+        let reach = reachable_avoiding(&g, entry, None);
+        for b in 0..g.len() {
+            prop_assert_eq!(dom.is_reachable(b), reach[b], "reachability of {}", b);
+            if !reach[b] {
+                continue;
+            }
+            for a in 0..g.len() {
+                let naive = if a == b {
+                    true
+                } else {
+                    !reachable_avoiding(&g, entry, Some(a))[b]
+                };
+                prop_assert_eq!(
+                    dom.dominates(a, b),
+                    naive,
+                    "dominates({}, {})", a, b
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn control_dependence_sources_branch(g in graph_strategy()) {
+        // Only nodes with >= 2 successors can be control-dependence
+        // sources (FOW requires a successor the node does not
+        // post-dominate *and* one it does).
+        let exit = N;
+        let cd = control_dependence(&g, exit);
+        for (y, deps) in cd.iter().enumerate() {
+            for &x in deps {
+                prop_assert!(
+                    g.succs(x).len() >= 2,
+                    "cd({y}) contains non-branching {x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn idom_is_a_dominator_and_strict(g in graph_strategy()) {
+        let dom = DomTree::compute(&g, 0);
+        for n in 0..g.len() {
+            if let Some(i) = dom.idom(n) {
+                prop_assert!(dom.dominates(i, n));
+                prop_assert_ne!(i, n);
+            }
+        }
+    }
+}

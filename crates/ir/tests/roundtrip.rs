@@ -1,0 +1,120 @@
+//! Property test: surface programs survive a print → parse round trip.
+//!
+//! The printer emits fully parenthesized concrete syntax; printing the
+//! reparsed program must reproduce the text byte-for-byte (a fixpoint
+//! check that is insensitive to symbol identity).
+
+use fusion_ir::ast::{BinOp, Expr, Function, Program, Stmt, UnOp};
+use fusion_ir::interner::Interner;
+use fusion_ir::parser::parse;
+use fusion_ir::pretty::surface_to_string;
+use proptest::prelude::*;
+
+/// Expressions over local slots `l0..l2`, encoded by index so the strategy
+/// stays interner-free.
+#[derive(Debug, Clone)]
+enum EAst {
+    Int(i64),
+    Null,
+    Var(usize),
+    Un(u8, Box<EAst>),
+    Bin(u8, Box<EAst>, Box<EAst>),
+}
+
+fn east() -> impl Strategy<Value = EAst> {
+    let leaf = prop_oneof![
+        (0i64..1000).prop_map(EAst::Int),
+        Just(EAst::Null),
+        (0usize..3).prop_map(EAst::Var),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (0u8..18, inner.clone(), inner.clone())
+                .prop_map(|(op, a, b)| EAst::Bin(op, Box::new(a), Box::new(b))),
+            (0u8..3, inner).prop_map(|(op, a)| EAst::Un(op, Box::new(a))),
+        ]
+    })
+}
+
+fn materialize(e: &EAst, locals: &[fusion_ir::Symbol]) -> Expr {
+    const BINOPS: [BinOp; 18] = [
+        BinOp::Add,
+        BinOp::Sub,
+        BinOp::Mul,
+        BinOp::Div,
+        BinOp::Rem,
+        BinOp::BitAnd,
+        BinOp::BitOr,
+        BinOp::BitXor,
+        BinOp::Shl,
+        BinOp::Shr,
+        BinOp::Lt,
+        BinOp::Le,
+        BinOp::Gt,
+        BinOp::Ge,
+        BinOp::Eq,
+        BinOp::Ne,
+        BinOp::And,
+        BinOp::Or,
+    ];
+    const UNOPS: [UnOp; 3] = [UnOp::Not, UnOp::Neg, UnOp::BitNot];
+    match e {
+        EAst::Int(v) => Expr::Int(*v),
+        EAst::Null => Expr::Null,
+        EAst::Var(i) => Expr::Var(locals[*i]),
+        EAst::Un(op, a) => Expr::un(UNOPS[*op as usize % 3], materialize(a, locals)),
+        EAst::Bin(op, a, b) => Expr::bin(
+            BINOPS[*op as usize % 18],
+            materialize(a, locals),
+            materialize(b, locals),
+        ),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn print_parse_round_trip(items in prop::collection::vec((0usize..3, east(), any::<bool>()), 0..6)) {
+        let mut interner = Interner::new();
+        let locals = [interner.intern("l0"), interner.intern("l1"), interner.intern("l2")];
+        let fname = interner.intern("f");
+        let mut body: Vec<Stmt> =
+            locals.iter().map(|&l| Stmt::Let(l, Expr::Int(0))).collect();
+        for (slot, e, branch) in &items {
+            let expr = materialize(e, &locals);
+            if *branch {
+                body.push(Stmt::If(
+                    expr,
+                    vec![Stmt::Assign(locals[*slot], Expr::Int(1))],
+                    vec![Stmt::Assign(locals[*slot], Expr::Int(2))],
+                ));
+            } else {
+                body.push(Stmt::Assign(locals[*slot], expr));
+            }
+        }
+        body.push(Stmt::Return(Expr::Var(locals[0])));
+        let program = Program {
+            functions: vec![Function { name: fname, params: vec![], body, is_extern: false }],
+        };
+        let text = surface_to_string(&program, &interner);
+        let mut interner2 = Interner::new();
+        let reparsed = parse(&text, &mut interner2)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
+        let text2 = surface_to_string(&reparsed, &interner2);
+        prop_assert_eq!(text, text2);
+    }
+}
+
+#[test]
+fn round_trip_fixture() {
+    let src = "extern fn sink(x);\n\
+        fn f(a, b) { let r = 0; if (a < b) { r = a * 2; } else { r = ~(b); } \
+        while (r < 10) { r = r + 1; } sink(r); return r; }";
+    let mut i1 = Interner::new();
+    let p1 = parse(src, &mut i1).unwrap();
+    let text = surface_to_string(&p1, &i1);
+    let mut i2 = Interner::new();
+    let p2 = parse(&text, &mut i2).unwrap();
+    assert_eq!(surface_to_string(&p2, &i2), text);
+}

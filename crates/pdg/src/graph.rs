@@ -1,0 +1,291 @@
+//! The program dependence graph of Def. 3.1.
+//!
+//! Vertices are definitions (a statement and the variable it defines are
+//! interchangeable); data-dependence edges follow the rules of Fig. 5 —
+//! including *call* and *return* edges labeled by the call site's unique
+//! parenthesis pair — and control-dependence edges connect each statement
+//! to the `if`-statements guarding it.
+//!
+//! The core SSA form of `fusion-ir` already encodes all of these relations
+//! implicitly; this module materializes the forward adjacency (def → uses)
+//! the sparse analysis propagates along, the reverse call map, and the
+//! vertex/edge statistics reported in Table 2.
+
+use fusion_ir::ssa::{CallSiteId, DefKind, FuncId, Program, VarId};
+
+/// A vertex of the whole-program dependence graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Vertex {
+    /// The containing function.
+    pub func: FuncId,
+    /// The definition within the function.
+    pub var: VarId,
+}
+
+impl Vertex {
+    /// Convenience constructor.
+    pub fn new(func: FuncId, var: VarId) -> Self {
+        Self { func, var }
+    }
+}
+
+impl std::fmt::Display for Vertex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.func, self.var)
+    }
+}
+
+/// Where a fact can flow in one step from a given definition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowTarget {
+    /// An intra-procedural use: the using definition and the operand slot
+    /// the source occupies in it.
+    Local {
+        /// The using definition.
+        to: VarId,
+        /// Zero-based operand position within the user.
+        operand: usize,
+    },
+    /// A call edge `(ᵢ`: the value is an actual argument flowing into the
+    /// callee's parameter.
+    IntoCallee {
+        /// The call site (the parenthesis label).
+        site: CallSiteId,
+        /// The callee.
+        callee: FuncId,
+        /// The parameter definition receiving the value.
+        param: VarId,
+    },
+    /// A return edge `)ᵢ`: the function's return value flows back to a
+    /// caller's receiver.
+    BackToCaller {
+        /// The call site.
+        site: CallSiteId,
+        /// The calling function.
+        caller: FuncId,
+        /// The call definition receiving the value.
+        dst: VarId,
+    },
+    /// The empty-function rule of Fig. 5: an actual argument of an external
+    /// callee flows directly to the call's receiver.
+    ThroughExtern {
+        /// The call definition receiving the value.
+        to: VarId,
+        /// The external callee (for checker models).
+        callee: FuncId,
+        /// Which argument position the value occupied.
+        arg: usize,
+    },
+}
+
+/// Per-function adjacency of the PDG.
+#[derive(Debug, Clone, Default)]
+pub struct FuncPdg {
+    /// `uses[v]` lists `(user, operand-slot)` pairs for definition `v`.
+    pub uses: Vec<Vec<(VarId, usize)>>,
+}
+
+/// Aggregate size statistics (Table 2 columns).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PdgStats {
+    /// Number of vertices (definitions).
+    pub vertices: usize,
+    /// Intra-procedural data-dependence edges.
+    pub data_edges: usize,
+    /// Call + return edges (each labeled pair counted as two edges).
+    pub interproc_edges: usize,
+    /// Control-dependence edges (statement → guarding branch).
+    pub control_edges: usize,
+}
+
+impl PdgStats {
+    /// Total edge count as reported in Table 2.
+    pub fn edges(&self) -> usize {
+        self.data_edges + self.interproc_edges + self.control_edges
+    }
+}
+
+/// The whole-program dependence graph.
+#[derive(Debug, Clone)]
+pub struct Pdg {
+    funcs: Vec<FuncPdg>,
+    /// `callers_of[f]` lists the call sites whose callee is `f`.
+    callers_of: Vec<Vec<CallSiteId>>,
+    stats: PdgStats,
+}
+
+impl Pdg {
+    /// Builds the dependence graph of a program (Fig. 5 rules).
+    pub fn build(program: &Program) -> Pdg {
+        let mut funcs = Vec::with_capacity(program.functions.len());
+        let mut callers_of = vec![Vec::new(); program.functions.len()];
+        let mut stats = PdgStats::default();
+        for (i, cs) in program.call_sites.iter().enumerate() {
+            callers_of[cs.callee.index()].push(CallSiteId(i as u32));
+        }
+        for func in &program.functions {
+            let mut fp = FuncPdg { uses: vec![Vec::new(); func.defs.len()] };
+            for def in &func.defs {
+                // Whether this definition's operand edges are the labeled
+                // call edges of Fig. 5 (actual → callee parameter) rather
+                // than plain intra-procedural data dependence.
+                let interproc_call = match &def.kind {
+                    DefKind::Call { callee, .. } => !program.func(*callee).is_extern,
+                    _ => false,
+                };
+                for (slot, op) in def.kind.operands().into_iter().enumerate() {
+                    fp.uses[op.index()].push((def.var, slot));
+                    if interproc_call {
+                        stats.interproc_edges += 1; // call edge `(ᵢ`
+                    } else {
+                        stats.data_edges += 1;
+                    }
+                }
+                if interproc_call {
+                    stats.interproc_edges += 1; // return edge `)ᵢ`
+                }
+                if def.guard.is_some() {
+                    stats.control_edges += 1;
+                }
+                stats.vertices += 1;
+            }
+            funcs.push(fp);
+        }
+        Pdg { funcs, callers_of, stats }
+    }
+
+    /// Size statistics for Table 2.
+    pub fn stats(&self) -> PdgStats {
+        self.stats
+    }
+
+    /// The call sites targeting function `f`.
+    pub fn callers_of(&self, f: FuncId) -> &[CallSiteId] {
+        &self.callers_of[f.index()]
+    }
+
+    /// Intra-procedural uses of a definition.
+    pub fn uses(&self, func: FuncId, var: VarId) -> &[(VarId, usize)] {
+        &self.funcs[func.index()].uses[var.index()]
+    }
+
+    /// All one-step flow targets of a definition: local uses, plus call
+    /// edges when the value is a call argument (the `Local` use into a call
+    /// definition is *replaced* by the labeled inter-procedural edge or the
+    /// extern flow-through), plus return edges when the value is the
+    /// function's return statement.
+    pub fn flow_targets(&self, program: &Program, at: Vertex) -> Vec<FlowTarget> {
+        let func = program.func(at.func);
+        let mut out = Vec::new();
+        for &(user, slot) in self.uses(at.func, at.var) {
+            match &func.def(user).kind {
+                DefKind::Call { callee, site, .. } => {
+                    let callee_f = program.func(*callee);
+                    if callee_f.is_extern {
+                        out.push(FlowTarget::ThroughExtern {
+                            to: user,
+                            callee: *callee,
+                            arg: slot,
+                        });
+                    } else {
+                        let param = callee_f.params[slot];
+                        out.push(FlowTarget::IntoCallee { site: *site, callee: *callee, param });
+                    }
+                }
+                _ => out.push(FlowTarget::Local { to: user, operand: slot }),
+            }
+        }
+        // Return edges: the Return definition's value flows to every caller.
+        if Some(at.var) == func.ret {
+            for &site in self.callers_of(at.func) {
+                let cs = program.call_site(site);
+                out.push(FlowTarget::BackToCaller { site, caller: cs.caller, dst: cs.stmt });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusion_ir::{compile, CompileOptions};
+
+    fn program(src: &str) -> Program {
+        compile(src, CompileOptions::default()).expect("compile")
+    }
+
+    #[test]
+    fn builds_def_use_edges() {
+        let p = program("fn f(x) { let y = x + x; return y; }");
+        let g = Pdg::build(&p);
+        let f = p.func_by_name("f").unwrap();
+        // x (param, v0) is used twice by the add.
+        assert_eq!(g.uses(f.id, f.params[0]).len(), 2);
+    }
+
+    #[test]
+    fn call_and_return_edges() {
+        let p = program(
+            "fn bar(x) { return x; } fn foo(a) { let c = bar(a); return c; }",
+        );
+        let g = Pdg::build(&p);
+        let foo = p.func_by_name("foo").unwrap();
+        let bar = p.func_by_name("bar").unwrap();
+        // a flows into bar's parameter via a labeled call edge.
+        let targets = g.flow_targets(&p, Vertex::new(foo.id, foo.params[0]));
+        assert!(targets.iter().any(|t| matches!(
+            t,
+            FlowTarget::IntoCallee { callee, param, .. }
+                if *callee == bar.id && *param == bar.params[0]
+        )));
+        // bar's return flows back to foo's receiver.
+        let back = g.flow_targets(&p, Vertex::new(bar.id, bar.ret.unwrap()));
+        assert!(back
+            .iter()
+            .any(|t| matches!(t, FlowTarget::BackToCaller { caller, .. } if *caller == foo.id)));
+    }
+
+    #[test]
+    fn two_call_sites_have_distinct_labels() {
+        let p = program(
+            "fn bar(x) { return x; } fn foo(a, b) { let c = bar(a); let d = bar(b); return c + d; }",
+        );
+        let g = Pdg::build(&p);
+        let bar = p.func_by_name("bar").unwrap();
+        let sites = g.callers_of(bar.id);
+        assert_eq!(sites.len(), 2);
+        assert_ne!(sites[0], sites[1]);
+        // The return value flows back through both labels.
+        let back = g.flow_targets(&p, Vertex::new(bar.id, bar.ret.unwrap()));
+        let back_sites: Vec<_> = back
+            .iter()
+            .filter_map(|t| match t {
+                FlowTarget::BackToCaller { site, .. } => Some(*site),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(back_sites.len(), 2);
+    }
+
+    #[test]
+    fn extern_flows_through() {
+        let p = program("extern fn lib(x); fn f(a) { let r = lib(a); return r; }");
+        let g = Pdg::build(&p);
+        let f = p.func_by_name("f").unwrap();
+        let targets = g.flow_targets(&p, Vertex::new(f.id, f.params[0]));
+        assert!(targets.iter().any(|t| matches!(t, FlowTarget::ThroughExtern { .. })));
+    }
+
+    #[test]
+    fn stats_count_vertices_and_edges() {
+        let p = program("fn f(x) { let y = x * 2; if (y > 4) { return y; } return x; }");
+        let g = Pdg::build(&p);
+        let s = g.stats();
+        assert_eq!(s.vertices, p.size());
+        assert!(s.data_edges > 0);
+        assert!(s.control_edges > 0);
+        assert_eq!(s.interproc_edges, 0);
+        assert_eq!(s.edges(), s.data_edges + s.control_edges);
+    }
+}

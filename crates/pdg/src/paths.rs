@@ -1,0 +1,235 @@
+//! Data-dependence paths (the `π` of Algorithms 1–6) and calling contexts.
+//!
+//! A path is the sequence of PDG vertices a data-flow fact traverses. Links
+//! between consecutive vertices record whether the step stayed in the same
+//! function, entered a callee through a labeled call edge `(ᵢ`, or returned
+//! to a caller through `)ᵢ` — the CFL-reachability labeling of §3.1.
+//!
+//! [`DependencePath::contexts`] re-derives each vertex's calling context
+//! (call string) relative to the path's outermost frame, which is what the
+//! translation to path conditions needs to clone callees per call site.
+
+use crate::graph::Vertex;
+use fusion_ir::ssa::CallSiteId;
+
+/// How a path moves between two consecutive vertices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Link {
+    /// An intra-procedural data-dependence edge.
+    Local,
+    /// A call edge `(ᵢ` into the callee.
+    Enter(CallSiteId),
+    /// A return edge `)ᵢ` back into the caller.
+    Exit(CallSiteId),
+}
+
+/// A calling context: the stack of call sites from the path's outermost
+/// frame down to the current function (empty = outermost).
+pub type Context = Vec<CallSiteId>;
+
+/// One data-dependence path on the PDG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DependencePath {
+    /// The traversed vertices, in order.
+    pub nodes: Vec<Vertex>,
+    /// `links[i]` connects `nodes[i]` to `nodes[i + 1]`.
+    pub links: Vec<Link>,
+}
+
+impl DependencePath {
+    /// A single-vertex path.
+    pub fn unit(v: Vertex) -> Self {
+        Self { nodes: vec![v], links: Vec::new() }
+    }
+
+    /// Appends a step.
+    pub fn push(&mut self, link: Link, v: Vertex) {
+        self.links.push(link);
+        self.nodes.push(v);
+    }
+
+    /// The first vertex (the fact's source).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the path is empty (paths are constructed non-empty).
+    pub fn source(&self) -> Vertex {
+        self.nodes[0]
+    }
+
+    /// The last vertex (where the fact currently sits / the sink).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the path is empty.
+    pub fn sink(&self) -> Vertex {
+        *self.nodes.last().expect("paths are non-empty")
+    }
+
+    /// Whether the path's call/return labels are partially balanced (a
+    /// realizable CFL path): every `Exit(s)` either matches the most recent
+    /// unmatched `Enter(s)` or occurs with an empty stack (escaping to an
+    /// outer, unentered frame).
+    pub fn is_realizable(&self) -> bool {
+        let mut stack: Vec<CallSiteId> = Vec::new();
+        for link in &self.links {
+            match link {
+                Link::Local => {}
+                Link::Enter(s) => stack.push(*s),
+                Link::Exit(s) => {
+                    if let Some(top) = stack.pop() {
+                        if top != *s {
+                            return false;
+                        }
+                    }
+                    // Empty stack: fine — the path escapes upward.
+                }
+            }
+        }
+        true
+    }
+
+    /// The calling context of every vertex, relative to the path's
+    /// *outermost* frame (the shallowest frame the path ever occupies).
+    ///
+    /// A prefix running inside a callee that later exits to its caller is
+    /// retroactively assigned the deeper context, e.g. a path starting in
+    /// `g`, exiting to `f` via site `s`, has contexts `[s]` for the `g`
+    /// prefix and `[]` for the `f` suffix.
+    pub fn contexts(&self) -> Vec<Context> {
+        // First pass: signed depth profile.
+        let n = self.nodes.len();
+        let mut depth = vec![0i32; n];
+        for (i, link) in self.links.iter().enumerate() {
+            let delta = match link {
+                Link::Local => 0,
+                Link::Enter(_) => 1,
+                Link::Exit(_) => -1,
+            };
+            depth[i + 1] = depth[i] + delta;
+        }
+        let min = depth.iter().copied().min().unwrap_or(0);
+        // Second pass: maintain the explicit call string. When an Exit
+        // occurs at the outermost-so-far level, the *preceding* vertices
+        // were one level deeper: we reconstruct by tracking the stack and,
+        // for prefix frames, back-filling from the exits.
+        //
+        // Simpler equivalent: walk backwards from the end? Instead, walk
+        // forward keeping a stack seeded with placeholders for the levels
+        // below zero, then resolve placeholders from the Exit labels.
+        let offset = (-min) as usize;
+        let mut stack: Vec<Option<CallSiteId>> = vec![None; offset];
+        let mut contexts: Vec<Vec<Option<CallSiteId>>> = Vec::with_capacity(n);
+        contexts.push(stack.clone());
+        let mut placeholders_resolved: Vec<(usize, CallSiteId)> = Vec::new();
+        for link in &self.links {
+            match link {
+                Link::Local => {}
+                Link::Enter(s) => stack.push(Some(*s)),
+                Link::Exit(s) => {
+                    let top = stack.pop().expect("depth profile keeps stack non-empty");
+                    if top.is_none() {
+                        // This placeholder level is now known: it was `s`.
+                        placeholders_resolved.push((stack.len(), *s));
+                    }
+                }
+            }
+            contexts.push(stack.clone());
+        }
+        // Resolve placeholders in all recorded stacks.
+        let mut resolved: Vec<Option<CallSiteId>> = vec![None; offset];
+        for (level, site) in placeholders_resolved {
+            resolved[level] = Some(site);
+        }
+        contexts
+            .into_iter()
+            .map(|ctx| {
+                ctx.into_iter()
+                    .enumerate()
+                    .map(|(level, slot)| {
+                        slot.or_else(|| resolved.get(level).copied().flatten())
+                            .expect("every placeholder level is exited exactly once")
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusion_ir::ssa::{FuncId, VarId};
+
+    fn v(f: u32, x: u32) -> Vertex {
+        Vertex::new(FuncId(f), VarId(x))
+    }
+
+    #[test]
+    fn unit_path() {
+        let p = DependencePath::unit(v(0, 1));
+        assert_eq!(p.source(), p.sink());
+        assert!(p.is_realizable());
+        assert_eq!(p.contexts(), vec![Vec::<CallSiteId>::new()]);
+    }
+
+    #[test]
+    fn enter_exit_balanced() {
+        let mut p = DependencePath::unit(v(0, 1));
+        p.push(Link::Enter(CallSiteId(3)), v(1, 0));
+        p.push(Link::Local, v(1, 2));
+        p.push(Link::Exit(CallSiteId(3)), v(0, 5));
+        assert!(p.is_realizable());
+        let ctxs = p.contexts();
+        assert_eq!(ctxs[0], vec![]);
+        assert_eq!(ctxs[1], vec![CallSiteId(3)]);
+        assert_eq!(ctxs[2], vec![CallSiteId(3)]);
+        assert_eq!(ctxs[3], vec![]);
+    }
+
+    #[test]
+    fn mismatched_exit_is_unrealizable() {
+        let mut p = DependencePath::unit(v(0, 1));
+        p.push(Link::Enter(CallSiteId(3)), v(1, 0));
+        p.push(Link::Exit(CallSiteId(4)), v(0, 5));
+        assert!(!p.is_realizable());
+    }
+
+    #[test]
+    fn upward_escape_reroots_contexts() {
+        // Starts in g (frame depth -1 relative to f), exits via site 7.
+        let mut p = DependencePath::unit(v(1, 2));
+        p.push(Link::Local, v(1, 3));
+        p.push(Link::Exit(CallSiteId(7)), v(0, 9));
+        assert!(p.is_realizable());
+        let ctxs = p.contexts();
+        assert_eq!(ctxs[0], vec![CallSiteId(7)]);
+        assert_eq!(ctxs[1], vec![CallSiteId(7)]);
+        assert_eq!(ctxs[2], vec![]);
+    }
+
+    #[test]
+    fn exit_then_reenter() {
+        // g --exit s1--> f --enter s2--> h
+        let mut p = DependencePath::unit(v(1, 0));
+        p.push(Link::Exit(CallSiteId(1)), v(0, 4));
+        p.push(Link::Enter(CallSiteId(2)), v(2, 0));
+        let ctxs = p.contexts();
+        assert_eq!(ctxs[0], vec![CallSiteId(1)]);
+        assert_eq!(ctxs[1], vec![]);
+        assert_eq!(ctxs[2], vec![CallSiteId(2)]);
+    }
+
+    #[test]
+    fn deep_nesting_contexts() {
+        let mut p = DependencePath::unit(v(0, 0));
+        p.push(Link::Enter(CallSiteId(1)), v(1, 0));
+        p.push(Link::Enter(CallSiteId(2)), v(2, 0));
+        p.push(Link::Exit(CallSiteId(2)), v(1, 5));
+        p.push(Link::Exit(CallSiteId(1)), v(0, 7));
+        let ctxs = p.contexts();
+        assert_eq!(ctxs[2], vec![CallSiteId(1), CallSiteId(2)]);
+        assert_eq!(ctxs[4], vec![]);
+        assert!(p.is_realizable());
+    }
+}

@@ -1,0 +1,372 @@
+//! Slicing a program dependence graph with respect to a path set Π
+//! (Rules 1–3 of Fig. 8).
+//!
+//! The slice has two parts:
+//!
+//! * a **context-free, per-function vertex set** `V[Π] ∩ f` — the backward
+//!   closure, over data dependence, of every branch condition the paths
+//!   control-depend on (Rules 2–3). The closure crosses call and return
+//!   edges *modularly*: entering a callee records the call-site link
+//!   without cloning anything — this is precisely the linear-size "slice
+//!   as the path condition" of §2;
+//! * a list of **context-tagged constraints** — for every path vertex, its
+//!   guard chain must be true (Rule 2 → Rule 5), and every `ite` the path
+//!   flows through must select the traversed input (Rule 1), each tagged
+//!   with the calling context the path occupied at that vertex.
+
+use crate::graph::Pdg;
+use crate::paths::{Context, DependencePath};
+use fusion_ir::ssa::{CallSiteId, DefKind, FuncId, Program, VarId};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// The per-function part of a slice.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FuncSlice {
+    /// Sliced definitions of this function, in `V[Π]`.
+    pub verts: BTreeSet<VarId>,
+    /// Call sites *within other functions* that instantiate this function
+    /// and whose actual arguments therefore bind this function's sliced
+    /// parameters.
+    pub entry_sites: BTreeSet<CallSiteId>,
+}
+
+/// A context-tagged feasibility constraint (Rules 1 and 5).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Constraint {
+    /// The calling context of the constrained vertex.
+    pub ctx: Context,
+    /// The function containing the constrained vertex.
+    pub func: FuncId,
+    /// What must hold.
+    pub kind: ConstraintKind,
+}
+
+/// The kinds of feasibility constraints a path induces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ConstraintKind {
+    /// A guarding branch's condition variable must be nonzero (Rule 5:
+    /// `[if (v1 = v2)]_c = (v1 = true)`).
+    BranchTrue {
+        /// The branch vertex.
+        branch: VarId,
+    },
+    /// The path flows through an `ite` via one input; the condition must
+    /// select it (Rule 1 edge pruning).
+    IteGate {
+        /// The `ite` vertex.
+        ite: VarId,
+        /// `true` when the path enters through the then-input.
+        taken_then: bool,
+    },
+}
+
+/// The slice `G[Π]` in modular form.
+#[derive(Debug, Clone, Default)]
+pub struct Slice {
+    /// Per-function vertex sets.
+    pub funcs: BTreeMap<FuncId, FuncSlice>,
+    /// Deduplicated, context-tagged constraints.
+    pub constraints: Vec<Constraint>,
+}
+
+impl Slice {
+    /// Total number of sliced vertices across functions — the linear
+    /// "condition size" of the fused design (Table 1's `O(n + m)`).
+    pub fn vertex_count(&self) -> usize {
+        self.funcs.values().map(|f| f.verts.len()).sum()
+    }
+}
+
+/// Computes the slice of Rules 1–3 for a set of dependence paths.
+pub fn compute_slice(program: &Program, _pdg: &Pdg, paths: &[DependencePath]) -> Slice {
+    let mut slice = Slice::default();
+    let mut constraints: BTreeSet<Constraint> = BTreeSet::new();
+    // Closure worklist of (func, var) roots.
+    let mut work: VecDeque<(FuncId, VarId)> = VecDeque::new();
+    // Sites known to instantiate each callee (path entries + sliced calls).
+    let mut entry_sites: BTreeMap<FuncId, BTreeSet<CallSiteId>> = BTreeMap::new();
+    let push_root = |work: &mut VecDeque<(FuncId, VarId)>, f: FuncId, v: VarId| {
+        work.push_back((f, v));
+    };
+
+    // Phase 1: constraints from the paths (Rules 1, 2).
+    for path in paths {
+        let ctxs = path.contexts();
+        for (i, node) in path.nodes.iter().enumerate() {
+            let func = program.func(node.func);
+            // Rule 2: the full guard chain of every path vertex.
+            for branch in func.guards(node.var) {
+                constraints.insert(Constraint {
+                    ctx: ctxs[i].clone(),
+                    func: node.func,
+                    kind: ConstraintKind::BranchTrue { branch },
+                });
+                let DefKind::Branch { cond } = func.def(branch).kind else {
+                    unreachable!("guards are branches")
+                };
+                push_root(&mut work, node.func, cond);
+            }
+            // Rule 1: ite gating when the path flows through an ite input.
+            if i > 0 {
+                let prev = path.nodes[i - 1];
+                if prev.func == node.func {
+                    if let DefKind::Ite { cond, then_v, else_v } = func.def(node.var).kind {
+                        let taken_then = if prev.var == then_v {
+                            Some(true)
+                        } else if prev.var == else_v {
+                            Some(false)
+                        } else {
+                            None // entered through the condition: no gate
+                        };
+                        if let Some(taken_then) = taken_then {
+                            constraints.insert(Constraint {
+                                ctx: ctxs[i].clone(),
+                                func: node.func,
+                                kind: ConstraintKind::IteGate { ite: node.var, taken_then },
+                            });
+                            push_root(&mut work, node.func, cond);
+                        }
+                    }
+                }
+            }
+        }
+        // Record the call sites the path itself traverses.
+        for (i, link) in path.links.iter().enumerate() {
+            if let crate::paths::Link::Enter(s) = link {
+                let callee = path.nodes[i + 1].func;
+                entry_sites.entry(callee).or_default().insert(*s);
+            }
+            if let crate::paths::Link::Exit(s) = link {
+                let callee = path.nodes[i].func;
+                entry_sites.entry(callee).or_default().insert(*s);
+            }
+        }
+    }
+
+    // Phase 2: backward closure over data dependence (Rule 3), modular
+    // across calls. Two event kinds interact: a parameter entering the
+    // slice requires the matching actuals at every known entry site; a new
+    // entry site requires the actuals for every already-sliced parameter.
+    let mut processed: BTreeSet<(FuncId, VarId)> = BTreeSet::new();
+    // Pending site-param products handled via re-scanning on change.
+    let mut site_work: VecDeque<(FuncId, CallSiteId)> = VecDeque::new();
+    for (f, sites) in &entry_sites {
+        for &s in sites {
+            site_work.push_back((*f, s));
+        }
+    }
+    loop {
+        while let Some((f, v)) = work.pop_front() {
+            if !processed.insert((f, v)) {
+                continue;
+            }
+            let fs = slice.funcs.entry(f).or_default();
+            fs.verts.insert(v);
+            let func = program.func(f);
+            match &func.def(v).kind {
+                DefKind::Call { callee, site, .. } => {
+                    let callee_f = program.func(*callee);
+                    if !callee_f.is_extern {
+                        // Rule 8: dst = callee's return; close there.
+                        let ret = callee_f.ret.expect("non-extern has return");
+                        push_root(&mut work, *callee, ret);
+                        let sites = entry_sites.entry(*callee).or_default();
+                        if sites.insert(*site) {
+                            site_work.push_back((*callee, *site));
+                        }
+                    }
+                    // Extern: unconstrained result, no closure into args.
+                }
+                DefKind::Param { index } => {
+                    // Rule 7: bound to the actual at every entry site.
+                    let sites: Vec<CallSiteId> = entry_sites
+                        .get(&f)
+                        .map(|s| s.iter().copied().collect())
+                        .unwrap_or_default();
+                    for s in sites {
+                        let cs = program.call_site(s);
+                        let caller = program.func(cs.caller);
+                        let DefKind::Call { args, .. } = &caller.def(cs.stmt).kind else {
+                            unreachable!("call sites point at calls")
+                        };
+                        if let Some(&actual) = args.get(*index) {
+                            push_root(&mut work, cs.caller, actual);
+                        }
+                    }
+                }
+                other => {
+                    for op in other.operands() {
+                        push_root(&mut work, f, op);
+                    }
+                }
+            }
+        }
+        // New entry sites discovered: bind already-sliced params.
+        let Some((callee, site)) = site_work.pop_front() else { break };
+        let sliced_params: Vec<(usize, VarId)> = program
+            .func(callee)
+            .params
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| processed.contains(&(callee, **p)))
+            .map(|(i, p)| (i, *p))
+            .collect();
+        if !sliced_params.is_empty() {
+            let cs = program.call_site(site);
+            let caller = program.func(cs.caller);
+            let DefKind::Call { args, .. } = &caller.def(cs.stmt).kind else {
+                unreachable!("call sites point at calls")
+            };
+            for (i, _) in sliced_params {
+                if let Some(&actual) = args.get(i) {
+                    work.push_back((cs.caller, actual));
+                }
+            }
+        }
+    }
+
+    for (f, sites) in entry_sites {
+        slice.funcs.entry(f).or_default().entry_sites.extend(sites);
+    }
+    slice.constraints = constraints.into_iter().collect();
+    slice
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Vertex;
+    use crate::paths::Link;
+    use fusion_ir::{compile, CompileOptions};
+
+    fn setup(src: &str) -> (Program, Pdg) {
+        let p = compile(src, CompileOptions::default()).expect("compile");
+        let g = Pdg::build(&p);
+        (p, g)
+    }
+
+    /// The paper's Fig. 7 program: the slice of the path
+    /// `(p = ⟨p⟩, q = p, r = q)` must contain the two branch conditions and
+    /// everything they transitively depend on, but not the path itself.
+    #[test]
+    fn figure7_slice() {
+        let (p, g) = setup(
+            "fn foo(a, p) {\n\
+               let q = 0; let r = 0;\n\
+               let b = a > 20;\n\
+               if (b) {\n\
+                 q = p;\n\
+                 let d = a * 2;\n\
+                 let e = d > 90;\n\
+                 if (e) { r = q; }\n\
+               }\n\
+               return r;\n\
+             }",
+        );
+        let foo = p.func_by_name("foo").unwrap();
+        // Copies are elided by lowering: the value of `p` reaches `return
+        // r` through two gated merges, `r₁ = ite(e, p, 0)` (guarded by the
+        // outer `if`) and `r₂ = ite(b, r₁, 0)`.
+        let pp = foo.params[1];
+        let r1 = foo
+            .defs
+            .iter()
+            .find(|d| matches!(d.kind, DefKind::Ite { then_v, .. } if then_v == pp))
+            .expect("inner merge of r");
+        let r2 = foo
+            .defs
+            .iter()
+            .find(|d| matches!(d.kind, DefKind::Ite { then_v, .. } if then_v == r1.var))
+            .expect("outer merge of r");
+        let ret = foo.ret.unwrap();
+        let mut path = DependencePath::unit(Vertex::new(foo.id, pp));
+        path.push(Link::Local, Vertex::new(foo.id, r1.var));
+        path.push(Link::Local, Vertex::new(foo.id, r2.var));
+        path.push(Link::Local, Vertex::new(foo.id, ret));
+        let slice = compute_slice(&p, &g, &[path]);
+        let fs = &slice.funcs[&foo.id];
+        // Both branch conditions and their closure: a, b, d, e (plus
+        // constants).
+        assert!(fs.verts.contains(&foo.params[0]), "param a must be sliced");
+        let binaries = fs
+            .verts
+            .iter()
+            .filter(|v| matches!(foo.def(**v).kind, DefKind::Binary { .. }))
+            .count();
+        // b = a > 20, d = a * 2, e = d > 90.
+        assert_eq!(binaries, 3, "verts: {:?}", fs.verts);
+        // The path vertices themselves are not in the slice (Example 3.3).
+        assert!(!fs.verts.contains(&r1.var));
+        assert!(!fs.verts.contains(&r2.var));
+        // Both `if`s are constrained: two ite gates, plus one asserted
+        // branch (the inner merge sits under the outer guard).
+        let gates = slice
+            .constraints
+            .iter()
+            .filter(|c| matches!(c.kind, ConstraintKind::IteGate { taken_then: true, .. }))
+            .count();
+        assert_eq!(gates, 2);
+        let branches = slice
+            .constraints
+            .iter()
+            .filter(|c| matches!(c.kind, ConstraintKind::BranchTrue { .. }))
+            .count();
+        assert_eq!(branches, 1);
+    }
+
+    #[test]
+    fn slice_is_linear_not_cloned() {
+        // Figure 1's shape: bar called twice; the modular slice contains
+        // bar's body ONCE (no per-call-site duplication).
+        let (p, g) = setup(
+            "fn bar(x) { let y = x * 2; let z = y; return z; }\n\
+             fn foo(a, b) {\n\
+               let pp = null;\n\
+               let c = bar(a);\n\
+               let d = bar(b);\n\
+               if (c < d) { return pp; }\n\
+               return 1;\n\
+             }",
+        );
+        let foo = p.func_by_name("foo").unwrap();
+        let bar = p.func_by_name("bar").unwrap();
+        let null_def = foo
+            .defs
+            .iter()
+            .find(|d| matches!(d.kind, DefKind::Const { is_null: true, .. }))
+            .unwrap();
+        // Follow the real gated value flow: null → ite(c<d, null, 0) →
+        // ite(cont, 1, ·) → return — exactly the path the sparse analysis
+        // discovers.
+        let ite1 = foo
+            .defs
+            .iter()
+            .find(|d| matches!(d.kind, DefKind::Ite { then_v, .. } if then_v == null_def.var))
+            .expect("merge of the early return value");
+        let ite2 = foo
+            .defs
+            .iter()
+            .find(|d| matches!(d.kind, DefKind::Ite { else_v, .. } if else_v == ite1.var))
+            .expect("merge of the continuation");
+        let ret = foo.ret.unwrap();
+        let mut path = DependencePath::unit(Vertex::new(foo.id, null_def.var));
+        path.push(Link::Local, Vertex::new(foo.id, ite1.var));
+        path.push(Link::Local, Vertex::new(foo.id, ite2.var));
+        path.push(Link::Local, Vertex::new(foo.id, ret));
+        let slice = compute_slice(&p, &g, &[path]);
+        // bar's body appears once in the slice.
+        let bar_slice = &slice.funcs[&bar.id];
+        assert!(bar_slice.verts.len() <= bar.defs.len());
+        assert_eq!(bar_slice.entry_sites.len(), 2); // both call sites linked
+        // Total sliced vertices are bounded by program size (no cloning).
+        assert!(slice.vertex_count() <= p.size());
+    }
+
+    #[test]
+    fn empty_paths_give_empty_slice() {
+        let (p, g) = setup("fn f(x) { return x; }");
+        let slice = compute_slice(&p, &g, &[]);
+        assert_eq!(slice.vertex_count(), 0);
+        assert!(slice.constraints.is_empty());
+    }
+}

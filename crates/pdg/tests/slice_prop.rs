@@ -1,0 +1,145 @@
+//! Property tests for slicing and translation over generated-ish programs
+//! built from a seeded grammar of nested guards and helper calls.
+
+use fusion_ir::{compile, CompileOptions, DefKind, Program};
+use fusion_pdg::graph::{Pdg, Vertex};
+use fusion_pdg::paths::{DependencePath, Link};
+use fusion_pdg::slice::{compute_slice, ConstraintKind};
+use fusion_pdg::translate::{translate, TranslateOptions};
+use fusion_smt::term::TermPool;
+use proptest::prelude::*;
+
+/// Builds a program with `depth` nested guards around a null assignment,
+/// each guard comparing helper-call results, plus `extra` unrelated code.
+fn make_source(depth: usize, helpers: usize, extra: usize) -> String {
+    let mut s = String::from("extern fn deref(p);\n");
+    for h in 0..helpers.max(1) {
+        s.push_str(&format!("fn h{h}(x) {{ return x * {} + {h}; }}\n", 2 * h + 1));
+    }
+    s.push_str("fn f(a, b) {\n  let q = null;\n  let r = 1;\n");
+    for e in 0..extra {
+        s.push_str(&format!("  let u{e} = a + {e};\n"));
+    }
+    for d in 0..depth {
+        let h = d % helpers.max(1);
+        s.push_str(&format!("  if (h{h}(a) < h{h}(b) + {d}) {{\n"));
+    }
+    s.push_str("  r = q;\n");
+    for _ in 0..depth {
+        s.push_str("  }\n");
+    }
+    s.push_str("  deref(r);\n  return 0;\n}\n");
+    s
+}
+
+/// The null → merges → deref-argument path, built structurally.
+fn null_path(program: &Program) -> DependencePath {
+    let f = program.func_by_name("f").expect("f exists");
+    let null_def = f
+        .defs
+        .iter()
+        .find(|d| matches!(d.kind, DefKind::Const { is_null: true, .. }))
+        .expect("null source");
+    let mut path = DependencePath::unit(Vertex::new(f.id, null_def.var));
+    let mut cur = null_def.var;
+    loop {
+        let next = f.defs.iter().find(|d| match &d.kind {
+            DefKind::Ite { then_v, else_v, .. } => *then_v == cur || *else_v == cur,
+            DefKind::Call { args, .. } => args.contains(&cur),
+            _ => false,
+        });
+        match next {
+            Some(d) => {
+                path.push(Link::Local, Vertex::new(f.id, d.var));
+                cur = d.var;
+                if matches!(d.kind, DefKind::Call { .. }) {
+                    break; // reached deref
+                }
+            }
+            None => break,
+        }
+    }
+    path
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn slice_invariants(depth in 1usize..4, helpers in 1usize..3, extra in 0usize..6) {
+        let src = make_source(depth, helpers, extra);
+        let program = compile(&src, CompileOptions::default()).expect("compile");
+        let pdg = Pdg::build(&program);
+        let path = null_path(&program);
+        let slice = compute_slice(&program, &pdg, &[path.clone()]);
+
+        // 1. Linear size: never larger than the program.
+        prop_assert!(slice.vertex_count() <= program.size());
+
+        // 2. Every sliced vertex exists and every constraint points at a
+        //    real branch/ite of the right function.
+        for (fid, fs) in &slice.funcs {
+            let func = program.func(*fid);
+            for v in &fs.verts {
+                prop_assert!(v.index() < func.len());
+            }
+        }
+        for c in &slice.constraints {
+            let func = program.func(c.func);
+            match c.kind {
+                ConstraintKind::BranchTrue { branch } => {
+                    let is_branch = matches!(func.def(branch).kind, DefKind::Branch { .. });
+                    prop_assert!(is_branch);
+                }
+                ConstraintKind::IteGate { ite, .. } => {
+                    let is_ite = matches!(func.def(ite).kind, DefKind::Ite { .. });
+                    prop_assert!(is_ite);
+                }
+            }
+        }
+
+        // 3. Path vertices are excluded from the slice (Example 3.3) —
+        //    except calls, whose equations the translation needs.
+        let fs = &slice.funcs[&path.nodes[0].func];
+        for node in &path.nodes {
+            let func = program.func(node.func);
+            if !matches!(func.def(node.var).kind, DefKind::Call { .. }) {
+                prop_assert!(!fs.verts.contains(&node.var), "path vertex {} sliced", node.var);
+            }
+        }
+
+        // 4. Data closure: every sliced non-call vertex's operands are
+        //    sliced too (within the same function).
+        for (fid, fs) in &slice.funcs {
+            let func = program.func(*fid);
+            for &v in &fs.verts {
+                match &func.def(v).kind {
+                    DefKind::Call { .. } | DefKind::Param { .. } => {}
+                    k => {
+                        for op in k.operands() {
+                            prop_assert!(
+                                fs.verts.contains(&op),
+                                "operand {op} of sliced {v} missing"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        // 5. Translation: the nested helper guards are all satisfiable by
+        //    construction (strict inequality with growing offsets), so the
+        //    condition must be sat; instance count is helpers-cloned (2 per
+        //    guard level for Alg. 4).
+        let mut pool = TermPool::new();
+        let tr = translate(&program, &slice, &mut pool, &TranslateOptions::default())
+            .expect("within budget");
+        prop_assert!(tr.instances >= 1);
+        let (result, _) = fusion_smt::solver::smt_solve(
+            &mut pool,
+            tr.formula,
+            &fusion_smt::solver::SolverConfig::default(),
+        );
+        prop_assert!(result.is_sat(), "guards h(a) < h(b) + d are satisfiable");
+    }
+}

@@ -1,0 +1,700 @@
+//! A CDCL SAT solver.
+//!
+//! The backend the bit-blasted conditions are handed to — the counterpart of
+//! "Z3's SAT solver" in §4 of the paper. Classic MiniSat-style architecture:
+//! two-watched-literal propagation, first-UIP conflict analysis with clause
+//! learning, VSIDS branching with an activity heap, phase saving, Luby
+//! restarts, and periodic learnt-clause database reduction. Budgets (conflict
+//! count and wall-clock deadline) make every call interruptible — the
+//! evaluation caps each solver call exactly like the paper's 10-second
+//! per-query limit.
+
+use crate::cnf::{BVar, Cnf, Lit};
+use std::time::Instant;
+
+/// Outcome of a SAT call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SatOutcome {
+    /// Satisfiable, with a full model (`model[v]` = value of `BVar(v)`).
+    Sat(Vec<bool>),
+    /// Unsatisfiable.
+    Unsat,
+    /// Budget exhausted before a decision was reached.
+    Unknown,
+}
+
+/// Resource budget for one SAT call.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SatBudget {
+    /// Maximum number of conflicts (`None` = unlimited).
+    pub max_conflicts: Option<u64>,
+    /// Wall-clock deadline (`None` = unlimited).
+    pub deadline: Option<Instant>,
+}
+
+/// Statistics of a SAT call.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SatStats {
+    /// Decisions made.
+    pub decisions: u64,
+    /// Conflicts encountered.
+    pub conflicts: u64,
+    /// Unit propagations performed.
+    pub propagations: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+}
+
+const UNDEF: u8 = 2;
+
+#[derive(Debug, Clone)]
+struct Clause {
+    lits: Vec<Lit>,
+    learnt: bool,
+    activity: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Watch {
+    clause: usize,
+    blocker: Lit,
+}
+
+/// The CDCL solver state. Construct with [`SatSolver::new`], run with
+/// [`SatSolver::solve`].
+#[derive(Debug)]
+pub struct SatSolver {
+    clauses: Vec<Clause>,
+    watches: Vec<Vec<Watch>>, // indexed by Lit::code()
+    assign: Vec<u8>,          // 0 = false, 1 = true, UNDEF
+    level: Vec<u32>,
+    reason: Vec<usize>, // usize::MAX = none
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    cla_inc: f64,
+    heap: Vec<BVar>,       // binary max-heap on activity
+    heap_index: Vec<usize>, // usize::MAX = not in heap
+    phase: Vec<bool>,
+    seen: Vec<bool>,
+    ok: bool,
+    /// Statistics of the last [`SatSolver::solve`] call.
+    pub stats: SatStats,
+}
+
+impl SatSolver {
+    /// Builds a solver over the given CNF.
+    pub fn new(cnf: &Cnf) -> SatSolver {
+        let n = cnf.num_vars as usize;
+        let mut s = SatSolver {
+            clauses: Vec::with_capacity(cnf.clauses.len()),
+            watches: vec![Vec::new(); 2 * n],
+            assign: vec![UNDEF; n],
+            level: vec![0; n],
+            reason: vec![usize::MAX; n],
+            trail: Vec::with_capacity(n),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: vec![0.0; n],
+            var_inc: 1.0,
+            cla_inc: 1.0,
+            heap: Vec::with_capacity(n),
+            heap_index: vec![usize::MAX; n],
+            phase: vec![false; n],
+            seen: vec![false; n],
+            ok: true,
+            stats: SatStats::default(),
+        };
+        for v in 0..cnf.num_vars {
+            s.heap_insert(BVar(v));
+        }
+        for c in &cnf.clauses {
+            s.add_clause(c.clone());
+            if !s.ok {
+                break;
+            }
+        }
+        s
+    }
+
+    fn value(&self, l: Lit) -> u8 {
+        let a = self.assign[l.var().index()];
+        if a == UNDEF {
+            UNDEF
+        } else if l.is_pos() {
+            a
+        } else {
+            1 - a
+        }
+    }
+
+    fn add_clause(&mut self, mut lits: Vec<Lit>) {
+        if !self.ok {
+            return;
+        }
+        lits.sort_unstable();
+        lits.dedup();
+        // Tautology?
+        for w in lits.windows(2) {
+            if w[0].var() == w[1].var() {
+                return; // x ∨ ¬x
+            }
+        }
+        // Remove false literals / satisfied clauses at level 0.
+        lits.retain(|&l| self.value(l) != 0 || self.level[l.var().index()] != 0);
+        if lits.iter().any(|&l| self.value(l) == 1 && self.level[l.var().index()] == 0) {
+            return;
+        }
+        match lits.len() {
+            0 => self.ok = false,
+            1 => {
+                if !self.enqueue(lits[0], usize::MAX) || self.propagate().is_some() {
+                    self.ok = false;
+                }
+            }
+            _ => {
+                let ci = self.clauses.len();
+                self.watch(lits[0], lits[1], ci);
+                self.watch(lits[1], lits[0], ci);
+                self.clauses.push(Clause { lits, learnt: false, activity: 0.0 });
+            }
+        }
+    }
+
+    fn watch(&mut self, l: Lit, blocker: Lit, clause: usize) {
+        self.watches[(!l).code()].push(Watch { clause, blocker });
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: usize) -> bool {
+        match self.value(l) {
+            1 => true,
+            0 => false,
+            _ => {
+                let v = l.var().index();
+                self.assign[v] = l.is_pos() as u8;
+                self.level[v] = self.trail_lim.len() as u32;
+                self.reason[v] = reason;
+                self.phase[v] = l.is_pos();
+                self.trail.push(l);
+                true
+            }
+        }
+    }
+
+    /// Unit propagation; returns a conflicting clause index if any.
+    fn propagate(&mut self) -> Option<usize> {
+        while self.qhead < self.trail.len() {
+            let l = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let mut i = 0;
+            let code = l.code();
+            'watches: while i < self.watches[code].len() {
+                let Watch { clause, blocker } = self.watches[code][i];
+                if self.value(blocker) == 1 {
+                    i += 1;
+                    continue;
+                }
+                // Normalize: watched literal being falsified is ¬l; put it
+                // in position 1.
+                let false_lit = !l;
+                {
+                    let lits = &mut self.clauses[clause].lits;
+                    if lits[0] == false_lit {
+                        lits.swap(0, 1);
+                    }
+                }
+                let first = self.clauses[clause].lits[0];
+                if first != blocker && self.value(first) == 1 {
+                    self.watches[code][i].blocker = first;
+                    i += 1;
+                    continue;
+                }
+                // Find a new watch.
+                let len = self.clauses[clause].lits.len();
+                for k in 2..len {
+                    let lk = self.clauses[clause].lits[k];
+                    if self.value(lk) != 0 {
+                        self.clauses[clause].lits.swap(1, k);
+                        self.watches[code].swap_remove(i);
+                        self.watch(lk, first, clause);
+                        continue 'watches;
+                    }
+                }
+                // No new watch: clause is unit or conflicting.
+                self.watches[code][i].blocker = first;
+                if !self.enqueue(first, clause) {
+                    self.qhead = self.trail.len();
+                    return Some(clause);
+                }
+                i += 1;
+            }
+        }
+        None
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn bump_var(&mut self, v: BVar) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        if self.heap_index[v.index()] != usize::MAX {
+            self.heap_up(self.heap_index[v.index()]);
+        }
+    }
+
+    fn bump_clause(&mut self, c: usize) {
+        self.clauses[c].activity += self.cla_inc;
+        if self.clauses[c].activity > 1e20 {
+            for cl in &mut self.clauses {
+                cl.activity *= 1e-20;
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    /// First-UIP conflict analysis; returns (learnt clause, backtrack level).
+    fn analyze(&mut self, confl: usize) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit(0)]; // placeholder for the UIP
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut confl = confl;
+        let mut index = self.trail.len();
+        loop {
+            self.bump_clause(confl);
+            let start = usize::from(p.is_some());
+            // collect literals of the conflict/reason clause
+            let lits: Vec<Lit> = self.clauses[confl].lits[start..].to_vec();
+            for q in lits {
+                let v = q.var();
+                if !self.seen[v.index()] && self.level[v.index()] > 0 {
+                    self.seen[v.index()] = true;
+                    self.bump_var(v);
+                    if self.level[v.index()] >= self.decision_level() {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Select next literal to look at.
+            loop {
+                index -= 1;
+                let l = self.trail[index];
+                if self.seen[l.var().index()] {
+                    p = Some(l);
+                    break;
+                }
+            }
+            let pv = p.expect("found UIP candidate").var();
+            self.seen[pv.index()] = false;
+            counter -= 1;
+            if counter == 0 {
+                learnt[0] = !p.expect("UIP");
+                break;
+            }
+            confl = self.reason[pv.index()];
+            debug_assert_ne!(confl, usize::MAX);
+        }
+        // Cheap clause minimization: drop literals implied by others'
+        // reasons at level 0 handled implicitly; full minimization omitted.
+        for l in &learnt {
+            self.seen[l.var().index()] = false;
+        }
+        let bt = if learnt.len() == 1 {
+            0
+        } else {
+            // Second-highest level among learnt literals; move it to slot 1.
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var().index()] > self.level[learnt[max_i].var().index()] {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.level[learnt[1].var().index()]
+        };
+        (learnt, bt)
+    }
+
+    fn backtrack(&mut self, level: u32) {
+        while self.decision_level() > level {
+            let lim = self.trail_lim.pop().expect("level > 0");
+            while self.trail.len() > lim {
+                let l = self.trail.pop().expect("trail nonempty");
+                let v = l.var();
+                self.assign[v.index()] = UNDEF;
+                self.reason[v.index()] = usize::MAX;
+                if self.heap_index[v.index()] == usize::MAX {
+                    self.heap_insert(v);
+                }
+            }
+        }
+        self.qhead = self.trail.len();
+    }
+
+    fn pick_branch(&mut self) -> Option<Lit> {
+        while let Some(&top) = self.heap.first() {
+            if self.assign[top.index()] == UNDEF {
+                self.heap_remove_top();
+                return Some(Lit::new(top, self.phase[top.index()]));
+            }
+            self.heap_remove_top();
+        }
+        None
+    }
+
+    fn reduce_db(&mut self) {
+        // Remove the less active half of learnt clauses that are not
+        // currently reasons.
+        let mut learnt_idx: Vec<usize> = (0..self.clauses.len())
+            .filter(|&i| self.clauses[i].learnt)
+            .collect();
+        if learnt_idx.len() < 100 {
+            return;
+        }
+        learnt_idx.sort_by(|&a, &b| {
+            self.clauses[a]
+                .activity
+                .partial_cmp(&self.clauses[b].activity)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let locked: std::collections::HashSet<usize> =
+            self.reason.iter().copied().filter(|&r| r != usize::MAX).collect();
+        let mut remove: std::collections::HashSet<usize> = learnt_idx
+            [..learnt_idx.len() / 2]
+            .iter()
+            .copied()
+            .filter(|i| !locked.contains(i) && self.clauses[*i].lits.len() > 2)
+            .collect();
+        if remove.is_empty() {
+            return;
+        }
+        // Rebuild clause arena and watches with a remap.
+        let mut remap = vec![usize::MAX; self.clauses.len()];
+        let mut new_clauses = Vec::with_capacity(self.clauses.len() - remove.len());
+        for (i, c) in self.clauses.drain(..).enumerate() {
+            if remove.contains(&i) {
+                continue;
+            }
+            remap[i] = new_clauses.len();
+            new_clauses.push(c);
+        }
+        self.clauses = new_clauses;
+        for w in &mut self.watches {
+            w.retain(|watch| remap[watch.clause] != usize::MAX);
+            for watch in w.iter_mut() {
+                watch.clause = remap[watch.clause];
+            }
+        }
+        for r in &mut self.reason {
+            if *r != usize::MAX {
+                *r = remap[*r];
+                debug_assert_ne!(*r, usize::MAX, "removed a locked clause");
+            }
+        }
+        remove.clear();
+    }
+
+    /// Runs the CDCL loop under the given budget.
+    pub fn solve(&mut self, budget: SatBudget) -> SatOutcome {
+        if !self.ok {
+            return SatOutcome::Unsat;
+        }
+        if self.propagate().is_some() {
+            self.ok = false;
+            return SatOutcome::Unsat;
+        }
+        let mut restart_count = 0u64;
+        let mut conflicts_until_restart = luby(restart_count) * 100;
+        let mut learnt_cap = (self.clauses.len() / 3).max(1000);
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.stats.conflicts += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return SatOutcome::Unsat;
+                }
+                let (learnt, bt) = self.analyze(confl);
+                self.backtrack(bt);
+                if learnt.len() == 1 {
+                    let ok = self.enqueue(learnt[0], usize::MAX);
+                    debug_assert!(ok);
+                } else {
+                    let ci = self.clauses.len();
+                    self.watch(learnt[0], learnt[1], ci);
+                    self.watch(learnt[1], learnt[0], ci);
+                    let first = learnt[0];
+                    self.clauses.push(Clause { lits: learnt, learnt: true, activity: 0.0 });
+                    self.bump_clause(ci);
+                    let ok = self.enqueue(first, ci);
+                    debug_assert!(ok);
+                }
+                self.var_inc /= 0.95;
+                self.cla_inc /= 0.999;
+                conflicts_until_restart = conflicts_until_restart.saturating_sub(1);
+                // Budget checks on conflicts (cheap point to test deadline).
+                if let Some(mc) = budget.max_conflicts {
+                    if self.stats.conflicts >= mc {
+                        return SatOutcome::Unknown;
+                    }
+                }
+                if let Some(dl) = budget.deadline {
+                    if self.stats.conflicts.is_multiple_of(256) && Instant::now() >= dl {
+                        return SatOutcome::Unknown;
+                    }
+                }
+            } else {
+                if conflicts_until_restart == 0 {
+                    restart_count += 1;
+                    self.stats.restarts += 1;
+                    conflicts_until_restart = luby(restart_count) * 100;
+                    self.backtrack(0);
+                }
+                let learnt_count = self.clauses.iter().filter(|c| c.learnt).count();
+                if learnt_count > learnt_cap {
+                    self.reduce_db();
+                    learnt_cap += learnt_cap / 10;
+                }
+                match self.pick_branch() {
+                    None => {
+                        let model: Vec<bool> =
+                            self.assign.iter().map(|&a| a == 1).collect();
+                        return SatOutcome::Sat(model);
+                    }
+                    Some(l) => {
+                        self.stats.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        let ok = self.enqueue(l, usize::MAX);
+                        debug_assert!(ok);
+                    }
+                }
+            }
+        }
+    }
+
+    // --- activity heap (binary max-heap with position index) ---
+
+    fn heap_less(&self, a: BVar, b: BVar) -> bool {
+        self.activity[a.index()] > self.activity[b.index()]
+    }
+
+    fn heap_insert(&mut self, v: BVar) {
+        self.heap_index[v.index()] = self.heap.len();
+        self.heap.push(v);
+        self.heap_up(self.heap.len() - 1);
+    }
+
+    fn heap_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.heap_less(self.heap[i], self.heap[parent]) {
+                self.heap_swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn heap_down(&mut self, mut i: usize) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut best = i;
+            if l < self.heap.len() && self.heap_less(self.heap[l], self.heap[best]) {
+                best = l;
+            }
+            if r < self.heap.len() && self.heap_less(self.heap[r], self.heap[best]) {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.heap_swap(i, best);
+            i = best;
+        }
+    }
+
+    fn heap_swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.heap_index[self.heap[a].index()] = a;
+        self.heap_index[self.heap[b].index()] = b;
+    }
+
+    fn heap_remove_top(&mut self) {
+        let top = self.heap[0];
+        self.heap_index[top.index()] = usize::MAX;
+        let last = self.heap.pop().expect("heap nonempty");
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.heap_index[last.index()] = 0;
+            self.heap_down(0);
+        }
+    }
+}
+
+/// The Luby restart sequence (1, 1, 2, 1, 1, 2, 4, ...), 0-indexed.
+fn luby(i: u64) -> u64 {
+    let mut i = i + 1; // 1-based position in the sequence
+    loop {
+        // Smallest k with 2^k - 1 >= i.
+        let mut k = 1u32;
+        while (1u64 << k) - 1 < i {
+            k += 1;
+        }
+        if (1u64 << k) - 1 == i {
+            return 1u64 << (k - 1);
+        }
+        i -= (1u64 << (k - 1)) - 1;
+    }
+}
+
+/// Solves a CNF with the given budget (convenience wrapper).
+pub fn solve_cnf(cnf: &Cnf, budget: SatBudget) -> SatOutcome {
+    SatSolver::new(cnf).solve(budget)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(v: u32, pos: bool) -> Lit {
+        Lit::new(BVar(v), pos)
+    }
+
+    #[test]
+    fn trivial_sat() {
+        let mut cnf = Cnf::new();
+        let a = cnf.fresh();
+        cnf.add_unit(Lit::pos(a));
+        match solve_cnf(&cnf, SatBudget::default()) {
+            SatOutcome::Sat(m) => assert!(m[0]),
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trivial_unsat() {
+        let mut cnf = Cnf::new();
+        let a = cnf.fresh();
+        cnf.add_unit(Lit::pos(a));
+        cnf.add_unit(Lit::neg(a));
+        assert_eq!(solve_cnf(&cnf, SatBudget::default()), SatOutcome::Unsat);
+    }
+
+    #[test]
+    fn empty_clause_unsat() {
+        let mut cnf = Cnf::new();
+        cnf.fresh();
+        cnf.add(vec![]);
+        assert_eq!(solve_cnf(&cnf, SatBudget::default()), SatOutcome::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_unsat() {
+        // p(i,j): pigeon i in hole j; 3 pigeons, 2 holes.
+        let mut cnf = Cnf::new();
+        let mut p = [[BVar(0); 2]; 3];
+        for (_, row) in p.iter_mut().enumerate() {
+            for cell in row.iter_mut() {
+                *cell = cnf.fresh();
+            }
+        }
+        for row in &p {
+            cnf.add(vec![Lit::pos(row[0]), Lit::pos(row[1])]);
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    cnf.add(vec![Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
+                }
+            }
+        }
+        assert_eq!(solve_cnf(&cnf, SatBudget::default()), SatOutcome::Unsat);
+    }
+
+    #[test]
+    fn model_satisfies_formula() {
+        // Random-ish structured instance: chain of implications plus a few
+        // ORs; verify the returned model against Cnf::eval.
+        let mut cnf = Cnf::new();
+        let vars: Vec<BVar> = (0..20).map(|_| cnf.fresh()).collect();
+        for w in vars.windows(2) {
+            cnf.add(vec![Lit::neg(w[0]), Lit::pos(w[1])]); // v_i -> v_{i+1}
+        }
+        cnf.add_unit(Lit::pos(vars[0]));
+        cnf.add(vec![Lit::neg(vars[19]), Lit::pos(vars[5])]);
+        match solve_cnf(&cnf, SatBudget::default()) {
+            SatOutcome::Sat(m) => assert!(cnf.eval(&m)),
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn conflict_budget_returns_unknown() {
+        // A hard instance (pigeonhole 6 into 5) with a 1-conflict budget.
+        let mut cnf = Cnf::new();
+        let n = 6;
+        let h = 5;
+        let mut p = vec![vec![BVar(0); h]; n];
+        for row in p.iter_mut() {
+            for cell in row.iter_mut() {
+                *cell = cnf.fresh();
+            }
+        }
+        for row in &p {
+            cnf.add(row.iter().map(|&v| Lit::pos(v)).collect());
+        }
+        for j in 0..h {
+            for i1 in 0..n {
+                for i2 in (i1 + 1)..n {
+                    cnf.add(vec![Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
+                }
+            }
+        }
+        let budget = SatBudget { max_conflicts: Some(1), deadline: None };
+        assert_eq!(solve_cnf(&cnf, budget), SatOutcome::Unknown);
+    }
+
+    #[test]
+    fn xor_chain_sat() {
+        // x0 xor x1 = 1 encoded in CNF; chain a few.
+        let mut cnf = Cnf::new();
+        let a = cnf.fresh();
+        let b = cnf.fresh();
+        let c = cnf.fresh();
+        // a xor b = true
+        cnf.add(vec![lit(a.0, true), lit(b.0, true)]);
+        cnf.add(vec![lit(a.0, false), lit(b.0, false)]);
+        // b xor c = true
+        cnf.add(vec![lit(b.0, true), lit(c.0, true)]);
+        cnf.add(vec![lit(b.0, false), lit(c.0, false)]);
+        // force a
+        cnf.add_unit(Lit::pos(a));
+        match solve_cnf(&cnf, SatBudget::default()) {
+            SatOutcome::Sat(m) => {
+                assert!(m[a.index()]);
+                assert!(!m[b.index()]);
+                assert!(m[c.index()]);
+            }
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let want = [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        let got: Vec<u64> = (0..want.len() as u64).map(luby).collect();
+        assert_eq!(got, want);
+    }
+}

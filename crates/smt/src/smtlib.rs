@@ -1,0 +1,263 @@
+//! SMT-LIB 2 export.
+//!
+//! Emits any boolean term as a standard `QF_BV` script so conditions built
+//! by this crate can be cross-checked with an external solver (Z3, cvc5,
+//! Bitwuzla, ...). Useful both for downstream users who want a second
+//! opinion and for debugging the reproduction against the solver the paper
+//! used.
+
+use crate::term::{BvOp, BvPred, Sort, TermId, TermKind, TermPool};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+fn sort_smt(sort: Sort) -> String {
+    match sort {
+        Sort::Bool => "Bool".to_owned(),
+        Sort::Bv(w) => format!("(_ BitVec {w})"),
+    }
+}
+
+fn op_smt(op: BvOp) -> &'static str {
+    match op {
+        BvOp::Add => "bvadd",
+        BvOp::Sub => "bvsub",
+        BvOp::Mul => "bvmul",
+        BvOp::Udiv => "bvudiv",
+        BvOp::Urem => "bvurem",
+        BvOp::And => "bvand",
+        BvOp::Or => "bvor",
+        BvOp::Xor => "bvxor",
+        BvOp::Shl => "bvshl",
+        BvOp::Lshr => "bvlshr",
+        BvOp::Ashr => "bvashr",
+    }
+}
+
+fn pred_smt(p: BvPred) -> &'static str {
+    match p {
+        BvPred::Ult => "bvult",
+        BvPred::Ule => "bvule",
+        BvPred::Slt => "bvslt",
+        BvPred::Sle => "bvsle",
+    }
+}
+
+/// SMT-LIB identifiers: quote anything beyond `[A-Za-z0-9_]` with `|...|`.
+fn ident(name: &str) -> String {
+    if !name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '-')
+        && !name.starts_with(|c: char| c.is_ascii_digit())
+    {
+        name.to_owned()
+    } else {
+        format!("|{name}|")
+    }
+}
+
+/// Emits `formula` as a complete SMT-LIB 2 script: `set-logic QF_BV`,
+/// sorted declarations for every free variable, named `let`-bindings for
+/// shared subterms (preserving the DAG's structural sharing), one
+/// `assert`, and `check-sat`.
+///
+/// # Panics
+///
+/// Panics if `formula` is not boolean-sorted.
+pub fn to_smtlib2(pool: &TermPool, formula: TermId) -> String {
+    assert_eq!(pool.sort(formula), Sort::Bool, "to_smtlib2: formula must be Bool");
+    let mut out = String::from("(set-logic QF_BV)\n");
+    let mut vars = pool.free_vars(formula);
+    vars.sort_unstable();
+    for v in vars {
+        let _ = writeln!(
+            out,
+            "(declare-const {} {})",
+            ident(pool.var_name(v)),
+            sort_smt(pool.var_sort(v))
+        );
+    }
+    // Count references to decide which nodes earn a let binding.
+    let mut refs: HashMap<TermId, u32> = HashMap::new();
+    let mut stack = vec![formula];
+    let mut seen = std::collections::HashSet::new();
+    while let Some(t) = stack.pop() {
+        *refs.entry(t).or_insert(0) += 1;
+        if seen.insert(t) {
+            stack.extend(pool.children(t));
+        }
+    }
+    fn expr(pool: &TermPool, t: TermId, bound: &HashMap<TermId, String>) -> String {
+        if let Some(name) = bound.get(&t) {
+            return name.clone();
+        }
+        match pool.kind(t) {
+            TermKind::BoolConst(b) => b.to_string(),
+            TermKind::BvConst { width, value } => {
+                format!("(_ bv{value} {width})")
+            }
+            TermKind::Var(v) => ident(pool.var_name(*v)),
+            TermKind::Not(x) => format!("(not {})", expr(pool, *x, bound)),
+            TermKind::And(xs) => {
+                let parts: Vec<String> =
+                    xs.iter().map(|&x| expr(pool, x, bound)).collect();
+                format!("(and {})", parts.join(" "))
+            }
+            TermKind::Or(xs) => {
+                let parts: Vec<String> =
+                    xs.iter().map(|&x| expr(pool, x, bound)).collect();
+                format!("(or {})", parts.join(" "))
+            }
+            TermKind::Eq(a, b) => format!(
+                "(= {} {})",
+                expr(pool, *a, bound),
+                expr(pool, *b, bound)
+            ),
+            TermKind::Ite { cond, then_t, else_t } => format!(
+                "(ite {} {} {})",
+                expr(pool, *cond, bound),
+                expr(pool, *then_t, bound),
+                expr(pool, *else_t, bound)
+            ),
+            TermKind::Bv(op, a, b) => format!(
+                "({} {} {})",
+                op_smt(*op),
+                expr(pool, *a, bound),
+                expr(pool, *b, bound)
+            ),
+            TermKind::Pred(p, a, b) => format!(
+                "({} {} {})",
+                pred_smt(*p),
+                expr(pool, *a, bound),
+                expr(pool, *b, bound)
+            ),
+        }
+    }
+    // Bind shared non-leaf nodes bottom-up (post-order over the DAG) so a
+    // cloned-condition script stays linear in DAG size.
+    let mut order: Vec<TermId> = Vec::new();
+    let mut seen2 = std::collections::HashSet::new();
+    fn postorder(
+        pool: &TermPool,
+        t: TermId,
+        seen: &mut std::collections::HashSet<TermId>,
+        out: &mut Vec<TermId>,
+    ) {
+        if !seen.insert(t) {
+            return;
+        }
+        for c in pool.children(t) {
+            postorder(pool, c, seen, out);
+        }
+        out.push(t);
+    }
+    postorder(pool, formula, &mut seen2, &mut order);
+    let mut bound: HashMap<TermId, String> = HashMap::new();
+    let mut lets: Vec<(String, String)> = Vec::new();
+    for &t in &order {
+        let shared = refs.get(&t).copied().unwrap_or(0) > 1;
+        let leafy = matches!(
+            pool.kind(t),
+            TermKind::BoolConst(_) | TermKind::BvConst { .. } | TermKind::Var(_)
+        );
+        if shared && !leafy && t != formula {
+            let name = format!("?n{}", t.0);
+            let body = expr(pool, t, &bound);
+            lets.push((name.clone(), body));
+            bound.insert(t, name);
+        }
+    }
+    let root = expr(pool, formula, &bound);
+    if lets.is_empty() {
+        let _ = writeln!(out, "(assert {root})");
+    } else {
+        let mut body = root;
+        for (name, def) in lets.into_iter().rev() {
+            body = format!("(let (({name} {def})) {body})");
+        }
+        let _ = writeln!(out, "(assert {body})");
+    }
+    out.push_str("(check-sat)\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emits_declarations_and_assert() {
+        let mut p = TermPool::new();
+        let x = p.var("x", Sort::Bv(32));
+        let y = p.var("y", Sort::Bv(8));
+        let b = p.var("b", Sort::Bool);
+        let c = p.bv_const(7, 32);
+        let e1 = p.eq(x, c);
+        let z = p.bv_const(3, 8);
+        let e2 = p.pred(BvPred::Ult, y, z);
+        let f = p.and(&[e1, e2, b]);
+        let s = to_smtlib2(&p, f);
+        assert!(s.contains("(set-logic QF_BV)"));
+        assert!(s.contains("(declare-const x (_ BitVec 32))"));
+        assert!(s.contains("(declare-const y (_ BitVec 8))"));
+        assert!(s.contains("(declare-const b Bool)"));
+        assert!(s.contains("(_ bv7 32)"));
+        assert!(s.contains("(bvult y (_ bv3 8))"));
+        assert!(s.contains("(check-sat)"));
+    }
+
+    #[test]
+    fn shared_subterms_become_lets() {
+        let mut p = TermPool::new();
+        let x = p.var("x", Sort::Bv(16));
+        let one = p.bv_const(1, 16);
+        let inc = p.bv(BvOp::Add, x, one); // shared
+        let a = p.bv(BvOp::Mul, inc, inc);
+        let two = p.bv_const(2, 16);
+        let f = p.eq(a, two);
+        let s = to_smtlib2(&p, f);
+        assert!(s.contains("(let ((?n"), "{s}");
+    }
+
+    #[test]
+    fn odd_names_are_quoted() {
+        let mut p = TermPool::new();
+        let v = p.var("f0@3:v7", Sort::Bv(32));
+        let c = p.bv_const(0, 32);
+        let f = p.eq(v, c);
+        let s = to_smtlib2(&p, f);
+        assert!(s.contains("|f0@3:v7|"), "{s}");
+    }
+
+    #[test]
+    fn operators_cover_the_theory() {
+        let mut p = TermPool::new();
+        let x = p.var("x", Sort::Bv(8));
+        let y = p.var("y", Sort::Bv(8));
+        let mut parts = Vec::new();
+        for op in [
+            BvOp::Add,
+            BvOp::Sub,
+            BvOp::Mul,
+            BvOp::Udiv,
+            BvOp::Urem,
+            BvOp::And,
+            BvOp::Or,
+            BvOp::Xor,
+            BvOp::Shl,
+            BvOp::Lshr,
+            BvOp::Ashr,
+        ] {
+            let t = p.bv(op, x, y);
+            parts.push(p.ne(t, x));
+        }
+        let f = p.and(&parts);
+        let s = to_smtlib2(&p, f);
+        for name in [
+            "bvadd", "bvsub", "bvmul", "bvudiv", "bvurem", "bvand", "bvor", "bvxor", "bvshl",
+            "bvlshr", "bvashr",
+        ] {
+            assert!(s.contains(name), "missing {name} in {s}");
+        }
+    }
+}

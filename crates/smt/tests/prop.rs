@@ -1,0 +1,325 @@
+//! Property-based tests for the SMT substrate.
+//!
+//! Strategy: generate random boolean formulas over a handful of 4-bit
+//! variables, small enough that *brute-force enumeration* of all
+//! assignments is feasible and serves as independent ground truth. Then:
+//!
+//! * `smt_solve` (preprocess + bit-blast + CDCL) must agree with brute
+//!   force;
+//! * every preprocessing pass must preserve satisfiability of the
+//!   existential closure (the pass may introduce fresh variables — they are
+//!   existential too);
+//! * quantifier elimination must preserve satisfiability.
+
+use fusion_smt::preprocess::{
+    eliminate_unconstrained, gaussian_eliminate, preprocess, propagate_constants,
+    propagate_equalities, reduce_strength, simplify,
+};
+use fusion_smt::solver::{smt_solve, SolverConfig};
+use fusion_smt::tactic::quantifier_eliminate;
+use fusion_smt::term::{BvOp, BvPred, Sort, TermId, TermKind, TermPool, Value};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+const W: u32 = 4;
+const NVARS: usize = 3;
+
+/// A compact recipe for building a random formula inside a fresh pool.
+#[derive(Debug, Clone)]
+enum Ast {
+    Var(u8),
+    Const(u8),
+    Bv(u8, Box<Ast>, Box<Ast>),
+    Ite(Box<Ast>, Box<Ast>, Box<Ast>),
+}
+
+#[derive(Debug, Clone)]
+enum BoolAst {
+    Eq(Ast, Ast),
+    Pred(u8, Ast, Ast),
+    Not(Box<BoolAst>),
+    And(Vec<BoolAst>),
+    Or(Vec<BoolAst>),
+}
+
+fn ast_strategy() -> impl Strategy<Value = Ast> {
+    let leaf = prop_oneof![
+        (0..NVARS as u8).prop_map(Ast::Var),
+        (0..16u8).prop_map(Ast::Const),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (0..11u8, inner.clone(), inner.clone())
+                .prop_map(|(op, a, b)| Ast::Bv(op, Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(c, a, b)| Ast::Ite(Box::new(c), Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn bool_strategy() -> impl Strategy<Value = BoolAst> {
+    let leaf = prop_oneof![
+        (ast_strategy(), ast_strategy()).prop_map(|(a, b)| BoolAst::Eq(a, b)),
+        (0..4u8, ast_strategy(), ast_strategy()).prop_map(|(p, a, b)| BoolAst::Pred(p, a, b)),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|b| BoolAst::Not(Box::new(b))),
+            prop::collection::vec(inner.clone(), 2..4).prop_map(BoolAst::And),
+            prop::collection::vec(inner, 2..4).prop_map(BoolAst::Or),
+        ]
+    })
+}
+
+fn build_bv(pool: &mut TermPool, ast: &Ast) -> TermId {
+    match ast {
+        Ast::Var(i) => pool.var(&format!("v{i}"), Sort::Bv(W)),
+        Ast::Const(c) => pool.bv_const(*c as u64, W),
+        Ast::Bv(op, a, b) => {
+            let ops = [
+                BvOp::Add,
+                BvOp::Sub,
+                BvOp::Mul,
+                BvOp::Udiv,
+                BvOp::Urem,
+                BvOp::And,
+                BvOp::Or,
+                BvOp::Xor,
+                BvOp::Shl,
+                BvOp::Lshr,
+                BvOp::Ashr,
+            ];
+            let a = build_bv(pool, a);
+            let b = build_bv(pool, b);
+            pool.bv(ops[*op as usize % ops.len()], a, b)
+        }
+        Ast::Ite(c, a, b) => {
+            let c = build_bv(pool, c);
+            let zero = pool.bv_const(0, W);
+            let cb = pool.ne(c, zero);
+            let a = build_bv(pool, a);
+            let b = build_bv(pool, b);
+            pool.ite(cb, a, b)
+        }
+    }
+}
+
+fn build_bool(pool: &mut TermPool, ast: &BoolAst) -> TermId {
+    match ast {
+        BoolAst::Eq(a, b) => {
+            let a = build_bv(pool, a);
+            let b = build_bv(pool, b);
+            pool.eq(a, b)
+        }
+        BoolAst::Pred(p, a, b) => {
+            let preds = [BvPred::Ult, BvPred::Ule, BvPred::Slt, BvPred::Sle];
+            let a = build_bv(pool, a);
+            let b = build_bv(pool, b);
+            pool.pred(preds[*p as usize % preds.len()], a, b)
+        }
+        BoolAst::Not(b) => {
+            let b = build_bool(pool, b);
+            pool.not(b)
+        }
+        BoolAst::And(xs) => {
+            let xs: Vec<TermId> = xs.iter().map(|x| build_bool(pool, x)).collect();
+            pool.and(&xs)
+        }
+        BoolAst::Or(xs) => {
+            let xs: Vec<TermId> = xs.iter().map(|x| build_bool(pool, x)).collect();
+            pool.or(&xs)
+        }
+    }
+}
+
+/// Brute-force satisfiability over all assignments to the free variables.
+fn brute_force_sat(pool: &TermPool, t: TermId) -> bool {
+    let vars = pool.free_vars(t);
+    let n = vars.len();
+    assert!(n <= 6, "too many vars for brute force");
+    let total = 1u64 << (W as u64 * n as u64);
+    for bits in 0..total {
+        let mut env = HashMap::new();
+        for (i, &v) in vars.iter().enumerate() {
+            env.insert(v, (bits >> (W as u64 * i as u64)) & ((1 << W) - 1));
+        }
+        if pool.eval(t, &env) == Value::Bool(true) {
+            return true;
+        }
+    }
+    false
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn solver_agrees_with_brute_force(ast in bool_strategy()) {
+        let mut pool = TermPool::new();
+        let f = build_bool(&mut pool, &ast);
+        let expected = brute_force_sat(&pool, f);
+        let (result, _) = smt_solve(&mut pool, f, &SolverConfig::default());
+        prop_assert_eq!(result.is_sat(), expected, "formula: {}", pool.display(f));
+        prop_assert_eq!(result.is_unsat(), !expected);
+    }
+
+    #[test]
+    fn preprocessing_is_equisatisfiable(ast in bool_strategy()) {
+        let mut pool = TermPool::new();
+        let f = build_bool(&mut pool, &ast);
+        let expected = brute_force_sat(&pool, f);
+        let pre = preprocess(&mut pool, f);
+        prop_assert!(pool.free_vars(pre.term).len() <= 6);
+        let got = brute_force_sat(&pool, pre.term);
+        prop_assert_eq!(got, expected, "orig: {} pre: {}", pool.display(f), pool.display(pre.term));
+    }
+
+    #[test]
+    fn each_pass_is_equisatisfiable(ast in bool_strategy(), pass in 0..5usize) {
+        let mut pool = TermPool::new();
+        let f = build_bool(&mut pool, &ast);
+        let expected = brute_force_sat(&pool, f);
+        let out = match pass {
+            0 => propagate_constants(&mut pool, f),
+            1 => propagate_equalities(&mut pool, f),
+            2 => gaussian_eliminate(&mut pool, f),
+            3 => reduce_strength(&mut pool, f),
+            _ => eliminate_unconstrained(&mut pool, f),
+        };
+        prop_assume!(pool.free_vars(out).len() <= 6);
+        let got = brute_force_sat(&pool, out);
+        prop_assert_eq!(got, expected,
+            "pass {}: orig {} out {}", pass, pool.display(f), pool.display(out));
+    }
+
+    #[test]
+    fn simplify_is_equivalent_not_just_equisat(ast in bool_strategy()) {
+        // LFS rebuild must be a logical equivalence: same value under every
+        // assignment (no fresh vars, no elimination).
+        let mut pool = TermPool::new();
+        let f = build_bool(&mut pool, &ast);
+        let s = simplify(&mut pool, f);
+        let vars = pool.free_vars(f);
+        let total = 1u64 << (W as u64 * vars.len() as u64);
+        for bits in 0..total {
+            let mut env = HashMap::new();
+            for (i, &v) in vars.iter().enumerate() {
+                env.insert(v, (bits >> (W as u64 * i as u64)) & ((1 << W) - 1));
+            }
+            prop_assert_eq!(pool.eval(f, &env), pool.eval(s, &env));
+        }
+    }
+
+    #[test]
+    fn qe_preserves_satisfiability(ast in bool_strategy()) {
+        let mut pool = TermPool::new();
+        let f = build_bool(&mut pool, &ast);
+        let expected = brute_force_sat(&pool, f);
+        // Eliminate v0 if present.
+        let vars = pool.free_vars(f);
+        prop_assume!(!vars.is_empty());
+        let target = vars[0];
+        match quantifier_eliminate(&mut pool, f, &[target], 1_000_000) {
+            Ok(out) => {
+                prop_assert!(!pool.free_vars(out).contains(&target));
+                prop_assume!(pool.free_vars(out).len() <= 6);
+                let got = brute_force_sat(&pool, out);
+                prop_assert_eq!(got, expected,
+                    "qe: orig {} out {}", pool.display(f), pool.display(out));
+            }
+            Err(_) => {} // blow-up is a legal outcome
+        }
+    }
+
+    #[test]
+    fn eval_and_blast_agree_pointwise(ast in bool_strategy(), seed in 0u64..1u64<<(W as u64 * NVARS as u64)) {
+        // Pin the variables to concrete values with equality conjuncts; the
+        // solver must then return exactly the evaluator's verdict.
+        let mut pool = TermPool::new();
+        let f = build_bool(&mut pool, &ast);
+        let vars = pool.free_vars(f);
+        let mut env = HashMap::new();
+        let mut parts = vec![f];
+        for (i, &v) in vars.iter().enumerate() {
+            let val = (seed >> (W as u64 * i as u64)) & ((1 << W) - 1);
+            env.insert(v, val);
+            let vt = pool.var(&pool.var_name(v).to_owned(), Sort::Bv(W));
+            let k = pool.bv_const(val, W);
+            let e = pool.eq(vt, k);
+            parts.push(e);
+        }
+        let expected = pool.eval(f, &env) == Value::Bool(true);
+        let pinned = pool.and(&parts);
+        let (result, _) = smt_solve(&mut pool, pinned, &SolverConfig::default());
+        prop_assert_eq!(result.is_sat(), expected);
+    }
+}
+
+/// Deterministic regression corner cases distilled from the strategies.
+#[test]
+fn regression_division_corner_cases() {
+    let mut pool = TermPool::new();
+    let x = pool.var("x", Sort::Bv(W));
+    let zero = pool.bv_const(0, W);
+    let y = pool.var("y", Sort::Bv(W));
+    // (x / y) with y possibly 0 — pinned both ways.
+    let q = pool.bv(BvOp::Udiv, x, y);
+    let ones = pool.bv_const(15, W);
+    let qe = pool.eq(q, ones);
+    let yz = pool.eq(y, zero);
+    let f = pool.and2(qe, yz);
+    assert!(brute_force_sat(&pool, f));
+    let (r, _) = smt_solve(&mut pool, f, &SolverConfig::default());
+    assert!(r.is_sat());
+}
+
+#[test]
+fn regression_signed_shift_agreement() {
+    let mut pool = TermPool::new();
+    let x = pool.var("x", Sort::Bv(W));
+    let c1 = pool.bv_const(1, W);
+    let sh = pool.bv(BvOp::Ashr, x, c1);
+    let c = pool.bv_const(0xC, W); // 0b1100 = -4 signed
+    let e1 = pool.eq(sh, c);
+    let expected = brute_force_sat(&pool, e1);
+    let (r, _) = smt_solve(&mut pool, e1, &SolverConfig::default());
+    assert_eq!(r.is_sat(), expected);
+}
+
+#[test]
+fn regression_nested_ite_chain() {
+    let mut pool = TermPool::new();
+    let a = pool.var("a", Sort::Bv(W));
+    let b = pool.var("b", Sort::Bv(W));
+    let zero = pool.bv_const(0, W);
+    let c = pool.ne(a, zero);
+    let i1 = pool.ite(c, a, b);
+    let i2 = pool.ite(c, i1, zero);
+    let nonzero = pool.ne(i2, zero);
+    let is_zero_a = pool.eq(a, zero);
+    let f = pool.and2(nonzero, is_zero_a);
+    // a = 0 forces c false, i2 = 0 → contradiction.
+    assert!(!brute_force_sat(&pool, f));
+    let (r, _) = smt_solve(&mut pool, f, &SolverConfig::default());
+    assert!(r.is_unsat());
+}
+
+#[test]
+fn regression_unconstrained_under_negation() {
+    // ¬(x + t = d) with x singleton: still equisatisfiable after UVE
+    // because x is existential regardless of polarity.
+    let mut pool = TermPool::new();
+    let x = pool.var("x", Sort::Bv(W));
+    let t = pool.var("t", Sort::Bv(W));
+    let d = pool.var("d", Sort::Bv(W));
+    let sum = pool.bv(BvOp::Add, x, t);
+    let e = pool.eq(sum, d);
+    let f = pool.not(e);
+    let expected = brute_force_sat(&pool, f);
+    let out = eliminate_unconstrained(&mut pool, f);
+    let got = match pool.kind(out) {
+        TermKind::BoolConst(b) => *b,
+        _ => brute_force_sat(&pool, out),
+    };
+    assert_eq!(got, expected);
+}

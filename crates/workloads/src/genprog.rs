@@ -1,0 +1,595 @@
+//! Deterministic synthetic program generation.
+//!
+//! The evaluation's subjects (SPEC CINT2000 + four MLoC projects) cannot be
+//! shipped; what the evaluation actually varies is the *shape* of the
+//! dependence graph — function count, call-graph depth and fan-out,
+//! branching density, and where feasible/infeasible flows sit. The
+//! generator reproduces those shapes at a configurable scale, from a fixed
+//! seed, and records ground truth for every seeded bug so precision/recall
+//! (Table 5) can be measured exactly.
+//!
+//! Generated programs are plain surface ASTs: they go through the same
+//! parser-grade validation, recursion unrolling and lowering as hand-
+//! written code.
+
+use crate::bugseed::{BugSite, SeededBug};
+use fusion_ir::ast::{BinOp, Expr, Function, Program, Stmt};
+use fusion::checkers::CheckKind;
+use fusion_ir::interner::{Interner, Symbol};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Re-export: which checker a seeded bug belongs to.
+pub use fusion::checkers::CheckKind as BugKind;
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// RNG seed — everything is deterministic in it.
+    pub seed: u64,
+    /// Number of ordinary (filler) functions.
+    pub functions: usize,
+    /// Average statements per filler function.
+    pub stmts_per_function: usize,
+    /// Probability that a statement is a call to a later function.
+    pub call_density: f64,
+    /// Probability that a statement opens a branch.
+    pub branch_density: f64,
+    /// Probability that a statement opens a (to-be-unrolled) loop.
+    pub loop_density: f64,
+    /// Seeded feasible null-dereference bugs.
+    pub null_feasible: usize,
+    /// Seeded infeasible null-dereference candidates.
+    pub null_infeasible: usize,
+    /// Seeded feasible CWE-23 flows.
+    pub cwe23_feasible: usize,
+    /// Seeded infeasible CWE-23 candidates.
+    pub cwe23_infeasible: usize,
+    /// Seeded feasible CWE-402 flows.
+    pub cwe402_feasible: usize,
+    /// Seeded infeasible CWE-402 candidates.
+    pub cwe402_infeasible: usize,
+    /// How many affine helper functions to mint (quick-path fodder).
+    pub affine_helpers: usize,
+    /// How many opaque (branching) helpers to mint.
+    pub opaque_helpers: usize,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0xF051_0000,
+            functions: 20,
+            stmts_per_function: 12,
+            call_density: 0.25,
+            branch_density: 0.2,
+            loop_density: 0.05,
+            null_feasible: 2,
+            null_infeasible: 2,
+            cwe23_feasible: 1,
+            cwe23_infeasible: 1,
+            cwe402_feasible: 1,
+            cwe402_infeasible: 1,
+            affine_helpers: 4,
+            opaque_helpers: 2,
+        }
+    }
+}
+
+/// A generated subject: the surface program, its interner, and the ground
+/// truth of every seeded bug.
+#[derive(Debug, Clone)]
+pub struct GeneratedSubject {
+    /// The surface program (run it through [`fusion_ir::compile_ast`]).
+    pub surface: Program,
+    /// The interner holding all names.
+    pub interner: Interner,
+    /// Ground truth for precision/recall accounting.
+    pub bugs: Vec<SeededBug>,
+}
+
+impl GeneratedSubject {
+    /// Renders the subject as concrete source text — a corpus on disk for
+    /// `fusion-scan`, external diffing, or archiving alongside results.
+    pub fn to_source(&self) -> String {
+        fusion_ir::pretty::surface_to_string(&self.surface, &self.interner)
+    }
+}
+
+struct Gen {
+    rng: StdRng,
+    interner: Interner,
+    functions: Vec<Function>,
+    bugs: Vec<SeededBug>,
+    affine_helpers: Vec<Symbol>,
+    opaque_helpers: Vec<Symbol>,
+    /// Identity pass-through chain, shallowest first (`pass0(x) = x`,
+    /// `passK(x) = pass(K-1)(x)`): facts routed through it cross K call
+    /// levels.
+    passthrough: Vec<Symbol>,
+    next_local: usize,
+}
+
+impl Gen {
+    fn sym(&mut self, s: &str) -> Symbol {
+        self.interner.intern(s)
+    }
+
+    fn fresh_local(&mut self) -> Symbol {
+        let n = format!("v{}", self.next_local);
+        self.next_local += 1;
+        self.sym(&n)
+    }
+
+    /// A random pure expression over the given variables.
+    fn expr(&mut self, vars: &[Symbol], depth: usize) -> Expr {
+        if depth == 0 || vars.is_empty() || self.rng.gen_bool(0.3) {
+            if !vars.is_empty() && self.rng.gen_bool(0.7) {
+                let v = vars[self.rng.gen_range(0..vars.len())];
+                Expr::Var(v)
+            } else {
+                Expr::Int(self.rng.gen_range(0..1000))
+            }
+        } else {
+            let ops = [
+                BinOp::Add,
+                BinOp::Sub,
+                BinOp::Mul,
+                BinOp::BitAnd,
+                BinOp::BitOr,
+                BinOp::BitXor,
+                BinOp::Shr,
+            ];
+            let op = ops[self.rng.gen_range(0..ops.len())];
+            Expr::bin(op, self.expr(vars, depth - 1), self.expr(vars, depth - 1))
+        }
+    }
+
+    /// A random comparison usable as a branch condition.
+    fn cond(&mut self, vars: &[Symbol]) -> Expr {
+        let ops = [BinOp::Lt, BinOp::Le, BinOp::Gt, BinOp::Ge, BinOp::Eq, BinOp::Ne];
+        let op = ops[self.rng.gen_range(0..ops.len())];
+        Expr::bin(op, self.expr(vars, 1), self.expr(vars, 1))
+    }
+
+    /// A call into a random filler function — its backward slice crosses
+    /// the call graph, which is what makes conditions expensive for the
+    /// conventional design.
+    fn deep_call(&mut self, vars: &[Symbol], callees: &[(Symbol, usize)]) -> Option<Expr> {
+        if callees.is_empty() {
+            return None;
+        }
+        let (callee, arity) = callees[self.rng.gen_range(0..callees.len())];
+        let args = (0..arity).map(|_| self.expr(vars, 1)).collect();
+        Some(Expr::Call(callee, args))
+    }
+
+    /// A *provably satisfiable* condition over deep calls: `2a != 2b + 1`
+    /// holds for every `a`, `b` (parity), but proving it requires slicing
+    /// through the callees.
+    fn deep_feasible_cond(&mut self, vars: &[Symbol], callees: &[(Symbol, usize)]) -> Option<Expr> {
+        let a = self.deep_call(vars, callees)?;
+        let b = self.deep_call(vars, callees)?;
+        Some(Expr::bin(
+            BinOp::Ne,
+            Expr::bin(BinOp::Mul, a, Expr::Int(2)),
+            Expr::bin(BinOp::Add, Expr::bin(BinOp::Mul, b, Expr::Int(2)), Expr::Int(1)),
+        ))
+    }
+
+    /// A *provably unsatisfiable* condition over deep calls: `2a == 2b + 1`
+    /// (even = odd) — infeasible regardless of the callees' values.
+    fn deep_infeasible_cond(&mut self, vars: &[Symbol], callees: &[(Symbol, usize)]) -> Option<Expr> {
+        let a = self.deep_call(vars, callees)?;
+        let b = self.deep_call(vars, callees)?;
+        Some(Expr::bin(
+            BinOp::Eq,
+            Expr::bin(BinOp::Mul, a, Expr::Int(2)),
+            Expr::bin(BinOp::Add, Expr::bin(BinOp::Mul, b, Expr::Int(2)), Expr::Int(1)),
+        ))
+    }
+
+    /// A condition that is satisfiable (used to gate feasible bugs).
+    fn feasible_cond(&mut self, vars: &[Symbol]) -> Expr {
+        if vars.is_empty() {
+            return Expr::bin(BinOp::Eq, Expr::Int(1), Expr::Int(1));
+        }
+        let v = Expr::Var(vars[self.rng.gen_range(0..vars.len())]);
+        match self.rng.gen_range(0..3) {
+            0 => Expr::bin(BinOp::Gt, v, Expr::Int(self.rng.gen_range(0..100))),
+            1 => Expr::bin(
+                BinOp::Eq,
+                Expr::bin(BinOp::BitAnd, v, Expr::Int(1)),
+                Expr::Int(0),
+            ),
+            _ => {
+                // Two helpers of independent inputs compared — exercises
+                // the quick path + affine-coset preprocessing.
+                if self.affine_helpers.len() >= 2 && vars.len() >= 2 {
+                    let h1 = self.affine_helpers[self.rng.gen_range(0..self.affine_helpers.len())];
+                    let h2 = self.affine_helpers[self.rng.gen_range(0..self.affine_helpers.len())];
+                    let a = Expr::Var(vars[0]);
+                    let b = Expr::Var(vars[vars.len() - 1]);
+                    Expr::bin(
+                        BinOp::Lt,
+                        Expr::Call(h1, vec![a]),
+                        Expr::Call(h2, vec![b]),
+                    )
+                } else {
+                    Expr::bin(BinOp::Lt, v, Expr::Int(500))
+                }
+            }
+        }
+    }
+
+    /// A condition that is unsatisfiable (used to gate infeasible bugs);
+    /// returned as a nested pair when two guards are needed.
+    fn infeasible_guard(&mut self, vars: &[Symbol], body: Vec<Stmt>) -> Vec<Stmt> {
+        let v = if vars.is_empty() {
+            Expr::Int(3)
+        } else {
+            Expr::Var(vars[self.rng.gen_range(0..vars.len())])
+        };
+        match self.rng.gen_range(0..3) {
+            0 => {
+                // x > 10 && x < 5 via nesting.
+                let outer = Expr::bin(BinOp::Gt, v.clone(), Expr::Int(10));
+                let inner = Expr::bin(BinOp::Lt, v, Expr::Int(5));
+                vec![Stmt::If(outer, vec![Stmt::If(inner, body, vec![])], vec![])]
+            }
+            1 => {
+                // 2x == odd constant (parity).
+                let c = self.rng.gen_range(0..500) * 2 + 1;
+                let cond = Expr::bin(
+                    BinOp::Eq,
+                    Expr::bin(BinOp::Mul, v, Expr::Int(2)),
+                    Expr::Int(c),
+                );
+                vec![Stmt::If(cond, body, vec![])]
+            }
+            _ => {
+                // (x & 1) == 2 (mask range).
+                let cond = Expr::bin(
+                    BinOp::Eq,
+                    Expr::bin(BinOp::BitAnd, v, Expr::Int(1)),
+                    Expr::Int(2),
+                );
+                vec![Stmt::If(cond, body, vec![])]
+            }
+        }
+    }
+
+    /// Filler statements for a function body.
+    fn filler(
+        &mut self,
+        cfg: &GenConfig,
+        vars: &mut Vec<Symbol>,
+        mutables: &mut [Symbol],
+        callees: &[(Symbol, usize)],
+        count: usize,
+    ) -> Vec<Stmt> {
+        let mut out = Vec::new();
+        for _ in 0..count {
+            let roll: f64 = self.rng.gen();
+            if roll < cfg.call_density && !callees.is_empty() {
+                let (callee, arity) = callees[self.rng.gen_range(0..callees.len())];
+                let args = (0..arity).map(|_| self.expr(vars, 1)).collect();
+                let l = self.fresh_local();
+                out.push(Stmt::Let(l, Expr::Call(callee, args)));
+                vars.push(l);
+            } else if roll < cfg.call_density + cfg.branch_density && !mutables.is_empty() {
+                let cond = self.cond(vars);
+                let m = mutables[self.rng.gen_range(0..mutables.len())];
+                let then_e = self.expr(vars, 2);
+                let else_b = if self.rng.gen_bool(0.5) {
+                    let e = self.expr(vars, 2);
+                    vec![Stmt::Assign(m, e)]
+                } else {
+                    vec![]
+                };
+                out.push(Stmt::If(cond, vec![Stmt::Assign(m, then_e)], else_b));
+            } else if roll < cfg.call_density + cfg.branch_density + cfg.loop_density
+                && !mutables.is_empty()
+            {
+                let m = mutables[self.rng.gen_range(0..mutables.len())];
+                let bound = self.rng.gen_range(1..4);
+                let cond = Expr::bin(BinOp::Lt, Expr::Var(m), Expr::Int(bound));
+                let step = Expr::bin(BinOp::Add, Expr::Var(m), Expr::Int(1));
+                out.push(Stmt::While(cond, vec![Stmt::Assign(m, step)]));
+            } else {
+                let l = self.fresh_local();
+                let e = self.expr(vars, 2);
+                out.push(Stmt::Let(l, e));
+                vars.push(l);
+            }
+        }
+        out
+    }
+
+    /// Emits a dedicated host function carrying one seeded bug, plus the
+    /// ground-truth record. The *source* always lives in the host, so
+    /// reports can be matched back by (host, kind).
+    fn seed_bug(&mut self, kind: CheckKind, feasible: bool, idx: usize, callees: &[(Symbol, usize)]) -> Function {
+        let fword = if feasible { "ok" } else { "no" };
+        let kword = match kind {
+            CheckKind::NullDeref => "null",
+            CheckKind::Cwe23 => "cwe23",
+            CheckKind::Cwe402 => "cwe402",
+        };
+        let name = self.sym(&format!("seed_{kword}_{fword}_{idx}"));
+        let p0 = self.sym("sa");
+        let p1 = self.sym("sb");
+        let mut body: Vec<Stmt> = Vec::new();
+        let fact = self.sym("fact");
+        let hold = self.sym("hold");
+        let (source_expr, sink_name): (Expr, Symbol) = match kind {
+            CheckKind::NullDeref => (Expr::Null, self.sym("deref")),
+            CheckKind::Cwe23 => {
+                (Expr::Call(self.sym("gets"), vec![]), self.sym("fopen"))
+            }
+            CheckKind::Cwe402 => {
+                (Expr::Call(self.sym("getpass"), vec![]), self.sym("sendmsg"))
+            }
+        };
+        body.push(Stmt::Let(fact, source_expr));
+        body.push(Stmt::Let(hold, Expr::Int(1)));
+        // Route the fact through the identity pass-through chain (all
+        // checkers: null survives copies/returns) and, for taint, through
+        // arithmetic and an affine helper.
+        let mut carried = Expr::Var(fact);
+        if !self.passthrough.is_empty() && self.rng.gen_bool(0.6) {
+            let depth = self.rng.gen_range(0..self.passthrough.len());
+            carried = Expr::Call(self.passthrough[depth], vec![carried]);
+        }
+        if kind != CheckKind::NullDeref {
+            carried = Expr::bin(BinOp::Add, carried, Expr::Int(self.rng.gen_range(1..9)));
+            if !callees.is_empty() && self.rng.gen_bool(0.5) {
+                // Through an identity-ish affine helper.
+                if let Some(&h) = self.affine_helpers.first() {
+                    carried = Expr::Call(h, vec![carried]);
+                }
+            }
+        }
+        let gated = vec![Stmt::Assign(hold, carried)];
+        let params = vec![p0, p1];
+        // Most guards reach deep into the call graph — that is where the
+        // conventional design's cloning cost lives.
+        let deep = self.rng.gen_bool(0.7);
+        if feasible {
+            let cond = if deep {
+                self.deep_feasible_cond(&params, callees)
+                    .unwrap_or_else(|| self.feasible_cond(&params))
+            } else {
+                self.feasible_cond(&params)
+            };
+            body.push(Stmt::If(cond, gated, vec![]));
+        } else if deep {
+            if let Some(cond) = self.deep_infeasible_cond(&params, callees) {
+                body.push(Stmt::If(cond, gated, vec![]));
+            } else {
+                let mut guarded = self.infeasible_guard(&params, gated);
+                body.append(&mut guarded);
+            }
+        } else {
+            let mut guarded = self.infeasible_guard(&params, gated);
+            body.append(&mut guarded);
+        }
+        body.push(Stmt::Expr(Expr::Call(sink_name, vec![Expr::Var(hold)])));
+        body.push(Stmt::Return(Expr::Int(0)));
+        self.bugs.push(SeededBug {
+            kind,
+            host: name,
+            feasible,
+            site: BugSite { source_fn: name, sink_fn: name },
+        });
+        Function { name, params, body, is_extern: false }
+    }
+}
+
+/// Generates one subject from the configuration.
+pub fn generate(cfg: &GenConfig) -> GeneratedSubject {
+    let mut g = Gen {
+        rng: StdRng::seed_from_u64(cfg.seed),
+        interner: Interner::new(),
+        functions: Vec::new(),
+        bugs: Vec::new(),
+        affine_helpers: Vec::new(),
+        opaque_helpers: Vec::new(),
+        passthrough: Vec::new(),
+        next_local: 0,
+    };
+
+    // Checker externs.
+    for name in ["deref", "gets", "fopen", "getpass", "sendmsg", "libmisc"] {
+        let sym = g.sym(name);
+        let params = match name {
+            "gets" | "getpass" => vec![],
+            _ => vec![g.sym("x")],
+        };
+        g.functions.push(Function { name: sym, params, body: vec![], is_extern: true });
+    }
+
+    // Affine helpers: quick-path fodder (`x * M + C`).
+    for i in 0..cfg.affine_helpers {
+        let name = g.sym(&format!("aff{i}"));
+        let x = g.sym("x");
+        let m = g.rng.gen_range(1..6);
+        let c = g.rng.gen_range(0..50);
+        let body = vec![Stmt::Return(Expr::bin(
+            BinOp::Add,
+            Expr::bin(BinOp::Mul, Expr::Var(x), Expr::Int(m)),
+            Expr::Int(c),
+        ))];
+        g.affine_helpers.push(name);
+        g.functions.push(Function { name, params: vec![x], body, is_extern: false });
+    }
+    // Opaque helpers: branching, so their summaries stay opaque and the
+    // solvers must clone them.
+    for i in 0..cfg.opaque_helpers {
+        let name = g.sym(&format!("opq{i}"));
+        let x = g.sym("x");
+        let y = g.sym("y");
+        let t = g.rng.gen_range(1..100);
+        let body = vec![
+            Stmt::If(
+                Expr::bin(BinOp::Gt, Expr::Var(x), Expr::Int(t)),
+                vec![Stmt::Return(Expr::bin(BinOp::Add, Expr::Var(x), Expr::Var(y)))],
+                vec![],
+            ),
+            Stmt::Return(Expr::bin(BinOp::Sub, Expr::Var(y), Expr::Var(x))),
+        ];
+        g.opaque_helpers.push(name);
+        g.functions.push(Function { name, params: vec![x, y], body, is_extern: false });
+    }
+
+    // Identity pass-through chain (facts travel through K call levels;
+    // the Infer-like baseline's bounded composition misses the deep ones).
+    let chain_len = 6usize;
+    for i in 0..chain_len {
+        let name = g.sym(&format!("pass{i}"));
+        let x = g.sym("x");
+        let body = if i == 0 {
+            vec![Stmt::Return(Expr::Var(x))]
+        } else {
+            let prev = g.passthrough[i - 1];
+            vec![Stmt::Return(Expr::Call(prev, vec![Expr::Var(x)]))]
+        };
+        g.passthrough.push(name);
+        g.functions.push(Function { name, params: vec![x], body, is_extern: false });
+    }
+
+    // Filler functions in reverse order so calls go to already-emitted
+    // (higher-index in call DAG) functions.
+    let mut emitted: Vec<(Symbol, usize)> = g
+        .functions
+        .iter()
+        .filter(|f| !f.is_extern)
+        .map(|f| (f.name, f.params.len()))
+        .collect();
+    for i in 0..cfg.functions {
+        let name = g.sym(&format!("fn{i}"));
+        let arity = g.rng.gen_range(1..4usize);
+        let params: Vec<Symbol> = (0..arity)
+            .map(|k| g.interner.intern(&format!("p{k}")))
+            .collect();
+        let mut vars = params.clone();
+        // A couple of mutable locals that branches can assign.
+        let mut mutables = Vec::new();
+        let mut body = Vec::new();
+        for _ in 0..2 {
+            let m = g.fresh_local();
+            let init = g.expr(&vars, 1);
+            body.push(Stmt::Let(m, init));
+            vars.push(m);
+            mutables.push(m);
+        }
+        let stmts = cfg.stmts_per_function.saturating_sub(3).max(1);
+        let callee_window: Vec<(Symbol, usize)> =
+            emitted.iter().rev().take(8).copied().collect();
+        let mut filler =
+            g.filler(cfg, &mut vars, &mut mutables[..], &callee_window, stmts);
+        body.append(&mut filler);
+        let ret = g.expr(&vars, 1);
+        body.push(Stmt::Return(ret));
+        g.functions.push(Function { name, params, body, is_extern: false });
+        emitted.push((name, arity));
+    }
+
+    // Seeded bugs, one host function each.
+    let callee_window: Vec<(Symbol, usize)> = emitted.iter().rev().take(8).copied().collect();
+    let plan: Vec<(CheckKind, bool, usize)> = [
+        (CheckKind::NullDeref, true, cfg.null_feasible),
+        (CheckKind::NullDeref, false, cfg.null_infeasible),
+        (CheckKind::Cwe23, true, cfg.cwe23_feasible),
+        (CheckKind::Cwe23, false, cfg.cwe23_infeasible),
+        (CheckKind::Cwe402, true, cfg.cwe402_feasible),
+        (CheckKind::Cwe402, false, cfg.cwe402_infeasible),
+    ]
+    .into_iter()
+    .flat_map(|(k, f, n)| (0..n).map(move |i| (k, f, i)))
+    .collect();
+    for (kind, feasible, idx) in plan {
+        let f = g.seed_bug(kind, feasible, idx, &callee_window);
+        g.functions.push(f);
+    }
+
+    GeneratedSubject {
+        surface: Program { functions: g.functions },
+        interner: g.interner,
+        bugs: g.bugs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusion_ir::{compile_ast, CompileOptions};
+
+    #[test]
+    fn generated_programs_compile_and_validate() {
+        for seed in [1u64, 2, 42, 0xdead] {
+            let cfg = GenConfig { seed, ..Default::default() };
+            let mut s = generate(&cfg);
+            let program = compile_ast(&s.surface, &mut s.interner, CompileOptions::default())
+                .expect("generated program must compile");
+            assert!(program.size() > 100);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = GenConfig::default();
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.surface, b.surface);
+        assert_eq!(a.bugs.len(), b.bugs.len());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&GenConfig { seed: 1, ..Default::default() });
+        let b = generate(&GenConfig { seed: 2, ..Default::default() });
+        assert_ne!(a.surface, b.surface);
+    }
+
+    #[test]
+    fn bug_counts_match_config() {
+        let cfg = GenConfig {
+            null_feasible: 3,
+            null_infeasible: 2,
+            cwe23_feasible: 1,
+            cwe23_infeasible: 0,
+            cwe402_feasible: 2,
+            cwe402_infeasible: 1,
+            ..Default::default()
+        };
+        let s = generate(&cfg);
+        assert_eq!(s.bugs.len(), 9);
+        assert_eq!(s.bugs.iter().filter(|b| b.feasible).count(), 6);
+    }
+
+    #[test]
+    fn scales_with_function_count() {
+        let small = generate(&GenConfig { functions: 5, ..Default::default() });
+        let large = generate(&GenConfig { functions: 50, ..Default::default() });
+        let count = |s: &GeneratedSubject| s.surface.functions.len();
+        assert!(count(&large) > count(&small) + 40);
+    }
+}
+#[cfg(test)]
+mod source_tests {
+    use super::*;
+    use fusion_ir::parser::parse;
+
+    #[test]
+    fn emitted_source_reparses_and_matches() {
+        let subject = generate(&GenConfig { functions: 6, ..Default::default() });
+        let text = subject.to_source();
+        let mut interner = fusion_ir::Interner::new();
+        let reparsed = parse(&text, &mut interner).expect("generated source parses");
+        assert_eq!(reparsed.functions.len(), subject.surface.functions.len());
+        // Fixpoint: printing the reparsed program reproduces the text.
+        let text2 = fusion_ir::pretty::surface_to_string(&reparsed, &interner);
+        assert_eq!(text, text2);
+    }
+}

@@ -1,0 +1,132 @@
+//! The sixteen evaluation subjects of Table 2, with the paper's reported
+//! numbers for side-by-side printing and a generator configuration that
+//! reproduces each subject's *shape* at a chosen scale.
+
+use crate::genprog::GenConfig;
+
+/// Paper-reported numbers for one subject (Tables 2 and 3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SubjectSpec {
+    /// Table 2 row id (1-16).
+    pub id: u32,
+    /// Project name.
+    pub name: &'static str,
+    /// Size in thousands of lines (Table 2).
+    pub kloc: f64,
+    /// Function count (Table 2).
+    pub functions: u32,
+    /// PDG vertices (Table 2).
+    pub vertices: u64,
+    /// PDG edges (Table 2).
+    pub edges: u64,
+    /// Fusion memory, GB (Table 3).
+    pub fusion_mem_gb: f64,
+    /// Pinpoint memory, GB (Table 3).
+    pub pinpoint_mem_gb: f64,
+    /// Fusion time, seconds (Table 3).
+    pub fusion_time_s: f64,
+    /// Pinpoint time, seconds (Table 3).
+    pub pinpoint_time_s: f64,
+}
+
+/// All sixteen subjects in Table 2 order.
+pub const SUBJECTS: [SubjectSpec; 16] = [
+    SubjectSpec { id: 1, name: "mcf", kloc: 2.0, functions: 26, vertices: 22_800, edges: 28_900, fusion_mem_gb: 0.1, pinpoint_mem_gb: 1.1, fusion_time_s: 4.0, pinpoint_time_s: 19.0 },
+    SubjectSpec { id: 2, name: "bzip2", kloc: 3.0, functions: 74, vertices: 93_800, edges: 120_400, fusion_mem_gb: 0.1, pinpoint_mem_gb: 2.3, fusion_time_s: 4.0, pinpoint_time_s: 172.0 },
+    SubjectSpec { id: 3, name: "gzip", kloc: 6.0, functions: 89, vertices: 165_300, edges: 221_500, fusion_mem_gb: 0.1, pinpoint_mem_gb: 1.3, fusion_time_s: 3.0, pinpoint_time_s: 30.0 },
+    SubjectSpec { id: 4, name: "parser", kloc: 8.0, functions: 324, vertices: 824_200, edges: 1_114_100, fusion_mem_gb: 0.1, pinpoint_mem_gb: 3.3, fusion_time_s: 49.0, pinpoint_time_s: 233.0 },
+    SubjectSpec { id: 5, name: "vpr", kloc: 11.0, functions: 272, vertices: 376_300, edges: 478_000, fusion_mem_gb: 0.1, pinpoint_mem_gb: 1.9, fusion_time_s: 3.0, pinpoint_time_s: 145.0 },
+    SubjectSpec { id: 6, name: "crafty", kloc: 13.0, functions: 108, vertices: 381_100, edges: 498_900, fusion_mem_gb: 0.1, pinpoint_mem_gb: 1.3, fusion_time_s: 2.0, pinpoint_time_s: 23.0 },
+    SubjectSpec { id: 7, name: "twolf", kloc: 18.0, functions: 191, vertices: 762_900, edges: 995_500, fusion_mem_gb: 0.2, pinpoint_mem_gb: 1.8, fusion_time_s: 41.0, pinpoint_time_s: 95.0 },
+    SubjectSpec { id: 8, name: "eon", kloc: 22.0, functions: 3_400, vertices: 1_200_000, edges: 1_300_000, fusion_mem_gb: 0.1, pinpoint_mem_gb: 1.8, fusion_time_s: 2.0, pinpoint_time_s: 21.0 },
+    SubjectSpec { id: 9, name: "gap", kloc: 36.0, functions: 843, vertices: 3_400_000, edges: 4_400_000, fusion_mem_gb: 2.2, pinpoint_mem_gb: 39.1, fusion_time_s: 53.0, pinpoint_time_s: 2_033.0 },
+    SubjectSpec { id: 10, name: "vortex", kloc: 49.0, functions: 923, vertices: 3_300_000, edges: 4_200_000, fusion_mem_gb: 0.6, pinpoint_mem_gb: 8.9, fusion_time_s: 164.0, pinpoint_time_s: 1_769.0 },
+    SubjectSpec { id: 11, name: "perlbmk", kloc: 73.0, functions: 1_100, vertices: 9_300_000, edges: 12_200_000, fusion_mem_gb: 1.0, pinpoint_mem_gb: 19.4, fusion_time_s: 227.0, pinpoint_time_s: 2_524.0 },
+    SubjectSpec { id: 12, name: "gcc", kloc: 135.0, functions: 2_200, vertices: 14_200_000, edges: 18_400_000, fusion_mem_gb: 1.5, pinpoint_mem_gb: 27.7, fusion_time_s: 339.0, pinpoint_time_s: 2_615.0 },
+    SubjectSpec { id: 13, name: "ffmpeg", kloc: 1_001.0, functions: 74_200, vertices: 57_100_000, edges: 76_400_000, fusion_mem_gb: 11.8, pinpoint_mem_gb: 55.7, fusion_time_s: 689.0, pinpoint_time_s: 5_899.0 },
+    SubjectSpec { id: 14, name: "v8", kloc: 1_201.0, functions: 260_400, vertices: 63_000_000, edges: 73_500_000, fusion_mem_gb: 8.6, pinpoint_mem_gb: 82.1, fusion_time_s: 748.0, pinpoint_time_s: 7_672.0 },
+    SubjectSpec { id: 15, name: "mysql", kloc: 2_030.0, functions: 79_200, vertices: 68_800_000, edges: 85_000_000, fusion_mem_gb: 7.9, pinpoint_mem_gb: 98.8, fusion_time_s: 1_250.0, pinpoint_time_s: 9_057.0 },
+    SubjectSpec { id: 16, name: "wine", kloc: 4_108.0, functions: 133_000, vertices: 90_200_000, edges: 112_300_000, fusion_mem_gb: 11.2, pinpoint_mem_gb: 98.3, fusion_time_s: 772.0, pinpoint_time_s: 8_893.0 },
+];
+
+/// The four industrial-sized subjects (Tables 4, 5, Fig. 1(c)).
+pub fn large_subjects() -> Vec<&'static SubjectSpec> {
+    SUBJECTS.iter().filter(|s| s.id >= 13).collect()
+}
+
+impl SubjectSpec {
+    /// Looks up a subject by name.
+    pub fn by_name(name: &str) -> Option<&'static SubjectSpec> {
+        SUBJECTS.iter().find(|s| s.name == name)
+    }
+
+    /// A generator configuration reproducing this subject's shape at
+    /// `scale` (fraction of the paper's line count; e.g. `0.002` turns
+    /// wine's 4.1 MLoC into ~8 K statements). Bug seeding grows with size.
+    pub fn gen_config(&self, scale: f64) -> GenConfig {
+        let target_stmts = (self.kloc * 1_000.0 * scale).max(150.0);
+        let stmts_per_function = 12usize;
+        let functions = ((target_stmts / stmts_per_function as f64) as usize).max(12);
+        // Larger projects in the suite have deeper call structure and more
+        // branching; densities nudge accordingly.
+        let big = self.kloc > 500.0;
+        let seeds = ((functions / 8).clamp(4, 64), (functions / 12).clamp(3, 48));
+        GenConfig {
+            seed: 0xF051_0000 + self.id as u64,
+            functions,
+            stmts_per_function,
+            call_density: if big { 0.3 } else { 0.25 },
+            branch_density: if big { 0.25 } else { 0.2 },
+            loop_density: 0.05,
+            null_feasible: seeds.0,
+            null_infeasible: seeds.1,
+            cwe23_feasible: (seeds.0 / 2).max(1),
+            cwe23_infeasible: (seeds.1 / 2).max(1),
+            cwe402_feasible: (seeds.0 / 2).max(1),
+            cwe402_infeasible: (seeds.1 / 2).max(1),
+            affine_helpers: (functions / 8).clamp(3, 24),
+            opaque_helpers: (functions / 12).clamp(2, 16),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genprog::generate;
+    use fusion_ir::{compile_ast, CompileOptions};
+
+    #[test]
+    fn sixteen_subjects_in_order() {
+        assert_eq!(SUBJECTS.len(), 16);
+        for (i, s) in SUBJECTS.iter().enumerate() {
+            assert_eq!(s.id as usize, i + 1);
+        }
+        assert_eq!(large_subjects().len(), 4);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(SubjectSpec::by_name("mysql").unwrap().id, 15);
+        assert!(SubjectSpec::by_name("nope").is_none());
+    }
+
+    #[test]
+    fn scaled_configs_grow_with_subject_size() {
+        let small = SUBJECTS[0].gen_config(0.01);
+        let large = SUBJECTS[15].gen_config(0.01);
+        assert!(large.functions > small.functions * 10);
+    }
+
+    #[test]
+    fn every_subject_generates_and_compiles_at_tiny_scale() {
+        for s in &SUBJECTS {
+            let cfg = s.gen_config(0.0005);
+            let mut subject = generate(&cfg);
+            let program =
+                compile_ast(&subject.surface, &mut subject.interner, CompileOptions::default())
+                    .unwrap_or_else(|e| panic!("{}: {e}", s.name));
+            assert!(program.size() > 50, "{}", s.name);
+        }
+    }
+}

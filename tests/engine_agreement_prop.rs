@@ -1,0 +1,52 @@
+//! Differential property test: all feasibility engines are equivalent
+//! decision procedures.
+//!
+//! For arbitrary generated subjects and every checker, the Fusion solver
+//! (Algorithm 6), the unoptimized graph solver (Algorithm 4) and the
+//! Pinpoint baseline (Algorithm 2 + 3) must return the same verdict on
+//! every discovered path — they differ in cost only (§5.1: "the bugs they
+//! report are the same"). Algorithm 4 serves as the pseudo-oracle: it has
+//! no caching, no quick paths and no local preprocessing.
+
+use fusion::checkers::Checker;
+use fusion::engine::{Feasibility, FeasibilityEngine};
+use fusion::graph_solver::{FusionSolver, UnoptimizedGraphSolver};
+use fusion::propagate::{discover, PropagateOptions};
+use fusion_baselines::PinpointEngine;
+use fusion_ir::{compile_ast, CompileOptions};
+use fusion_pdg::graph::Pdg;
+use fusion_smt::solver::SolverConfig;
+use fusion_workloads::{generate, GenConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn engines_agree_on_every_path(seed in 0u64..100_000) {
+        let cfg = GenConfig { seed, functions: 10, ..Default::default() };
+        let mut subject = generate(&cfg);
+        let program =
+            compile_ast(&subject.surface, &mut subject.interner, CompileOptions::default())
+                .expect("compile");
+        let pdg = Pdg::build(&program);
+        let solver_cfg = SolverConfig::default();
+        let mut fused = FusionSolver::new(solver_cfg);
+        let mut unopt = UnoptimizedGraphSolver::new(solver_cfg);
+        let mut pinpoint = PinpointEngine::new(solver_cfg);
+        for checker in [Checker::null_deref(), Checker::cwe23(), Checker::cwe402()] {
+            let candidates = discover(&program, &pdg, &checker, &PropagateOptions::default());
+            for cand in &candidates {
+                for path in &cand.paths {
+                    let paths = std::slice::from_ref(path);
+                    let a = fused.check_paths(&program, &pdg, paths).feasibility;
+                    let b = unopt.check_paths(&program, &pdg, paths).feasibility;
+                    let c = pinpoint.check_paths(&program, &pdg, paths).feasibility;
+                    prop_assert_ne!(a, Feasibility::Unknown, "seed {} budget too small", seed);
+                    prop_assert_eq!(a, b, "fusion vs alg4, seed {} {}", seed, checker.kind);
+                    prop_assert_eq!(b, c, "alg4 vs pinpoint, seed {} {}", seed, checker.kind);
+                }
+            }
+        }
+    }
+}
