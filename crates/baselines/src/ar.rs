@@ -20,7 +20,7 @@ use fusion_pdg::graph::Pdg;
 use fusion_pdg::paths::DependencePath;
 use fusion_pdg::slice::{compute_slice, Constraint, ConstraintKind, Slice};
 use fusion_pdg::translate::{instance_var, truthy};
-use fusion_smt::solver::{smt_solve, SatResult, SolverConfig};
+use fusion_smt::solver::{deadline_expired, smt_solve, SatResult, SolverConfig};
 use fusion_smt::term::{TermId, TermPool};
 use std::collections::{HashSet, VecDeque};
 
@@ -65,10 +65,10 @@ impl ArEngine {
         let mut work: VecDeque<(Vec<CallSiteId>, FuncId)> = VecDeque::new();
         let mut complete = true;
         let schedule = |instances: &mut HashSet<(Vec<CallSiteId>, FuncId)>,
-                            work: &mut VecDeque<(Vec<CallSiteId>, FuncId)>,
-                            complete: &mut bool,
-                            ctx: Vec<CallSiteId>,
-                            f: FuncId| {
+                        work: &mut VecDeque<(Vec<CallSiteId>, FuncId)>,
+                        complete: &mut bool,
+                        ctx: Vec<CallSiteId>,
+                        f: FuncId| {
             if ctx.len() > depth {
                 *complete = false; // truncated by the abstraction
                 return;
@@ -107,7 +107,9 @@ impl ArEngine {
             if instances.len() > max_instances {
                 return None;
             }
-            let Some(fs) = slice.funcs.get(&fid) else { continue };
+            let Some(fs) = slice.funcs.get(&fid) else {
+                continue;
+            };
             let func = program.func(fid);
             for &v in &fs.verts {
                 let def = func.def(v);
@@ -123,7 +125,13 @@ impl ArEngine {
                         };
                         let actual = args[*index];
                         let rhs = instance_var(pool, &caller_ctx, cs.caller, actual);
-                        schedule(&mut instances, &mut work, &mut complete, caller_ctx, cs.caller);
+                        schedule(
+                            &mut instances,
+                            &mut work,
+                            &mut complete,
+                            caller_ctx,
+                            cs.caller,
+                        );
                         pool.eq(lhs, rhs)
                     }
                     DefKind::Const { value, .. } => {
@@ -140,7 +148,11 @@ impl ArEngine {
                         let rhs = fusion_pdg::translate::encode_op(pool, *op, ta, tb);
                         pool.eq(lhs, rhs)
                     }
-                    DefKind::Ite { cond, then_v, else_v } => {
+                    DefKind::Ite {
+                        cond,
+                        then_v,
+                        else_v,
+                    } => {
                         let tc = instance_var(pool, &ctx, fid, *cond);
                         let tt = instance_var(pool, &ctx, fid, *then_v);
                         let te = instance_var(pool, &ctx, fid, *else_v);
@@ -185,11 +197,24 @@ impl FeasibilityEngine for ArEngine {
         paths: &[DependencePath],
     ) -> CheckOutcome {
         let start = std::time::Instant::now();
+        // One deadline for the *whole* call: AR's repeated refinement
+        // rounds share the budget, so a query that keeps refining degrades
+        // to Unknown when the budget runs out instead of stalling a worker
+        // for max_refinements × timeout.
+        let deadline = self.per_call.deadline_from(start);
         let slice = compute_slice(program, pdg, paths);
-        let base_depth = slice.constraints.iter().map(|c| c.ctx.len()).max().unwrap_or(0);
+        let base_depth = slice
+            .constraints
+            .iter()
+            .map(|c| c.ctx.len())
+            .max()
+            .unwrap_or(0);
         let mut last_instances = 0usize;
         let mut decided = false;
         for round in 0..self.max_refinements {
+            if deadline_expired(deadline) {
+                break; // budget exhausted mid-refinement → Unknown
+            }
             let depth = base_depth + round;
             // Fresh pool per refinement: AR recomputes the growing
             // condition each round (its cost signature).
@@ -200,9 +225,11 @@ impl FeasibilityEngine for ArEngine {
                 break; // instance blow-up
             };
             last_instances = instances;
-            let (result, stats) = smt_solve(&mut pool, formula, &self.per_call);
-            let transient =
-                pool.len() as u64 * BYTES_PER_TERM_NODE + stats.cnf_clauses as u64 * 16;
+            let Some(cfg) = self.per_call.with_remaining(deadline) else {
+                break; // budget exhausted after emission → Unknown
+            };
+            let (result, stats) = smt_solve(&mut pool, formula, &cfg);
+            let transient = pool.len() as u64 * BYTES_PER_TERM_NODE + stats.cnf_clauses as u64 * 16;
             self.memory.charge(Category::SolverState, transient);
             self.memory.release(Category::SolverState, transient);
             decided = stats.preprocess_decided;
@@ -255,7 +282,13 @@ mod tests {
     fn run_with(src: &str, engine: &mut dyn FeasibilityEngine) -> (usize, usize) {
         let p = compile(src, CompileOptions::default()).expect("compile");
         let g = Pdg::build(&p);
-        let run = analyze(&p, &g, &Checker::null_deref(), engine, &AnalysisOptions::new());
+        let run = analyze(
+            &p,
+            &g,
+            &Checker::null_deref(),
+            engine,
+            &AnalysisOptions::new(),
+        );
         (run.reports.len(), run.suppressed)
     }
 
@@ -283,7 +316,13 @@ mod tests {
         let p = compile(src, CompileOptions::default()).unwrap();
         let g = Pdg::build(&p);
         let mut ar = ArEngine::new(SolverConfig::default());
-        let run = analyze(&p, &g, &Checker::null_deref(), &mut ar, &AnalysisOptions::new());
+        let run = analyze(
+            &p,
+            &g,
+            &Checker::null_deref(),
+            &mut ar,
+            &AnalysisOptions::new(),
+        );
         assert_eq!(run.suppressed, 1);
         // The record shows a small instance count (no deep clone needed).
         assert!(ar.records()[0].condition_nodes > 0);

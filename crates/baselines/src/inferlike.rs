@@ -56,7 +56,9 @@ pub struct InferOptions {
 
 impl Default for InferOptions {
     fn default() -> Self {
-        Self { max_compose_depth: 3 }
+        Self {
+            max_compose_depth: 3,
+        }
     }
 }
 
@@ -82,8 +84,7 @@ pub fn analyze_inferlike(
             summaries.insert(fid, Summary::default());
             continue;
         }
-        let mut origins: Vec<BTreeSet<(Origin, usize)>> =
-            vec![BTreeSet::new(); func.defs.len()];
+        let mut origins: Vec<BTreeSet<(Origin, usize)>> = vec![BTreeSet::new(); func.defs.len()];
         let mut summary = Summary::default();
         for def in &func.defs {
             let mut here: BTreeSet<(Origin, usize)> = BTreeSet::new();
@@ -99,13 +100,10 @@ pub fn analyze_inferlike(
                 DefKind::Call { callee, args, .. } => {
                     let callee_f = program.func(*callee);
                     let callee_name = program.name(callee_f.name).to_owned();
-                    if callee_f.is_extern
-                        && checker.source_fns.contains(&callee_name)
-                    {
+                    if callee_f.is_extern && checker.source_fns.contains(&callee_name) {
                         here.insert((Origin::Source(fid, def.var), 0));
                     }
-                    let is_sink = callee_f.is_extern
-                        && checker.sink_fns.contains(&callee_name);
+                    let is_sink = callee_f.is_extern && checker.sink_fns.contains(&callee_name);
                     for &a in args {
                         for &(origin, depth) in &origins[a.index()] {
                             if is_sink {
@@ -129,9 +127,7 @@ pub fn analyze_inferlike(
                                         for &(o, d0) in &origins[arg.index()] {
                                             let total = d0 + d + 1;
                                             if total <= options.max_compose_depth {
-                                                summary
-                                                    .sink_hits
-                                                    .insert((o, total, sfid, svar));
+                                                summary.sink_hits.insert((o, total, sfid, svar));
                                             }
                                         }
                                     }
@@ -204,11 +200,12 @@ pub fn analyze_inferlike(
     let candidates = reports.len();
     memory.charge(Category::Graph, program.size() as u64 * BYTES_PER_DEF);
     AnalysisRun {
-        engine: "infer-like",
+        engine: "infer-like".to_string(),
         reports,
         suppressed: 0,
         candidates,
         queries: 0,
+        cache: fusion::cache::CacheStats::default(), // never consults one
         propagate_time: t0.elapsed(),
         solve_time: std::time::Duration::ZERO,
         peak_memory: memory.peak_total(),
@@ -253,8 +250,8 @@ mod tests {
     use fusion::checkers::Checker;
     use fusion::engine::{analyze, AnalysisOptions};
     use fusion::graph_solver::FusionSolver;
-    use fusion_smt::solver::SolverConfig;
     use fusion_ir::{compile, CompileOptions};
+    use fusion_smt::solver::SolverConfig;
 
     fn setup(src: &str) -> (Program, Pdg) {
         let p = compile(src, CompileOptions::default()).expect("compile");
@@ -273,8 +270,13 @@ mod tests {
         let infer = analyze_inferlike(&p, &g, &Checker::null_deref(), &InferOptions::default());
         assert_eq!(infer.reports.len(), 1);
         let mut fused = FusionSolver::new(SolverConfig::default());
-        let fusion_run =
-            analyze(&p, &g, &Checker::null_deref(), &mut fused, &AnalysisOptions::new());
+        let fusion_run = analyze(
+            &p,
+            &g,
+            &Checker::null_deref(),
+            &mut fused,
+            &AnalysisOptions::new(),
+        );
         assert_eq!(fusion_run.reports.len(), 0);
     }
 
@@ -293,8 +295,13 @@ mod tests {
         let infer = analyze_inferlike(&p, &g, &Checker::null_deref(), &InferOptions::default());
         assert_eq!(infer.reports.len(), 0, "deep flow must be missed");
         let mut fused = FusionSolver::new(SolverConfig::default());
-        let fusion_run =
-            analyze(&p, &g, &Checker::null_deref(), &mut fused, &AnalysisOptions::new());
+        let fusion_run = analyze(
+            &p,
+            &g,
+            &Checker::null_deref(),
+            &mut fused,
+            &AnalysisOptions::new(),
+        );
         assert_eq!(fusion_run.reports.len(), 1, "fusion finds it");
     }
 
@@ -323,9 +330,7 @@ mod tests {
 
     #[test]
     fn charges_summary_memory_for_every_function() {
-        let (p, g) = setup(
-            "fn a() { return 1; } fn b() { return a(); } fn c() { return b(); }",
-        );
+        let (p, g) = setup("fn a() { return 1; } fn b() { return a(); } fn c() { return b(); }");
         let run = analyze_inferlike(&p, &g, &Checker::null_deref(), &InferOptions::default());
         assert!(run.peak_memory > 0);
     }

@@ -27,7 +27,7 @@ use fusion_pdg::paths::DependencePath;
 use fusion_pdg::slice::{compute_slice, Constraint, ConstraintKind, Slice};
 use fusion_pdg::translate::{encode_op, instance_var, truthy};
 use fusion_smt::preprocess::simplify;
-use fusion_smt::solver::{smt_solve, SatResult, SolverConfig};
+use fusion_smt::solver::{deadline_expired, smt_solve, SatResult, SolverConfig};
 use fusion_smt::tactic::{ctx_solver_simplify, quantifier_eliminate_expansion};
 use fusion_smt::term::{Sort, TermId, TermKind, TermPool, VarIdx};
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -143,7 +143,11 @@ impl PinpointEngine {
                     let rhs = encode_op(pool, *op, ta, tb);
                     parts.push(pool.eq(lhs, rhs));
                 }
-                DefKind::Ite { cond, then_v, else_v } => {
+                DefKind::Ite {
+                    cond,
+                    then_v,
+                    else_v,
+                } => {
                     let lhs = local(pool, def.var);
                     let tc = local(pool, *cond);
                     let tt = local(pool, *then_v);
@@ -193,7 +197,10 @@ impl PinpointEngine {
                     .free_vars(formula)
                     .into_iter()
                     .filter(|v| {
-                        var_map.get(v).map(|ir| !interface.contains(ir)).unwrap_or(false)
+                        var_map
+                            .get(v)
+                            .map(|ir| !interface.contains(ir))
+                            .unwrap_or(false)
                     })
                     .collect();
                 // Expansion-only QE, as Z3 4.5's bit-vector `qe` behaves.
@@ -212,7 +219,8 @@ impl PinpointEngine {
         let s = Summary { formula, var_map };
         self.summaries.insert(fid, s.clone());
         // Cached forever: a persistent charge.
-        self.memory.charge(Category::Summaries, nodes * BYTES_PER_TERM_NODE);
+        self.memory
+            .charge(Category::Summaries, nodes * BYTES_PER_TERM_NODE);
         s
     }
 }
@@ -234,6 +242,7 @@ impl FeasibilityEngine for PinpointEngine {
         paths: &[DependencePath],
     ) -> CheckOutcome {
         let start = std::time::Instant::now();
+        let deadline = self.per_call.deadline_from(start);
         let slice = compute_slice(program, pdg, paths);
         let pool_before = self.pool.len();
 
@@ -276,7 +285,11 @@ impl FeasibilityEngine for PinpointEngine {
         // call results and returns across instances.
         let mut blowup = false;
         while let Some((ctx, fid)) = work.pop_front() {
-            if instances.len() > self.max_instances {
+            // Cloning full-size summaries is the slow part of this
+            // baseline: poll the per-call deadline so a pathological query
+            // degrades to Unknown (same handling as an instance blow-up)
+            // instead of stalling a worker.
+            if instances.len() > self.max_instances || deadline_expired(deadline) {
                 blowup = true;
                 break;
             }
@@ -353,7 +366,23 @@ impl FeasibilityEngine for PinpointEngine {
         }
 
         let formula = self.pool.and(&parts);
-        let (result, stats) = smt_solve(&mut self.pool, formula, &self.per_call);
+        // Budget the final query with the wall-clock remaining after
+        // cloning; the cloned condition is charged either way — the pool
+        // retains it even when the query never ran.
+        let Some(cfg) = self.per_call.with_remaining(deadline) else {
+            let grown = (self.pool.len() - pool_before) as u64 * BYTES_PER_TERM_NODE;
+            self.memory.charge(Category::PathConditions, grown);
+            let outcome = CheckOutcome {
+                feasibility: Feasibility::Unknown,
+                duration: start.elapsed(),
+                condition_nodes: self.pool.dag_size(formula) as u64,
+                instances: instances.len(),
+                preprocess_decided: false,
+            };
+            self.records.push(SolveRecord::from_outcome(&outcome));
+            return outcome;
+        };
+        let (result, stats) = smt_solve(&mut self.pool, formula, &cfg);
         // The cloned condition stays in the persistent pool until the end
         // of the run — exactly the caching cost of Fig. 1(c). Charge the
         // growth to PathConditions.
@@ -416,7 +445,13 @@ mod tests {
     fn run_with(engine: &mut dyn FeasibilityEngine) -> (usize, usize) {
         let p = compile(MIXED, CompileOptions::default()).expect("compile");
         let g = Pdg::build(&p);
-        let run = analyze(&p, &g, &Checker::null_deref(), engine, &AnalysisOptions::new());
+        let run = analyze(
+            &p,
+            &g,
+            &Checker::null_deref(),
+            engine,
+            &AnalysisOptions::new(),
+        );
         (run.reports.len(), run.suppressed)
     }
 
@@ -461,7 +496,10 @@ mod tests {
 
     #[test]
     fn names_reflect_tactics() {
-        assert_eq!(PinpointEngine::new(SolverConfig::default()).name(), "pinpoint");
+        assert_eq!(
+            PinpointEngine::new(SolverConfig::default()).name(),
+            "pinpoint"
+        );
         assert_eq!(
             PinpointEngine::with_tactic(SolverConfig::default(), Tactic::Qe).name(),
             "pinpoint+qe"

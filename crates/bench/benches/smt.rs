@@ -66,5 +66,10 @@ fn bench_solve_bitblast(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_preprocess, bench_solve_decided, bench_solve_bitblast);
+criterion_group!(
+    benches,
+    bench_preprocess,
+    bench_solve_decided,
+    bench_solve_bitblast
+);
 criterion_main!(benches);

@@ -21,11 +21,21 @@ fn main() {
     let checker = Checker::null_deref();
     // Emulate the paper's per-analysis wall budget, scaled.
     let wall_budget = Duration::from_secs(
-        std::env::var("FUSION_WALL_BUDGET_S").ok().and_then(|s| s.parse().ok()).unwrap_or(120),
+        std::env::var("FUSION_WALL_BUDGET_S")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(120),
     );
     println!(
         "{:>2} {:>8} | {:>18} {:>18} {:>18} {:>18} {:>18} {:>18}",
-        "ID", "program", "fusion", "pinpoint", "pinpoint+lfs", "pinpoint+hfs", "pinpoint+qe", "pinpoint+ar"
+        "ID",
+        "program",
+        "fusion",
+        "pinpoint",
+        "pinpoint+lfs",
+        "pinpoint+hfs",
+        "pinpoint+qe",
+        "pinpoint+ar"
     );
     for spec in &SUBJECTS {
         let subject = build_subject(spec, scale);

@@ -8,6 +8,7 @@
 //! mean speedups by verdict (paper: 3.0x sat, 1.8x unsat, 2.5x overall)
 //! and a bucketed ASCII scatter of the time pairs.
 
+use fusion::cache::VerdictCache;
 use fusion::checkers::Checker;
 use fusion::engine::{Feasibility, FeasibilityEngine};
 use fusion::graph_solver::{FusionSolver, UnoptimizedGraphSolver};
@@ -26,6 +27,9 @@ fn main() {
     let scale = scale_from_env();
     let checker = Checker::null_deref();
     let mut pairs: Vec<Pair> = Vec::new();
+    // The shared verdict cache of the solve pipeline, consulted alongside
+    // the timed solves to report what fraction of queries it absorbs.
+    let cache = VerdictCache::new();
     for spec in &SUBJECTS {
         let subject = build_subject(spec, scale);
         let candidates = discover(
@@ -38,7 +42,14 @@ fn main() {
         let mut standalone = UnoptimizedGraphSolver::new(default_budget());
         for cand in &candidates {
             for path in &cand.paths {
-                let f = fused.check_paths(&subject.program, &subject.pdg, std::slice::from_ref(path));
+                let key = VerdictCache::key(&subject.program, std::slice::from_ref(path));
+                let cached = cache.get(key);
+                let f =
+                    fused.check_paths(&subject.program, &subject.pdg, std::slice::from_ref(path));
+                if let Some(v) = cached {
+                    assert_eq!(v, f.feasibility, "a cache hit must never flip a verdict");
+                }
+                cache.insert(key, f.feasibility);
                 let s = standalone.check_paths(
                     &subject.program,
                     &subject.pdg,
@@ -56,11 +67,21 @@ fn main() {
         }
     }
     let total = pairs.len().max(1);
-    let sat = pairs.iter().filter(|p| p.2 == Feasibility::Feasible).count();
-    let unsat = pairs.iter().filter(|p| p.2 == Feasibility::Infeasible).count();
+    let sat = pairs
+        .iter()
+        .filter(|p| p.2 == Feasibility::Feasible)
+        .count();
+    let unsat = pairs
+        .iter()
+        .filter(|p| p.2 == Feasibility::Infeasible)
+        .count();
     let pre = pairs.iter().filter(|p| p.3).count();
-    println!("\ninstances: {total} ({}% sat, {}% unsat, {}% decided in preprocessing)",
-        100 * sat / total, 100 * unsat / total, 100 * pre / total);
+    println!(
+        "\ninstances: {total} ({}% sat, {}% unsat, {}% decided in preprocessing)",
+        100 * sat / total,
+        100 * unsat / total,
+        100 * pre / total
+    );
     println!("paper:     310,462 (60% sat, 40% unsat, 21% decided in preprocessing)");
 
     let mean_speedup = |filter: &dyn Fn(&Pair) -> bool| -> f64 {
@@ -96,7 +117,11 @@ fn main() {
         for (x, _) in labels.iter().enumerate() {
             let n = grid[y][x];
             let c = if n == 0 {
-                if x == y { '\\' } else { ' ' }
+                if x == y {
+                    '\\'
+                } else {
+                    ' '
+                }
             } else if n < 3 {
                 '.'
             } else if n < 10 {
@@ -110,4 +135,14 @@ fn main() {
     }
     println!("        {}", labels.map(|l| format!("{l:^5}")).join(" "));
     println!("        (x axis: graph-based solver; points above the diagonal mean it wins)");
+
+    let cs = cache.stats();
+    println!(
+        "\nverdict cache: {} hits / {} misses ({:.0}% hit rate), {} entries, {} B retained",
+        cs.hits,
+        cs.misses,
+        cs.hit_rate() * 100.0,
+        cs.entries,
+        cs.bytes
+    );
 }

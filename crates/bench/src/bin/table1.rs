@@ -8,8 +8,9 @@
 //! The harness sweeps `k` and prints, per design: materialized instances,
 //! condition size (DAG nodes), solve time, and retained (cached) bytes.
 
+use fusion::cache::VerdictCache;
 use fusion::checkers::Checker;
-use fusion::engine::FeasibilityEngine;
+use fusion::engine::{analyze_with_cache, AnalysisOptions, FeasibilityEngine};
 use fusion::graph_solver::{FusionSolver, UnoptimizedGraphSolver};
 use fusion::memory::Category;
 use fusion::propagate::{discover, PropagateOptions};
@@ -111,4 +112,39 @@ fn main() {
     }
     println!("\nexpected shape: conventional nodes grow ~linearly in k (O(kn+m));");
     println!("fusion nodes stay flat (O(n+m)) with 1 instance (quick path).");
+
+    // Verdict-cache behaviour on the k=32 subject: the first pass fills
+    // the shared cache (all misses); a re-analysis of the same program is
+    // answered entirely from it (all hits, zero solver queries).
+    let src = program_source(32, n);
+    let program = compile(&src, CompileOptions::default()).expect("compile");
+    let pdg = Pdg::build(&program);
+    let cache = VerdictCache::new();
+    let mut engine = FusionSolver::new(default_budget());
+    let opts = AnalysisOptions::new();
+    let first = analyze_with_cache(
+        &program,
+        &pdg,
+        &Checker::null_deref(),
+        &mut engine,
+        &opts,
+        Some(&cache),
+    );
+    let second = analyze_with_cache(
+        &program,
+        &pdg,
+        &Checker::null_deref(),
+        &mut engine,
+        &opts,
+        Some(&cache),
+    );
+    println!(
+        "\nverdict cache (k=32): first pass {:.0}% hit rate ({} miss), \
+         re-analysis {:.0}% hit rate ({} hit, {} solver queries)",
+        first.cache.hit_rate() * 100.0,
+        first.cache.misses,
+        second.cache.hit_rate() * 100.0,
+        second.cache.hits,
+        second.queries
+    );
 }

@@ -14,12 +14,26 @@ fn main() {
     let scale = scale_from_env();
     println!(
         "{:>2} {:>8} | {:>8} {:>9} {:>12} {:>12} | {:>7} {:>9} {:>10} {:>10}",
-        "ID", "program", "KLoC", "#fn", "#vertices", "#edges", "our#fn", "our#vert", "our#edge", "ratio(e/v)"
+        "ID",
+        "program",
+        "KLoC",
+        "#fn",
+        "#vertices",
+        "#edges",
+        "our#fn",
+        "our#vert",
+        "our#edge",
+        "ratio(e/v)"
     );
     for spec in &SUBJECTS {
         let subject = build_subject(spec, scale);
         let stats = subject.pdg.stats();
-        let nfuncs = subject.program.functions.iter().filter(|f| !f.is_extern).count();
+        let nfuncs = subject
+            .program
+            .functions
+            .iter()
+            .filter(|f| !f.is_extern)
+            .count();
         let ratio = stats.edges() as f64 / stats.vertices.max(1) as f64;
         println!(
             "{:>2} {:>8} | {:>8} {:>9} {:>12} {:>12} | {:>7} {:>9} {:>10} {:>10.2}",

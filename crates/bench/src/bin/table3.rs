@@ -19,7 +19,17 @@ fn main() {
     let scale = scale_from_env();
     println!(
         "{:>2} {:>8} | {:>10} {:>10} {:>8} | {:>10} {:>10} {:>8} | {:>6} {:>6} | {:>10}",
-        "ID", "program", "fus-mem", "pin-mem", "mem-x", "fus-time", "pin-time", "time-x", "paper", "paper", "reports"
+        "ID",
+        "program",
+        "fus-mem",
+        "pin-mem",
+        "mem-x",
+        "fus-time",
+        "pin-time",
+        "time-x",
+        "paper",
+        "paper",
+        "reports"
     );
     println!(
         "{:>2} {:>8} | {:>10} {:>10} {:>8} | {:>10} {:>10} {:>8} | {:>6} {:>6} | {:>10}",
@@ -39,7 +49,10 @@ fn main() {
             spec.name,
             fusion_run.peak_memory / 1024,
             pinpoint_run.peak_memory / 1024,
-            fmt_ratio(pinpoint_run.peak_memory as f64, fusion_run.peak_memory as f64),
+            fmt_ratio(
+                pinpoint_run.peak_memory as f64,
+                fusion_run.peak_memory as f64
+            ),
             fusion_run.total_time().as_secs_f64() * 1e3,
             pinpoint_run.total_time().as_secs_f64() * 1e3,
             fmt_ratio(

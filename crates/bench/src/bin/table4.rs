@@ -33,7 +33,10 @@ fn main() {
                 fusion_run.total_time().as_secs_f64() * 1e3,
                 pinpoint_run.peak_memory / 1024,
                 pinpoint_run.total_time().as_secs_f64() * 1e3,
-                fmt_ratio(pinpoint_run.peak_memory as f64, fusion_run.peak_memory as f64),
+                fmt_ratio(
+                    pinpoint_run.peak_memory as f64,
+                    fusion_run.peak_memory as f64
+                ),
                 fmt_ratio(
                     pinpoint_run.total_time().as_secs_f64(),
                     fusion_run.total_time().as_secs_f64()

@@ -24,16 +24,24 @@ fn main() {
         let subject = build_subject(spec, scale);
         let mut fusion_engine = FusionSolver::new(default_budget());
         let fusion_run = run_checker(&subject, &checker, &mut fusion_engine);
-        let fusion_score =
-            score(&subject.program, CheckKind::NullDeref, &subject.bugs, &fusion_run.reports);
+        let fusion_score = score(
+            &subject.program,
+            CheckKind::NullDeref,
+            &subject.bugs,
+            &fusion_run.reports,
+        );
         let infer_run = analyze_inferlike(
             &subject.program,
             &subject.pdg,
             &checker,
             &InferOptions::default(),
         );
-        let infer_score =
-            score(&subject.program, CheckKind::NullDeref, &subject.bugs, &infer_run.reports);
+        let infer_score = score(
+            &subject.program,
+            CheckKind::NullDeref,
+            &subject.bugs,
+            &infer_run.reports,
+        );
         println!(
             "{:>2} {:>8} | {:>9}K {:>8.1}ms {:>7} {:>4} {:>4} {:>5} | {:>9}K {:>8.1}ms {:>7} {:>4} {:>4} {:>5}",
             spec.id,
@@ -59,7 +67,11 @@ fn main() {
         totals[5] += infer_score.false_positives;
     }
     let rate = |fp: usize, rep: usize| {
-        if rep == 0 { 0.0 } else { 100.0 * fp as f64 / rep as f64 }
+        if rep == 0 {
+            0.0
+        } else {
+            100.0 * fp as f64 / rep as f64
+        }
     };
     println!(
         "\nFP rate: fusion {:.1}% vs infer-like {:.1}% (paper: 29.2% vs 66.1%)",

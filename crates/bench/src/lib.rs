@@ -49,10 +49,19 @@ pub fn scale_from_env() -> f64 {
 pub fn build_subject(spec: &'static SubjectSpec, scale: f64) -> CompiledSubject {
     let cfg = spec.gen_config(scale);
     let mut subject = generate(&cfg);
-    let program = compile_ast(&subject.surface, &mut subject.interner, CompileOptions::default())
-        .expect("generated subjects always compile");
+    let program = compile_ast(
+        &subject.surface,
+        &mut subject.interner,
+        CompileOptions::default(),
+    )
+    .expect("generated subjects always compile");
     let pdg = Pdg::build(&program);
-    CompiledSubject { spec, program, pdg, bugs: subject.bugs }
+    CompiledSubject {
+        spec,
+        program,
+        pdg,
+        bugs: subject.bugs,
+    }
 }
 
 /// The per-query solver budget used by every engine in the harnesses
@@ -71,7 +80,13 @@ pub fn run_checker(
     checker: &Checker,
     engine: &mut dyn FeasibilityEngine,
 ) -> AnalysisRun {
-    analyze(&subject.program, &subject.pdg, checker, engine, &AnalysisOptions::new())
+    analyze(
+        &subject.program,
+        &subject.pdg,
+        checker,
+        engine,
+        &AnalysisOptions::new(),
+    )
 }
 
 /// Formats a duration as fractional seconds.

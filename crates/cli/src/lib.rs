@@ -9,9 +9,11 @@
 //!     --checker null|cwe23|cwe402|all    which checkers to run (default: all)
 //!     --engine fusion|unopt|pinpoint|ar  feasibility engine (default: fusion)
 //!     --timeout-secs N                   per-query SMT budget (default: 10)
+//!     --solver-timeout-ms N              per-query SMT budget, millisecond precision
 //!     --json                             machine-readable output
 //!     --stats                            print PDG and cost statistics
 //!     --threads N                        parallel candidate checking
+//!     --cache / --no-cache               shared feasibility-verdict cache (default: on)
 //!     --dot FILE                         export the PDG in Graphviz format
 //!     --source NAME                      extra taint-source function (repeatable)
 //!     --sink NAME                        extra taint-sink function (repeatable)
@@ -20,19 +22,27 @@
 //! ```
 //!
 //! Multiple files are concatenated into one translation unit, so flows may
-//! cross files — the cross-file reasoning Table 5 highlights.
+//! cross files — the cross-file reasoning Table 5 highlights. One verdict
+//! cache is shared across every checker (and, with `--threads`, every
+//! worker) of a scan, so identical dependence paths are solved once.
 
 #![warn(missing_docs)]
 
+pub mod json;
+
+use fusion::cache::VerdictCache;
 use fusion::checkers::Checker;
-use fusion::engine::{analyze, AnalysisOptions, AnalysisRun, Feasibility, FeasibilityEngine};
+use fusion::engine::{
+    analyze_parallel_with_cache, analyze_with_cache, AnalysisOptions, AnalysisRun, Feasibility,
+    FeasibilityEngine,
+};
 use fusion::graph_solver::{FusionSolver, UnoptimizedGraphSolver};
 use fusion_baselines::{ArEngine, PinpointEngine};
 use fusion_ir::{compile, CompileOptions};
 use fusion_pdg::graph::Pdg;
 use fusion_smt::solver::SolverConfig;
-use serde::Serialize;
 use std::fmt;
+use std::fmt::Write as _;
 use std::time::Duration;
 
 /// Which feasibility engine to use.
@@ -78,6 +88,8 @@ pub struct Options {
     pub stats: bool,
     /// Worker threads for candidate checking (1 = sequential).
     pub threads: usize,
+    /// Share one feasibility-verdict cache across checkers and workers.
+    pub use_cache: bool,
     /// Write the PDG as Graphviz DOT to this path.
     pub dot: Option<String>,
     /// Extra taint-source function names (added to both taint checkers).
@@ -100,6 +112,7 @@ impl Default for Options {
             json: false,
             stats: false,
             threads: 1,
+            use_cache: true,
             dot: None,
             extra_sources: Vec::new(),
             extra_sinks: Vec::new(),
@@ -133,7 +146,9 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--engine" => {
-                let v = it.next().ok_or_else(|| CliError("--engine needs a value".into()))?;
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError("--engine needs a value".into()))?;
                 opts.engine = match v.as_str() {
                     "fusion" => EngineChoice::Fusion,
                     "unopt" => EngineChoice::Unopt,
@@ -143,7 +158,9 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
                 };
             }
             "--checker" => {
-                let v = it.next().ok_or_else(|| CliError("--checker needs a value".into()))?;
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError("--checker needs a value".into()))?;
                 opts.checker = match v.as_str() {
                     "null" => CheckerChoice::Null,
                     "cwe23" => CheckerChoice::Cwe23,
@@ -153,14 +170,27 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
                 };
             }
             "--timeout-secs" => {
-                let v = it.next().ok_or_else(|| CliError("--timeout-secs needs a value".into()))?;
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError("--timeout-secs needs a value".into()))?;
                 let secs: u64 = v
                     .parse()
                     .map_err(|_| CliError(format!("invalid timeout `{v}`")))?;
                 opts.timeout = Duration::from_secs(secs);
             }
+            "--solver-timeout-ms" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError("--solver-timeout-ms needs a value".into()))?;
+                let ms: u64 = v
+                    .parse()
+                    .map_err(|_| CliError(format!("invalid timeout `{v}`")))?;
+                opts.timeout = Duration::from_millis(ms);
+            }
             "--threads" => {
-                let v = it.next().ok_or_else(|| CliError("--threads needs a value".into()))?;
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError("--threads needs a value".into()))?;
                 opts.threads = v
                     .parse()
                     .map_err(|_| CliError(format!("invalid thread count `{v}`")))?;
@@ -169,23 +199,33 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
                 }
             }
             "--dot" => {
-                let v = it.next().ok_or_else(|| CliError("--dot needs a value".into()))?;
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError("--dot needs a value".into()))?;
                 opts.dot = Some(v.clone());
             }
             "--source" => {
-                let v = it.next().ok_or_else(|| CliError("--source needs a value".into()))?;
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError("--source needs a value".into()))?;
                 opts.extra_sources.push(v.clone());
             }
             "--sink" => {
-                let v = it.next().ok_or_else(|| CliError("--sink needs a value".into()))?;
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError("--sink needs a value".into()))?;
                 opts.extra_sinks.push(v.clone());
             }
             "--sanitizer" => {
-                let v = it.next().ok_or_else(|| CliError("--sanitizer needs a value".into()))?;
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError("--sanitizer needs a value".into()))?;
                 opts.extra_sanitizers.push(v.clone());
             }
             "--unroll" => {
-                let v = it.next().ok_or_else(|| CliError("--unroll needs a value".into()))?;
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError("--unroll needs a value".into()))?;
                 opts.unroll = v
                     .parse()
                     .map_err(|_| CliError(format!("invalid unroll factor `{v}`")))?;
@@ -195,10 +235,13 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
             }
             "--json" => opts.json = true,
             "--stats" => opts.stats = true,
+            "--cache" => opts.use_cache = true,
+            "--no-cache" => opts.use_cache = false,
             "--help" | "-h" => {
                 return Err(CliError(
                     "usage: fusion-scan [--engine fusion|unopt|pinpoint|ar] \
-                     [--checker null|cwe23|cwe402|all] [--timeout-secs N] [--threads N] \
+                     [--checker null|cwe23|cwe402|all] [--timeout-secs N] \
+                     [--solver-timeout-ms N] [--threads N] [--cache|--no-cache] \
                      [--dot FILE] [--json] [--stats] FILE..."
                         .into(),
                 ))
@@ -216,7 +259,7 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
 }
 
 /// One finding in machine-readable form.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Finding {
     /// Checker that produced the finding.
     pub checker: String,
@@ -231,7 +274,7 @@ pub struct Finding {
 }
 
 /// Machine-readable scan result.
-#[derive(Debug, Clone, Serialize, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ScanReport {
     /// All findings across checkers.
     pub findings: Vec<Finding>,
@@ -245,10 +288,60 @@ pub struct ScanReport {
     pub elapsed_ms: f64,
     /// Peak tracked memory in bytes.
     pub peak_memory_bytes: u64,
+    /// Verdict-cache hits across the whole scan (0 with `--no-cache`).
+    pub cache_hits: u64,
+    /// Verdict-cache misses across the whole scan.
+    pub cache_misses: u64,
+    /// Bytes retained by the shared verdict cache at the end of the scan.
+    pub cache_bytes: u64,
+}
+
+impl ScanReport {
+    /// Renders the report as pretty-printed JSON (stable member order).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "\n    {{\n      \"checker\": \"{}\",\n      \"source_function\": \"{}\",\
+                 \n      \"sink_function\": \"{}\",\n      \"verdict\": \"{}\",\
+                 \n      \"path_length\": {}\n    }}",
+                json::escape(&f.checker),
+                json::escape(&f.source_function),
+                json::escape(&f.sink_function),
+                json::escape(&f.verdict),
+                f.path_length
+            );
+        }
+        if !self.findings.is_empty() {
+            s.push_str("\n  ");
+        }
+        let _ = write!(
+            s,
+            "],\n  \"suppressed\": {},\n  \"vertices\": {},\n  \"edges\": {},\
+             \n  \"elapsed_ms\": {},\n  \"peak_memory_bytes\": {},\
+             \n  \"cache_hits\": {},\n  \"cache_misses\": {},\n  \"cache_bytes\": {}\n}}",
+            self.suppressed,
+            self.vertices,
+            self.edges,
+            self.elapsed_ms,
+            self.peak_memory_bytes,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_bytes
+        );
+        s
+    }
 }
 
 fn make_engine(choice: EngineChoice, timeout: Duration) -> Box<dyn FeasibilityEngine> {
-    let cfg = SolverConfig { timeout: Some(timeout), ..Default::default() };
+    let cfg = SolverConfig {
+        timeout: Some(timeout),
+        ..Default::default()
+    };
     match choice {
         EngineChoice::Fusion => Box::new(FusionSolver::new(cfg)),
         EngineChoice::Unopt => Box::new(UnoptimizedGraphSolver::new(cfg)),
@@ -264,8 +357,10 @@ fn make_engine(choice: EngineChoice, timeout: Duration) -> Box<dyn FeasibilityEn
 /// Returns [`CliError`] for compile errors (with position information).
 pub fn scan_source(source: &str, opts: &Options) -> Result<ScanReport, CliError> {
     let started = std::time::Instant::now();
-    let compile_opts =
-        CompileOptions { loop_unroll: opts.unroll, recursion_unroll: opts.unroll };
+    let compile_opts = CompileOptions {
+        loop_unroll: opts.unroll,
+        recursion_unroll: opts.unroll,
+    };
     let program =
         compile(source, compile_opts).map_err(|e| CliError(format!("compile error: {e}")))?;
     let pdg = Pdg::build(&program);
@@ -279,7 +374,8 @@ pub fn scan_source(source: &str, opts: &Options) -> Result<ScanReport, CliError>
         if c.kind != fusion::checkers::CheckKind::NullDeref {
             c.source_fns.extend(opts.extra_sources.iter().cloned());
             c.sink_fns.extend(opts.extra_sinks.iter().cloned());
-            c.sanitizer_fns.extend(opts.extra_sanitizers.iter().cloned());
+            c.sanitizer_fns
+                .extend(opts.extra_sanitizers.iter().cloned());
         }
     }
     let mut report = ScanReport {
@@ -289,28 +385,41 @@ pub fn scan_source(source: &str, opts: &Options) -> Result<ScanReport, CliError>
     };
     if let Some(path) = &opts.dot {
         let dot = fusion_pdg::dot::pdg_to_dot(&program, &pdg, None);
-        std::fs::write(path, dot)
-            .map_err(|e| CliError(format!("cannot write `{path}`: {e}")))?;
+        std::fs::write(path, dot).map_err(|e| CliError(format!("cannot write `{path}`: {e}")))?;
     }
+    // One verdict cache for the whole scan: shared across checkers and,
+    // in parallel runs, across workers.
+    let shared_cache = VerdictCache::new();
+    let cache = opts.use_cache.then_some(&shared_cache);
     let mut peak = 0u64;
     for checker in &checkers {
         let run: AnalysisRun = if opts.threads > 1 {
             let engine_choice = opts.engine;
             let timeout = opts.timeout;
             let factory = move || make_engine(engine_choice, timeout);
-            fusion::engine::analyze_parallel(
+            analyze_parallel_with_cache(
                 &program,
                 &pdg,
                 checker,
                 &factory,
                 opts.threads,
                 &AnalysisOptions::new(),
+                cache,
             )
         } else {
             let mut engine = make_engine(opts.engine, opts.timeout);
-            analyze(&program, &pdg, checker, engine.as_mut(), &AnalysisOptions::new())
+            analyze_with_cache(
+                &program,
+                &pdg,
+                checker,
+                engine.as_mut(),
+                &AnalysisOptions::new(),
+                cache,
+            )
         };
         peak = peak.max(run.peak_memory);
+        report.cache_hits += run.cache.hits;
+        report.cache_misses += run.cache.misses;
         report.suppressed += run.suppressed;
         for r in &run.reports {
             report.findings.push(Finding {
@@ -328,6 +437,7 @@ pub fn scan_source(source: &str, opts: &Options) -> Result<ScanReport, CliError>
     }
     report.elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
     report.peak_memory_bytes = peak;
+    report.cache_bytes = cache.map(|c| c.bytes()).unwrap_or(0);
     Ok(report)
 }
 
@@ -364,11 +474,7 @@ pub fn run(args: &[String], out: &mut dyn std::io::Write) -> i32 {
         }
     };
     if opts.json {
-        let _ = writeln!(
-            out,
-            "{}",
-            serde_json::to_string_pretty(&report).expect("report serializes")
-        );
+        let _ = writeln!(out, "{}", report.to_json());
     } else {
         for f in &report.findings {
             let _ = writeln!(
@@ -386,11 +492,15 @@ pub fn run(args: &[String], out: &mut dyn std::io::Write) -> i32 {
         if opts.stats {
             let _ = writeln!(
                 out,
-                "pdg: {} vertices, {} edges; {:.1} ms; peak {} KiB",
+                "pdg: {} vertices, {} edges; {:.1} ms; peak {} KiB \
+                 (cache {} B, {} hit / {} miss)",
                 report.vertices,
                 report.edges,
                 report.elapsed_ms,
-                report.peak_memory_bytes / 1024
+                report.peak_memory_bytes / 1024,
+                report.cache_bytes,
+                report.cache_hits,
+                report.cache_misses
             );
         }
     }
@@ -421,8 +531,16 @@ mod tests {
     #[test]
     fn parses_flags() {
         let o = parse_args(&args(&[
-            "--engine", "pinpoint", "--checker", "cwe23", "--timeout-secs", "3", "--json",
-            "--stats", "x.fus", "y.fus",
+            "--engine",
+            "pinpoint",
+            "--checker",
+            "cwe23",
+            "--timeout-secs",
+            "3",
+            "--json",
+            "--stats",
+            "x.fus",
+            "y.fus",
         ]))
         .unwrap();
         assert_eq!(o.engine, EngineChoice::Pinpoint);
@@ -445,7 +563,10 @@ mod tests {
         let src = "extern fn deref(p);\n\
             fn f(x) { let q = null; let r = 1; if (x > 0) { r = q; } deref(r); return 0; }\n\
             fn g(x) { let q = null; let r = 1; if (x * 2 == 7) { r = q; } deref(r); return 0; }";
-        let opts = Options { checker: CheckerChoice::Null, ..Default::default() };
+        let opts = Options {
+            checker: CheckerChoice::Null,
+            ..Default::default()
+        };
         let report = scan_source(src, &opts).unwrap();
         assert_eq!(report.findings.len(), 1);
         assert_eq!(report.suppressed, 1);
@@ -484,8 +605,11 @@ mod tests {
         assert_eq!(run(&[clean.display().to_string()], &mut out), 0);
         // 1: findings present.
         let buggy = dir.join("fusion_cli_buggy.fus");
-        std::fs::write(&buggy, "extern fn deref(p); fn f() { let q = null; deref(q); return 0; }")
-            .unwrap();
+        std::fs::write(
+            &buggy,
+            "extern fn deref(p); fn f() { let q = null; deref(q); return 0; }",
+        )
+        .unwrap();
         let mut out = Vec::new();
         assert_eq!(run(&[buggy.display().to_string()], &mut out), 1);
         let text = String::from_utf8(out).unwrap();
@@ -505,7 +629,10 @@ mod tests {
         let report = scan_source(src, &opts).unwrap();
         assert_eq!(report.findings.len(), 1);
         // Without the extensions nothing is flagged.
-        let plain = Options { checker: CheckerChoice::Cwe402, ..Default::default() };
+        let plain = Options {
+            checker: CheckerChoice::Cwe402,
+            ..Default::default()
+        };
         assert!(scan_source(src, &plain).unwrap().findings.is_empty());
     }
 
@@ -517,9 +644,16 @@ mod tests {
             fn f(n) { let q = null; let r = 1; let i = 0;\n\
               while (i < n) { i = i + 1; }\n\
               if (i == 4) { r = q; } deref(r); return 0; }";
-        let shallow = Options { checker: CheckerChoice::Null, ..Default::default() };
+        let shallow = Options {
+            checker: CheckerChoice::Null,
+            ..Default::default()
+        };
         assert_eq!(scan_source(src, &shallow).unwrap().findings.len(), 0);
-        let deep = Options { checker: CheckerChoice::Null, unroll: 4, ..Default::default() };
+        let deep = Options {
+            checker: CheckerChoice::Null,
+            unroll: 4,
+            ..Default::default()
+        };
         assert_eq!(scan_source(src, &deep).unwrap().findings.len(), 1);
     }
 
@@ -528,8 +662,15 @@ mod tests {
         let src = "extern fn deref(p);\n\
             fn a(x) { let q = null; let r = 1; if (x > 1) { r = q; } deref(r); return 0; }\n\
             fn b(x) { let q = null; let r = 1; if (x * 2 == 5) { r = q; } deref(r); return 0; }";
-        let seq = Options { checker: CheckerChoice::Null, ..Default::default() };
-        let par = Options { checker: CheckerChoice::Null, threads: 3, ..Default::default() };
+        let seq = Options {
+            checker: CheckerChoice::Null,
+            ..Default::default()
+        };
+        let par = Options {
+            checker: CheckerChoice::Null,
+            threads: 3,
+            ..Default::default()
+        };
         let r1 = scan_source(src, &seq).unwrap();
         let r2 = scan_source(src, &par).unwrap();
         assert_eq!(r1.findings.len(), r2.findings.len());
@@ -549,7 +690,10 @@ mod tests {
         };
         assert!(scan_source(src, &opts).unwrap().findings.is_empty());
         // Without the sanitizer registration the flow is reported.
-        let plain = Options { checker: CheckerChoice::Cwe23, ..Default::default() };
+        let plain = Options {
+            checker: CheckerChoice::Cwe23,
+            ..Default::default()
+        };
         assert_eq!(scan_source(src, &plain).unwrap().findings.len(), 1);
     }
 
@@ -557,11 +701,80 @@ mod tests {
     fn json_output_is_valid() {
         let dir = std::env::temp_dir();
         let buggy = dir.join("fusion_cli_json.fus");
-        std::fs::write(&buggy, "extern fn deref(p); fn f() { let q = null; deref(q); return 0; }")
-            .unwrap();
+        std::fs::write(
+            &buggy,
+            "extern fn deref(p); fn f() { let q = null; deref(q); return 0; }",
+        )
+        .unwrap();
         let mut out = Vec::new();
         run(&[buggy.display().to_string(), "--json".into()], &mut out);
-        let v: serde_json::Value = serde_json::from_slice(&out).expect("valid json");
-        assert_eq!(v["findings"].as_array().unwrap().len(), 1);
+        let text = String::from_utf8(out).unwrap();
+        let v = json::Value::parse(text.trim()).expect("valid json");
+        let findings = v.get("findings").unwrap().as_array().unwrap();
+        assert_eq!(findings.len(), 1);
+        assert_eq!(
+            findings[0].get("checker").unwrap().as_str(),
+            Some("null-deref")
+        );
+        assert_eq!(
+            findings[0].get("verdict").unwrap().as_str(),
+            Some("feasible")
+        );
+        // The cache counters are part of the machine-readable surface.
+        assert!(v.get("cache_hits").unwrap().as_f64().is_some());
+        assert!(v.get("cache_misses").unwrap().as_f64().is_some());
+        assert!(v.get("cache_bytes").unwrap().as_f64().is_some());
+    }
+
+    #[test]
+    fn json_output_with_no_findings_is_valid() {
+        let report = scan_source("fn f(x) { return x; }", &Options::default()).unwrap();
+        let v = json::Value::parse(&report.to_json()).expect("valid json");
+        assert_eq!(v.get("findings").unwrap().as_array().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn cache_flags_parse() {
+        let o = parse_args(&args(&["a.fus"])).unwrap();
+        assert!(o.use_cache);
+        let o = parse_args(&args(&["--no-cache", "a.fus"])).unwrap();
+        assert!(!o.use_cache);
+        let o = parse_args(&args(&["--no-cache", "--cache", "a.fus"])).unwrap();
+        assert!(o.use_cache);
+    }
+
+    #[test]
+    fn solver_timeout_ms_parses() {
+        let o = parse_args(&args(&["--solver-timeout-ms", "250", "a.fus"])).unwrap();
+        assert_eq!(o.timeout, Duration::from_millis(250));
+        assert!(parse_args(&args(&["--solver-timeout-ms", "x", "a.fus"])).is_err());
+        assert!(parse_args(&args(&["--solver-timeout-ms"])).is_err());
+    }
+
+    #[test]
+    fn cached_scan_matches_uncached() {
+        // Two structurally identical functions: the second candidate's
+        // feasibility queries hit the cache, with no effect on findings.
+        let src = "extern fn deref(p);\n\
+            fn a(x) { let q = null; let r = 1; if (x > 0) { r = q; } deref(r); return 0; }\n\
+            fn b(x) { let q = null; let r = 1; if (x * 2 == 5) { r = q; } deref(r); return 0; }";
+        let cached = Options {
+            checker: CheckerChoice::Null,
+            ..Default::default()
+        };
+        let uncached = Options {
+            checker: CheckerChoice::Null,
+            use_cache: false,
+            ..Default::default()
+        };
+        let r1 = scan_source(src, &cached).unwrap();
+        let r2 = scan_source(src, &uncached).unwrap();
+        assert_eq!(r1.findings.len(), r2.findings.len());
+        assert_eq!(r1.suppressed, r2.suppressed);
+        assert!(r1.cache_misses > 0);
+        assert!(r1.cache_bytes > 0);
+        assert_eq!(r2.cache_hits, 0);
+        assert_eq!(r2.cache_misses, 0);
+        assert_eq!(r2.cache_bytes, 0);
     }
 }

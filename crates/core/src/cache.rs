@@ -1,0 +1,423 @@
+//! A sharded, lock-striped feasibility-verdict memo cache.
+//!
+//! Parallel solving re-derives the same dependence paths over and over:
+//! different candidates share sub-flows, alternative paths of one candidate
+//! overlap, and every worker engine starts from scratch. Following the
+//! observation that redundant per-query work dominates value-flow solving
+//! cost, [`VerdictCache`] memoizes the *verdict* of a path-set query under
+//! a canonical content hash so any worker can reuse any other worker's
+//! result.
+//!
+//! Design points:
+//!
+//! * **Keyed by content, not identity.** [`VerdictCache::key`] hashes the
+//!   vertex sequence, the inter-procedural link labels, *and* each vertex's
+//!   transfer function (its SSA definition: kind tag, operands, guard), so
+//!   two structurally identical queries collide on purpose while any
+//!   semantic difference separates them.
+//! * **Lock-striped.** The map is split over [`VerdictCache::shards`]
+//!   mutexes selected by key, so concurrent workers rarely contend.
+//! * **Never caches [`Feasibility::Unknown`].** Unknown means a budget ran
+//!   out; a later query with a fresh budget (or a warmer engine) may still
+//!   decide it, so Unknown is recomputed rather than memoized.
+//! * **Observable.** Hit/miss/insert counters are lock-free atomics; the
+//!   retained size is charged to [`Category::Cache`][crate::memory::Category]
+//!   by the analysis drivers via [`VerdictCache::bytes`].
+
+use crate::engine::Feasibility;
+use fusion_ir::ssa::{DefKind, Program};
+use fusion_pdg::paths::{DependencePath, Link};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Approximate retained bytes per cache entry: the 8-byte key, the verdict,
+/// and amortized hash-table overhead (bucket slot, control bytes, growth
+/// slack).
+pub const BYTES_PER_CACHE_ENTRY: u64 = 32;
+
+/// Monotonic cache counters, plus the retained entry count and byte size
+/// at observation time. Obtained from [`VerdictCache::stats`]; two
+/// snapshots subtract ([`CacheStats::since`]) to scope numbers to one run
+/// when a cache is shared across runs or checkers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Queries answered from the cache.
+    pub hits: u64,
+    /// Queries that had to go to an engine.
+    pub misses: u64,
+    /// Verdicts stored (Unknown verdicts are never stored).
+    pub inserts: u64,
+    /// Entries retained at observation time.
+    pub entries: u64,
+    /// Retained bytes at observation time.
+    pub bytes: u64,
+}
+
+impl CacheStats {
+    /// Counter deltas relative to an `earlier` snapshot of the same cache;
+    /// `entries`/`bytes` stay absolute (they describe current retention,
+    /// not traffic).
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            inserts: self.inserts - earlier.inserts,
+            entries: self.entries,
+            bytes: self.bytes,
+        }
+    }
+
+    /// Hit rate in `[0, 1]` (0 when no queries were made).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// The sharded feasibility-verdict cache shared across worker engines.
+///
+/// All methods take `&self`; the cache is `Sync` and meant to be shared by
+/// reference (or `Arc`) across the solving threads of one or many runs.
+pub struct VerdictCache {
+    shards: Vec<Mutex<HashMap<u64, Feasibility>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+}
+
+impl Default for VerdictCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+const DEFAULT_SHARDS: usize = 16;
+
+impl VerdictCache {
+    /// A cache with the default shard count (16).
+    pub fn new() -> Self {
+        Self::with_shards(DEFAULT_SHARDS)
+    }
+
+    /// A cache with `shards` lock stripes (rounded up to at least 1).
+    pub fn with_shards(shards: usize) -> Self {
+        let shards = shards.max(1);
+        VerdictCache {
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of lock stripes.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The canonical key of a path-set query: an FNV-1a fold over every
+    /// path's vertex sequence, link labels, and per-vertex transfer
+    /// function (definition kind, operands, guard). Identical program +
+    /// identical paths ⇒ identical key, independent of discovery order,
+    /// worker, or allocation.
+    pub fn key(program: &Program, paths: &[DependencePath]) -> u64 {
+        let mut h = Fnv::new();
+        h.write(paths.len() as u64);
+        for path in paths {
+            h.write(0xDEAD_BEEF); // path separator
+            h.write(path.nodes.len() as u64);
+            for v in &path.nodes {
+                h.write(v.func.0 as u64);
+                h.write(v.var.0 as u64);
+                hash_transfer(&mut h, program, *v);
+            }
+            for link in &path.links {
+                match link {
+                    Link::Local => h.write(1),
+                    Link::Enter(s) => {
+                        h.write(2);
+                        h.write(s.0 as u64);
+                    }
+                    Link::Exit(s) => {
+                        h.write(3);
+                        h.write(s.0 as u64);
+                    }
+                }
+            }
+        }
+        h.finish()
+    }
+
+    /// Looks up a verdict, counting a hit or miss.
+    pub fn get(&self, key: u64) -> Option<Feasibility> {
+        let shard = &self.shards[(key as usize) % self.shards.len()];
+        let found = shard
+            .lock()
+            .expect("cache shard poisoned")
+            .get(&key)
+            .copied();
+        match found {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores a verdict. [`Feasibility::Unknown`] is *not* stored: it only
+    /// says a budget ran out, and memoizing it would pin the failure.
+    pub fn insert(&self, key: u64, verdict: Feasibility) {
+        if verdict == Feasibility::Unknown {
+            return;
+        }
+        let shard = &self.shards[(key as usize) % self.shards.len()];
+        let inserted = shard
+            .lock()
+            .expect("cache shard poisoned")
+            .insert(key, verdict)
+            .is_none();
+        if inserted {
+            self.inserts.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Total retained entries across shards.
+    pub fn len(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").len() as u64)
+            .sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Approximate retained bytes (entries × [`BYTES_PER_CACHE_ENTRY`]).
+    pub fn bytes(&self) -> u64 {
+        self.len() * BYTES_PER_CACHE_ENTRY
+    }
+
+    /// A consistent-enough snapshot of the counters and retention.
+    pub fn stats(&self) -> CacheStats {
+        let entries = self.len();
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            entries,
+            bytes: entries * BYTES_PER_CACHE_ENTRY,
+        }
+    }
+}
+
+/// Folds the transfer function of vertex `v` into the hash: the definition
+/// kind's tag and fields. Two vertices with equal ids but different
+/// definitions (different programs) hash apart.
+fn hash_transfer(h: &mut Fnv, program: &Program, v: fusion_pdg::graph::Vertex) {
+    let def = program.func(v.func).def(v.var);
+    match &def.kind {
+        DefKind::Param { index } => {
+            h.write(10);
+            h.write(*index as u64);
+        }
+        DefKind::Const { value, is_null } => {
+            h.write(11);
+            h.write(*value as u64);
+            h.write(*is_null as u64);
+        }
+        DefKind::Copy { src } => {
+            h.write(12);
+            h.write(src.0 as u64);
+        }
+        DefKind::Binary { op, lhs, rhs } => {
+            h.write(13);
+            h.write(*op as u64);
+            h.write(lhs.0 as u64);
+            h.write(rhs.0 as u64);
+        }
+        DefKind::Ite {
+            cond,
+            then_v,
+            else_v,
+        } => {
+            h.write(14);
+            h.write(cond.0 as u64);
+            h.write(then_v.0 as u64);
+            h.write(else_v.0 as u64);
+        }
+        DefKind::Call { callee, args, site } => {
+            h.write(15);
+            h.write(callee.0 as u64);
+            h.write(site.0 as u64);
+            h.write(args.len() as u64);
+            for a in args {
+                h.write(a.0 as u64);
+            }
+        }
+        DefKind::Branch { cond } => {
+            h.write(16);
+            h.write(cond.0 as u64);
+        }
+        DefKind::Return { src } => {
+            h.write(17);
+            h.write(src.0 as u64);
+        }
+    }
+    match def.guard {
+        None => h.write(20),
+        Some(g) => {
+            h.write(21);
+            h.write(g.0 as u64);
+        }
+    }
+}
+
+/// FNV-1a over u64 words (each word folded byte-wise for diffusion).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write(&mut self, word: u64) {
+        for byte in word.to_le_bytes() {
+            self.0 ^= byte as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusion_ir::{compile, CompileOptions};
+    use fusion_pdg::graph::Pdg;
+
+    fn program_and_paths() -> (Program, Vec<DependencePath>) {
+        let src = "extern fn deref(p);\n\
+            fn f(x) { let q = null; let r = 1; if (x > 0) { r = q; } deref(r); return 0; }\n\
+            fn g(x) { let q = null; let r = 1; if (x > 0) { r = q; } deref(r); return 0; }";
+        let program = compile(src, CompileOptions::default()).expect("compile");
+        let pdg = Pdg::build(&program);
+        let checker = crate::checkers::Checker::null_deref();
+        let cands = crate::propagate::discover(
+            &program,
+            &pdg,
+            &checker,
+            &crate::propagate::PropagateOptions::default(),
+        );
+        let paths: Vec<DependencePath> = cands.into_iter().flat_map(|c| c.paths).collect();
+        assert!(paths.len() >= 2, "expected at least two candidate paths");
+        (program, paths)
+    }
+
+    #[test]
+    fn key_is_deterministic_and_content_sensitive() {
+        let (program, paths) = program_and_paths();
+        let k1 = VerdictCache::key(&program, std::slice::from_ref(&paths[0]));
+        let k2 = VerdictCache::key(&program, std::slice::from_ref(&paths[0]));
+        assert_eq!(k1, k2, "same content, same key");
+        let other = VerdictCache::key(&program, std::slice::from_ref(&paths[1]));
+        assert_ne!(k1, other, "f and g paths traverse different vertices");
+    }
+
+    #[test]
+    fn get_insert_and_counters() {
+        let cache = VerdictCache::with_shards(4);
+        assert_eq!(cache.get(42), None);
+        cache.insert(42, Feasibility::Feasible);
+        assert_eq!(cache.get(42), Some(Feasibility::Feasible));
+        cache.insert(43, Feasibility::Infeasible);
+        assert_eq!(cache.get(43), Some(Feasibility::Infeasible));
+        let s = cache.stats();
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.inserts, 2);
+        assert_eq!(s.entries, 2);
+        assert_eq!(s.bytes, 2 * BYTES_PER_CACHE_ENTRY);
+        assert!((s.hit_rate() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_is_never_stored() {
+        let cache = VerdictCache::new();
+        cache.insert(7, Feasibility::Unknown);
+        assert!(cache.is_empty());
+        assert_eq!(cache.get(7), None);
+        assert_eq!(cache.stats().inserts, 0);
+    }
+
+    #[test]
+    fn reinsert_does_not_double_count() {
+        let cache = VerdictCache::new();
+        cache.insert(1, Feasibility::Feasible);
+        cache.insert(1, Feasibility::Feasible);
+        assert_eq!(cache.stats().inserts, 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn stats_since_scopes_counters() {
+        let cache = VerdictCache::new();
+        cache.insert(1, Feasibility::Feasible);
+        let _ = cache.get(1);
+        let before = cache.stats();
+        let _ = cache.get(1);
+        let _ = cache.get(2);
+        let delta = cache.stats().since(&before);
+        assert_eq!(delta.hits, 1);
+        assert_eq!(delta.misses, 1);
+        assert_eq!(delta.inserts, 0);
+    }
+
+    #[test]
+    fn concurrent_workers_share_verdicts() {
+        let cache = VerdictCache::new();
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let cache = &cache;
+                scope.spawn(move || {
+                    for i in 0..256u64 {
+                        let key = i % 32;
+                        if cache.get(key).is_none() {
+                            let v = if key % 2 == 0 {
+                                Feasibility::Feasible
+                            } else {
+                                Feasibility::Infeasible
+                            };
+                            cache.insert(key, v);
+                        }
+                        let _ = t;
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 32);
+        for key in 0..32u64 {
+            let want = if key % 2 == 0 {
+                Feasibility::Feasible
+            } else {
+                Feasibility::Infeasible
+            };
+            assert_eq!(cache.get(key), Some(want), "key {key}");
+        }
+        let s = cache.stats();
+        assert!(s.hits > 0 && s.misses >= 32);
+    }
+}

@@ -74,7 +74,12 @@ impl Checker {
     pub fn cwe23() -> Checker {
         Checker {
             kind: CheckKind::Cwe23,
-            source_fns: vec!["gets".into(), "recv".into(), "read_input".into(), "getenv".into()],
+            source_fns: vec![
+                "gets".into(),
+                "recv".into(),
+                "read_input".into(),
+                "getenv".into(),
+            ],
             sink_fns: vec!["fopen".into(), "open_file".into(), "remove".into()],
             through_binary: true,
             through_extern: true,
@@ -133,7 +138,10 @@ impl Checker {
             DefKind::Call { callee, .. } => {
                 let callee_f = program.func(*callee);
                 callee_f.is_extern
-                    && self.sink_fns.iter().any(|n| n == program.name(callee_f.name))
+                    && self
+                        .sink_fns
+                        .iter()
+                        .any(|n| n == program.name(callee_f.name))
             }
             _ => false,
         }
@@ -162,7 +170,12 @@ impl Checker {
     /// Whether arithmetic that *discards* the operand still counts; used to
     /// prune silly flows like `x - x`.
     pub fn keeps_fact(&self, func: &Function, user: VarId) -> bool {
-        if let DefKind::Binary { op: Op::Sub, lhs, rhs } = func.def(user).kind {
+        if let DefKind::Binary {
+            op: Op::Sub,
+            lhs,
+            rhs,
+        } = func.def(user).kind
+        {
             if lhs == rhs {
                 return false;
             }
@@ -190,8 +203,11 @@ mod tests {
         .unwrap();
         let c = Checker::null_deref();
         let f = p.func_by_name("f").unwrap();
-        let sources: Vec<_> =
-            f.defs.iter().filter(|d| c.is_source(&p, f, d.var)).collect();
+        let sources: Vec<_> = f
+            .defs
+            .iter()
+            .filter(|d| c.is_source(&p, f, d.var))
+            .collect();
         let sinks: Vec<_> = f.defs.iter().filter(|d| c.is_sink(&p, f, d.var)).collect();
         assert_eq!(sources.len(), 1);
         assert_eq!(sinks.len(), 1);
@@ -207,7 +223,10 @@ mod tests {
         .unwrap();
         let c = Checker::cwe23();
         let f = p.func_by_name("f").unwrap();
-        assert_eq!(f.defs.iter().filter(|d| c.is_source(&p, f, d.var)).count(), 1);
+        assert_eq!(
+            f.defs.iter().filter(|d| c.is_source(&p, f, d.var)).count(),
+            1
+        );
         assert_eq!(f.defs.iter().filter(|d| c.is_sink(&p, f, d.var)).count(), 1);
     }
 
@@ -222,7 +241,10 @@ mod tests {
         let c = Checker::cwe23();
         let f = p.func_by_name("f").unwrap();
         assert_eq!(
-            f.defs.iter().filter(|d| c.is_sanitizer(&p, f, d.var)).count(),
+            f.defs
+                .iter()
+                .filter(|d| c.is_sanitizer(&p, f, d.var))
+                .count(),
             1
         );
     }
@@ -246,8 +268,11 @@ mod tests {
 
     #[test]
     fn nothing_flows_through_predicates() {
-        let p = compile("fn f(a, b) { let x = a < b; return x; }", CompileOptions::default())
-            .unwrap();
+        let p = compile(
+            "fn f(a, b) { let x = a < b; return x; }",
+            CompileOptions::default(),
+        )
+        .unwrap();
         let f = p.func_by_name("f").unwrap();
         let cmp = f
             .defs

@@ -6,12 +6,14 @@
 //! crate or the conventional baselines of `fusion-baselines`; the driver,
 //! reports and accounting are shared so comparisons are apples-to-apples.
 
+use crate::cache::{CacheStats, VerdictCache};
 use crate::checkers::Checker;
-use crate::memory::{Category, MemoryAccountant, BYTES_PER_DEF};
+use crate::memory::{run_accounting, MemoryAccountant, BYTES_PER_DEF};
 use crate::propagate::{discover, Candidate, PropagateOptions};
 use fusion_ir::ssa::Program;
 use fusion_pdg::graph::{Pdg, Vertex};
 use fusion_pdg::paths::DependencePath;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// The verdict on one path set.
@@ -105,15 +107,17 @@ pub struct BugReport {
 /// Aggregate results of one analysis run.
 #[derive(Debug, Clone)]
 pub struct AnalysisRun {
-    /// Engine name.
-    pub engine: &'static str,
+    /// Engine name. Sequential runs use the engine's own name; parallel
+    /// runs keep it and suffix the thread count (e.g. `"fusion×4"`).
+    pub engine: String,
     /// Bug reports (feasible or undecided candidates).
     pub reports: Vec<BugReport>,
     /// Candidates whose every path was proven infeasible.
     pub suppressed: usize,
     /// Total candidates discovered by propagation.
     pub candidates: usize,
-    /// Feasibility queries issued.
+    /// Feasibility queries actually issued to an engine (cache hits are
+    /// counted in [`AnalysisRun::cache`], not here).
     pub queries: usize,
     /// Wall-clock duration: propagation phase.
     pub propagate_time: Duration,
@@ -121,6 +125,9 @@ pub struct AnalysisRun {
     pub solve_time: Duration,
     /// Peak tracked memory, bytes (all categories).
     pub peak_memory: u64,
+    /// Verdict-cache traffic attributable to this run (all zeros when the
+    /// run was uncached).
+    pub cache: CacheStats,
 }
 
 impl AnalysisRun {
@@ -130,17 +137,104 @@ impl AnalysisRun {
     }
 }
 
-/// Configuration of [`analyze`].
-#[derive(Debug, Clone, Copy, Default)]
+/// Configuration of [`analyze`] and [`analyze_parallel`].
+#[derive(Debug, Clone, Copy)]
 pub struct AnalysisOptions {
     /// Propagation limits.
     pub propagate: PropagateOptions,
+    /// Whether the drivers memoize path verdicts in a [`VerdictCache`]
+    /// (on by default). [`analyze`]/[`analyze_parallel`] allocate a
+    /// run-local cache; use the `*_with_cache` variants to share one
+    /// cache across runs or checkers.
+    pub use_cache: bool,
+}
+
+impl Default for AnalysisOptions {
+    fn default() -> Self {
+        Self {
+            propagate: PropagateOptions::default(),
+            use_cache: true,
+        }
+    }
 }
 
 impl AnalysisOptions {
     /// Default options.
     pub fn new() -> Self {
-        Self { propagate: PropagateOptions::default() }
+        Self::default()
+    }
+
+    /// Default options with verdict caching disabled.
+    pub fn without_cache() -> Self {
+        Self {
+            use_cache: false,
+            ..Self::default()
+        }
+    }
+}
+
+/// The outcome for one candidate: either all paths were proven
+/// infeasible (suppressed) or a report was produced.
+enum CandVerdict {
+    Suppressed,
+    Report(BugReport),
+}
+
+/// Decides one candidate: query each alternative path until one is
+/// feasible. With a cache, each path's verdict is looked up by canonical
+/// key first and engine misses are stored back (Unknown is never stored).
+/// `queries` counts only queries actually issued to the engine.
+fn solve_candidate(
+    program: &Program,
+    pdg: &Pdg,
+    engine: &mut dyn FeasibilityEngine,
+    cache: Option<&VerdictCache>,
+    cand: &Candidate,
+    queries: &mut usize,
+) -> CandVerdict {
+    let mut verdict = Feasibility::Infeasible;
+    let mut witness: Option<&DependencePath> = None;
+    for path in &cand.paths {
+        let slice = std::slice::from_ref(path);
+        let feasibility = match cache {
+            Some(c) => {
+                let key = VerdictCache::key(program, slice);
+                match c.get(key) {
+                    Some(v) => v,
+                    None => {
+                        *queries += 1;
+                        let o = engine.check_paths(program, pdg, slice);
+                        c.insert(key, o.feasibility);
+                        o.feasibility
+                    }
+                }
+            }
+            None => {
+                *queries += 1;
+                engine.check_paths(program, pdg, slice).feasibility
+            }
+        };
+        match feasibility {
+            Feasibility::Feasible => {
+                verdict = Feasibility::Feasible;
+                witness = Some(path);
+                break;
+            }
+            Feasibility::Unknown => {
+                verdict = Feasibility::Unknown;
+                witness.get_or_insert(path);
+            }
+            Feasibility::Infeasible => {}
+        }
+    }
+    match verdict {
+        Feasibility::Infeasible => CandVerdict::Suppressed,
+        v => CandVerdict::Report(BugReport {
+            source: cand.source,
+            sink: cand.sink,
+            verdict: v,
+            path: witness.expect("non-infeasible verdict has a path").clone(),
+        }),
     }
 }
 
@@ -157,52 +251,52 @@ pub fn analyze(
     engine: &mut dyn FeasibilityEngine,
     options: &AnalysisOptions,
 ) -> AnalysisRun {
+    let local = VerdictCache::new();
+    let cache = options.use_cache.then_some(&local);
+    analyze_with_cache(program, pdg, checker, engine, options, cache)
+}
+
+/// [`analyze`] with an explicit, possibly shared, verdict cache (`None`
+/// disables caching regardless of [`AnalysisOptions::use_cache`]). The
+/// returned [`AnalysisRun::cache`] counters are scoped to this run even
+/// when the cache is shared.
+pub fn analyze_with_cache(
+    program: &Program,
+    pdg: &Pdg,
+    checker: &Checker,
+    engine: &mut dyn FeasibilityEngine,
+    options: &AnalysisOptions,
+    cache: Option<&VerdictCache>,
+) -> AnalysisRun {
     let t0 = Instant::now();
     let candidates: Vec<Candidate> = discover(program, pdg, checker, &options.propagate);
     let propagate_time = t0.elapsed();
+    let cache_before = cache.map(|c| c.stats()).unwrap_or_default();
 
     let mut reports = Vec::new();
     let mut suppressed = 0usize;
     let mut queries = 0usize;
     let t1 = Instant::now();
     for cand in &candidates {
-        let mut verdict = Feasibility::Infeasible;
-        let mut witness: Option<&DependencePath> = None;
-        for path in &cand.paths {
-            queries += 1;
-            let outcome = engine.check_paths(program, pdg, std::slice::from_ref(path));
-            match outcome.feasibility {
-                Feasibility::Feasible => {
-                    verdict = Feasibility::Feasible;
-                    witness = Some(path);
-                    break;
-                }
-                Feasibility::Unknown => {
-                    verdict = Feasibility::Unknown;
-                    witness.get_or_insert(path);
-                }
-                Feasibility::Infeasible => {}
-            }
-        }
-        match verdict {
-            Feasibility::Infeasible => suppressed += 1,
-            v => reports.push(BugReport {
-                source: cand.source,
-                sink: cand.sink,
-                verdict: v,
-                path: witness.expect("non-infeasible verdict has a path").clone(),
-            }),
+        match solve_candidate(program, pdg, engine, cache, cand, &mut queries) {
+            CandVerdict::Suppressed => suppressed += 1,
+            CandVerdict::Report(r) => reports.push(r),
         }
     }
     let solve_time = t1.elapsed();
 
-    // The graph itself is retained for the whole run, for every engine.
+    // The graph (and the cache, if any) is retained for the whole run,
+    // for every engine: one accounting path shared with the parallel
+    // driver.
     let graph_bytes = program.size() as u64 * BYTES_PER_DEF;
-    let mut mem = engine.memory().clone();
-    mem.charge(Category::Graph, graph_bytes);
+    let cache_bytes = cache.map(|c| c.bytes()).unwrap_or(0);
+    let mem = run_accounting(std::iter::once(engine.memory()), graph_bytes, cache_bytes);
+    let cache_stats = cache
+        .map(|c| c.stats().since(&cache_before))
+        .unwrap_or_default();
 
     AnalysisRun {
-        engine: engine.name(),
+        engine: engine.name().to_string(),
         reports,
         suppressed,
         candidates: candidates.len(),
@@ -210,13 +304,23 @@ pub fn analyze(
         propagate_time,
         solve_time,
         peak_memory: mem.peak_total(),
+        cache: cache_stats,
     }
 }
 
 /// Runs one checker with per-thread engines, fanning candidates out over
 /// `threads` worker threads (the paper's evaluation used fifteen). Each
 /// worker owns an engine built by `factory`, so no locking is needed on
-/// solver state; reports are merged and sorted for determinism.
+/// solver state.
+///
+/// Work distribution is a **work-stealing queue**: an atomic cursor over
+/// the candidate vector from which workers grab chunks, so a worker stuck
+/// behind one slow candidate no longer idles the rest of its stride.
+/// Chunked grabs amortize cursor contention while keeping the tail
+/// balanced. Workers share one [`VerdictCache`] (unless disabled via
+/// [`AnalysisOptions::use_cache`]), and results are merged back in
+/// candidate order, so the report list is byte-identical to the
+/// sequential driver's regardless of thread count or steal order.
 pub fn analyze_parallel(
     program: &Program,
     pdg: &Pdg,
@@ -225,92 +329,126 @@ pub fn analyze_parallel(
     threads: usize,
     options: &AnalysisOptions,
 ) -> AnalysisRun {
+    let local = VerdictCache::new();
+    let cache = options.use_cache.then_some(&local);
+    analyze_parallel_with_cache(program, pdg, checker, factory, threads, options, cache)
+}
+
+/// [`analyze_parallel`] with an explicit, possibly shared, verdict cache
+/// (`None` disables caching regardless of [`AnalysisOptions::use_cache`]).
+pub fn analyze_parallel_with_cache(
+    program: &Program,
+    pdg: &Pdg,
+    checker: &Checker,
+    factory: &(dyn Fn() -> Box<dyn FeasibilityEngine> + Sync),
+    threads: usize,
+    options: &AnalysisOptions,
+    cache: Option<&VerdictCache>,
+) -> AnalysisRun {
     let t0 = Instant::now();
     let candidates: Vec<Candidate> = discover(program, pdg, checker, &options.propagate);
     let propagate_time = t0.elapsed();
     let threads = threads.max(1);
+    let cache_before = cache.map(|c| c.stats()).unwrap_or_default();
 
     struct WorkerOut {
-        reports: Vec<BugReport>,
-        suppressed: usize,
+        /// The factory-built engine's name (same for every worker).
+        name: &'static str,
+        /// `(candidate index, outcome)` pairs, in steal order.
+        results: Vec<(usize, CandVerdict)>,
         queries: usize,
-        peak_memory: u64,
+        memory: MemoryAccountant,
     }
+
+    // Work-stealing cursor: workers atomically grab chunks of candidate
+    // indices. Chunks shrink with the candidate count so the tail stays
+    // balanced; `fetch_add` keeps the grab wait-free.
+    let cursor = AtomicUsize::new(0);
+    let chunk = (candidates.len() / (threads * 8)).max(1);
 
     let t1 = Instant::now();
     let outputs: Vec<WorkerOut> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
-        for worker in 0..threads {
+        for _ in 0..threads {
             let cands = &candidates;
+            let cursor = &cursor;
             handles.push(scope.spawn(move || {
                 let mut engine = factory();
                 let mut out = WorkerOut {
-                    reports: Vec::new(),
-                    suppressed: 0,
+                    name: engine.name(),
+                    results: Vec::new(),
                     queries: 0,
-                    peak_memory: 0,
+                    memory: MemoryAccountant::new(),
                 };
-                // Strided partition keeps the assignment deterministic.
-                for cand in cands.iter().skip(worker).step_by(threads) {
-                    let mut verdict = Feasibility::Infeasible;
-                    let mut witness: Option<&DependencePath> = None;
-                    for path in &cand.paths {
-                        out.queries += 1;
-                        let o = engine.check_paths(program, pdg, std::slice::from_ref(path));
-                        match o.feasibility {
-                            Feasibility::Feasible => {
-                                verdict = Feasibility::Feasible;
-                                witness = Some(path);
-                                break;
-                            }
-                            Feasibility::Unknown => {
-                                verdict = Feasibility::Unknown;
-                                witness.get_or_insert(path);
-                            }
-                            Feasibility::Infeasible => {}
-                        }
+                loop {
+                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= cands.len() {
+                        break;
                     }
-                    match verdict {
-                        Feasibility::Infeasible => out.suppressed += 1,
-                        v => out.reports.push(BugReport {
-                            source: cand.source,
-                            sink: cand.sink,
-                            verdict: v,
-                            path: witness.expect("non-infeasible has a path").clone(),
-                        }),
+                    let end = (start + chunk).min(cands.len());
+                    for (idx, cand) in cands.iter().enumerate().take(end).skip(start) {
+                        let v = solve_candidate(
+                            program,
+                            pdg,
+                            engine.as_mut(),
+                            cache,
+                            cand,
+                            &mut out.queries,
+                        );
+                        out.results.push((idx, v));
                     }
                 }
-                out.peak_memory = engine.memory().peak_total();
+                out.memory = engine.memory().clone();
                 out
             }));
         }
-        handles.into_iter().map(|h| h.join().expect("worker thread")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread"))
+            .collect()
     });
     let solve_time = t1.elapsed();
 
+    // Merge in candidate order: the exact order the sequential driver
+    // would have produced, independent of which worker stole what.
+    let mut merged: Vec<(usize, CandVerdict)> = Vec::with_capacity(candidates.len());
+    let mut queries = 0usize;
+    for o in &outputs {
+        queries += o.queries;
+    }
+    let engine_name = outputs.first().map(|o| o.name).unwrap_or("parallel");
+    let mut memories: Vec<MemoryAccountant> = Vec::with_capacity(outputs.len());
+    for o in outputs {
+        memories.push(o.memory);
+        merged.extend(o.results);
+    }
+    merged.sort_by_key(|(idx, _)| *idx);
     let mut reports: Vec<BugReport> = Vec::new();
     let mut suppressed = 0usize;
-    let mut queries = 0usize;
-    let mut engine_peak = 0u64;
-    for o in outputs {
-        reports.extend(o.reports);
-        suppressed += o.suppressed;
-        queries += o.queries;
-        // Engines run concurrently: their peaks coexist.
-        engine_peak += o.peak_memory;
+    for (_, v) in merged {
+        match v {
+            CandVerdict::Suppressed => suppressed += 1,
+            CandVerdict::Report(r) => reports.push(r),
+        }
     }
-    reports.sort_by_key(|r| (r.source, r.sink));
+
     let graph_bytes = program.size() as u64 * BYTES_PER_DEF;
+    let cache_bytes = cache.map(|c| c.bytes()).unwrap_or(0);
+    let mem = run_accounting(memories.iter(), graph_bytes, cache_bytes);
+    let cache_stats = cache
+        .map(|c| c.stats().since(&cache_before))
+        .unwrap_or_default();
 
     AnalysisRun {
-        engine: "parallel",
+        engine: format!("{engine_name}×{threads}"),
         reports,
         suppressed,
         candidates: candidates.len(),
         queries,
         propagate_time,
         solve_time,
-        peak_memory: engine_peak + graph_bytes,
+        peak_memory: mem.peak_total(),
+        cache: cache_stats,
     }
 }
 
@@ -325,7 +463,13 @@ mod tests {
         let p = compile(src, CompileOptions::default()).expect("compile");
         let g = Pdg::build(&p);
         let mut engine = FusionSolver::new(SolverConfig::default());
-        analyze(&p, &g, &Checker::null_deref(), &mut engine, &AnalysisOptions::new())
+        analyze(
+            &p,
+            &g,
+            &Checker::null_deref(),
+            &mut engine,
+            &AnalysisOptions::new(),
+        )
     }
 
     #[test]
@@ -364,7 +508,13 @@ mod tests {
         let p = compile(src, CompileOptions::default()).expect("compile");
         let g = Pdg::build(&p);
         let mut engine = FusionSolver::new(SolverConfig::default());
-        let seq = analyze(&p, &g, &Checker::null_deref(), &mut engine, &AnalysisOptions::new());
+        let seq = analyze(
+            &p,
+            &g,
+            &Checker::null_deref(),
+            &mut engine,
+            &AnalysisOptions::new(),
+        );
         let factory = || -> Box<dyn FeasibilityEngine> {
             Box::new(FusionSolver::new(SolverConfig::default()))
         };
@@ -392,5 +542,139 @@ mod tests {
         let run = run("extern fn deref(p); fn f() { let q = null; deref(q); return 0; }");
         assert!(run.peak_memory > 0);
         assert!(run.queries >= 1);
+    }
+
+    const MULTI_SRC: &str = "extern fn deref(p);\n\
+         fn a(x) { let q = null; let r = 1; if (x > 1) { r = q; } deref(r); return 0; }\n\
+         fn b(x) { let q = null; let r = 1; if (x * 2 == 5) { r = q; } deref(r); return 0; }\n\
+         fn c(x) { let q = null; let r = 1; if (x == 9) { r = q; } deref(r); return 0; }";
+
+    fn fusion_factory() -> Box<dyn FeasibilityEngine> {
+        Box::new(FusionSolver::new(SolverConfig::default()))
+    }
+
+    #[test]
+    fn parallel_engine_name_keeps_base_and_thread_count() {
+        let p = compile(MULTI_SRC, CompileOptions::default()).expect("compile");
+        let g = Pdg::build(&p);
+        let run = analyze_parallel(
+            &p,
+            &g,
+            &Checker::null_deref(),
+            &fusion_factory,
+            4,
+            &AnalysisOptions::new(),
+        );
+        assert_eq!(run.engine, "fusion×4");
+    }
+
+    #[test]
+    fn sequential_and_parallel_accounting_agree() {
+        let p = compile(MULTI_SRC, CompileOptions::default()).expect("compile");
+        let g = Pdg::build(&p);
+        let opts = AnalysisOptions::without_cache();
+        let mut engine = FusionSolver::new(SolverConfig::default());
+        let seq = analyze(&p, &g, &Checker::null_deref(), &mut engine, &opts);
+        // One worker: the unified accounting path must yield the exact
+        // sequential peak.
+        let par1 = analyze_parallel(&p, &g, &Checker::null_deref(), &fusion_factory, 1, &opts);
+        assert_eq!(seq.peak_memory, par1.peak_memory, "1-thread parity");
+        // Many workers: each retains its own engine state, so the summed
+        // peak is bounded below by the sequential peak and above by
+        // `threads` sequential peaks.
+        let par4 = analyze_parallel(&p, &g, &Checker::null_deref(), &fusion_factory, 4, &opts);
+        assert!(par4.peak_memory >= seq.peak_memory);
+        assert!(par4.peak_memory <= seq.peak_memory * 4);
+    }
+
+    #[test]
+    fn cached_runs_report_hits_and_identical_reports() {
+        let p = compile(MULTI_SRC, CompileOptions::default()).expect("compile");
+        let g = Pdg::build(&p);
+        let uncached = {
+            let mut e = FusionSolver::new(SolverConfig::default());
+            analyze(
+                &p,
+                &g,
+                &Checker::null_deref(),
+                &mut e,
+                &AnalysisOptions::without_cache(),
+            )
+        };
+        assert_eq!(uncached.cache, crate::cache::CacheStats::default());
+
+        // Two sequential runs sharing one cache: the second run is all hits.
+        let shared = VerdictCache::new();
+        let opts = AnalysisOptions::new();
+        let mut e1 = FusionSolver::new(SolverConfig::default());
+        let first = analyze_with_cache(
+            &p,
+            &g,
+            &Checker::null_deref(),
+            &mut e1,
+            &opts,
+            Some(&shared),
+        );
+        assert!(first.cache.misses > 0);
+        assert!(first.cache.inserts > 0);
+        let mut e2 = FusionSolver::new(SolverConfig::default());
+        let second = analyze_with_cache(
+            &p,
+            &g,
+            &Checker::null_deref(),
+            &mut e2,
+            &opts,
+            Some(&shared),
+        );
+        assert!(second.cache.hits > 0, "warm cache must hit");
+        assert_eq!(second.queries, 0, "every verdict came from the cache");
+
+        for cached in [&first, &second] {
+            let a: Vec<_> = uncached
+                .reports
+                .iter()
+                .map(|r| (r.source, r.sink))
+                .collect();
+            let b: Vec<_> = cached.reports.iter().map(|r| (r.source, r.sink)).collect();
+            assert_eq!(a, b, "cache must not change reports");
+            assert_eq!(uncached.suppressed, cached.suppressed);
+        }
+    }
+
+    #[test]
+    fn work_stealing_merge_is_byte_identical_to_sequential() {
+        let p = compile(MULTI_SRC, CompileOptions::default()).expect("compile");
+        let g = Pdg::build(&p);
+        let mut engine = FusionSolver::new(SolverConfig::default());
+        let seq = analyze(
+            &p,
+            &g,
+            &Checker::null_deref(),
+            &mut engine,
+            &AnalysisOptions::without_cache(),
+        );
+        for threads in [1usize, 2, 4, 8] {
+            let par = analyze_parallel(
+                &p,
+                &g,
+                &Checker::null_deref(),
+                &fusion_factory,
+                threads,
+                &AnalysisOptions::new(),
+            );
+            // Not just set equality: identical order and contents.
+            let a: Vec<_> = seq
+                .reports
+                .iter()
+                .map(|r| (r.source, r.sink, r.verdict, r.path.nodes.clone()))
+                .collect();
+            let b: Vec<_> = par
+                .reports
+                .iter()
+                .map(|r| (r.source, r.sink, r.verdict, r.path.nodes.clone()))
+                .collect();
+            assert_eq!(a, b, "threads = {threads}");
+            assert_eq!(seq.suppressed, par.suppressed);
+        }
     }
 }

@@ -28,7 +28,7 @@ use fusion_pdg::paths::DependencePath;
 use fusion_pdg::slice::{compute_slice, Constraint, ConstraintKind};
 use fusion_pdg::translate::{encode_op, instance_var, translate, truthy, TranslateOptions};
 use fusion_smt::preprocess::preprocess_fragment;
-use fusion_smt::solver::{smt_solve, SatResult, SolverConfig};
+use fusion_smt::solver::{deadline_expired, smt_solve, SatResult, SolverConfig};
 use fusion_smt::term::{Sort, TermId, TermKind, TermPool, VarIdx};
 use std::collections::{HashMap, HashSet, VecDeque};
 
@@ -67,6 +67,7 @@ impl FeasibilityEngine for UnoptimizedGraphSolver {
         paths: &[DependencePath],
     ) -> CheckOutcome {
         let start = std::time::Instant::now();
+        let deadline = self.per_call.deadline_from(start);
         let slice = compute_slice(program, pdg, paths);
         // Fresh pool per query: nothing is cached (§3.2.2).
         let mut pool = TermPool::new();
@@ -83,7 +84,21 @@ impl FeasibilityEngine for UnoptimizedGraphSolver {
             }
         };
         let condition_nodes = pool.dag_size(translated.formula) as u64;
-        let (result, stats) = smt_solve(&mut pool, translated.formula, &self.per_call);
+        // Budget the final query with whatever wall-clock remains after
+        // slicing and translation; an exhausted budget degrades to Unknown
+        // instead of stalling a worker.
+        let Some(cfg) = self.per_call.with_remaining(deadline) else {
+            let outcome = CheckOutcome {
+                feasibility: Feasibility::Unknown,
+                duration: start.elapsed(),
+                condition_nodes,
+                instances: translated.instances,
+                preprocess_decided: false,
+            };
+            self.records.push(SolveRecord::from_outcome(&outcome));
+            return outcome;
+        };
+        let (result, stats) = smt_solve(&mut pool, translated.formula, &cfg);
         // Transient memory: the cloned condition plus SAT state, released
         // after the query.
         let transient = condition_nodes * BYTES_PER_TERM_NODE + stats.cnf_clauses as u64 * 16;
@@ -266,7 +281,11 @@ impl FusionSolver {
                     let rhs = encode_op(pool, *op, ta, tb);
                     parts.push(pool.eq(lhs, rhs));
                 }
-                DefKind::Ite { cond, then_v, else_v } => {
+                DefKind::Ite {
+                    cond,
+                    then_v,
+                    else_v,
+                } => {
                     let lhs = local(pool, v);
                     let tc = local(pool, *cond);
                     let tt = local(pool, *then_v);
@@ -313,6 +332,7 @@ impl FeasibilityEngine for FusionSolver {
         paths: &[DependencePath],
     ) -> CheckOutcome {
         let start = std::time::Instant::now();
+        let deadline = self.per_call.deadline_from(start);
         let summaries: Vec<RetSummary> = self.summaries_for(program).to_vec();
         let slice = compute_slice(program, pdg, paths);
         // Local conditions, computed and preprocessed once per function
@@ -365,11 +385,17 @@ impl FeasibilityEngine for FusionSolver {
         // binding equations, and use quick paths to avoid descending.
         let mut blowup = false;
         while let Some((ctx, fid)) = work.pop_front() {
-            if instances.len() > self.max_instances {
+            // A stuck instantiation (deep contexts, huge slices) must not
+            // stall a worker: the per-call deadline is polled every
+            // iteration and the query degrades to Unknown, exactly like an
+            // instance blowup.
+            if instances.len() > self.max_instances || deadline_expired(deadline) {
                 blowup = true;
                 break;
             }
-            let Some(fs) = slice.funcs.get(&fid) else { continue };
+            let Some(fs) = slice.funcs.get(&fid) else {
+                continue;
+            };
             let func = program.func(fid);
             let lc = &locals[&fid];
             // Rename the local condition into this instance.
@@ -459,7 +485,20 @@ impl FeasibilityEngine for FusionSolver {
         }
         let formula = pool.and(&parts);
         let condition_nodes = pool.dag_size(formula) as u64;
-        let (result, stats) = smt_solve(pool, formula, &self.per_call);
+        // Budget the final query with the wall-clock remaining after
+        // instantiation.
+        let Some(cfg) = self.per_call.with_remaining(deadline) else {
+            let outcome = CheckOutcome {
+                feasibility: Feasibility::Unknown,
+                duration: start.elapsed(),
+                condition_nodes,
+                instances: instances.len(),
+                preprocess_decided: false,
+            };
+            self.records.push(SolveRecord::from_outcome(&outcome));
+            return outcome;
+        };
+        let (result, stats) = smt_solve(pool, formula, &cfg);
         // Transient memory: the assembled condition plus SAT state; a real
         // implementation frees both after the query (no caching, §3.2.2).
         let transient = condition_nodes * BYTES_PER_TERM_NODE + stats.cnf_clauses as u64 * 16;
@@ -646,5 +685,21 @@ mod tests {
         // still clones some — but strictly fewer than Alg. 4.
         assert!(b[0].1.instances <= a[0].1.instances);
         assert_eq!(a[0].1.instances, 1 + 1 + 2 + 4);
+    }
+
+    #[test]
+    fn expired_deadline_degrades_to_unknown() {
+        // A zero wall-clock budget can never answer Sat/Unsat; both engines
+        // must degrade to Unknown rather than stall or guess.
+        let cfg = SolverConfig {
+            timeout: Some(std::time::Duration::ZERO),
+            ..SolverConfig::default()
+        };
+        let mut unopt = UnoptimizedGraphSolver::new(cfg);
+        let mut fused = FusionSolver::new(cfg);
+        let a = check_all(FIG1, &mut unopt);
+        let b = check_all(FIG1, &mut fused);
+        assert_eq!(a[0].0, Feasibility::Unknown);
+        assert_eq!(b[0].0, Feasibility::Unknown);
     }
 }

@@ -14,8 +14,11 @@
 //!   the Fig. 9 label deletion);
 //! * [`graph_solver`] — the IR-based SMT solutions: Algorithm 4
 //!   (unoptimized) and Algorithm 6 (the Fusion solver);
-//! * [`engine`] — the driver, the [`engine::FeasibilityEngine`] trait the
-//!   baselines also implement, and bug reports;
+//! * [`engine`] — the driver (sequential and work-stealing parallel), the
+//!   [`engine::FeasibilityEngine`] trait the baselines also implement, and
+//!   bug reports;
+//! * [`cache`] — the sharded feasibility-verdict memo cache shared across
+//!   worker engines;
 //! * [`memory`] — categorized byte accounting behind every memory number
 //!   in the reproduced tables.
 //!
@@ -44,6 +47,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod checkers;
 pub mod engine;
 pub mod graph_solver;
@@ -52,10 +56,11 @@ pub mod propagate;
 pub mod quickpath;
 pub mod report;
 
+pub use cache::{CacheStats, VerdictCache};
 pub use checkers::{default_checkers, CheckKind, Checker};
 pub use engine::{
-    analyze, analyze_parallel, AnalysisOptions, AnalysisRun, BugReport, CheckOutcome,
-    Feasibility, FeasibilityEngine, SolveRecord,
+    analyze, analyze_parallel, analyze_parallel_with_cache, analyze_with_cache, AnalysisOptions,
+    AnalysisRun, BugReport, CheckOutcome, Feasibility, FeasibilityEngine, SolveRecord,
 };
 pub use graph_solver::{FusionSolver, UnoptimizedGraphSolver};
-pub use memory::{Category, MemoryAccountant};
+pub use memory::{run_accounting, Category, MemoryAccountant};

@@ -20,14 +20,17 @@ pub enum Category {
     Graph,
     /// Transient solver state (CNF, SAT solver).
     SolverState,
+    /// The shared feasibility-verdict cache (see `crate::cache`).
+    Cache,
 }
 
 /// All categories, for iteration.
-pub const CATEGORIES: [Category; 4] = [
+pub const CATEGORIES: [Category; 5] = [
     Category::PathConditions,
     Category::Summaries,
     Category::Graph,
     Category::SolverState,
+    Category::Cache,
 ];
 
 impl fmt::Display for Category {
@@ -37,6 +40,7 @@ impl fmt::Display for Category {
             Category::Summaries => "summaries",
             Category::Graph => "graph",
             Category::SolverState => "solver-state",
+            Category::Cache => "cache",
         };
         f.write_str(s)
     }
@@ -63,7 +67,10 @@ impl MemoryAccountant {
     }
 
     fn idx(cat: Category) -> usize {
-        CATEGORIES.iter().position(|c| *c == cat).expect("category listed")
+        CATEGORIES
+            .iter()
+            .position(|c| *c == cat)
+            .expect("category listed")
     }
 
     /// Records `bytes` newly retained in `cat`.
@@ -124,6 +131,45 @@ impl MemoryAccountant {
             self.current[i] += other.current[i];
         }
     }
+
+    /// Adds another accountant that was live *concurrently* with this one
+    /// (e.g. a parallel worker's engine): both currents and peaks sum,
+    /// because the two retained their memory at the same time.
+    pub fn add_concurrent(&mut self, other: &MemoryAccountant) {
+        for (i, _) in CATEGORIES.iter().enumerate() {
+            self.peak[i] += other.peak[i];
+            self.current[i] += other.current[i];
+        }
+    }
+}
+
+/// The single accounting path every analysis run goes through, sequential
+/// or parallel: sum the engine accountants that were live concurrently
+/// (one for a sequential run, one per worker for a parallel run), then
+/// charge the structures retained for the whole run — the PDG/IR under
+/// [`Category::Graph`] and the shared verdict cache under
+/// [`Category::Cache`] — into both current and peak, since they coexist
+/// with every engine's peak.
+///
+/// Using one function for both drivers keeps the sequential and parallel
+/// peak numbers directly comparable: a 1-thread parallel run reports
+/// exactly the same peak as the sequential run with the same engine.
+pub fn run_accounting<'a>(
+    engines: impl IntoIterator<Item = &'a MemoryAccountant>,
+    graph_bytes: u64,
+    cache_bytes: u64,
+) -> MemoryAccountant {
+    let mut acct = MemoryAccountant::new();
+    for engine in engines {
+        acct.add_concurrent(engine);
+    }
+    let gi = MemoryAccountant::idx(Category::Graph);
+    acct.current[gi] += graph_bytes;
+    acct.peak[gi] += graph_bytes;
+    let ci = MemoryAccountant::idx(Category::Cache);
+    acct.current[ci] += cache_bytes;
+    acct.peak[ci] += cache_bytes;
+    acct
 }
 
 #[cfg(test)]
@@ -166,5 +212,36 @@ mod tests {
         m.charge(Category::Summaries, 10);
         m.release(Category::Summaries, 100);
         assert_eq!(m.current(Category::Summaries), 0);
+    }
+
+    #[test]
+    fn run_accounting_one_engine_equals_engine_plus_shared() {
+        // One engine (the sequential case, or a 1-thread parallel run):
+        // the run's peak is exactly the engine's peak plus the structures
+        // retained for the whole run.
+        let mut e = MemoryAccountant::new();
+        e.charge(Category::SolverState, 100);
+        e.release(Category::SolverState, 100);
+        e.charge(Category::Summaries, 40);
+        let run = run_accounting(std::iter::once(&e), 1000, 64);
+        assert_eq!(run.peak_total(), e.peak_total() + 1000 + 64);
+        assert_eq!(run.peak(Category::Graph), 1000);
+        assert_eq!(run.peak(Category::Cache), 64);
+        assert_eq!(run.current(Category::Cache), 64);
+    }
+
+    #[test]
+    fn run_accounting_sums_concurrent_workers() {
+        // N workers live at once: their peaks sum; the graph and cache are
+        // charged once, not per worker.
+        let mut w1 = MemoryAccountant::new();
+        w1.charge(Category::SolverState, 70);
+        let mut w2 = MemoryAccountant::new();
+        w2.charge(Category::SolverState, 30);
+        let run = run_accounting([&w1, &w2], 500, 16);
+        assert_eq!(run.peak(Category::SolverState), 100);
+        assert_eq!(run.peak(Category::Graph), 500);
+        assert_eq!(run.peak(Category::Cache), 16);
+        assert_eq!(run.peak_total(), 100 + 500 + 16);
     }
 }

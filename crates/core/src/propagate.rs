@@ -13,9 +13,9 @@
 //! only reachability, never formulas.
 
 use crate::checkers::Checker;
+use fusion_ir::ssa::{CallSiteId, Program};
 use fusion_pdg::graph::{FlowTarget, Pdg, Vertex};
 use fusion_pdg::paths::{DependencePath, Link};
-use fusion_ir::ssa::{CallSiteId, Program};
 
 /// Exploration limits (deterministic).
 #[derive(Debug, Clone, Copy)]
@@ -82,7 +82,11 @@ impl<'a> Dfs<'a> {
                 c.paths.push(full);
             }
         } else {
-            self.candidates.push(Candidate { source, sink, paths: vec![full] });
+            self.candidates.push(Candidate {
+                source,
+                sink,
+                paths: vec![full],
+            });
         }
     }
 
@@ -128,7 +132,11 @@ impl<'a> Dfs<'a> {
                     }
                     self.step(path, stack, Link::Local, Vertex::new(at.func, to));
                 }
-                FlowTarget::IntoCallee { site, callee, param } => {
+                FlowTarget::IntoCallee {
+                    site,
+                    callee,
+                    param,
+                } => {
                     if stack.len() >= self.opts.max_call_depth {
                         continue;
                     }
@@ -291,7 +299,11 @@ mod tests {
         );
         // The only sink is deref(r2), which the null value cannot reach
         // without mixing call sites.
-        assert!(cs.is_empty(), "{:?}", cs.iter().map(|c| c.paths.len()).collect::<Vec<_>>());
+        assert!(
+            cs.is_empty(),
+            "{:?}",
+            cs.iter().map(|c| c.paths.len()).collect::<Vec<_>>()
+        );
         drop(p);
     }
 
@@ -305,7 +317,10 @@ mod tests {
             &Checker::null_deref(),
         );
         assert_eq!(cs.len(), 1);
-        assert!(cs[0].paths[0].links.iter().any(|l| matches!(l, Link::Exit(_))));
+        assert!(cs[0].paths[0]
+            .links
+            .iter()
+            .any(|l| matches!(l, Link::Exit(_))));
     }
 
     #[test]
@@ -355,7 +370,10 @@ mod tests {
         )
         .unwrap();
         let g = Pdg::build(&p);
-        let opts = PropagateOptions { max_steps_per_source: 0, ..Default::default() };
+        let opts = PropagateOptions {
+            max_steps_per_source: 0,
+            ..Default::default()
+        };
         assert!(discover(&p, &g, &Checker::null_deref(), &opts).is_empty());
     }
 }

@@ -44,7 +44,11 @@ enum ValSummary {
 
 impl ValSummary {
     fn param(index: usize) -> Self {
-        ValSummary::Affine { index, mul: 1, add: 0 }
+        ValSummary::Affine {
+            index,
+            mul: 1,
+            add: 0,
+        }
     }
 }
 
@@ -56,7 +60,9 @@ pub fn ret_summaries(program: &Program) -> Vec<RetSummary> {
     for f in &program.functions {
         summary_of(program, f.id, &mut out);
     }
-    out.into_iter().map(|s| s.expect("all functions summarized")).collect()
+    out.into_iter()
+        .map(|s| s.expect("all functions summarized"))
+        .collect()
 }
 
 fn summary_of(program: &Program, fid: FuncId, memo: &mut Vec<Option<RetSummary>>) -> RetSummary {
@@ -96,9 +102,7 @@ fn value_of(
     let v = match &func.def(var).kind {
         DefKind::Param { index } => ValSummary::param(*index),
         DefKind::Const { value, .. } => ValSummary::Const(*value),
-        DefKind::Copy { src } | DefKind::Return { src } => {
-            value_of(program, fid, *src, vals, memo)
-        }
+        DefKind::Copy { src } | DefKind::Return { src } => value_of(program, fid, *src, vals, memo),
         DefKind::Ite { then_v, else_v, .. } => {
             let a = value_of(program, fid, *then_v, vals, memo);
             let b = value_of(program, fid, *else_v, vals, memo);
@@ -126,13 +130,15 @@ fn value_of(
                         Some(ValSummary::Const(c)) => {
                             ValSummary::Const(mul.wrapping_mul(c).wrapping_add(add))
                         }
-                        Some(ValSummary::Affine { index: i, mul: m, add: a }) => {
-                            ValSummary::Affine {
-                                index: i,
-                                mul: mul.wrapping_mul(m),
-                                add: mul.wrapping_mul(a).wrapping_add(add),
-                            }
-                        }
+                        Some(ValSummary::Affine {
+                            index: i,
+                            mul: m,
+                            add: a,
+                        }) => ValSummary::Affine {
+                            index: i,
+                            mul: mul.wrapping_mul(m),
+                            add: mul.wrapping_mul(a).wrapping_add(add),
+                        },
                         _ => ValSummary::Opaque,
                     }
                 }
@@ -149,12 +155,16 @@ fn combine(op: Op, a: ValSummary, b: ValSummary) -> ValSummary {
     match (op, a, b) {
         (_, Const(x), Const(y)) => Const(op.eval(x, y)),
         (Op::Add, Affine { index, mul, add }, Const(c))
-        | (Op::Add, Const(c), Affine { index, mul, add }) => {
-            Affine { index, mul, add: add.wrapping_add(c) }
-        }
-        (Op::Sub, Affine { index, mul, add }, Const(c)) => {
-            Affine { index, mul, add: add.wrapping_sub(c) }
-        }
+        | (Op::Add, Const(c), Affine { index, mul, add }) => Affine {
+            index,
+            mul,
+            add: add.wrapping_add(c),
+        },
+        (Op::Sub, Affine { index, mul, add }, Const(c)) => Affine {
+            index,
+            mul,
+            add: add.wrapping_sub(c),
+        },
         (Op::Sub, Const(c), Affine { index, mul, add }) => Affine {
             index,
             mul: 0u32.wrapping_sub(mul),
@@ -193,13 +203,27 @@ mod tests {
     #[test]
     fn paper_bar_is_affine_times_two() {
         let (p, s) = summaries("fn bar(x) { let y = x * 2; let z = y; return z; }");
-        assert_eq!(*of(&p, &s, "bar"), RetSummary::Affine { index: 0, mul: 2, add: 0 });
+        assert_eq!(
+            *of(&p, &s, "bar"),
+            RetSummary::Affine {
+                index: 0,
+                mul: 2,
+                add: 0
+            }
+        );
     }
 
     #[test]
     fn identity_and_const() {
         let (p, s) = summaries("fn id(x) { return x; } fn seven() { return 7; }");
-        assert_eq!(*of(&p, &s, "id"), RetSummary::Affine { index: 0, mul: 1, add: 0 });
+        assert_eq!(
+            *of(&p, &s, "id"),
+            RetSummary::Affine {
+                index: 0,
+                mul: 1,
+                add: 0
+            }
+        );
         assert_eq!(*of(&p, &s, "seven"), RetSummary::Const(7));
     }
 
@@ -211,7 +235,14 @@ mod tests {
              fn g(x) { return x * 2 + 3; }\n\
              fn h(x) { return g(f(x)); }",
         );
-        assert_eq!(*of(&p, &s, "h"), RetSummary::Affine { index: 0, mul: 2, add: 5 });
+        assert_eq!(
+            *of(&p, &s, "h"),
+            RetSummary::Affine {
+                index: 0,
+                mul: 2,
+                add: 5
+            }
+        );
     }
 
     #[test]
@@ -246,7 +277,14 @@ mod tests {
     #[test]
     fn shl_by_const_is_affine() {
         let (p, s) = summaries("fn f(x) { return (x << 3) + 1; }");
-        assert_eq!(*of(&p, &s, "f"), RetSummary::Affine { index: 0, mul: 8, add: 1 });
+        assert_eq!(
+            *of(&p, &s, "f"),
+            RetSummary::Affine {
+                index: 0,
+                mul: 8,
+                add: 1
+            }
+        );
     }
 
     #[test]

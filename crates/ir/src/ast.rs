@@ -185,11 +185,7 @@ mod tests {
     fn walk_visits_all_subexpressions() {
         let mut i = Interner::new();
         let x = i.intern("x");
-        let e = Expr::bin(
-            BinOp::Add,
-            Expr::Var(x),
-            Expr::un(UnOp::Not, Expr::Int(3)),
-        );
+        let e = Expr::bin(BinOp::Add, Expr::Var(x), Expr::un(UnOp::Not, Expr::Int(3)));
         let mut count = 0;
         e.walk(&mut |_| count += 1);
         assert_eq!(count, 4); // add, var, not, int

@@ -55,7 +55,12 @@ impl ProgramBuilder {
         let mut i = self.interner.borrow_mut();
         let name = i.intern(name);
         let params = (0..arity).map(|k| i.intern(&format!("x{k}"))).collect();
-        self.functions.push(Function { name, params, body: Vec::new(), is_extern: true });
+        self.functions.push(Function {
+            name,
+            params,
+            body: Vec::new(),
+            is_extern: true,
+        });
     }
 
     /// Defines a function; the closure receives an [`FnBuilder`] to emit
@@ -67,15 +72,27 @@ impl ProgramBuilder {
             let params = params.iter().map(|p| i.intern(p)).collect();
             (name, params)
         };
-        let mut f = FnBuilder { interner: &self.interner, stmts: Vec::new() };
+        let mut f = FnBuilder {
+            interner: &self.interner,
+            stmts: Vec::new(),
+        };
         build(&mut f);
-        self.functions
-            .push(Function { name, params, body: f.stmts, is_extern: false });
+        self.functions.push(Function {
+            name,
+            params,
+            body: f.stmts,
+            is_extern: false,
+        });
     }
 
     /// Finishes the surface program (AST + interner).
     pub fn finish(self) -> (Program, Interner) {
-        (Program { functions: self.functions }, self.interner.into_inner())
+        (
+            Program {
+                functions: self.functions,
+            },
+            self.interner.into_inner(),
+        )
     }
 
     /// Compiles straight to validated core SSA.
@@ -168,16 +185,25 @@ impl FnBuilder<'_> {
         then_b: impl FnOnce(&mut FnBuilder),
         else_b: impl FnOnce(&mut FnBuilder),
     ) {
-        let mut t = FnBuilder { interner: self.interner, stmts: Vec::new() };
+        let mut t = FnBuilder {
+            interner: self.interner,
+            stmts: Vec::new(),
+        };
         then_b(&mut t);
-        let mut e = FnBuilder { interner: self.interner, stmts: Vec::new() };
+        let mut e = FnBuilder {
+            interner: self.interner,
+            stmts: Vec::new(),
+        };
         else_b(&mut e);
         self.stmts.push(Stmt::If(cond, t.stmts, e.stmts));
     }
 
     /// `while (cond) { body }` (unrolled by compilation).
     pub fn while_(&mut self, cond: Expr, body: impl FnOnce(&mut FnBuilder)) {
-        let mut b = FnBuilder { interner: self.interner, stmts: Vec::new() };
+        let mut b = FnBuilder {
+            interner: self.interner,
+            stmts: Vec::new(),
+        };
         body(&mut b);
         self.stmts.push(Stmt::While(cond, b.stmts));
     }

@@ -24,7 +24,11 @@ pub struct CallGraphError {
 
 impl fmt::Display for CallGraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "function `{}` calls unknown function `{}`", self.caller, self.callee)
+        write!(
+            f,
+            "function `{}` calls unknown function `{}`",
+            self.caller, self.callee
+        )
     }
 }
 
@@ -291,11 +295,7 @@ mod tests {
     #[test]
     fn builds_edges() {
         let mut i = Interner::new();
-        let p = parse(
-            "fn a() { return b() + b(); } fn b() { return 1; }",
-            &mut i,
-        )
-        .unwrap();
+        let p = parse("fn a() { return b() + b(); } fn b() { return 1; }", &mut i).unwrap();
         let cg = CallGraph::build(&p, &i).unwrap();
         assert_eq!(cg.edges[0], vec![1]);
         assert!(cg.edges[1].is_empty());

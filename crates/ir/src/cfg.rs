@@ -62,16 +62,26 @@ fn build_regions(func: &Function) -> Region {
             }
             // If the def's guard is deeper than anything on the stack, the
             // guard chain tells us which branches to push. Otherwise pop.
-            let chain: Vec<usize> =
-                func.guards(def.var).iter().rev().map(|g| g.index()).collect();
+            let chain: Vec<usize> = func
+                .guards(def.var)
+                .iter()
+                .rev()
+                .map(|g| g.index())
+                .collect();
             if let Some(pos) = chain.iter().position(|&g| Some(g) == cur_branch) {
                 // push the remaining guards deeper than cur_branch
                 let next = chain[pos + 1];
-                stack.push(Region { branch: Some(next), items: Vec::new() });
+                stack.push(Region {
+                    branch: Some(next),
+                    items: Vec::new(),
+                });
             } else if cur_branch.is_none() {
                 // push the outermost guard
                 let next = chain[0];
-                stack.push(Region { branch: Some(next), items: Vec::new() });
+                stack.push(Region {
+                    branch: Some(next),
+                    items: Vec::new(),
+                });
             } else {
                 let done = stack.pop().expect("nonempty");
                 stack
@@ -81,7 +91,11 @@ fn build_regions(func: &Function) -> Region {
                     .push(Item::Region(Box::new(done)));
             }
         }
-        stack.last_mut().expect("nonempty").items.push(Item::Def(def.var.index()));
+        stack
+            .last_mut()
+            .expect("nonempty")
+            .items
+            .push(Item::Def(def.var.index()));
     }
     while stack.len() > 1 {
         let done = stack.pop().expect("len > 1");
@@ -142,7 +156,11 @@ pub fn build_cfg(func: &Function) -> Cfg {
     let mut g = DiGraph::new(n + 2);
     if n == 0 {
         g.add_edge(entry, exit);
-        return Cfg { graph: g, entry, exit };
+        return Cfg {
+            graph: g,
+            entry,
+            exit,
+        };
     }
     let region = build_regions(func);
     let (first, last) = emit(&region, &mut g);
@@ -150,7 +168,11 @@ pub fn build_cfg(func: &Function) -> Cfg {
     for f in last {
         g.add_edge(f, exit);
     }
-    Cfg { graph: g, entry, exit }
+    Cfg {
+        graph: g,
+        entry,
+        exit,
+    }
 }
 
 #[cfg(test)]
@@ -223,9 +245,7 @@ mod tests {
 
     #[test]
     fn unrolled_loops_match() {
-        check_guards_match_fow(
-            "fn f(n) { let i = 0; while (i < n) { i = i + 1; } return i; }",
-        );
+        check_guards_match_fow("fn f(n) { let i = 0; while (i < n) { i = i + 1; } return i; }");
     }
 
     #[test]

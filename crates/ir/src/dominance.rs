@@ -17,7 +17,10 @@ pub struct DiGraph {
 impl DiGraph {
     /// Creates a graph with `n` nodes and no edges.
     pub fn new(n: usize) -> Self {
-        Self { succs: vec![Vec::new(); n], preds: vec![Vec::new(); n] }
+        Self {
+            succs: vec![Vec::new(); n],
+            preds: vec![Vec::new(); n],
+        }
     }
 
     /// Number of nodes.
@@ -36,7 +39,10 @@ impl DiGraph {
     ///
     /// Panics if either endpoint is out of range.
     pub fn add_edge(&mut self, from: usize, to: usize) {
-        assert!(from < self.len() && to < self.len(), "edge endpoint out of range");
+        assert!(
+            from < self.len() && to < self.len(),
+            "edge endpoint out of range"
+        );
         self.succs[from].push(to);
         self.preds[to].push(from);
     }
@@ -53,7 +59,10 @@ impl DiGraph {
 
     /// The same graph with every edge reversed.
     pub fn reversed(&self) -> DiGraph {
-        DiGraph { succs: self.preds.clone(), preds: self.succs.clone() }
+        DiGraph {
+            succs: self.preds.clone(),
+            preds: self.succs.clone(),
+        }
     }
 
     /// Reverse post-order from `entry`, visiting only reachable nodes.

@@ -258,7 +258,11 @@ fn eval_core_func(
     let f = program.func(func);
     if f.is_extern {
         // Modeled externally; the caller records the trace entry.
-        return Ok(CoreEval { values: Vec::new(), executed: Vec::new(), ret: extern_value(f.name, args) });
+        return Ok(CoreEval {
+            values: Vec::new(),
+            executed: Vec::new(),
+            ret: extern_value(f.name, args),
+        });
     }
     let mut values = vec![0u32; f.defs.len()];
     let mut executed = vec![false; f.defs.len()];
@@ -282,7 +286,11 @@ fn eval_core_func(
             DefKind::Const { value, .. } => *value,
             DefKind::Copy { src } | DefKind::Return { src } => values[src.index()],
             DefKind::Binary { op, lhs, rhs } => op.eval(values[lhs.index()], values[rhs.index()]),
-            DefKind::Ite { cond, then_v, else_v } => {
+            DefKind::Ite {
+                cond,
+                then_v,
+                else_v,
+            } => {
                 if values[cond.index()] != 0 {
                     values[then_v.index()]
                 } else {
@@ -290,7 +298,9 @@ fn eval_core_func(
                 }
             }
             DefKind::Branch { cond } => values[cond.index()],
-            DefKind::Call { callee, args: avs, .. } => {
+            DefKind::Call {
+                callee, args: avs, ..
+            } => {
                 let vals: Vec<u32> = avs.iter().map(|a| values[a.index()]).collect();
                 let callee_f = program.func(*callee);
                 if callee_f.is_extern {
@@ -313,7 +323,11 @@ fn eval_core_func(
         };
     }
     let ret = f.ret.map(|r| values[r.index()]).unwrap_or(0);
-    Ok(CoreEval { values, executed, ret })
+    Ok(CoreEval {
+        values,
+        executed,
+        ret,
+    })
 }
 
 /// Speculatively evaluates a core SSA function on concrete arguments.
@@ -343,7 +357,14 @@ mod tests {
         let mut i = Interner::new();
         let surface = parse(src, &mut i).expect("parse");
         let unroll = 2usize;
-        let core = lower(&surface, &mut i, LowerOptions { loop_unroll: unroll }).expect("lower");
+        let core = lower(
+            &surface,
+            &mut i,
+            LowerOptions {
+                loop_unroll: unroll,
+            },
+        )
+        .expect("lower");
         let sym = i.lookup(func).unwrap();
         let fid = core.func_by_name(func).unwrap().id;
         for args in argsets {

@@ -64,7 +64,10 @@ pub struct CompileOptions {
 
 impl Default for CompileOptions {
     fn default() -> Self {
-        Self { loop_unroll: 2, recursion_unroll: 2 }
+        Self {
+            loop_unroll: 2,
+            recursion_unroll: 2,
+        }
     }
 }
 
@@ -155,7 +158,9 @@ pub fn compile_ast(
     let program = lower::lower(
         &surface,
         interner,
-        lower::LowerOptions { loop_unroll: options.loop_unroll },
+        lower::LowerOptions {
+            loop_unroll: options.loop_unroll,
+        },
     )?;
     validate::validate(&program)?;
     Ok(program)

@@ -82,13 +82,21 @@ struct FuncLowerer<'a> {
 
 impl<'a> FuncLowerer<'a> {
     fn err(&self, message: impl Into<String>) -> LowerError {
-        LowerError { function: Some(self.func_name.clone()), message: message.into() }
+        LowerError {
+            function: Some(self.func_name.clone()),
+            message: message.into(),
+        }
     }
 
     fn fresh(&mut self, kind: DefKind, base: &str) -> VarId {
         let var = VarId(self.defs.len() as u32);
         let name = self.interner.intern(&format!("{base}.{}", var.0));
-        self.defs.push(Def { var, kind, guard: self.guard, name });
+        self.defs.push(Def {
+            var,
+            kind,
+            guard: self.guard,
+            name,
+        });
         var
     }
 
@@ -100,7 +108,13 @@ impl<'a> FuncLowerer<'a> {
         if let Some(&v) = self.const_cache.get(&value) {
             return v;
         }
-        let v = self.fresh(DefKind::Const { value, is_null: false }, &format!("c{value}"));
+        let v = self.fresh(
+            DefKind::Const {
+                value,
+                is_null: false,
+            },
+            &format!("c{value}"),
+        );
         self.const_cache.insert(value, v);
         v
     }
@@ -111,7 +125,13 @@ impl<'a> FuncLowerer<'a> {
             Expr::Null => {
                 // Null sources are never deduplicated: each occurrence is a
                 // distinct bug source for the null-dereference checker.
-                Ok(self.fresh(DefKind::Const { value: 0, is_null: true }, "null"))
+                Ok(self.fresh(
+                    DefKind::Const {
+                        value: 0,
+                        is_null: true,
+                    },
+                    "null",
+                ))
             }
             Expr::Var(sym) => self.env.get(sym).copied().ok_or_else(|| {
                 let name = self.interner.resolve(*sym).to_owned();
@@ -121,23 +141,48 @@ impl<'a> FuncLowerer<'a> {
                 let v = self.lower_expr(inner)?;
                 let zero = self.constant(0);
                 Ok(match op {
-                    UnOp::Not => {
-                        self.fresh(DefKind::Binary { op: Op::Eq, lhs: v, rhs: zero }, "t")
-                    }
-                    UnOp::Neg => {
-                        self.fresh(DefKind::Binary { op: Op::Sub, lhs: zero, rhs: v }, "t")
-                    }
+                    UnOp::Not => self.fresh(
+                        DefKind::Binary {
+                            op: Op::Eq,
+                            lhs: v,
+                            rhs: zero,
+                        },
+                        "t",
+                    ),
+                    UnOp::Neg => self.fresh(
+                        DefKind::Binary {
+                            op: Op::Sub,
+                            lhs: zero,
+                            rhs: v,
+                        },
+                        "t",
+                    ),
                     UnOp::BitNot => {
                         let ones = self.constant(u32::MAX);
-                        self.fresh(DefKind::Binary { op: Op::Xor, lhs: v, rhs: ones }, "t")
+                        self.fresh(
+                            DefKind::Binary {
+                                op: Op::Xor,
+                                lhs: v,
+                                rhs: ones,
+                            },
+                            "t",
+                        )
                     }
                 })
             }
             Expr::Binary(op, a, b) => {
                 let va = self.lower_expr(a)?;
                 let vb = self.lower_expr(b)?;
-                let simple = |op| DefKind::Binary { op, lhs: va, rhs: vb };
-                let swapped = |op| DefKind::Binary { op, lhs: vb, rhs: va };
+                let simple = |op| DefKind::Binary {
+                    op,
+                    lhs: va,
+                    rhs: vb,
+                };
+                let swapped = |op| DefKind::Binary {
+                    op,
+                    lhs: vb,
+                    rhs: va,
+                };
                 let kind = match op {
                     BinOp::Add => simple(Op::Add),
                     BinOp::Sub => simple(Op::Sub),
@@ -157,12 +202,28 @@ impl<'a> FuncLowerer<'a> {
                     BinOp::Ne => simple(Op::Ne),
                     BinOp::And | BinOp::Or => {
                         let zero = self.constant(0);
-                        let na = self
-                            .fresh(DefKind::Binary { op: Op::Ne, lhs: va, rhs: zero }, "t");
-                        let nb = self
-                            .fresh(DefKind::Binary { op: Op::Ne, lhs: vb, rhs: zero }, "t");
+                        let na = self.fresh(
+                            DefKind::Binary {
+                                op: Op::Ne,
+                                lhs: va,
+                                rhs: zero,
+                            },
+                            "t",
+                        );
+                        let nb = self.fresh(
+                            DefKind::Binary {
+                                op: Op::Ne,
+                                lhs: vb,
+                                rhs: zero,
+                            },
+                            "t",
+                        );
                         let o = if *op == BinOp::And { Op::And } else { Op::Or };
-                        DefKind::Binary { op: o, lhs: na, rhs: nb }
+                        DefKind::Binary {
+                            op: o,
+                            lhs: na,
+                            rhs: nb,
+                        }
                     }
                 };
                 Ok(self.fresh(kind, "t"))
@@ -186,9 +247,20 @@ impl<'a> FuncLowerer<'a> {
                 }
                 let site = CallSiteId(self.call_sites.len() as u32);
                 let var = VarId(self.defs.len() as u32);
-                self.call_sites.push(CallSite { caller: self.func_id, stmt: var, callee });
+                self.call_sites.push(CallSite {
+                    caller: self.func_id,
+                    stmt: var,
+                    callee,
+                });
                 let base = format!("r_{}", self.interner.resolve(*name));
-                Ok(self.fresh(DefKind::Call { callee, args: arg_vars, site }, &base))
+                Ok(self.fresh(
+                    DefKind::Call {
+                        callee,
+                        args: arg_vars,
+                        site,
+                    },
+                    &base,
+                ))
             }
         }
     }
@@ -233,7 +305,14 @@ impl<'a> FuncLowerer<'a> {
             (pre_env.clone(), BlockOutcome::default())
         } else {
             let zero = self.constant(0);
-            let ncv = self.fresh(DefKind::Binary { op: Op::Eq, lhs: cv, rhs: zero }, "t");
+            let ncv = self.fresh(
+                DefKind::Binary {
+                    op: Op::Eq,
+                    lhs: cv,
+                    rhs: zero,
+                },
+                "t",
+            );
             let bf = self.fresh(DefKind::Branch { cond: ncv }, "else");
             self.guard = Some(bf);
             let e_out = self.lower_stmts(else_b)?;
@@ -252,7 +331,14 @@ impl<'a> FuncLowerer<'a> {
             let ev = else_env.get(&sym).copied().unwrap_or(before);
             if tv != ev {
                 let base = self.interner.resolve(sym).to_owned();
-                let m = self.fresh(DefKind::Ite { cond: cv, then_v: tv, else_v: ev }, &base);
+                let m = self.fresh(
+                    DefKind::Ite {
+                        cond: cv,
+                        then_v: tv,
+                        else_v: ev,
+                    },
+                    &base,
+                );
                 self.env.insert(sym, m);
             } else {
                 self.env.insert(sym, tv);
@@ -277,9 +363,7 @@ impl<'a> FuncLowerer<'a> {
                 Stmt::Let(sym, e) | Stmt::Assign(sym, e) => {
                     if matches!(stmt, Stmt::Assign(_, _)) && !self.env.contains_key(sym) {
                         let name = self.interner.resolve(*sym).to_owned();
-                        return Err(self.err(format!(
-                            "assignment to undeclared variable `{name}`"
-                        )));
+                        return Err(self.err(format!("assignment to undeclared variable `{name}`")));
                     }
                     let v = self.lower_expr(e)?;
                     self.env.insert(*sym, v);
@@ -342,8 +426,14 @@ impl<'a> FuncLowerer<'a> {
         let rt_sym = self.ret_taken.expect("ret vars materialized");
         let rt = self.env[&rt_sym];
         let zero = self.constant(0);
-        let cont =
-            self.fresh(DefKind::Binary { op: Op::Eq, lhs: rt, rhs: zero }, "not_returned");
+        let cont = self.fresh(
+            DefKind::Binary {
+                op: Op::Eq,
+                lhs: rt,
+                rhs: zero,
+            },
+            "not_returned",
+        );
         let pre_env = self.env.clone();
         let outer_guard = self.guard;
         let bc = self.fresh(DefKind::Branch { cond: cont }, "cont");
@@ -358,8 +448,14 @@ impl<'a> FuncLowerer<'a> {
             let after = after_env.get(&sym).copied().unwrap_or(before);
             if after != before {
                 let base = self.interner.resolve(sym).to_owned();
-                let m =
-                    self.fresh(DefKind::Ite { cond: cont, then_v: after, else_v: before }, &base);
+                let m = self.fresh(
+                    DefKind::Ite {
+                        cond: cont,
+                        then_v: after,
+                        else_v: before,
+                    },
+                    &base,
+                );
                 self.env.insert(sym, m);
             }
         }
@@ -486,7 +582,11 @@ pub fn lower(
         });
     }
 
-    Ok(Program { functions, call_sites, interner: interner.clone() })
+    Ok(Program {
+        functions,
+        call_sites,
+        interner: interner.clone(),
+    })
 }
 
 #[cfg(test)]
@@ -526,9 +626,7 @@ mod tests {
 
     #[test]
     fn early_return_becomes_gated_single_exit() {
-        let p = lower_src(
-            "fn f(a) { if (a > 0) { return 1; } return 2; }",
-        );
+        let p = lower_src("fn f(a) { if (a > 0) { return 1; } return 2; }");
         let f = p.func_by_name("f").unwrap();
         // Exactly one Return definition, and it is the last one.
         let returns: Vec<_> = f
@@ -540,17 +638,16 @@ mod tests {
         assert_eq!(returns[0].var, f.ret.unwrap());
         assert_eq!(returns[0].var.index(), f.defs.len() - 1);
         // The returned value must be an ite selecting between 1 and 2.
-        let DefKind::Return { src } = f.def(f.ret.unwrap()).kind else { unreachable!() };
+        let DefKind::Return { src } = f.def(f.ret.unwrap()).kind else {
+            unreachable!()
+        };
         let mut saw_ite = false;
         let mut stack = vec![src];
         while let Some(v) = stack.pop() {
-            match &f.def(v).kind {
-                DefKind::Ite { then_v, else_v, .. } => {
-                    saw_ite = true;
-                    stack.push(*then_v);
-                    stack.push(*else_v);
-                }
-                _ => {}
+            if let DefKind::Ite { then_v, else_v, .. } = &f.def(v).kind {
+                saw_ite = true;
+                stack.push(*then_v);
+                stack.push(*else_v);
             }
         }
         assert!(saw_ite);
@@ -558,9 +655,7 @@ mod tests {
 
     #[test]
     fn guards_nest_for_nested_ifs() {
-        let p = lower_src(
-            "fn f(a, b) { let r = 0; if (a) { if (b) { r = 1; } } return r; }",
-        );
+        let p = lower_src("fn f(a, b) { let r = 0; if (a) { if (b) { r = 1; } } return r; }");
         let f = p.func_by_name("f").unwrap();
         // Find the constant-1 def guarded by the inner branch; its guard's
         // guard must be the outer branch.
@@ -568,7 +663,10 @@ mod tests {
             .defs
             .iter()
             .find(|d| d.guard.is_some() && f.def(d.guard.unwrap()).guard.is_some());
-        assert!(inner_guarded.is_some(), "expected a doubly-nested definition");
+        assert!(
+            inner_guarded.is_some(),
+            "expected a doubly-nested definition"
+        );
         let d = inner_guarded.unwrap();
         let g1 = d.guard.unwrap();
         assert!(matches!(f.def(g1).kind, DefKind::Branch { .. }));
@@ -616,7 +714,9 @@ mod tests {
             .iter()
             .find(|d| matches!(d.kind, DefKind::Call { .. }))
             .unwrap();
-        let DefKind::Call { callee, .. } = &call.kind else { unreachable!() };
+        let DefKind::Call { callee, .. } = &call.kind else {
+            unreachable!()
+        };
         assert!(p.func(*callee).is_extern);
     }
 
@@ -639,7 +739,15 @@ mod tests {
         let sevens = f
             .defs
             .iter()
-            .filter(|d| matches!(d.kind, DefKind::Const { value: 7, is_null: false }))
+            .filter(|d| {
+                matches!(
+                    d.kind,
+                    DefKind::Const {
+                        value: 7,
+                        is_null: false
+                    }
+                )
+            })
             .count();
         assert_eq!(sevens, 1);
     }
@@ -690,7 +798,9 @@ mod tests {
     fn fall_through_returns_zero() {
         let p = lower_src("fn f(a) { if (a) { return 5; } }");
         let f = p.func_by_name("f").unwrap();
-        let DefKind::Return { src } = f.def(f.ret.unwrap()).kind else { unreachable!() };
+        let DefKind::Return { src } = f.def(f.ret.unwrap()).kind else {
+            unreachable!()
+        };
         // Returned value: ite(a != 0 path, 5, 0)
         match &f.def(src).kind {
             DefKind::Ite { .. } => {}
@@ -712,7 +822,9 @@ mod tests {
             .unwrap();
         // sink(p) must be guarded by the continuation branch.
         let g = call.guard.expect("sink call must be guarded");
-        let DefKind::Branch { cond } = f.def(g).kind else { panic!("guard not a branch") };
+        let DefKind::Branch { cond } = f.def(g).kind else {
+            panic!("guard not a branch")
+        };
         // cond is `__ret_taken == 0`
         match f.def(cond).kind {
             DefKind::Binary { op: Op::Eq, .. } => {}

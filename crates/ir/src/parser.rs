@@ -37,7 +37,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "parse error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -101,7 +105,11 @@ fn lex(src: &str) -> Result<Vec<SpannedTok>, ParseError> {
     let mut col = 1u32;
     macro_rules! push {
         ($t:expr, $l:expr, $c:expr) => {
-            toks.push(SpannedTok { tok: $t, line: $l, col: $c })
+            toks.push(SpannedTok {
+                tok: $t,
+                line: $l,
+                col: $c,
+            })
         };
     }
     while i < bytes.len() {
@@ -283,7 +291,11 @@ fn lex(src: &str) -> Result<Vec<SpannedTok>, ParseError> {
             }
         }
     }
-    toks.push(SpannedTok { tok: Tok::Eof, line, col });
+    toks.push(SpannedTok {
+        tok: Tok::Eof,
+        line,
+        col,
+    });
     Ok(toks)
 }
 
@@ -300,7 +312,11 @@ impl<'a> Parser<'a> {
 
     fn err(&self, message: impl Into<String>) -> ParseError {
         let t = &self.toks[self.pos.min(self.toks.len() - 1)];
-        ParseError { line: t.line, col: t.col, message: message.into() }
+        ParseError {
+            line: t.line,
+            col: t.col,
+            message: message.into(),
+        }
     }
 
     fn bump(&mut self) -> Tok {
@@ -366,7 +382,12 @@ impl<'a> Parser<'a> {
         } else {
             self.block()?
         };
-        Ok(Function { name, params, body, is_extern })
+        Ok(Function {
+            name,
+            params,
+            body,
+            is_extern,
+        })
     }
 
     fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
@@ -561,7 +582,11 @@ impl<'a> Parser<'a> {
 /// ```
 pub fn parse(src: &str, interner: &mut Interner) -> Result<Program, ParseError> {
     let toks = lex(src)?;
-    let mut p = Parser { toks, pos: 0, interner };
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        interner,
+    };
     p.program()
 }
 
@@ -572,7 +597,11 @@ pub fn parse(src: &str, interner: &mut Interner) -> Result<Program, ParseError> 
 /// Returns [`ParseError`] on malformed input or trailing tokens.
 pub fn parse_expr(src: &str, interner: &mut Interner) -> Result<Expr, ParseError> {
     let toks = lex(src)?;
-    let mut p = Parser { toks, pos: 0, interner };
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        interner,
+    };
     let e = p.expr()?;
     if *p.peek() != Tok::Eof {
         return Err(p.err("trailing input after expression"));

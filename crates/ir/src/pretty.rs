@@ -193,11 +193,21 @@ pub fn function_to_string(program: &Program, func: &Function) -> String {
         let nm = program.name(def.name);
         let rhs = match &def.kind {
             DefKind::Param { index } => format!("param #{index}"),
-            DefKind::Const { value, is_null: true } => format!("null ({value})"),
-            DefKind::Const { value, is_null: false } => format!("{value}"),
+            DefKind::Const {
+                value,
+                is_null: true,
+            } => format!("null ({value})"),
+            DefKind::Const {
+                value,
+                is_null: false,
+            } => format!("{value}"),
             DefKind::Copy { src } => format!("{src}"),
             DefKind::Binary { op, lhs, rhs } => format!("{lhs} {} {rhs}", op_str(*op)),
-            DefKind::Ite { cond, then_v, else_v } => {
+            DefKind::Ite {
+                cond,
+                then_v,
+                else_v,
+            } => {
                 format!("ite({cond}, {then_v}, {else_v})")
             }
             DefKind::Call { callee, args, site } => {

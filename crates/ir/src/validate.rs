@@ -44,7 +44,10 @@ impl Error for ValidateError {}
 pub fn validate(program: &Program) -> Result<(), ValidateError> {
     for func in &program.functions {
         let fname = program.name(func.name).to_owned();
-        let err = |message: String| ValidateError { function: fname.clone(), message };
+        let err = |message: String| ValidateError {
+            function: fname.clone(),
+            message,
+        };
         if func.is_extern {
             if !func.defs.is_empty() {
                 return Err(err("extern function has a body".into()));
@@ -126,10 +129,7 @@ pub fn validate(program: &Program) -> Result<(), ValidateError> {
             chain.reverse(); // outermost first
             for g in &chain {
                 if closed[g.index()] {
-                    return Err(err(format!(
-                        "guard region of {g} reopened at {}",
-                        def.var
-                    )));
+                    return Err(err(format!("guard region of {g} reopened at {}", def.var)));
                 }
             }
             // Any guard present previously but absent now is closed.
@@ -177,7 +177,9 @@ mod tests {
         let last = f.defs.len() - 1;
         f.defs[0] = Def {
             var: VarId(0),
-            kind: DefKind::Copy { src: VarId(last as u32) },
+            kind: DefKind::Copy {
+                src: VarId(last as u32),
+            },
             guard: None,
             name: f.defs[0].name,
         };

@@ -48,6 +48,7 @@ proptest! {
         let entry = 0usize;
         let dom = DomTree::compute(&g, entry);
         let reach = reachable_avoiding(&g, entry, None);
+        #[allow(clippy::needless_range_loop)] // b is also a node id, not just an index
         for b in 0..g.len() {
             prop_assert_eq!(dom.is_reachable(b), reach[b], "reachability of {}", b);
             if !reach[b] {

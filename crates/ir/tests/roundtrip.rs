@@ -29,8 +29,11 @@ fn east() -> impl Strategy<Value = EAst> {
     ];
     leaf.prop_recursive(3, 24, 2, |inner| {
         prop_oneof![
-            (0u8..18, inner.clone(), inner.clone())
-                .prop_map(|(op, a, b)| EAst::Bin(op, Box::new(a), Box::new(b))),
+            (0u8..18, inner.clone(), inner.clone()).prop_map(|(op, a, b)| EAst::Bin(
+                op,
+                Box::new(a),
+                Box::new(b)
+            )),
             (0u8..3, inner).prop_map(|(op, a)| EAst::Un(op, Box::new(a))),
         ]
     })

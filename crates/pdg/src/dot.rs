@@ -22,16 +22,27 @@ pub fn pdg_to_dot(program: &Program, pdg: &Pdg, slice: Option<&Slice>) -> String
                 .and_then(|sl| sl.funcs.get(&func.id))
                 .map(|fs| fs.verts.contains(&def.var))
                 .unwrap_or(false);
-            let style = if in_slice { ", style=filled, fillcolor=lightyellow" } else { "" };
+            let style = if in_slice {
+                ", style=filled, fillcolor=lightyellow"
+            } else {
+                ""
+            };
             let label = match &def.kind {
                 DefKind::Param { index } => format!("{} = ⟨param {index}⟩", def.var),
-                DefKind::Const { value, is_null: true } => format!("{} = null({value})", def.var),
+                DefKind::Const {
+                    value,
+                    is_null: true,
+                } => format!("{} = null({value})", def.var),
                 DefKind::Const { value, .. } => format!("{} = {value}", def.var),
                 DefKind::Copy { src } => format!("{} = {src}", def.var),
                 DefKind::Binary { op, lhs, rhs } => {
                     format!("{} = {lhs} {op:?} {rhs}", def.var)
                 }
-                DefKind::Ite { cond, then_v, else_v } => {
+                DefKind::Ite {
+                    cond,
+                    then_v,
+                    else_v,
+                } => {
                     format!("{} = ite({cond}, {then_v}, {else_v})", def.var)
                 }
                 DefKind::Call { callee, site, .. } => {
@@ -62,7 +73,11 @@ pub fn pdg_to_dot(program: &Program, pdg: &Pdg, slice: Option<&Slice>) -> String
                             func.id.0, def.var.0, func.id.0, to.0
                         );
                     }
-                    FlowTarget::IntoCallee { site, callee, param } => {
+                    FlowTarget::IntoCallee {
+                        site,
+                        callee,
+                        param,
+                    } => {
                         let _ = writeln!(
                             s,
                             "  \"{}_{}\" -> \"{}_{}\" [label=\"({}\", color=blue];",

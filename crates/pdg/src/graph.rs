@@ -124,7 +124,9 @@ impl Pdg {
             callers_of[cs.callee.index()].push(CallSiteId(i as u32));
         }
         for func in &program.functions {
-            let mut fp = FuncPdg { uses: vec![Vec::new(); func.defs.len()] };
+            let mut fp = FuncPdg {
+                uses: vec![Vec::new(); func.defs.len()],
+            };
             for def in &func.defs {
                 // Whether this definition's operand edges are the labeled
                 // call edges of Fig. 5 (actual → callee parameter) rather
@@ -151,7 +153,11 @@ impl Pdg {
             }
             funcs.push(fp);
         }
-        Pdg { funcs, callers_of, stats }
+        Pdg {
+            funcs,
+            callers_of,
+            stats,
+        }
     }
 
     /// Size statistics for Table 2.
@@ -189,17 +195,28 @@ impl Pdg {
                         });
                     } else {
                         let param = callee_f.params[slot];
-                        out.push(FlowTarget::IntoCallee { site: *site, callee: *callee, param });
+                        out.push(FlowTarget::IntoCallee {
+                            site: *site,
+                            callee: *callee,
+                            param,
+                        });
                     }
                 }
-                _ => out.push(FlowTarget::Local { to: user, operand: slot }),
+                _ => out.push(FlowTarget::Local {
+                    to: user,
+                    operand: slot,
+                }),
             }
         }
         // Return edges: the Return definition's value flows to every caller.
         if Some(at.var) == func.ret {
             for &site in self.callers_of(at.func) {
                 let cs = program.call_site(site);
-                out.push(FlowTarget::BackToCaller { site, caller: cs.caller, dst: cs.stmt });
+                out.push(FlowTarget::BackToCaller {
+                    site,
+                    caller: cs.caller,
+                    dst: cs.stmt,
+                });
             }
         }
         out
@@ -226,9 +243,7 @@ mod tests {
 
     #[test]
     fn call_and_return_edges() {
-        let p = program(
-            "fn bar(x) { return x; } fn foo(a) { let c = bar(a); return c; }",
-        );
+        let p = program("fn bar(x) { return x; } fn foo(a) { let c = bar(a); return c; }");
         let g = Pdg::build(&p);
         let foo = p.func_by_name("foo").unwrap();
         let bar = p.func_by_name("bar").unwrap();
@@ -274,7 +289,9 @@ mod tests {
         let g = Pdg::build(&p);
         let f = p.func_by_name("f").unwrap();
         let targets = g.flow_targets(&p, Vertex::new(f.id, f.params[0]));
-        assert!(targets.iter().any(|t| matches!(t, FlowTarget::ThroughExtern { .. })));
+        assert!(targets
+            .iter()
+            .any(|t| matches!(t, FlowTarget::ThroughExtern { .. })));
     }
 
     #[test]

@@ -39,7 +39,10 @@ pub struct DependencePath {
 impl DependencePath {
     /// A single-vertex path.
     pub fn unit(v: Vertex) -> Self {
-        Self { nodes: vec![v], links: Vec::new() }
+        Self {
+            nodes: vec![v],
+            links: Vec::new(),
+        }
     }
 
     /// Appends a step.

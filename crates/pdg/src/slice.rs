@@ -110,7 +110,12 @@ pub fn compute_slice(program: &Program, _pdg: &Pdg, paths: &[DependencePath]) ->
             if i > 0 {
                 let prev = path.nodes[i - 1];
                 if prev.func == node.func {
-                    if let DefKind::Ite { cond, then_v, else_v } = func.def(node.var).kind {
+                    if let DefKind::Ite {
+                        cond,
+                        then_v,
+                        else_v,
+                    } = func.def(node.var).kind
+                    {
                         let taken_then = if prev.var == then_v {
                             Some(true)
                         } else if prev.var == else_v {
@@ -122,7 +127,10 @@ pub fn compute_slice(program: &Program, _pdg: &Pdg, paths: &[DependencePath]) ->
                             constraints.insert(Constraint {
                                 ctx: ctxs[i].clone(),
                                 func: node.func,
-                                kind: ConstraintKind::IteGate { ite: node.var, taken_then },
+                                kind: ConstraintKind::IteGate {
+                                    ite: node.var,
+                                    taken_then,
+                                },
                             });
                             push_root(&mut work, node.func, cond);
                         }
@@ -202,7 +210,9 @@ pub fn compute_slice(program: &Program, _pdg: &Pdg, paths: &[DependencePath]) ->
             }
         }
         // New entry sites discovered: bind already-sliced params.
-        let Some((callee, site)) = site_work.pop_front() else { break };
+        let Some((callee, site)) = site_work.pop_front() else {
+            break;
+        };
         let sliced_params: Vec<(usize, VarId)> = program
             .func(callee)
             .params
@@ -303,7 +313,15 @@ mod tests {
         let gates = slice
             .constraints
             .iter()
-            .filter(|c| matches!(c.kind, ConstraintKind::IteGate { taken_then: true, .. }))
+            .filter(|c| {
+                matches!(
+                    c.kind,
+                    ConstraintKind::IteGate {
+                        taken_then: true,
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(gates, 2);
         let branches = slice
@@ -358,7 +376,7 @@ mod tests {
         let bar_slice = &slice.funcs[&bar.id];
         assert!(bar_slice.verts.len() <= bar.defs.len());
         assert_eq!(bar_slice.entry_sites.len(), 2); // both call sites linked
-        // Total sliced vertices are bounded by program size (no cloning).
+                                                    // Total sliced vertices are bounded by program size (no cloning).
         assert!(slice.vertex_count() <= p.size());
     }
 

@@ -49,7 +49,9 @@ pub struct TranslateOptions {
 
 impl Default for TranslateOptions {
     fn default() -> Self {
-        Self { max_instances: 1 << 16 }
+        Self {
+            max_instances: 1 << 16,
+        }
     }
 }
 
@@ -120,12 +122,7 @@ pub fn truthy(pool: &mut TermPool, v: TermId) -> TermId {
 
 /// The SMT variable for IR variable `var` of `func` under calling context
 /// `ctx` — the renamed clone the paper's instantiation produces.
-pub fn instance_var(
-    pool: &mut TermPool,
-    ctx: &[CallSiteId],
-    func: FuncId,
-    var: VarId,
-) -> TermId {
+pub fn instance_var(pool: &mut TermPool, ctx: &[CallSiteId], func: FuncId, var: VarId) -> TermId {
     let mut name = format!("f{}", func.0);
     for s in ctx {
         name.push('@');
@@ -151,15 +148,14 @@ pub fn translate(
     let mut equations = 0usize;
     let mut instances: HashSet<(Vec<CallSiteId>, FuncId)> = HashSet::new();
     let mut work: VecDeque<(Vec<CallSiteId>, FuncId)> = VecDeque::new();
-    let schedule =
-        |instances: &mut HashSet<(Vec<CallSiteId>, FuncId)>,
-         work: &mut VecDeque<(Vec<CallSiteId>, FuncId)>,
-         ctx: Vec<CallSiteId>,
-         f: FuncId| {
-            if instances.insert((ctx.clone(), f)) {
-                work.push_back((ctx, f));
-            }
-        };
+    let schedule = |instances: &mut HashSet<(Vec<CallSiteId>, FuncId)>,
+                    work: &mut VecDeque<(Vec<CallSiteId>, FuncId)>,
+                    ctx: Vec<CallSiteId>,
+                    f: FuncId| {
+        if instances.insert((ctx.clone(), f)) {
+            work.push_back((ctx, f));
+        }
+    };
 
     // Rule 4/5 + Rule 1 gates: the context-tagged path constraints.
     for Constraint { ctx, func, kind } in &slice.constraints {
@@ -193,7 +189,9 @@ pub fn translate(
                 budget: options.max_instances,
             });
         }
-        let Some(fs) = slice.funcs.get(&fid) else { continue };
+        let Some(fs) = slice.funcs.get(&fid) else {
+            continue;
+        };
         let func = program.func(fid);
         for &v in &fs.verts {
             let def = func.def(v);
@@ -228,7 +226,11 @@ pub fn translate(
                     let rhs = encode_op(pool, *op, ta, tb);
                     pool.eq(lhs, rhs)
                 }
-                DefKind::Ite { cond, then_v, else_v } => {
+                DefKind::Ite {
+                    cond,
+                    then_v,
+                    else_v,
+                } => {
                     let tc = instance_var(pool, &ctx, fid, *cond);
                     let tt = instance_var(pool, &ctx, fid, *then_v);
                     let te = instance_var(pool, &ctx, fid, *else_v);
@@ -259,7 +261,11 @@ pub fn translate(
     }
 
     let formula = pool.and(&parts);
-    Ok(Translation { formula, instances: instances.len(), equations })
+    Ok(Translation {
+        formula,
+        instances: instances.len(),
+        equations,
+    })
 }
 
 #[cfg(test)]
@@ -392,8 +398,13 @@ mod tests {
         assert_eq!(tr.instances, 8);
         // And the budget trips when set below that.
         let mut pool2 = TermPool::new();
-        let err = translate(&p, &slice, &mut pool2, &TranslateOptions { max_instances: 4 })
-            .unwrap_err();
+        let err = translate(
+            &p,
+            &slice,
+            &mut pool2,
+            &TranslateOptions { max_instances: 4 },
+        )
+        .unwrap_err();
         assert!(err.instances > 4);
     }
 

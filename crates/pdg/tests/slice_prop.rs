@@ -14,7 +14,10 @@ use proptest::prelude::*;
 fn make_source(depth: usize, helpers: usize, extra: usize) -> String {
     let mut s = String::from("extern fn deref(p);\n");
     for h in 0..helpers.max(1) {
-        s.push_str(&format!("fn h{h}(x) {{ return x * {} + {h}; }}\n", 2 * h + 1));
+        s.push_str(&format!(
+            "fn h{h}(x) {{ return x * {} + {h}; }}\n",
+            2 * h + 1
+        ));
     }
     s.push_str("fn f(a, b) {\n  let q = null;\n  let r = 1;\n");
     for e in 0..extra {
@@ -71,7 +74,7 @@ proptest! {
         let program = compile(&src, CompileOptions::default()).expect("compile");
         let pdg = Pdg::build(&program);
         let path = null_path(&program);
-        let slice = compute_slice(&program, &pdg, &[path.clone()]);
+        let slice = compute_slice(&program, &pdg, std::slice::from_ref(&path));
 
         // 1. Linear size: never larger than the program.
         prop_assert!(slice.vertex_count() <= program.size());

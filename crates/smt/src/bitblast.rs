@@ -66,7 +66,13 @@ impl<'p> Blaster<'p> {
         let t = cnf.fresh();
         let true_lit = Lit::pos(t);
         cnf.add_unit(true_lit);
-        Blaster { pool, cnf, memo: HashMap::new(), map: BlastMap::default(), true_lit }
+        Blaster {
+            pool,
+            cnf,
+            memo: HashMap::new(),
+            map: BlastMap::default(),
+            true_lit,
+        }
     }
 
     fn konst(&self, b: bool) -> Lit {
@@ -267,7 +273,13 @@ impl<'p> Blaster<'p> {
         // in the low k bits; detect them numerically (w fits in k bits).
         if !w.is_power_of_two() && k > 0 {
             let w_lits: Vec<Lit> = (0..k)
-                .map(|i| if (w >> i) & 1 == 1 { self.konst(true) } else { self.konst(false) })
+                .map(|i| {
+                    if (w >> i) & 1 == 1 {
+                        self.konst(true)
+                    } else {
+                        self.konst(false)
+                    }
+                })
                 .collect();
             let low: Vec<Lit> = b.iter().take(k).copied().collect();
             let lt_w = self.ult(&low, &w_lits);
@@ -275,7 +287,9 @@ impl<'p> Blaster<'p> {
         }
         let big = self.big_or(&big_bits);
         let fill_final = if left { self.konst(false) } else { fill };
-        cur.iter().map(|&l| self.gate_mux(big, fill_final, l)).collect()
+        cur.iter()
+            .map(|&l| self.gate_mux(big, fill_final, l))
+            .collect()
     }
 
     fn blast(&mut self, t: TermId) -> Bits {
@@ -285,8 +299,9 @@ impl<'p> Blaster<'p> {
         let result = match self.pool.kind(t).clone() {
             TermKind::BoolConst(b) => Bits::Bool(self.konst(b)),
             TermKind::BvConst { width, value } => {
-                let bits =
-                    (0..width).map(|i| self.konst((value >> i) & 1 == 1)).collect();
+                let bits = (0..width)
+                    .map(|i| self.konst((value >> i) & 1 == 1))
+                    .collect();
                 Bits::Bv(bits)
             }
             TermKind::Var(v) => match self.pool.var_sort(v) {
@@ -302,14 +317,18 @@ impl<'p> Blaster<'p> {
                 }
             },
             TermKind::Not(x) => {
-                let Bits::Bool(l) = self.blast(x) else { unreachable!("not: bool") };
+                let Bits::Bool(l) = self.blast(x) else {
+                    unreachable!("not: bool")
+                };
                 Bits::Bool(!l)
             }
             TermKind::And(xs) => {
                 let lits: Vec<Lit> = xs
                     .iter()
                     .map(|&x| {
-                        let Bits::Bool(l) = self.blast(x) else { unreachable!("and: bool") };
+                        let Bits::Bool(l) = self.blast(x) else {
+                            unreachable!("and: bool")
+                        };
                         l
                     })
                     .collect();
@@ -319,7 +338,9 @@ impl<'p> Blaster<'p> {
                 let lits: Vec<Lit> = xs
                     .iter()
                     .map(|&x| {
-                        let Bits::Bool(l) = self.blast(x) else { unreachable!("or: bool") };
+                        let Bits::Bool(l) = self.blast(x) else {
+                            unreachable!("or: bool")
+                        };
                         l
                     })
                     .collect();
@@ -330,22 +351,30 @@ impl<'p> Blaster<'p> {
                 (Bits::Bv(x), Bits::Bv(y)) => Bits::Bool(self.eq_bits(&x, &y)),
                 _ => unreachable!("eq: sort mismatch"),
             },
-            TermKind::Ite { cond, then_t, else_t } => {
-                let Bits::Bool(c) = self.blast(cond) else { unreachable!("ite cond") };
+            TermKind::Ite {
+                cond,
+                then_t,
+                else_t,
+            } => {
+                let Bits::Bool(c) = self.blast(cond) else {
+                    unreachable!("ite cond")
+                };
                 match (self.blast(then_t), self.blast(else_t)) {
                     (Bits::Bool(x), Bits::Bool(y)) => Bits::Bool(self.gate_mux(c, x, y)),
                     (Bits::Bv(x), Bits::Bv(y)) => {
-                        let bits = (0..x.len())
-                            .map(|i| self.gate_mux(c, x[i], y[i]))
-                            .collect();
+                        let bits = (0..x.len()).map(|i| self.gate_mux(c, x[i], y[i])).collect();
                         Bits::Bv(bits)
                     }
                     _ => unreachable!("ite: sort mismatch"),
                 }
             }
             TermKind::Pred(p, a, b) => {
-                let Bits::Bv(mut x) = self.blast(a) else { unreachable!("pred lhs") };
-                let Bits::Bv(mut y) = self.blast(b) else { unreachable!("pred rhs") };
+                let Bits::Bv(mut x) = self.blast(a) else {
+                    unreachable!("pred lhs")
+                };
+                let Bits::Bv(mut y) = self.blast(b) else {
+                    unreachable!("pred rhs")
+                };
                 let (swap, strict_complement) = match p {
                     BvPred::Ult | BvPred::Slt => (false, false),
                     // a <= b  ⟺  ¬(b < a)
@@ -357,20 +386,26 @@ impl<'p> Blaster<'p> {
                     x[n - 1] = !x[n - 1];
                     y[n - 1] = !y[n - 1];
                 }
-                let l = if swap { self.ult(&y, &x) } else { self.ult(&x, &y) };
+                let l = if swap {
+                    self.ult(&y, &x)
+                } else {
+                    self.ult(&x, &y)
+                };
                 Bits::Bool(if strict_complement { !l } else { l })
             }
             TermKind::Bv(op, a, b) => {
-                let Bits::Bv(x) = self.blast(a) else { unreachable!("bv lhs") };
-                let Bits::Bv(y) = self.blast(b) else { unreachable!("bv rhs") };
+                let Bits::Bv(x) = self.blast(a) else {
+                    unreachable!("bv lhs")
+                };
+                let Bits::Bv(y) = self.blast(b) else {
+                    unreachable!("bv rhs")
+                };
                 let w = x.len();
                 let bits = match op {
                     BvOp::Add => self.adder(&x, &y, self.konst(false)).0,
                     BvOp::Sub => self.sub(&x, &y),
                     BvOp::Mul => self.mul(&x, &y, w),
-                    BvOp::And => {
-                        (0..w).map(|i| self.gate_and(x[i], y[i])).collect()
-                    }
+                    BvOp::And => (0..w).map(|i| self.gate_and(x[i], y[i])).collect(),
                     BvOp::Or => (0..w).map(|i| self.gate_or(x[i], y[i])).collect(),
                     BvOp::Xor => (0..w).map(|i| self.gate_xor(x[i], y[i])).collect(),
                     BvOp::Shl => {
@@ -445,9 +480,15 @@ impl<'p> Blaster<'p> {
 ///
 /// Panics if `formula` is not boolean-sorted (an internal sort error).
 pub fn blast(pool: &TermPool, formula: TermId) -> (Cnf, BlastMap) {
-    assert_eq!(pool.sort(formula), Sort::Bool, "blast: formula must be Bool");
+    assert_eq!(
+        pool.sort(formula),
+        Sort::Bool,
+        "blast: formula must be Bool"
+    );
     let mut b = Blaster::new(pool);
-    let Bits::Bool(root) = b.blast(formula) else { unreachable!("formula is Bool") };
+    let Bits::Bool(root) = b.blast(formula) else {
+        unreachable!("formula is Bool")
+    };
     b.cnf.add_unit(root);
     (b.cnf, b.map)
 }
@@ -471,7 +512,11 @@ mod tests {
                     }
                 }
                 let val = pool.eval(formula, &env);
-                assert_eq!(val, crate::term::Value::Bool(true), "model does not satisfy formula");
+                assert_eq!(
+                    val,
+                    crate::term::Value::Bool(true),
+                    "model does not satisfy formula"
+                );
                 true
             }
             SatOutcome::Unsat => false,

@@ -106,10 +106,9 @@ impl Cnf {
     /// Evaluates the formula under a full assignment (`assign[v]` is the
     /// value of `BVar(v)`).
     pub fn eval(&self, assign: &[bool]) -> bool {
-        self.clauses.iter().all(|c| {
-            c.iter()
-                .any(|l| assign[l.var().index()] == l.is_pos())
-        })
+        self.clauses
+            .iter()
+            .all(|c| c.iter().any(|l| assign[l.var().index()] == l.is_pos()))
     }
 }
 

@@ -65,7 +65,10 @@ pub fn from_dimacs(text: &str) -> Result<Cnf, DimacsError> {
         }
         if let Some(rest) = line.strip_prefix("p ") {
             if num_vars.is_some() {
-                return Err(DimacsError { line: line_no, message: "duplicate header".into() });
+                return Err(DimacsError {
+                    line: line_no,
+                    message: "duplicate header".into(),
+                });
             }
             let parts: Vec<&str> = rest.split_whitespace().collect();
             if parts.len() != 3 || parts[0] != "cnf" {

@@ -176,11 +176,11 @@ pub fn propagate_equalities_protected(
         let mut bound: std::collections::HashSet<VarIdx> = Default::default();
         let mut rhs_vars: std::collections::HashSet<VarIdx> = Default::default();
         let try_bind = |pool: &TermPool,
-                            subst: &mut HashMap<VarIdx, TermId>,
-                            bound: &mut std::collections::HashSet<VarIdx>,
-                            rhs_vars: &mut std::collections::HashSet<VarIdx>,
-                            x: VarIdx,
-                            rhs: TermId| {
+                        subst: &mut HashMap<VarIdx, TermId>,
+                        bound: &mut std::collections::HashSet<VarIdx>,
+                        rhs_vars: &mut std::collections::HashSet<VarIdx>,
+                        x: VarIdx,
+                        rhs: TermId| {
             if protected.contains(&x) {
                 return;
             }
@@ -196,7 +196,9 @@ pub fn propagate_equalities_protected(
             subst.insert(x, rhs);
         };
         for c in conjuncts(pool, t) {
-            let TermKind::Eq(a, b) = pool.kind(c).clone() else { continue };
+            let TermKind::Eq(a, b) = pool.kind(c).clone() else {
+                continue;
+            };
             let va = as_var(pool, a);
             let vb = as_var(pool, b);
             match (va, vb) {
@@ -298,8 +300,9 @@ pub fn eliminate_unconstrained_protected(
             if rewrites.contains_key(&parent) {
                 continue;
             }
-            #[allow(clippy::unnecessary_to_owned)] // pool.var needs &mut; the name must be detached first
-        let vt = pool.var(&pool.var_name(v).to_owned(), pool.var_sort(v));
+            #[allow(clippy::unnecessary_to_owned)]
+            // pool.var needs &mut; the name must be detached first
+            let vt = pool.var(&pool.var_name(v).to_owned(), pool.var_sort(v));
             let replacement = match pool.kind(parent).clone() {
                 TermKind::Bv(op, a, b) => {
                     let other = if a == vt { b } else { a };
@@ -312,9 +315,7 @@ pub fn eliminate_unconstrained_protected(
                                 Some(pool.fresh_var("uc", Sort::Bv(w)))
                             }
                             BvOp::Mul => match pool.as_bv_const(other) {
-                                Some(k) if k & 1 == 1 => {
-                                    Some(pool.fresh_var("uc", Sort::Bv(w)))
-                                }
+                                Some(k) if k & 1 == 1 => Some(pool.fresh_var("uc", Sort::Bv(w))),
                                 _ => None,
                             },
                             _ => None,
@@ -482,7 +483,11 @@ fn replace_nodes(pool: &mut TermPool, root: TermId, map: &HashMap<TermId, TermId
                 let b = go(pool, b, map, memo);
                 pool.eq(a, b)
             }
-            TermKind::Ite { cond, then_t, else_t } => {
+            TermKind::Ite {
+                cond,
+                then_t,
+                else_t,
+            } => {
                 let c = go(pool, cond, map, memo);
                 let tt = go(pool, then_t, map, memo);
                 let ee = go(pool, else_t, map, memo);
@@ -513,14 +518,14 @@ fn pred_full_range(p: BvPred, lhs_is_var: bool, value: u64, w: u32) -> bool {
     let smin = 1u64 << (w - 1);
     let smax = smin - 1;
     match (p, lhs_is_var) {
-        (BvPred::Ult, true) => value != 0,           // x < c
-        (BvPred::Ult, false) => value != umax,       // c < x
-        (BvPred::Ule, true) => value != umax,        // x <= c
-        (BvPred::Ule, false) => value != 0,          // c <= x
-        (BvPred::Slt, true) => value != smin,        // x <s c
-        (BvPred::Slt, false) => value != smax,       // c <s x
-        (BvPred::Sle, true) => value != smax,        // x <=s c
-        (BvPred::Sle, false) => value != smin,       // c <=s x
+        (BvPred::Ult, true) => value != 0,     // x < c
+        (BvPred::Ult, false) => value != umax, // c < x
+        (BvPred::Ule, true) => value != umax,  // x <= c
+        (BvPred::Ule, false) => value != 0,    // c <= x
+        (BvPred::Slt, true) => value != smin,  // x <s c
+        (BvPred::Slt, false) => value != smax, // c <s x
+        (BvPred::Sle, true) => value != smax,  // x <=s c
+        (BvPred::Sle, false) => value != smin, // c <=s x
     }
 }
 
@@ -564,8 +569,10 @@ fn drop_unconstrained_units(
     };
     match pool.kind(t).clone() {
         TermKind::And(xs) => {
-            let kept: Vec<TermId> =
-                xs.into_iter().filter(|&x| !singleton_bool(pool, x)).collect();
+            let kept: Vec<TermId> = xs
+                .into_iter()
+                .filter(|&x| !singleton_bool(pool, x))
+                .collect();
             pool.and(&kept)
         }
         TermKind::Or(xs) => {
@@ -591,7 +598,10 @@ struct KnownBits {
 
 impl KnownBits {
     fn all(value: u64, w: u32) -> Self {
-        KnownBits { known: mask(w), value: value & mask(w) }
+        KnownBits {
+            known: mask(w),
+            value: value & mask(w),
+        }
     }
 
     /// Length of the contiguous known run starting at bit 0.
@@ -604,7 +614,9 @@ fn known_bits(pool: &TermPool, t: TermId, memo: &mut HashMap<TermId, KnownBits>)
     if let Some(&k) = memo.get(&t) {
         return k;
     }
-    let Sort::Bv(w) = pool.sort(t) else { return KnownBits::default() };
+    let Sort::Bv(w) = pool.sort(t) else {
+        return KnownBits::default();
+    };
     let m = mask(w);
     let out = match pool.kind(t).clone() {
         TermKind::BvConst { value, .. } => KnownBits::all(value, w),
@@ -615,16 +627,25 @@ fn known_bits(pool: &TermPool, t: TermId, memo: &mut HashMap<TermId, KnownBits>)
                 BvOp::And => {
                     let known0 = (ka.known & !ka.value) | (kb.known & !kb.value);
                     let known1 = (ka.known & ka.value) & (kb.known & kb.value);
-                    KnownBits { known: (known0 | known1) & m, value: known1 & m }
+                    KnownBits {
+                        known: (known0 | known1) & m,
+                        value: known1 & m,
+                    }
                 }
                 BvOp::Or => {
                     let known1 = (ka.known & ka.value) | (kb.known & kb.value);
                     let known0 = (ka.known & !ka.value) & (kb.known & !kb.value);
-                    KnownBits { known: (known0 | known1) & m, value: known1 & m }
+                    KnownBits {
+                        known: (known0 | known1) & m,
+                        value: known1 & m,
+                    }
                 }
                 BvOp::Xor => {
                     let known = ka.known & kb.known;
-                    KnownBits { known, value: (ka.value ^ kb.value) & known }
+                    KnownBits {
+                        known,
+                        value: (ka.value ^ kb.value) & known,
+                    }
                 }
                 BvOp::Shl => match pool.as_bv_const(b) {
                     Some(k) if k < w as u64 => {
@@ -657,7 +678,10 @@ fn known_bits(pool: &TermPool, t: TermId, memo: &mut HashMap<TermId, KnownBits>)
                         } else {
                             ka.value.wrapping_sub(kb.value)
                         };
-                        KnownBits { known: jm, value: v & jm }
+                        KnownBits {
+                            known: jm,
+                            value: v & jm,
+                        }
                     }
                 }
                 BvOp::Mul => {
@@ -666,7 +690,10 @@ fn known_bits(pool: &TermPool, t: TermId, memo: &mut HashMap<TermId, KnownBits>)
                         KnownBits::default()
                     } else {
                         let jm = mask(j);
-                        KnownBits { known: jm, value: ka.value.wrapping_mul(kb.value) & jm }
+                        KnownBits {
+                            known: jm,
+                            value: ka.value.wrapping_mul(kb.value) & jm,
+                        }
                     }
                 }
                 BvOp::Ashr | BvOp::Udiv | BvOp::Urem => KnownBits::default(),
@@ -676,7 +703,10 @@ fn known_bits(pool: &TermPool, t: TermId, memo: &mut HashMap<TermId, KnownBits>)
             let ka = known_bits(pool, then_t, memo);
             let kb = known_bits(pool, else_t, memo);
             let agree = ka.known & kb.known & !(ka.value ^ kb.value);
-            KnownBits { known: agree, value: ka.value & agree }
+            KnownBits {
+                known: agree,
+                value: ka.value & agree,
+            }
         }
         _ => KnownBits::default(),
     };
@@ -718,13 +748,11 @@ pub fn refute_by_known_bits(pool: &mut TermPool, t: TermId) -> TermId {
                 pool.not(x)
             }
             TermKind::And(xs) => {
-                let xs: Vec<TermId> =
-                    xs.iter().map(|&x| go(pool, x, memo, kmemo)).collect();
+                let xs: Vec<TermId> = xs.iter().map(|&x| go(pool, x, memo, kmemo)).collect();
                 pool.and(&xs)
             }
             TermKind::Or(xs) => {
-                let xs: Vec<TermId> =
-                    xs.iter().map(|&x| go(pool, x, memo, kmemo)).collect();
+                let xs: Vec<TermId> = xs.iter().map(|&x| go(pool, x, memo, kmemo)).collect();
                 pool.or(&xs)
             }
             TermKind::Eq(a, b) => {
@@ -732,7 +760,11 @@ pub fn refute_by_known_bits(pool: &mut TermPool, t: TermId) -> TermId {
                 let b = go(pool, b, memo, kmemo);
                 pool.eq(a, b)
             }
-            TermKind::Ite { cond, then_t, else_t } => {
+            TermKind::Ite {
+                cond,
+                then_t,
+                else_t,
+            } => {
                 let c = go(pool, cond, memo, kmemo);
                 let tt = go(pool, then_t, memo, kmemo);
                 let ee = go(pool, else_t, memo, kmemo);
@@ -766,13 +798,17 @@ struct Linear {
 
 fn linear_of(pool: &TermPool, t: TermId, w: u32) -> Option<Linear> {
     match pool.kind(t).clone() {
-        TermKind::BvConst { value, .. } => {
-            Some(Linear { coeffs: HashMap::new(), constant: value })
-        }
+        TermKind::BvConst { value, .. } => Some(Linear {
+            coeffs: HashMap::new(),
+            constant: value,
+        }),
         TermKind::Var(v) => {
             let mut coeffs = HashMap::new();
             coeffs.insert(v, 1u64);
-            Some(Linear { coeffs, constant: 0 })
+            Some(Linear {
+                coeffs,
+                constant: 0,
+            })
         }
         TermKind::Bv(BvOp::Add, a, b) => {
             let la = linear_of(pool, a, w)?;
@@ -833,7 +869,8 @@ fn lin_to_term(pool: &mut TermPool, lin: &Linear, w: u32) -> TermId {
     let mut vars: Vec<(&VarIdx, &u64)> = lin.coeffs.iter().collect();
     vars.sort();
     for (&v, &c) in vars {
-        #[allow(clippy::unnecessary_to_owned)] // pool.var needs &mut; the name must be detached first
+        #[allow(clippy::unnecessary_to_owned)]
+        // pool.var needs &mut; the name must be detached first
         let vt = pool.var(&pool.var_name(v).to_owned(), pool.var_sort(v));
         let k = pool.bv_const(c, w);
         let prod = pool.bv(BvOp::Mul, k, vt);
@@ -997,7 +1034,11 @@ pub fn reduce_strength(pool: &mut TermPool, t: TermId) -> TermId {
                 let b = go(pool, b, memo);
                 pool.eq(a, b)
             }
-            TermKind::Ite { cond, then_t, else_t } => {
+            TermKind::Ite {
+                cond,
+                then_t,
+                else_t,
+            } => {
                 let c = go(pool, cond, memo);
                 let tt = go(pool, then_t, memo);
                 let ee = go(pool, else_t, memo);
@@ -1050,7 +1091,11 @@ pub fn preprocess_fragment(
             break;
         }
     }
-    Preprocessed { term: t, decided: pool.as_bool_const(t), rounds }
+    Preprocessed {
+        term: t,
+        decided: pool.as_bool_const(t),
+        rounds,
+    }
 }
 
 /// [`preprocess`] over a fragment with a protected interface: all passes
@@ -1076,7 +1121,11 @@ pub fn preprocess_protected(
             break;
         }
     }
-    Preprocessed { term: t, decided: pool.as_bool_const(t), rounds }
+    Preprocessed {
+        term: t,
+        decided: pool.as_bool_const(t),
+        rounds,
+    }
 }
 
 #[cfg(test)]
@@ -1248,7 +1297,11 @@ mod tests {
         let c8 = p.bv_const(8, 32);
         let prod = p.bv(BvOp::Mul, x, c8);
         let r = reduce_strength(&mut p, prod);
-        assert!(matches!(p.kind(r), TermKind::Bv(BvOp::Shl, _, _)), "{}", p.display(r));
+        assert!(
+            matches!(p.kind(r), TermKind::Bv(BvOp::Shl, _, _)),
+            "{}",
+            p.display(r)
+        );
         let quot = p.bv(BvOp::Udiv, x, c8);
         let r = reduce_strength(&mut p, quot);
         assert!(matches!(p.kind(r), TermKind::Bv(BvOp::Lshr, _, _)));
@@ -1260,7 +1313,7 @@ mod tests {
     #[test]
     fn mod_inverse_is_correct() {
         for w in [8u32, 16, 32] {
-            for a in [1u64, 3, 5, 7, 0xab % mask(w).max(1) | 1] {
+            for a in [1u64, 3, 5, 7, (0xab % mask(w).max(1)) | 1] {
                 let inv = mod_inverse(a, w);
                 assert_eq!(a.wrapping_mul(inv) & mask(w), 1, "a={a} w={w}");
             }

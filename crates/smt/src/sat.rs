@@ -75,7 +75,7 @@ pub struct SatSolver {
     activity: Vec<f64>,
     var_inc: f64,
     cla_inc: f64,
-    heap: Vec<BVar>,       // binary max-heap on activity
+    heap: Vec<BVar>,        // binary max-heap on activity
     heap_index: Vec<usize>, // usize::MAX = not in heap
     phase: Vec<bool>,
     seen: Vec<bool>,
@@ -144,7 +144,10 @@ impl SatSolver {
         }
         // Remove false literals / satisfied clauses at level 0.
         lits.retain(|&l| self.value(l) != 0 || self.level[l.var().index()] != 0);
-        if lits.iter().any(|&l| self.value(l) == 1 && self.level[l.var().index()] == 0) {
+        if lits
+            .iter()
+            .any(|&l| self.value(l) == 1 && self.level[l.var().index()] == 0)
+        {
             return;
         }
         match lits.len() {
@@ -158,7 +161,11 @@ impl SatSolver {
                 let ci = self.clauses.len();
                 self.watch(lits[0], lits[1], ci);
                 self.watch(lits[1], lits[0], ci);
-                self.clauses.push(Clause { lits, learnt: false, activity: 0.0 });
+                self.clauses.push(Clause {
+                    lits,
+                    learnt: false,
+                    activity: 0.0,
+                });
             }
         }
     }
@@ -368,10 +375,13 @@ impl SatSolver {
                 .partial_cmp(&self.clauses[b].activity)
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
-        let locked: std::collections::HashSet<usize> =
-            self.reason.iter().copied().filter(|&r| r != usize::MAX).collect();
-        let mut remove: std::collections::HashSet<usize> = learnt_idx
-            [..learnt_idx.len() / 2]
+        let locked: std::collections::HashSet<usize> = self
+            .reason
+            .iter()
+            .copied()
+            .filter(|&r| r != usize::MAX)
+            .collect();
+        let mut remove: std::collections::HashSet<usize> = learnt_idx[..learnt_idx.len() / 2]
             .iter()
             .copied()
             .filter(|i| !locked.contains(i) && self.clauses[*i].lits.len() > 2)
@@ -434,7 +444,11 @@ impl SatSolver {
                     self.watch(learnt[0], learnt[1], ci);
                     self.watch(learnt[1], learnt[0], ci);
                     let first = learnt[0];
-                    self.clauses.push(Clause { lits: learnt, learnt: true, activity: 0.0 });
+                    self.clauses.push(Clause {
+                        lits: learnt,
+                        learnt: true,
+                        activity: 0.0,
+                    });
                     self.bump_clause(ci);
                     let ok = self.enqueue(first, ci);
                     debug_assert!(ok);
@@ -467,8 +481,7 @@ impl SatSolver {
                 }
                 match self.pick_branch() {
                     None => {
-                        let model: Vec<bool> =
-                            self.assign.iter().map(|&a| a == 1).collect();
+                        let model: Vec<bool> = self.assign.iter().map(|&a| a == 1).collect();
                         return SatOutcome::Sat(model);
                     }
                     Some(l) => {
@@ -605,7 +618,7 @@ mod tests {
         // p(i,j): pigeon i in hole j; 3 pigeons, 2 holes.
         let mut cnf = Cnf::new();
         let mut p = [[BVar(0); 2]; 3];
-        for (_, row) in p.iter_mut().enumerate() {
+        for row in p.iter_mut() {
             for cell in row.iter_mut() {
                 *cell = cnf.fresh();
             }
@@ -613,6 +626,7 @@ mod tests {
         for row in &p {
             cnf.add(vec![Lit::pos(row[0]), Lit::pos(row[1])]);
         }
+        #[allow(clippy::needless_range_loop)] // j indexes a column across rows
         for j in 0..2 {
             for i1 in 0..3 {
                 for i2 in (i1 + 1)..3 {
@@ -655,6 +669,7 @@ mod tests {
         for row in &p {
             cnf.add(row.iter().map(|&v| Lit::pos(v)).collect());
         }
+        #[allow(clippy::needless_range_loop)] // j indexes a column across rows
         for j in 0..h {
             for i1 in 0..n {
                 for i2 in (i1 + 1)..n {
@@ -662,7 +677,10 @@ mod tests {
                 }
             }
         }
-        let budget = SatBudget { max_conflicts: Some(1), deadline: None };
+        let budget = SatBudget {
+            max_conflicts: Some(1),
+            deadline: None,
+        };
         assert_eq!(solve_cnf(&cnf, budget), SatOutcome::Unknown);
     }
 

@@ -65,7 +65,11 @@ fn ident(name: &str) -> String {
 ///
 /// Panics if `formula` is not boolean-sorted.
 pub fn to_smtlib2(pool: &TermPool, formula: TermId) -> String {
-    assert_eq!(pool.sort(formula), Sort::Bool, "to_smtlib2: formula must be Bool");
+    assert_eq!(
+        pool.sort(formula),
+        Sort::Bool,
+        "to_smtlib2: formula must be Bool"
+    );
     let mut out = String::from("(set-logic QF_BV)\n");
     let mut vars = pool.free_vars(formula);
     vars.sort_unstable();
@@ -99,21 +103,21 @@ pub fn to_smtlib2(pool: &TermPool, formula: TermId) -> String {
             TermKind::Var(v) => ident(pool.var_name(*v)),
             TermKind::Not(x) => format!("(not {})", expr(pool, *x, bound)),
             TermKind::And(xs) => {
-                let parts: Vec<String> =
-                    xs.iter().map(|&x| expr(pool, x, bound)).collect();
+                let parts: Vec<String> = xs.iter().map(|&x| expr(pool, x, bound)).collect();
                 format!("(and {})", parts.join(" "))
             }
             TermKind::Or(xs) => {
-                let parts: Vec<String> =
-                    xs.iter().map(|&x| expr(pool, x, bound)).collect();
+                let parts: Vec<String> = xs.iter().map(|&x| expr(pool, x, bound)).collect();
                 format!("(or {})", parts.join(" "))
             }
-            TermKind::Eq(a, b) => format!(
-                "(= {} {})",
-                expr(pool, *a, bound),
-                expr(pool, *b, bound)
-            ),
-            TermKind::Ite { cond, then_t, else_t } => format!(
+            TermKind::Eq(a, b) => {
+                format!("(= {} {})", expr(pool, *a, bound), expr(pool, *b, bound))
+            }
+            TermKind::Ite {
+                cond,
+                then_t,
+                else_t,
+            } => format!(
                 "(ite {} {} {})",
                 expr(pool, *cond, bound),
                 expr(pool, *then_t, bound),

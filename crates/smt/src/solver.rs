@@ -26,6 +26,43 @@ pub struct SolverConfig {
     pub skip_preprocessing: bool,
 }
 
+impl SolverConfig {
+    /// The absolute deadline implied by [`SolverConfig::timeout`], anchored
+    /// at `start`. Engines compute this once at the top of `check_paths` so
+    /// the budget covers slicing / translation / instantiation too, not
+    /// just the final SMT query.
+    pub fn deadline_from(&self, start: Instant) -> Option<Instant> {
+        self.timeout.map(|t| start + t)
+    }
+
+    /// A copy of this config whose timeout is shrunk to the wall-clock
+    /// remaining until `deadline`. Returns `None` when the deadline has
+    /// already passed — the caller must degrade to an unknown verdict
+    /// instead of starting the query.
+    pub fn with_remaining(&self, deadline: Option<Instant>) -> Option<SolverConfig> {
+        match deadline {
+            None => Some(*self),
+            Some(d) => {
+                let now = Instant::now();
+                if now >= d {
+                    None
+                } else {
+                    Some(SolverConfig {
+                        timeout: Some(d - now),
+                        ..*self
+                    })
+                }
+            }
+        }
+    }
+}
+
+/// `true` once `deadline` (if any) has passed. Polled inside engine
+/// instantiation loops so a stuck query degrades instead of stalling.
+pub fn deadline_expired(deadline: Option<Instant>) -> bool {
+    deadline.is_some_and(|d| Instant::now() >= d)
+}
+
 /// A satisfying assignment for the *preprocessed* formula.
 ///
 /// Variables eliminated during preprocessing (e.g. unconstrained ones) are
@@ -113,9 +150,17 @@ pub fn smt_solve(
     formula: TermId,
     config: &SolverConfig,
 ) -> (SatResult, SolveStats) {
-    assert_eq!(pool.sort(formula), Sort::Bool, "smt_solve: formula must be Bool");
+    assert_eq!(
+        pool.sort(formula),
+        Sort::Bool,
+        "smt_solve: formula must be Bool"
+    );
     let start = Instant::now();
-    let mut stats = SolveStats { size_before: pool.dag_size(formula), ..Default::default() };
+    let deadline = config.timeout.map(|t| start + t);
+    let mut stats = SolveStats {
+        size_before: pool.dag_size(formula),
+        ..Default::default()
+    };
     let processed = if config.skip_preprocessing {
         formula
     } else {
@@ -127,14 +172,27 @@ pub fn smt_solve(
     if let Some(b) = pool.as_bool_const(processed) {
         stats.preprocess_decided = true;
         stats.duration = start.elapsed();
-        let result = if b { SatResult::Sat(Model::default()) } else { SatResult::Unsat };
+        let result = if b {
+            SatResult::Sat(Model::default())
+        } else {
+            SatResult::Unsat
+        };
         return (result, stats);
+    }
+    // Deadline check between stages: bit-blasting can itself be large, so
+    // a call whose budget was consumed by preprocessing degrades to
+    // Unknown here instead of stalling in `blast`.
+    if deadline.is_some_and(|d| Instant::now() >= d) {
+        stats.duration = start.elapsed();
+        return (SatResult::Unknown, stats);
     }
     // Specific solver: bit-blast and hand to the SAT backend.
     let (cnf, map) = blast(pool, processed);
     stats.cnf_clauses = cnf.clauses.len();
-    let deadline = config.timeout.map(|t| start + t);
-    let budget = SatBudget { max_conflicts: config.max_conflicts, deadline };
+    let budget = SatBudget {
+        max_conflicts: config.max_conflicts,
+        deadline,
+    };
     let mut sat = SatSolver::new(&cnf);
     let outcome = sat.solve(budget);
     stats.sat_conflicts = sat.stats.conflicts;
@@ -230,7 +288,10 @@ mod tests {
         let xg = p.pred(BvPred::Ult, two, x);
         let yg = p.pred(BvPred::Ult, two, y);
         let f = p.and(&[f1, xg, yg]);
-        let cfg = SolverConfig { max_conflicts: Some(1), ..Default::default() };
+        let cfg = SolverConfig {
+            max_conflicts: Some(1),
+            ..Default::default()
+        };
         let (r, _) = smt_solve(&mut p, f, &cfg);
         // Either solved within one conflict or unknown — never wrong.
         if let SatResult::Sat(m) = &r {
@@ -239,12 +300,35 @@ mod tests {
     }
 
     #[test]
+    fn exhausted_timeout_degrades_to_unknown() {
+        // A formula that survives preprocessing, solved with an
+        // already-expired wall-clock budget: must answer Unknown, never
+        // stall or guess.
+        let mut p = TermPool::new();
+        let x = p.var("x", Sort::Bv(16));
+        let y = p.var("y", Sort::Bv(16));
+        let prod = p.bv(BvOp::Mul, x, y);
+        let c = p.bv_const(0x8001, 16);
+        let f = p.eq(prod, c);
+        let cfg = SolverConfig {
+            timeout: Some(Duration::ZERO),
+            ..Default::default()
+        };
+        let (r, s) = smt_solve(&mut p, f, &cfg);
+        assert_eq!(r, SatResult::Unknown);
+        assert!(!s.preprocess_decided);
+    }
+
+    #[test]
     fn skip_preprocessing_flag() {
         let mut p = TermPool::new();
         let x = p.var("x", Sort::Bv(8));
         let y = p.var("y", Sort::Bv(8));
         let f = p.pred(BvPred::Slt, x, y);
-        let cfg = SolverConfig { skip_preprocessing: true, ..Default::default() };
+        let cfg = SolverConfig {
+            skip_preprocessing: true,
+            ..Default::default()
+        };
         let (r, s) = smt_solve(&mut p, f, &cfg);
         assert!(r.is_sat());
         assert!(!s.preprocess_decided);

@@ -14,7 +14,6 @@
 //!   that calls the solver per subterm ([`ctx_solver_simplify`]); cheap on
 //!   formulas, expensive in solver calls, again mirroring the evaluation.
 
-
 use crate::solver::{smt_solve, SolverConfig};
 use crate::term::{BvOp, Sort, TermId, TermKind, TermPool, VarIdx};
 use std::collections::HashMap;
@@ -32,7 +31,11 @@ pub struct QeBlowup {
 
 impl fmt::Display for QeBlowup {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "quantifier elimination exceeded its node budget ({} > {})", self.nodes, self.budget)
+        write!(
+            f,
+            "quantifier elimination exceeded its node budget ({} > {})",
+            self.nodes, self.budget
+        )
     }
 }
 
@@ -95,15 +98,24 @@ fn quantifier_eliminate_impl(
         if !solve_eqs {
             break;
         }
-        #[allow(clippy::unnecessary_to_owned)] // pool.var needs &mut; the name must be detached first
+        #[allow(clippy::unnecessary_to_owned)]
+        // pool.var needs &mut; the name must be detached first
         let vt = pool.var(&pool.var_name(v).to_owned(), pool.var_sort(v));
         let cs = match pool.kind(t) {
             TermKind::And(xs) => xs.clone(),
             _ => vec![t],
         };
         for c in cs {
-            let TermKind::Eq(a, b) = pool.kind(c).clone() else { continue };
-            let rhs = if a == vt { b } else if b == vt { a } else { continue };
+            let TermKind::Eq(a, b) = pool.kind(c).clone() else {
+                continue;
+            };
+            let rhs = if a == vt {
+                b
+            } else if b == vt {
+                a
+            } else {
+                continue;
+            };
             if pool.free_vars(rhs).contains(&v) {
                 continue;
             }
@@ -146,7 +158,9 @@ fn quantifier_eliminate_impl(
                 break;
             }
             let next = pool.fresh_var("qe", Sort::Bv(w));
-            let TermKind::Var(next_v) = *pool.kind(next) else { unreachable!() };
+            let TermKind::Var(next_v) = *pool.kind(next) else {
+                unreachable!()
+            };
             let one = pool.bv_const(1, w);
             let shifted = pool.bv(BvOp::Shl, next, one);
             let odd = pool.bv(BvOp::Or, shifted, one);
@@ -158,7 +172,10 @@ fn quantifier_eliminate_impl(
             cur = next_v;
             let nodes = pool.dag_size(t);
             if nodes > node_budget {
-                return Err(QeBlowup { nodes, budget: node_budget });
+                return Err(QeBlowup {
+                    nodes,
+                    budget: node_budget,
+                });
             }
         }
     }
@@ -205,8 +222,12 @@ pub fn ctx_solver_simplify(
         let mut i = 0;
         while i < parts.len() {
             let ci = parts[i];
-            let others: Vec<TermId> =
-                parts.iter().enumerate().filter(|&(j, _)| j != i).map(|(_, &c)| c).collect();
+            let others: Vec<TermId> = parts
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, &c)| c)
+                .collect();
             let context = pool.and(&others);
             // C ⊨ cᵢ ?
             let nci = pool.not(ci);
@@ -244,7 +265,9 @@ mod tests {
         let mut p = TermPool::new();
         let x = p.var("x", Sort::Bv(8));
         let y = p.var("y", Sort::Bv(8));
-        let TermKind::Var(vy) = *p.kind(y) else { unreachable!() };
+        let TermKind::Var(vy) = *p.kind(y) else {
+            unreachable!()
+        };
         let one = p.bv_const(1, 8);
         let c10 = p.bv_const(10, 8);
         let xp1 = p.bv(BvOp::Add, x, one);
@@ -260,7 +283,9 @@ mod tests {
         let mut p = TermPool::new();
         let b = p.var("b", Sort::Bool);
         let c = p.var("c", Sort::Bool);
-        let TermKind::Var(vb) = *p.kind(b) else { unreachable!() };
+        let TermKind::Var(vb) = *p.kind(b) else {
+            unreachable!()
+        };
         let f = p.and2(b, c);
         let r = quantifier_eliminate(&mut p, f, &[vb], 10_000).unwrap();
         assert_eq!(r, c); // ∃b. b ∧ c ≡ c
@@ -274,7 +299,9 @@ mod tests {
         let x = p.var("x", Sort::Bv(32));
         let y = p.var("y", Sort::Bv(32));
         let z = p.var("z", Sort::Bv(32));
-        let TermKind::Var(vx) = *p.kind(x) else { unreachable!() };
+        let TermKind::Var(vx) = *p.kind(x) else {
+            unreachable!()
+        };
         let prod = p.bv(BvOp::Mul, x, y);
         let lt = p.pred(BvPred::Ult, prod, z);
         let gt = p.pred(BvPred::Ult, z, x);

@@ -84,7 +84,10 @@ pub enum BvOp {
 impl BvOp {
     /// Whether argument order is irrelevant.
     pub fn commutative(self) -> bool {
-        matches!(self, BvOp::Add | BvOp::Mul | BvOp::And | BvOp::Or | BvOp::Xor)
+        matches!(
+            self,
+            BvOp::Add | BvOp::Mul | BvOp::And | BvOp::Or | BvOp::Xor
+        )
     }
 
     /// Concrete evaluation at the given width.
@@ -367,11 +370,18 @@ impl TermPool {
     /// Panics if `name` was already declared with a different sort.
     pub fn var(&mut self, name: &str, sort: Sort) -> TermId {
         if let Some(&v) = self.var_by_name.get(name) {
-            assert_eq!(self.vars[v.index()].sort, sort, "variable `{name}` redeclared");
+            assert_eq!(
+                self.vars[v.index()].sort,
+                sort,
+                "variable `{name}` redeclared"
+            );
             return self.intern(TermKind::Var(v), sort);
         }
         let v = VarIdx(self.vars.len() as u32);
-        self.vars.push(VarInfo { name: name.to_owned(), sort });
+        self.vars.push(VarInfo {
+            name: name.to_owned(),
+            sort,
+        });
         self.var_by_name.insert(name.to_owned(), v);
         self.intern(TermKind::Var(v), sort)
     }
@@ -533,11 +543,23 @@ impl TermPool {
             // eq(ite(c, k1, k2), k) with constant arms: select on c. This
             // unblocks unconstrained propagation through the 0/1-encoded
             // predicates of the IR translation.
-            (TermKind::Ite { cond, then_t, else_t }, TermKind::BvConst { value: k, .. })
-            | (TermKind::BvConst { value: k, .. }, TermKind::Ite { cond, then_t, else_t }) => {
-                if let (Some(k1), Some(k2)) =
-                    (self.as_bv_const(then_t), self.as_bv_const(else_t))
-                {
+            (
+                TermKind::Ite {
+                    cond,
+                    then_t,
+                    else_t,
+                },
+                TermKind::BvConst { value: k, .. },
+            )
+            | (
+                TermKind::BvConst { value: k, .. },
+                TermKind::Ite {
+                    cond,
+                    then_t,
+                    else_t,
+                },
+            ) => {
+                if let (Some(k1), Some(k2)) = (self.as_bv_const(then_t), self.as_bv_const(else_t)) {
                     if k1 != k2 {
                         if k == k1 {
                             return cond;
@@ -568,7 +590,11 @@ impl TermPool {
     /// Panics if `cond` is not boolean or the branches' sorts differ.
     pub fn ite(&mut self, cond: TermId, then_t: TermId, else_t: TermId) -> TermId {
         assert_eq!(self.sort(cond), Sort::Bool, "ite: condition must be Bool");
-        assert_eq!(self.sort(then_t), self.sort(else_t), "ite: branch sort mismatch");
+        assert_eq!(
+            self.sort(then_t),
+            self.sort(else_t),
+            "ite: branch sort mismatch"
+        );
         if then_t == else_t {
             return then_t;
         }
@@ -589,7 +615,14 @@ impl TermPool {
             return self.or2(l, r);
         }
         let sort = self.sort(then_t);
-        self.intern(TermKind::Ite { cond, then_t, else_t }, sort)
+        self.intern(
+            TermKind::Ite {
+                cond,
+                then_t,
+                else_t,
+            },
+            sort,
+        )
     }
 
     /// Binary bit-vector operation with constant folding, unit/zero laws
@@ -685,7 +718,11 @@ impl TermPool {
                 _ => {}
             }
         }
-        let (a, b) = if op.commutative() && b < a { (b, a) } else { (a, b) };
+        let (a, b) = if op.commutative() && b < a {
+            (b, a)
+        } else {
+            (a, b)
+        };
         self.intern(TermKind::Bv(op, a, b), Sort::Bv(w))
     }
 
@@ -749,7 +786,11 @@ impl TermPool {
                 let vb = self.eval_memo(b, env, memo);
                 Value::Bool(va == vb)
             }
-            TermKind::Ite { cond, then_t, else_t } => {
+            TermKind::Ite {
+                cond,
+                then_t,
+                else_t,
+            } => {
                 let (c, tt, ee) = (*cond, *then_t, *else_t);
                 if self.eval_memo(c, env, memo).as_bool() {
                     self.eval_memo(tt, env, memo)
@@ -783,7 +824,11 @@ impl TermPool {
             TermKind::Not(x) => vec![*x],
             TermKind::And(xs) | TermKind::Or(xs) => xs.clone(),
             TermKind::Eq(a, b) => vec![*a, *b],
-            TermKind::Ite { cond, then_t, else_t } => vec![*cond, *then_t, *else_t],
+            TermKind::Ite {
+                cond,
+                then_t,
+                else_t,
+            } => vec![*cond, *then_t, *else_t],
             TermKind::Bv(_, a, b) | TermKind::Pred(_, a, b) => vec![*a, *b],
         }
     }
@@ -864,13 +909,17 @@ impl TermPool {
                 self.not(x)
             }
             TermKind::And(xs) => {
-                let xs: Vec<TermId> =
-                    xs.iter().map(|&x| self.substitute_memo(x, map, memo)).collect();
+                let xs: Vec<TermId> = xs
+                    .iter()
+                    .map(|&x| self.substitute_memo(x, map, memo))
+                    .collect();
                 self.and(&xs)
             }
             TermKind::Or(xs) => {
-                let xs: Vec<TermId> =
-                    xs.iter().map(|&x| self.substitute_memo(x, map, memo)).collect();
+                let xs: Vec<TermId> = xs
+                    .iter()
+                    .map(|&x| self.substitute_memo(x, map, memo))
+                    .collect();
                 self.or(&xs)
             }
             TermKind::Eq(a, b) => {
@@ -878,7 +927,11 @@ impl TermPool {
                 let b = self.substitute_memo(b, map, memo);
                 self.eq(a, b)
             }
-            TermKind::Ite { cond, then_t, else_t } => {
+            TermKind::Ite {
+                cond,
+                then_t,
+                else_t,
+            } => {
                 let c = self.substitute_memo(cond, map, memo);
                 let tt = self.substitute_memo(then_t, map, memo);
                 let ee = self.substitute_memo(else_t, map, memo);
@@ -915,7 +968,11 @@ impl TermPool {
                 format!("(or {})", parts.join(" "))
             }
             TermKind::Eq(a, b) => format!("(= {} {})", self.display(*a), self.display(*b)),
-            TermKind::Ite { cond, then_t, else_t } => format!(
+            TermKind::Ite {
+                cond,
+                then_t,
+                else_t,
+            } => format!(
                 "(ite {} {} {})",
                 self.display(*cond),
                 self.display(*then_t),
@@ -1026,8 +1083,12 @@ mod tests {
         let mut p = TermPool::new();
         let x = p.var("x", Sort::Bv(32));
         let y = p.var("y", Sort::Bv(32));
-        let TermKind::Var(vx) = *p.kind(x) else { unreachable!() };
-        let TermKind::Var(vy) = *p.kind(y) else { unreachable!() };
+        let TermKind::Var(vx) = *p.kind(x) else {
+            unreachable!()
+        };
+        let TermKind::Var(vy) = *p.kind(y) else {
+            unreachable!()
+        };
         let sum = p.bv(BvOp::Add, x, y);
         let cmp = p.pred(BvPred::Slt, sum, x);
         let mut env = HashMap::new();
@@ -1042,7 +1103,9 @@ mod tests {
         let mut p = TermPool::new();
         let x = p.var("x", Sort::Bv(32));
         let y = p.var("y", Sort::Bv(32));
-        let TermKind::Var(vx) = *p.kind(x) else { unreachable!() };
+        let TermKind::Var(vx) = *p.kind(x) else {
+            unreachable!()
+        };
         let sum = p.bv(BvOp::Add, x, y);
         let zero = p.bv_const(0, 32);
         let mut map = HashMap::new();

@@ -15,7 +15,11 @@ fn cnf_strategy() -> impl Strategy<Value = Cnf> {
             cnf.fresh();
         }
         for c in clauses {
-            cnf.add(c.into_iter().map(|(v, pos)| Lit::new(BVar(v), pos)).collect());
+            cnf.add(
+                c.into_iter()
+                    .map(|(v, pos)| Lit::new(BVar(v), pos))
+                    .collect(),
+            );
         }
         cnf
     })

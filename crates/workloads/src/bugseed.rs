@@ -70,7 +70,10 @@ pub fn score(
 ) -> Score {
     let relevant: Vec<&SeededBug> = seeds.iter().filter(|b| b.kind == kind).collect();
     let mut hit = vec![false; relevant.len()];
-    let mut score = Score { reports: reports.len(), ..Default::default() };
+    let mut score = Score {
+        reports: reports.len(),
+        ..Default::default()
+    };
     for report in reports {
         let host = program.func(report.source.func).name;
         match relevant.iter().position(|b| b.host == host) {
@@ -110,9 +113,12 @@ mod tests {
     fn fusion_scores_perfectly_on_default_subject() {
         let cfg = GenConfig::default();
         let mut subject = generate(&cfg);
-        let program =
-            compile_ast(&subject.surface, &mut subject.interner, CompileOptions::default())
-                .expect("compile");
+        let program = compile_ast(
+            &subject.surface,
+            &mut subject.interner,
+            CompileOptions::default(),
+        )
+        .expect("compile");
         let pdg = Pdg::build(&program);
         for (checker, kind) in [
             (Checker::null_deref(), CheckKind::NullDeref),
@@ -120,9 +126,19 @@ mod tests {
             (Checker::cwe402(), CheckKind::Cwe402),
         ] {
             let mut engine = FusionSolver::new(SolverConfig::default());
-            let run = analyze(&program, &pdg, &checker, &mut engine, &AnalysisOptions::new());
+            let run = analyze(
+                &program,
+                &pdg,
+                &checker,
+                &mut engine,
+                &AnalysisOptions::new(),
+            );
             let s = score(&program, kind, &subject.bugs, &run.reports);
-            let feasible = subject.bugs.iter().filter(|b| b.kind == kind && b.feasible).count();
+            let feasible = subject
+                .bugs
+                .iter()
+                .filter(|b| b.kind == kind && b.feasible)
+                .count();
             assert_eq!(s.true_positives, feasible, "{kind}: {s:?}");
             assert_eq!(s.false_positives, 0, "{kind}: {s:?}");
             assert_eq!(s.missed, 0, "{kind}: {s:?}");
@@ -142,9 +158,12 @@ mod tests {
             ..Default::default()
         };
         let mut subject = generate(&cfg);
-        let program =
-            compile_ast(&subject.surface, &mut subject.interner, CompileOptions::default())
-                .unwrap();
+        let program = compile_ast(
+            &subject.surface,
+            &mut subject.interner,
+            CompileOptions::default(),
+        )
+        .unwrap();
         let host = subject.bugs[0].host;
         let func = program.functions.iter().find(|f| f.name == host).unwrap();
         let report = fusion::engine::BugReport {

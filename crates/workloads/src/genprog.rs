@@ -13,8 +13,8 @@
 //! written code.
 
 use crate::bugseed::{BugSite, SeededBug};
-use fusion_ir::ast::{BinOp, Expr, Function, Program, Stmt};
 use fusion::checkers::CheckKind;
+use fusion_ir::ast::{BinOp, Expr, Function, Program, Stmt};
 use fusion_ir::interner::{Interner, Symbol};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -147,7 +147,14 @@ impl Gen {
 
     /// A random comparison usable as a branch condition.
     fn cond(&mut self, vars: &[Symbol]) -> Expr {
-        let ops = [BinOp::Lt, BinOp::Le, BinOp::Gt, BinOp::Ge, BinOp::Eq, BinOp::Ne];
+        let ops = [
+            BinOp::Lt,
+            BinOp::Le,
+            BinOp::Gt,
+            BinOp::Ge,
+            BinOp::Eq,
+            BinOp::Ne,
+        ];
         let op = ops[self.rng.gen_range(0..ops.len())];
         Expr::bin(op, self.expr(vars, 1), self.expr(vars, 1))
     }
@@ -173,19 +180,31 @@ impl Gen {
         Some(Expr::bin(
             BinOp::Ne,
             Expr::bin(BinOp::Mul, a, Expr::Int(2)),
-            Expr::bin(BinOp::Add, Expr::bin(BinOp::Mul, b, Expr::Int(2)), Expr::Int(1)),
+            Expr::bin(
+                BinOp::Add,
+                Expr::bin(BinOp::Mul, b, Expr::Int(2)),
+                Expr::Int(1),
+            ),
         ))
     }
 
     /// A *provably unsatisfiable* condition over deep calls: `2a == 2b + 1`
     /// (even = odd) — infeasible regardless of the callees' values.
-    fn deep_infeasible_cond(&mut self, vars: &[Symbol], callees: &[(Symbol, usize)]) -> Option<Expr> {
+    fn deep_infeasible_cond(
+        &mut self,
+        vars: &[Symbol],
+        callees: &[(Symbol, usize)],
+    ) -> Option<Expr> {
         let a = self.deep_call(vars, callees)?;
         let b = self.deep_call(vars, callees)?;
         Some(Expr::bin(
             BinOp::Eq,
             Expr::bin(BinOp::Mul, a, Expr::Int(2)),
-            Expr::bin(BinOp::Add, Expr::bin(BinOp::Mul, b, Expr::Int(2)), Expr::Int(1)),
+            Expr::bin(
+                BinOp::Add,
+                Expr::bin(BinOp::Mul, b, Expr::Int(2)),
+                Expr::Int(1),
+            ),
         ))
     }
 
@@ -210,11 +229,7 @@ impl Gen {
                     let h2 = self.affine_helpers[self.rng.gen_range(0..self.affine_helpers.len())];
                     let a = Expr::Var(vars[0]);
                     let b = Expr::Var(vars[vars.len() - 1]);
-                    Expr::bin(
-                        BinOp::Lt,
-                        Expr::Call(h1, vec![a]),
-                        Expr::Call(h2, vec![b]),
-                    )
+                    Expr::bin(BinOp::Lt, Expr::Call(h1, vec![a]), Expr::Call(h2, vec![b]))
                 } else {
                     Expr::bin(BinOp::Lt, v, Expr::Int(500))
                 }
@@ -309,7 +324,13 @@ impl Gen {
     /// Emits a dedicated host function carrying one seeded bug, plus the
     /// ground-truth record. The *source* always lives in the host, so
     /// reports can be matched back by (host, kind).
-    fn seed_bug(&mut self, kind: CheckKind, feasible: bool, idx: usize, callees: &[(Symbol, usize)]) -> Function {
+    fn seed_bug(
+        &mut self,
+        kind: CheckKind,
+        feasible: bool,
+        idx: usize,
+        callees: &[(Symbol, usize)],
+    ) -> Function {
         let fword = if feasible { "ok" } else { "no" };
         let kword = match kind {
             CheckKind::NullDeref => "null",
@@ -324,12 +345,8 @@ impl Gen {
         let hold = self.sym("hold");
         let (source_expr, sink_name): (Expr, Symbol) = match kind {
             CheckKind::NullDeref => (Expr::Null, self.sym("deref")),
-            CheckKind::Cwe23 => {
-                (Expr::Call(self.sym("gets"), vec![]), self.sym("fopen"))
-            }
-            CheckKind::Cwe402 => {
-                (Expr::Call(self.sym("getpass"), vec![]), self.sym("sendmsg"))
-            }
+            CheckKind::Cwe23 => (Expr::Call(self.sym("gets"), vec![]), self.sym("fopen")),
+            CheckKind::Cwe402 => (Expr::Call(self.sym("getpass"), vec![]), self.sym("sendmsg")),
         };
         body.push(Stmt::Let(fact, source_expr));
         body.push(Stmt::Let(hold, Expr::Int(1)));
@@ -380,9 +397,17 @@ impl Gen {
             kind,
             host: name,
             feasible,
-            site: BugSite { source_fn: name, sink_fn: name },
+            site: BugSite {
+                source_fn: name,
+                sink_fn: name,
+            },
         });
-        Function { name, params, body, is_extern: false }
+        Function {
+            name,
+            params,
+            body,
+            is_extern: false,
+        }
     }
 }
 
@@ -406,7 +431,12 @@ pub fn generate(cfg: &GenConfig) -> GeneratedSubject {
             "gets" | "getpass" => vec![],
             _ => vec![g.sym("x")],
         };
-        g.functions.push(Function { name: sym, params, body: vec![], is_extern: true });
+        g.functions.push(Function {
+            name: sym,
+            params,
+            body: vec![],
+            is_extern: true,
+        });
     }
 
     // Affine helpers: quick-path fodder (`x * M + C`).
@@ -421,7 +451,12 @@ pub fn generate(cfg: &GenConfig) -> GeneratedSubject {
             Expr::Int(c),
         ))];
         g.affine_helpers.push(name);
-        g.functions.push(Function { name, params: vec![x], body, is_extern: false });
+        g.functions.push(Function {
+            name,
+            params: vec![x],
+            body,
+            is_extern: false,
+        });
     }
     // Opaque helpers: branching, so their summaries stay opaque and the
     // solvers must clone them.
@@ -433,13 +468,22 @@ pub fn generate(cfg: &GenConfig) -> GeneratedSubject {
         let body = vec![
             Stmt::If(
                 Expr::bin(BinOp::Gt, Expr::Var(x), Expr::Int(t)),
-                vec![Stmt::Return(Expr::bin(BinOp::Add, Expr::Var(x), Expr::Var(y)))],
+                vec![Stmt::Return(Expr::bin(
+                    BinOp::Add,
+                    Expr::Var(x),
+                    Expr::Var(y),
+                ))],
                 vec![],
             ),
             Stmt::Return(Expr::bin(BinOp::Sub, Expr::Var(y), Expr::Var(x))),
         ];
         g.opaque_helpers.push(name);
-        g.functions.push(Function { name, params: vec![x, y], body, is_extern: false });
+        g.functions.push(Function {
+            name,
+            params: vec![x, y],
+            body,
+            is_extern: false,
+        });
     }
 
     // Identity pass-through chain (facts travel through K call levels;
@@ -455,7 +499,12 @@ pub fn generate(cfg: &GenConfig) -> GeneratedSubject {
             vec![Stmt::Return(Expr::Call(prev, vec![Expr::Var(x)]))]
         };
         g.passthrough.push(name);
-        g.functions.push(Function { name, params: vec![x], body, is_extern: false });
+        g.functions.push(Function {
+            name,
+            params: vec![x],
+            body,
+            is_extern: false,
+        });
     }
 
     // Filler functions in reverse order so calls go to already-emitted
@@ -484,14 +533,17 @@ pub fn generate(cfg: &GenConfig) -> GeneratedSubject {
             mutables.push(m);
         }
         let stmts = cfg.stmts_per_function.saturating_sub(3).max(1);
-        let callee_window: Vec<(Symbol, usize)> =
-            emitted.iter().rev().take(8).copied().collect();
-        let mut filler =
-            g.filler(cfg, &mut vars, &mut mutables[..], &callee_window, stmts);
+        let callee_window: Vec<(Symbol, usize)> = emitted.iter().rev().take(8).copied().collect();
+        let mut filler = g.filler(cfg, &mut vars, &mut mutables[..], &callee_window, stmts);
         body.append(&mut filler);
         let ret = g.expr(&vars, 1);
         body.push(Stmt::Return(ret));
-        g.functions.push(Function { name, params, body, is_extern: false });
+        g.functions.push(Function {
+            name,
+            params,
+            body,
+            is_extern: false,
+        });
         emitted.push((name, arity));
     }
 
@@ -514,7 +566,9 @@ pub fn generate(cfg: &GenConfig) -> GeneratedSubject {
     }
 
     GeneratedSubject {
-        surface: Program { functions: g.functions },
+        surface: Program {
+            functions: g.functions,
+        },
         interner: g.interner,
         bugs: g.bugs,
     }
@@ -528,7 +582,10 @@ mod tests {
     #[test]
     fn generated_programs_compile_and_validate() {
         for seed in [1u64, 2, 42, 0xdead] {
-            let cfg = GenConfig { seed, ..Default::default() };
+            let cfg = GenConfig {
+                seed,
+                ..Default::default()
+            };
             let mut s = generate(&cfg);
             let program = compile_ast(&s.surface, &mut s.interner, CompileOptions::default())
                 .expect("generated program must compile");
@@ -547,8 +604,14 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = generate(&GenConfig { seed: 1, ..Default::default() });
-        let b = generate(&GenConfig { seed: 2, ..Default::default() });
+        let a = generate(&GenConfig {
+            seed: 1,
+            ..Default::default()
+        });
+        let b = generate(&GenConfig {
+            seed: 2,
+            ..Default::default()
+        });
         assert_ne!(a.surface, b.surface);
     }
 
@@ -570,8 +633,14 @@ mod tests {
 
     #[test]
     fn scales_with_function_count() {
-        let small = generate(&GenConfig { functions: 5, ..Default::default() });
-        let large = generate(&GenConfig { functions: 50, ..Default::default() });
+        let small = generate(&GenConfig {
+            functions: 5,
+            ..Default::default()
+        });
+        let large = generate(&GenConfig {
+            functions: 50,
+            ..Default::default()
+        });
         let count = |s: &GeneratedSubject| s.surface.functions.len();
         assert!(count(&large) > count(&small) + 40);
     }
@@ -583,7 +652,10 @@ mod source_tests {
 
     #[test]
     fn emitted_source_reparses_and_matches() {
-        let subject = generate(&GenConfig { functions: 6, ..Default::default() });
+        let subject = generate(&GenConfig {
+            functions: 6,
+            ..Default::default()
+        });
         let text = subject.to_source();
         let mut interner = fusion_ir::Interner::new();
         let reparsed = parse(&text, &mut interner).expect("generated source parses");

@@ -31,22 +31,198 @@ pub struct SubjectSpec {
 
 /// All sixteen subjects in Table 2 order.
 pub const SUBJECTS: [SubjectSpec; 16] = [
-    SubjectSpec { id: 1, name: "mcf", kloc: 2.0, functions: 26, vertices: 22_800, edges: 28_900, fusion_mem_gb: 0.1, pinpoint_mem_gb: 1.1, fusion_time_s: 4.0, pinpoint_time_s: 19.0 },
-    SubjectSpec { id: 2, name: "bzip2", kloc: 3.0, functions: 74, vertices: 93_800, edges: 120_400, fusion_mem_gb: 0.1, pinpoint_mem_gb: 2.3, fusion_time_s: 4.0, pinpoint_time_s: 172.0 },
-    SubjectSpec { id: 3, name: "gzip", kloc: 6.0, functions: 89, vertices: 165_300, edges: 221_500, fusion_mem_gb: 0.1, pinpoint_mem_gb: 1.3, fusion_time_s: 3.0, pinpoint_time_s: 30.0 },
-    SubjectSpec { id: 4, name: "parser", kloc: 8.0, functions: 324, vertices: 824_200, edges: 1_114_100, fusion_mem_gb: 0.1, pinpoint_mem_gb: 3.3, fusion_time_s: 49.0, pinpoint_time_s: 233.0 },
-    SubjectSpec { id: 5, name: "vpr", kloc: 11.0, functions: 272, vertices: 376_300, edges: 478_000, fusion_mem_gb: 0.1, pinpoint_mem_gb: 1.9, fusion_time_s: 3.0, pinpoint_time_s: 145.0 },
-    SubjectSpec { id: 6, name: "crafty", kloc: 13.0, functions: 108, vertices: 381_100, edges: 498_900, fusion_mem_gb: 0.1, pinpoint_mem_gb: 1.3, fusion_time_s: 2.0, pinpoint_time_s: 23.0 },
-    SubjectSpec { id: 7, name: "twolf", kloc: 18.0, functions: 191, vertices: 762_900, edges: 995_500, fusion_mem_gb: 0.2, pinpoint_mem_gb: 1.8, fusion_time_s: 41.0, pinpoint_time_s: 95.0 },
-    SubjectSpec { id: 8, name: "eon", kloc: 22.0, functions: 3_400, vertices: 1_200_000, edges: 1_300_000, fusion_mem_gb: 0.1, pinpoint_mem_gb: 1.8, fusion_time_s: 2.0, pinpoint_time_s: 21.0 },
-    SubjectSpec { id: 9, name: "gap", kloc: 36.0, functions: 843, vertices: 3_400_000, edges: 4_400_000, fusion_mem_gb: 2.2, pinpoint_mem_gb: 39.1, fusion_time_s: 53.0, pinpoint_time_s: 2_033.0 },
-    SubjectSpec { id: 10, name: "vortex", kloc: 49.0, functions: 923, vertices: 3_300_000, edges: 4_200_000, fusion_mem_gb: 0.6, pinpoint_mem_gb: 8.9, fusion_time_s: 164.0, pinpoint_time_s: 1_769.0 },
-    SubjectSpec { id: 11, name: "perlbmk", kloc: 73.0, functions: 1_100, vertices: 9_300_000, edges: 12_200_000, fusion_mem_gb: 1.0, pinpoint_mem_gb: 19.4, fusion_time_s: 227.0, pinpoint_time_s: 2_524.0 },
-    SubjectSpec { id: 12, name: "gcc", kloc: 135.0, functions: 2_200, vertices: 14_200_000, edges: 18_400_000, fusion_mem_gb: 1.5, pinpoint_mem_gb: 27.7, fusion_time_s: 339.0, pinpoint_time_s: 2_615.0 },
-    SubjectSpec { id: 13, name: "ffmpeg", kloc: 1_001.0, functions: 74_200, vertices: 57_100_000, edges: 76_400_000, fusion_mem_gb: 11.8, pinpoint_mem_gb: 55.7, fusion_time_s: 689.0, pinpoint_time_s: 5_899.0 },
-    SubjectSpec { id: 14, name: "v8", kloc: 1_201.0, functions: 260_400, vertices: 63_000_000, edges: 73_500_000, fusion_mem_gb: 8.6, pinpoint_mem_gb: 82.1, fusion_time_s: 748.0, pinpoint_time_s: 7_672.0 },
-    SubjectSpec { id: 15, name: "mysql", kloc: 2_030.0, functions: 79_200, vertices: 68_800_000, edges: 85_000_000, fusion_mem_gb: 7.9, pinpoint_mem_gb: 98.8, fusion_time_s: 1_250.0, pinpoint_time_s: 9_057.0 },
-    SubjectSpec { id: 16, name: "wine", kloc: 4_108.0, functions: 133_000, vertices: 90_200_000, edges: 112_300_000, fusion_mem_gb: 11.2, pinpoint_mem_gb: 98.3, fusion_time_s: 772.0, pinpoint_time_s: 8_893.0 },
+    SubjectSpec {
+        id: 1,
+        name: "mcf",
+        kloc: 2.0,
+        functions: 26,
+        vertices: 22_800,
+        edges: 28_900,
+        fusion_mem_gb: 0.1,
+        pinpoint_mem_gb: 1.1,
+        fusion_time_s: 4.0,
+        pinpoint_time_s: 19.0,
+    },
+    SubjectSpec {
+        id: 2,
+        name: "bzip2",
+        kloc: 3.0,
+        functions: 74,
+        vertices: 93_800,
+        edges: 120_400,
+        fusion_mem_gb: 0.1,
+        pinpoint_mem_gb: 2.3,
+        fusion_time_s: 4.0,
+        pinpoint_time_s: 172.0,
+    },
+    SubjectSpec {
+        id: 3,
+        name: "gzip",
+        kloc: 6.0,
+        functions: 89,
+        vertices: 165_300,
+        edges: 221_500,
+        fusion_mem_gb: 0.1,
+        pinpoint_mem_gb: 1.3,
+        fusion_time_s: 3.0,
+        pinpoint_time_s: 30.0,
+    },
+    SubjectSpec {
+        id: 4,
+        name: "parser",
+        kloc: 8.0,
+        functions: 324,
+        vertices: 824_200,
+        edges: 1_114_100,
+        fusion_mem_gb: 0.1,
+        pinpoint_mem_gb: 3.3,
+        fusion_time_s: 49.0,
+        pinpoint_time_s: 233.0,
+    },
+    SubjectSpec {
+        id: 5,
+        name: "vpr",
+        kloc: 11.0,
+        functions: 272,
+        vertices: 376_300,
+        edges: 478_000,
+        fusion_mem_gb: 0.1,
+        pinpoint_mem_gb: 1.9,
+        fusion_time_s: 3.0,
+        pinpoint_time_s: 145.0,
+    },
+    SubjectSpec {
+        id: 6,
+        name: "crafty",
+        kloc: 13.0,
+        functions: 108,
+        vertices: 381_100,
+        edges: 498_900,
+        fusion_mem_gb: 0.1,
+        pinpoint_mem_gb: 1.3,
+        fusion_time_s: 2.0,
+        pinpoint_time_s: 23.0,
+    },
+    SubjectSpec {
+        id: 7,
+        name: "twolf",
+        kloc: 18.0,
+        functions: 191,
+        vertices: 762_900,
+        edges: 995_500,
+        fusion_mem_gb: 0.2,
+        pinpoint_mem_gb: 1.8,
+        fusion_time_s: 41.0,
+        pinpoint_time_s: 95.0,
+    },
+    SubjectSpec {
+        id: 8,
+        name: "eon",
+        kloc: 22.0,
+        functions: 3_400,
+        vertices: 1_200_000,
+        edges: 1_300_000,
+        fusion_mem_gb: 0.1,
+        pinpoint_mem_gb: 1.8,
+        fusion_time_s: 2.0,
+        pinpoint_time_s: 21.0,
+    },
+    SubjectSpec {
+        id: 9,
+        name: "gap",
+        kloc: 36.0,
+        functions: 843,
+        vertices: 3_400_000,
+        edges: 4_400_000,
+        fusion_mem_gb: 2.2,
+        pinpoint_mem_gb: 39.1,
+        fusion_time_s: 53.0,
+        pinpoint_time_s: 2_033.0,
+    },
+    SubjectSpec {
+        id: 10,
+        name: "vortex",
+        kloc: 49.0,
+        functions: 923,
+        vertices: 3_300_000,
+        edges: 4_200_000,
+        fusion_mem_gb: 0.6,
+        pinpoint_mem_gb: 8.9,
+        fusion_time_s: 164.0,
+        pinpoint_time_s: 1_769.0,
+    },
+    SubjectSpec {
+        id: 11,
+        name: "perlbmk",
+        kloc: 73.0,
+        functions: 1_100,
+        vertices: 9_300_000,
+        edges: 12_200_000,
+        fusion_mem_gb: 1.0,
+        pinpoint_mem_gb: 19.4,
+        fusion_time_s: 227.0,
+        pinpoint_time_s: 2_524.0,
+    },
+    SubjectSpec {
+        id: 12,
+        name: "gcc",
+        kloc: 135.0,
+        functions: 2_200,
+        vertices: 14_200_000,
+        edges: 18_400_000,
+        fusion_mem_gb: 1.5,
+        pinpoint_mem_gb: 27.7,
+        fusion_time_s: 339.0,
+        pinpoint_time_s: 2_615.0,
+    },
+    SubjectSpec {
+        id: 13,
+        name: "ffmpeg",
+        kloc: 1_001.0,
+        functions: 74_200,
+        vertices: 57_100_000,
+        edges: 76_400_000,
+        fusion_mem_gb: 11.8,
+        pinpoint_mem_gb: 55.7,
+        fusion_time_s: 689.0,
+        pinpoint_time_s: 5_899.0,
+    },
+    SubjectSpec {
+        id: 14,
+        name: "v8",
+        kloc: 1_201.0,
+        functions: 260_400,
+        vertices: 63_000_000,
+        edges: 73_500_000,
+        fusion_mem_gb: 8.6,
+        pinpoint_mem_gb: 82.1,
+        fusion_time_s: 748.0,
+        pinpoint_time_s: 7_672.0,
+    },
+    SubjectSpec {
+        id: 15,
+        name: "mysql",
+        kloc: 2_030.0,
+        functions: 79_200,
+        vertices: 68_800_000,
+        edges: 85_000_000,
+        fusion_mem_gb: 7.9,
+        pinpoint_mem_gb: 98.8,
+        fusion_time_s: 1_250.0,
+        pinpoint_time_s: 9_057.0,
+    },
+    SubjectSpec {
+        id: 16,
+        name: "wine",
+        kloc: 4_108.0,
+        functions: 133_000,
+        vertices: 90_200_000,
+        edges: 112_300_000,
+        fusion_mem_gb: 11.2,
+        pinpoint_mem_gb: 98.3,
+        fusion_time_s: 772.0,
+        pinpoint_time_s: 8_893.0,
+    },
 ];
 
 /// The four industrial-sized subjects (Tables 4, 5, Fig. 1(c)).
@@ -123,9 +299,12 @@ mod tests {
         for s in &SUBJECTS {
             let cfg = s.gen_config(0.0005);
             let mut subject = generate(&cfg);
-            let program =
-                compile_ast(&subject.surface, &mut subject.interner, CompileOptions::default())
-                    .unwrap_or_else(|e| panic!("{}: {e}", s.name));
+            let program = compile_ast(
+                &subject.surface,
+                &mut subject.interner,
+                CompileOptions::default(),
+            )
+            .unwrap_or_else(|e| panic!("{}: {e}", s.name));
             assert!(program.size() > 50, "{}", s.name);
         }
     }

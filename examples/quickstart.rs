@@ -83,8 +83,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             report.path.nodes.len(),
         );
     }
-    assert_eq!(run.reports.len(), 1, "exactly the feasible flow is reported");
-    assert_eq!(run.suppressed, 1, "the contradictory guard is proven infeasible");
+    assert_eq!(
+        run.reports.len(),
+        1,
+        "exactly the feasible flow is reported"
+    );
+    assert_eq!(
+        run.suppressed, 1,
+        "the contradictory guard is proven infeasible"
+    );
     println!("\nthe `safe` function's candidate was suppressed: x > 5 && x < 3 is unsat.");
     Ok(())
 }

@@ -57,8 +57,12 @@ fn main() {
     let (result, stats) = smt_solve(&mut pool, f, &SolverConfig::default());
     match result {
         fusion_smt::solver::SatResult::Sat(model) => {
-            let TermKind::Var(vx) = *pool.kind(x) else { unreachable!() };
-            let TermKind::Var(vy) = *pool.kind(y) else { unreachable!() };
+            let TermKind::Var(vx) = *pool.kind(x) else {
+                unreachable!()
+            };
+            let TermKind::Var(vy) = *pool.kind(y) else {
+                unreachable!()
+            };
             println!(
                 "x * y = 391 with x, y > 1: x = {}, y = {} ({} clauses, {} conflicts)",
                 model.value(vx).unwrap_or(0),
@@ -75,7 +79,9 @@ fn main() {
     let x = pool.var("x", Sort::Bv(32));
     let y = pool.var("y", Sort::Bv(32));
     let z = pool.var("z", Sort::Bv(32));
-    let TermKind::Var(vx) = *pool.kind(x) else { unreachable!() };
+    let TermKind::Var(vx) = *pool.kind(x) else {
+        unreachable!()
+    };
     let p = pool.bv(BvOp::Mul, x, y);
     let lt = pool.pred(BvPred::Ult, p, z);
     let gt = pool.pred(BvPred::Ult, z, x);

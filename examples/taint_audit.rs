@@ -60,7 +60,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let pdg = Pdg::build(&program);
     for checker in [Checker::cwe23(), Checker::cwe402()] {
         let mut engine = FusionSolver::new(SolverConfig::default());
-        let run = analyze(&program, &pdg, &checker, &mut engine, &AnalysisOptions::new());
+        let run = analyze(
+            &program,
+            &pdg,
+            &checker,
+            &mut engine,
+            &AnalysisOptions::new(),
+        );
         println!(
             "{}: {} candidate(s) → {} reported, {} suppressed",
             checker.kind,

@@ -9,6 +9,7 @@
 //! `scale` is the fraction of mysql's paper size to generate (default
 //! 0.002 ≈ 4 K statements).
 
+use fusion::checkers::CheckKind;
 use fusion::checkers::Checker;
 use fusion::engine::{analyze, AnalysisOptions, FeasibilityEngine};
 use fusion::graph_solver::FusionSolver;
@@ -17,14 +18,20 @@ use fusion_ir::{compile_ast, CompileOptions};
 use fusion_pdg::graph::Pdg;
 use fusion_smt::solver::SolverConfig;
 use fusion_workloads::{generate, score, SubjectSpec};
-use fusion::checkers::CheckKind;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.002);
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.002);
     let spec = SubjectSpec::by_name("mysql").expect("subject exists");
     let cfg = spec.gen_config(scale);
     let mut subject = generate(&cfg);
-    let program = compile_ast(&subject.surface, &mut subject.interner, CompileOptions::default())?;
+    let program = compile_ast(
+        &subject.surface,
+        &mut subject.interner,
+        CompileOptions::default(),
+    )?;
     let pdg = Pdg::build(&program);
     println!(
         "generated `{}`-shaped subject at scale {scale}: {} functions, {} vertices, {} edges, {} seeded bugs",
@@ -36,13 +43,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let checker = Checker::null_deref();
-    let budget = SolverConfig { timeout: Some(std::time::Duration::from_secs(10)), ..Default::default() };
+    let budget = SolverConfig {
+        timeout: Some(std::time::Duration::from_secs(10)),
+        ..Default::default()
+    };
 
     let mut fusion_engine = FusionSolver::new(budget);
-    let fusion_run = analyze(&program, &pdg, &checker, &mut fusion_engine, &AnalysisOptions::new());
+    let fusion_run = analyze(
+        &program,
+        &pdg,
+        &checker,
+        &mut fusion_engine,
+        &AnalysisOptions::new(),
+    );
     let mut pinpoint_engine = PinpointEngine::new(budget);
-    let pinpoint_run =
-        analyze(&program, &pdg, &checker, &mut pinpoint_engine, &AnalysisOptions::new());
+    let pinpoint_run = analyze(
+        &program,
+        &pdg,
+        &checker,
+        &mut pinpoint_engine,
+        &AnalysisOptions::new(),
+    );
 
     for run in [&fusion_run, &pinpoint_run] {
         let s = score(&program, CheckKind::NullDeref, &subject.bugs, &run.reports);
@@ -57,7 +78,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             s.missed,
         );
     }
-    assert_eq!(fusion_run.reports.len(), pinpoint_run.reports.len(), "same precision");
+    assert_eq!(
+        fusion_run.reports.len(),
+        pinpoint_run.reports.len(),
+        "same precision"
+    );
     let _ = fusion_engine.records();
     println!(
         "\nsame reports from both designs; fusion retained no path conditions, pinpoint cached {} KiB of summaries/conditions",

@@ -55,7 +55,10 @@ fn check_case(src: &str, range: std::ops::Range<u32>, expect_feasible: bool) {
         assert_eq!(verdicts, vec![Feasibility::Feasible], "static must report");
         assert!(dynamic, "a concrete witness must exist");
     } else {
-        assert!(verdicts.is_empty(), "static must suppress, got {verdicts:?}");
+        assert!(
+            verdicts.is_empty(),
+            "static must suppress, got {verdicts:?}"
+        );
         assert!(!dynamic, "no input may trigger the bug");
     }
 }

@@ -2,8 +2,9 @@
 //! corpus of hand-written programs with known verdicts, and whole runs
 //! must be deterministic.
 
+use fusion::cache::VerdictCache;
 use fusion::checkers::Checker;
-use fusion::engine::{analyze, AnalysisOptions, FeasibilityEngine};
+use fusion::engine::{analyze, analyze_parallel_with_cache, AnalysisOptions, FeasibilityEngine};
 use fusion::graph_solver::{FusionSolver, UnoptimizedGraphSolver};
 use fusion_baselines::{ArEngine, PinpointEngine, Tactic};
 use fusion_ir::{compile, CompileOptions};
@@ -165,6 +166,61 @@ fn runs_are_deterministic() {
 }
 
 #[test]
+fn cached_parallel_runs_match_sequential_uncached_across_corpus() {
+    // The work-stealing parallel driver with a shared verdict cache must
+    // produce the *identical* report list — same (source, sink) pairs in
+    // the same order — as the sequential, cache-free analysis, for every
+    // corpus program and every thread count. Steal order and cache hits
+    // must never show through.
+    for (i, (src, ..)) in CORPUS.iter().enumerate() {
+        let program = compile(src, CompileOptions::default()).expect("compile");
+        let pdg = Pdg::build(&program);
+        let checker = Checker::null_deref();
+        let mut engine = FusionSolver::new(SolverConfig::default());
+        let seq = analyze(
+            &program,
+            &pdg,
+            &checker,
+            &mut engine,
+            &AnalysisOptions::without_cache(),
+        );
+        let seq_keys: Vec<_> = seq
+            .reports
+            .iter()
+            .map(|r| (r.source, r.sink, r.path.nodes.clone()))
+            .collect();
+        let factory = || -> Box<dyn FeasibilityEngine> {
+            Box::new(FusionSolver::new(SolverConfig::default()))
+        };
+        for threads in [1usize, 2, 4, 8] {
+            let cache = VerdictCache::new();
+            let par = analyze_parallel_with_cache(
+                &program,
+                &pdg,
+                &checker,
+                &factory,
+                threads,
+                &AnalysisOptions::new(),
+                Some(&cache),
+            );
+            let par_keys: Vec<_> = par
+                .reports
+                .iter()
+                .map(|r| (r.source, r.sink, r.path.nodes.clone()))
+                .collect();
+            assert_eq!(
+                seq_keys, par_keys,
+                "case {i}, {threads} thread(s): parallel+cache must match sequential"
+            );
+            assert_eq!(
+                seq.suppressed, par.suppressed,
+                "case {i}, {threads} thread(s)"
+            );
+        }
+    }
+}
+
+#[test]
 fn taint_checkers_work_end_to_end() {
     let src = "extern fn gets(); extern fn fopen(p); extern fn getpass(); extern fn sendmsg(d);\n\
         fn f(flag) {\n\
@@ -177,9 +233,21 @@ fn taint_checkers_work_end_to_end() {
     let program = compile(src, CompileOptions::default()).expect("compile");
     let pdg = Pdg::build(&program);
     let mut engine = FusionSolver::new(SolverConfig::default());
-    let r23 = analyze(&program, &pdg, &Checker::cwe23(), &mut engine, &AnalysisOptions::new());
+    let r23 = analyze(
+        &program,
+        &pdg,
+        &Checker::cwe23(),
+        &mut engine,
+        &AnalysisOptions::new(),
+    );
     assert_eq!((r23.reports.len(), r23.suppressed), (1, 0));
-    let r402 = analyze(&program, &pdg, &Checker::cwe402(), &mut engine, &AnalysisOptions::new());
+    let r402 = analyze(
+        &program,
+        &pdg,
+        &Checker::cwe402(),
+        &mut engine,
+        &AnalysisOptions::new(),
+    );
     assert_eq!((r402.reports.len(), r402.suppressed), (0, 1));
 }
 
@@ -197,8 +265,20 @@ fn fusion_clones_less_than_algorithm4() {
     let checker = Checker::null_deref();
     let mut fused = FusionSolver::new(SolverConfig::default());
     let mut unopt = UnoptimizedGraphSolver::new(SolverConfig::default());
-    let _ = analyze(&program, &pdg, &checker, &mut fused, &AnalysisOptions::new());
-    let _ = analyze(&program, &pdg, &checker, &mut unopt, &AnalysisOptions::new());
+    let _ = analyze(
+        &program,
+        &pdg,
+        &checker,
+        &mut fused,
+        &AnalysisOptions::new(),
+    );
+    let _ = analyze(
+        &program,
+        &pdg,
+        &checker,
+        &mut unopt,
+        &AnalysisOptions::new(),
+    );
     let fused_instances: usize = 1; // foo only: the whole chain is affine
     assert!(fused.records().iter().all(|_| true));
     let max_unopt = unopt

@@ -8,6 +8,7 @@
 //! report are the same"). Algorithm 4 serves as the pseudo-oracle: it has
 //! no caching, no quick paths and no local preprocessing.
 
+use fusion::cache::VerdictCache;
 use fusion::checkers::Checker;
 use fusion::engine::{Feasibility, FeasibilityEngine};
 use fusion::graph_solver::{FusionSolver, UnoptimizedGraphSolver};
@@ -48,5 +49,48 @@ proptest! {
                 }
             }
         }
+    }
+
+    #[test]
+    fn cache_hits_never_flip_verdicts(seed in 0u64..100_000) {
+        // The sharded verdict cache is keyed on path content; a hit must
+        // return exactly the verdict the engine would have computed. Two
+        // rounds over the same path set: round 1 fills the cache, round 2
+        // hits it, and every hit is checked against a fresh engine solve.
+        let cfg = GenConfig { seed, functions: 10, ..Default::default() };
+        let mut subject = generate(&cfg);
+        let program =
+            compile_ast(&subject.surface, &mut subject.interner, CompileOptions::default())
+                .expect("compile");
+        let pdg = Pdg::build(&program);
+        let mut fused = FusionSolver::new(SolverConfig::default());
+        let cache = VerdictCache::new();
+        for checker in [Checker::null_deref(), Checker::cwe23(), Checker::cwe402()] {
+            let candidates = discover(&program, &pdg, &checker, &PropagateOptions::default());
+            for _round in 0..2 {
+                for cand in &candidates {
+                    for path in &cand.paths {
+                        let paths = std::slice::from_ref(path);
+                        let key = VerdictCache::key(&program, paths);
+                        let cached = cache.get(key);
+                        let v = fused.check_paths(&program, &pdg, paths).feasibility;
+                        if let Some(c) = cached {
+                            prop_assert_eq!(
+                                c, v,
+                                "cache hit flipped a verdict, seed {} {}", seed, checker.kind
+                            );
+                        }
+                        cache.insert(key, v);
+                    }
+                }
+            }
+        }
+        // Round 2 re-queried every path: hits must have occurred whenever
+        // any path existed at all.
+        let stats = cache.stats();
+        prop_assert!(
+            stats.entries == 0 || stats.hits > 0,
+            "expected hits on the second round, got {:?}", stats
+        );
     }
 }

@@ -12,11 +12,22 @@ use fusion_pdg::graph::Pdg;
 use fusion_smt::solver::SolverConfig;
 use fusion_workloads::{generate, score, GenConfig, SUBJECTS};
 
-fn build(seed: u64, functions: usize) -> (fusion_ir::Program, Pdg, Vec<fusion_workloads::SeededBug>) {
-    let cfg = GenConfig { seed, functions, ..Default::default() };
+fn build(
+    seed: u64,
+    functions: usize,
+) -> (fusion_ir::Program, Pdg, Vec<fusion_workloads::SeededBug>) {
+    let cfg = GenConfig {
+        seed,
+        functions,
+        ..Default::default()
+    };
     let mut subject = generate(&cfg);
-    let program = compile_ast(&subject.surface, &mut subject.interner, CompileOptions::default())
-        .expect("compile");
+    let program = compile_ast(
+        &subject.surface,
+        &mut subject.interner,
+        CompileOptions::default(),
+    )
+    .expect("compile");
     let pdg = Pdg::build(&program);
     (program, pdg, subject.bugs)
 }
@@ -33,15 +44,23 @@ fn three_engines_agree_across_seeds_and_checkers() {
                 Box::new(PinpointEngine::new(SolverConfig::default())),
             ];
             for mut e in engines {
-                let run =
-                    analyze(&program, &pdg, &checker, e.as_mut(), &AnalysisOptions::new());
-                let mut keys: Vec<_> =
-                    run.reports.iter().map(|r| (r.source, r.sink)).collect();
+                let run = analyze(
+                    &program,
+                    &pdg,
+                    &checker,
+                    e.as_mut(),
+                    &AnalysisOptions::new(),
+                );
+                let mut keys: Vec<_> = run.reports.iter().map(|r| (r.source, r.sink)).collect();
                 keys.sort();
                 results.push((run.engine, keys, run.suppressed));
             }
             for w in results.windows(2) {
-                assert_eq!(w[0].1, w[1].1, "seed {seed} {}: {} vs {}", checker.kind, w[0].0, w[1].0);
+                assert_eq!(
+                    w[0].1, w[1].1,
+                    "seed {seed} {}: {} vs {}",
+                    checker.kind, w[0].0, w[1].0
+                );
                 assert_eq!(w[0].2, w[1].2, "suppressed differ at seed {seed}");
             }
         }
@@ -57,7 +76,13 @@ fn perfect_scores_on_all_checkers() {
         (Checker::cwe402(), CheckKind::Cwe402),
     ] {
         let mut engine = FusionSolver::new(SolverConfig::default());
-        let run = analyze(&program, &pdg, &checker, &mut engine, &AnalysisOptions::new());
+        let run = analyze(
+            &program,
+            &pdg,
+            &checker,
+            &mut engine,
+            &AnalysisOptions::new(),
+        );
         let s = score(&program, kind, &bugs, &run.reports);
         assert_eq!(s.false_positives, 0, "{kind}");
         assert_eq!(s.missed, 0, "{kind}");
@@ -68,7 +93,13 @@ fn perfect_scores_on_all_checkers() {
 fn fusion_never_retains_path_conditions() {
     let (program, pdg, _) = build(5, 20);
     let mut engine = FusionSolver::new(SolverConfig::default());
-    let _ = analyze(&program, &pdg, &Checker::null_deref(), &mut engine, &AnalysisOptions::new());
+    let _ = analyze(
+        &program,
+        &pdg,
+        &Checker::null_deref(),
+        &mut engine,
+        &AnalysisOptions::new(),
+    );
     assert_eq!(engine.memory().current(Category::PathConditions), 0);
     assert_eq!(engine.memory().current(Category::Summaries), 0);
 }
@@ -77,7 +108,13 @@ fn fusion_never_retains_path_conditions() {
 fn pinpoint_retains_conditions_and_summaries() {
     let (program, pdg, _) = build(5, 20);
     let mut engine = PinpointEngine::new(SolverConfig::default());
-    let run = analyze(&program, &pdg, &Checker::null_deref(), &mut engine, &AnalysisOptions::new());
+    let run = analyze(
+        &program,
+        &pdg,
+        &Checker::null_deref(),
+        &mut engine,
+        &AnalysisOptions::new(),
+    );
     assert!(run.queries > 0);
     assert!(engine.memory().current(Category::PathConditions) > 0);
     assert!(engine.memory().current(Category::Summaries) > 0);
@@ -89,9 +126,12 @@ fn subject_specs_compile_and_find_seeds() {
     for spec in [&SUBJECTS[0], &SUBJECTS[2], &SUBJECTS[12]] {
         let cfg = spec.gen_config(0.0008);
         let mut subject = generate(&cfg);
-        let program =
-            compile_ast(&subject.surface, &mut subject.interner, CompileOptions::default())
-                .expect("compile");
+        let program = compile_ast(
+            &subject.surface,
+            &mut subject.interner,
+            CompileOptions::default(),
+        )
+        .expect("compile");
         let pdg = Pdg::build(&program);
         let mut engine = FusionSolver::new(SolverConfig::default());
         let run = analyze(

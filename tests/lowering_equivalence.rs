@@ -39,21 +39,28 @@ proptest! {
                 .collect();
             let surf = eval_surface(&surface, &subject.interner, name_sym, &args, unroll, 2_000_000);
             let core_r = eval_core(&core, func.id, &args, 2_000_000);
-            match (surf, core_r) {
-                (Ok((sv, st)), Ok((cv, ct))) => {
-                    prop_assert_eq!(sv, cv.ret, "value mismatch in {} seed {}",
-                        subject.interner.resolve(name_sym), seed);
-                    let mut s_calls = st.extern_calls;
-                    let mut c_calls = ct.extern_calls;
-                    s_calls.sort();
-                    c_calls.sort();
-                    prop_assert_eq!(s_calls, c_calls, "trace mismatch in {} seed {}",
-                        subject.interner.resolve(name_sym), seed);
-                }
-                // Fuel exhaustion on either side: skip (speculative core
-                // evaluation can cost more; equivalence holds where both
-                // terminate within budget).
-                _ => {}
+            // Fuel exhaustion on either side: skip (speculative core
+            // evaluation can cost more; equivalence holds where both
+            // terminate within budget).
+            if let (Ok((sv, st)), Ok((cv, ct))) = (surf, core_r) {
+                prop_assert_eq!(
+                    sv,
+                    cv.ret,
+                    "value mismatch in {} seed {}",
+                    subject.interner.resolve(name_sym),
+                    seed
+                );
+                let mut s_calls = st.extern_calls;
+                let mut c_calls = ct.extern_calls;
+                s_calls.sort();
+                c_calls.sort();
+                prop_assert_eq!(
+                    s_calls,
+                    c_calls,
+                    "trace mismatch in {} seed {}",
+                    subject.interner.resolve(name_sym),
+                    seed
+                );
             }
         }
     }

@@ -6,8 +6,9 @@
 //! a case where each path is individually feasible but their conjunction is
 //! not.
 
+use fusion::cache::VerdictCache;
 use fusion::checkers::Checker;
-use fusion::engine::{Feasibility, FeasibilityEngine};
+use fusion::engine::{analyze_with_cache, AnalysisOptions, Feasibility, FeasibilityEngine};
 use fusion::graph_solver::{FusionSolver, UnoptimizedGraphSolver};
 use fusion::propagate::{discover, PropagateOptions};
 use fusion_baselines::PinpointEngine;
@@ -95,6 +96,53 @@ fn individually_feasible_jointly_infeasible() {
     for v in verdicts(&program, &pdg, &paths) {
         assert_eq!(v, Feasibility::Infeasible, "conjunction must be unsat");
     }
+}
+
+#[test]
+fn repeated_analysis_hits_the_verdict_cache() {
+    // A multi-path subject analyzed twice through one shared cache: the
+    // second run's feasibility queries are answered from the cache — the
+    // hit counters are surfaced on the AnalysisRun — and the reports are
+    // identical.
+    let src = "extern fn getpass(); extern fn user_ip(); extern fn sendmsg(x);\n\
+        fn f(flag) {\n\
+          let a = getpass();\n\
+          let b = user_ip();\n\
+          let c = 1; let d = 1;\n\
+          if (flag > 0) { c = a + 0; }\n\
+          if (flag > 10) { d = b + 0; }\n\
+          sendmsg(c);\n\
+          sendmsg(d);\n\
+          return 0;\n\
+        }";
+    let program = compile(src, CompileOptions::default()).expect("compile");
+    let pdg = Pdg::build(&program);
+    let mut checker = Checker::cwe402();
+    checker.source_fns.push("user_ip".into());
+    let cache = VerdictCache::new();
+    let mut engine = FusionSolver::new(SolverConfig::default());
+    let opts = AnalysisOptions::new();
+    let first = analyze_with_cache(&program, &pdg, &checker, &mut engine, &opts, Some(&cache));
+    let second = analyze_with_cache(&program, &pdg, &checker, &mut engine, &opts, Some(&cache));
+    assert!(
+        first.cache.misses > 0,
+        "first run fills the cache: {:?}",
+        first.cache
+    );
+    assert_eq!(first.cache.hits, 0, "nothing to hit yet");
+    assert!(
+        second.cache.hits > 0,
+        "second run must hit: {:?}",
+        second.cache
+    );
+    assert_eq!(second.queries, 0, "every verdict served from the cache");
+    let keys = |run: &fusion::engine::AnalysisRun| {
+        run.reports
+            .iter()
+            .map(|r| (r.source, r.sink))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(keys(&first), keys(&second));
 }
 
 #[test]
