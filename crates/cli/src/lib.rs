@@ -14,6 +14,7 @@
 //!     --stats                            print PDG and cost statistics
 //!     --threads N                        parallel candidate checking
 //!     --cache / --no-cache               shared feasibility-verdict cache (default: on)
+//!     --no-incremental                   disable incremental solver sessions (fusion engine)
 //!     --dot FILE                         export the PDG in Graphviz format
 //!     --source NAME                      extra taint-source function (repeatable)
 //!     --sink NAME                        extra taint-sink function (repeatable)
@@ -90,6 +91,11 @@ pub struct Options {
     pub threads: usize,
     /// Share one feasibility-verdict cache across checkers and workers.
     pub use_cache: bool,
+    /// Incremental solver sessions for the fusion engine: queries in one
+    /// slice group share a persistent SAT solver and bit-blast memo.
+    /// `--no-incremental` forces a cold solve per query (the other engines
+    /// are always cold, so the flag is a no-op for them).
+    pub incremental: bool,
     /// Write the PDG as Graphviz DOT to this path.
     pub dot: Option<String>,
     /// Extra taint-source function names (added to both taint checkers).
@@ -113,6 +119,7 @@ impl Default for Options {
             stats: false,
             threads: 1,
             use_cache: true,
+            incremental: true,
             dot: None,
             extra_sources: Vec::new(),
             extra_sinks: Vec::new(),
@@ -237,12 +244,13 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
             "--stats" => opts.stats = true,
             "--cache" => opts.use_cache = true,
             "--no-cache" => opts.use_cache = false,
+            "--no-incremental" => opts.incremental = false,
             "--help" | "-h" => {
                 return Err(CliError(
                     "usage: fusion-scan [--engine fusion|unopt|pinpoint|ar] \
                      [--checker null|cwe23|cwe402|all] [--timeout-secs N] \
                      [--solver-timeout-ms N] [--threads N] [--cache|--no-cache] \
-                     [--dot FILE] [--json] [--stats] FILE..."
+                     [--no-incremental] [--dot FILE] [--json] [--stats] FILE..."
                         .into(),
                 ))
             }
@@ -337,13 +345,21 @@ impl ScanReport {
     }
 }
 
-fn make_engine(choice: EngineChoice, timeout: Duration) -> Box<dyn FeasibilityEngine> {
+fn make_engine(
+    choice: EngineChoice,
+    timeout: Duration,
+    incremental: bool,
+) -> Box<dyn FeasibilityEngine> {
     let cfg = SolverConfig {
         timeout: Some(timeout),
         ..Default::default()
     };
     match choice {
-        EngineChoice::Fusion => Box::new(FusionSolver::new(cfg)),
+        EngineChoice::Fusion => {
+            let mut engine = FusionSolver::new(cfg);
+            engine.incremental = incremental;
+            Box::new(engine)
+        }
         EngineChoice::Unopt => Box::new(UnoptimizedGraphSolver::new(cfg)),
         EngineChoice::Pinpoint => Box::new(PinpointEngine::new(cfg)),
         EngineChoice::Ar => Box::new(ArEngine::new(cfg)),
@@ -396,7 +412,8 @@ pub fn scan_source(source: &str, opts: &Options) -> Result<ScanReport, CliError>
         let run: AnalysisRun = if opts.threads > 1 {
             let engine_choice = opts.engine;
             let timeout = opts.timeout;
-            let factory = move || make_engine(engine_choice, timeout);
+            let incremental = opts.incremental;
+            let factory = move || make_engine(engine_choice, timeout, incremental);
             analyze_parallel_with_cache(
                 &program,
                 &pdg,
@@ -407,7 +424,7 @@ pub fn scan_source(source: &str, opts: &Options) -> Result<ScanReport, CliError>
                 cache,
             )
         } else {
-            let mut engine = make_engine(opts.engine, opts.timeout);
+            let mut engine = make_engine(opts.engine, opts.timeout, opts.incremental);
             analyze_with_cache(
                 &program,
                 &pdg,
@@ -741,6 +758,50 @@ mod tests {
         assert!(!o.use_cache);
         let o = parse_args(&args(&["--no-cache", "--cache", "a.fus"])).unwrap();
         assert!(o.use_cache);
+    }
+
+    #[test]
+    fn incremental_flag_parses_and_scan_is_unchanged() {
+        let o = parse_args(&args(&["a.fus"])).unwrap();
+        assert!(o.incremental, "incremental sessions are the default");
+        let o = parse_args(&args(&["--no-incremental", "a.fus"])).unwrap();
+        assert!(!o.incremental);
+        // Determinism contract: the flag must not change the findings,
+        // sequentially or in parallel.
+        let src = "extern fn deref(p);\n\
+            fn a(x) { let q = null; let r = 1; if (x > 1) { r = q; } deref(r); return 0; }\n\
+            fn b(x) { let q = null; let r = 1; if (x * 2 == 5) { r = q; } deref(r); return 0; }";
+        for threads in [1, 3] {
+            let on = Options {
+                checker: CheckerChoice::Null,
+                threads,
+                ..Default::default()
+            };
+            let off = Options {
+                checker: CheckerChoice::Null,
+                threads,
+                incremental: false,
+                ..Default::default()
+            };
+            let r1 = scan_source(src, &on).unwrap();
+            let r2 = scan_source(src, &off).unwrap();
+            let key = |r: &ScanReport| {
+                r.findings
+                    .iter()
+                    .map(|f| {
+                        (
+                            f.checker.clone(),
+                            f.source_function.clone(),
+                            f.sink_function.clone(),
+                            f.verdict.clone(),
+                            f.path_length,
+                        )
+                    })
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(key(&r1), key(&r2), "threads={threads}");
+            assert_eq!(r1.suppressed, r2.suppressed);
+        }
     }
 
     #[test]

@@ -83,6 +83,13 @@ pub trait FeasibilityEngine {
         paths: &[DependencePath],
     ) -> CheckOutcome;
 
+    /// Announces a *slice-group* boundary: the driver is about to issue a
+    /// batch of related queries (same sink function, key `group`). Engines
+    /// that retain per-epoch state (pools, sessions) may use this point to
+    /// bound it; verdicts must not depend on where boundaries fall. The
+    /// default does nothing.
+    fn begin_group(&mut self, _group: u64) {}
+
     /// The engine's memory accountant.
     fn memory(&self) -> &MemoryAccountant;
 
@@ -178,6 +185,29 @@ impl AnalysisOptions {
 enum CandVerdict {
     Suppressed,
     Report(BugReport),
+}
+
+/// Groups candidate indices by sink function — the slice-group batching
+/// unit. Candidates against the same sink share most of their slices, so
+/// solving them back-to-back maximizes what an incremental engine can
+/// reuse (cached local conditions, memoized instantiations, session
+/// encodings). Groups appear in first-occurrence order and indices stay
+/// ascending within a group, so a driver that walks the groups and sorts
+/// results by index reproduces the ungrouped candidate order exactly.
+fn group_by_sink(candidates: &[Candidate]) -> Vec<(u64, Vec<usize>)> {
+    let mut order: Vec<(u64, Vec<usize>)> = Vec::new();
+    let mut slot: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+    for (i, c) in candidates.iter().enumerate() {
+        let key = c.sink.func.0 as u64;
+        match slot.get(&key) {
+            Some(&g) => order[g].1.push(i),
+            None => {
+                slot.insert(key, order.len());
+                order.push((key, vec![i]));
+            }
+        }
+    }
+    order
 }
 
 /// Decides one candidate: query each alternative path until one is
@@ -276,9 +306,23 @@ pub fn analyze_with_cache(
     let mut reports = Vec::new();
     let mut suppressed = 0usize;
     let mut queries = 0usize;
+    // Slice-group batching: candidates sharing a sink function are solved
+    // back-to-back, so an incremental engine sees maximally related
+    // queries in a row. Results are re-sorted by candidate index, so
+    // grouping never changes the report order.
+    let groups = group_by_sink(&candidates);
     let t1 = Instant::now();
-    for cand in &candidates {
-        match solve_candidate(program, pdg, engine, cache, cand, &mut queries) {
+    let mut results: Vec<(usize, CandVerdict)> = Vec::with_capacity(candidates.len());
+    for (key, idxs) in &groups {
+        engine.begin_group(*key);
+        for &idx in idxs {
+            let v = solve_candidate(program, pdg, engine, cache, &candidates[idx], &mut queries);
+            results.push((idx, v));
+        }
+    }
+    results.sort_by_key(|(idx, _)| *idx);
+    for (_, v) in results {
+        match v {
             CandVerdict::Suppressed => suppressed += 1,
             CandVerdict::Report(r) => reports.push(r),
         }
@@ -313,14 +357,16 @@ pub fn analyze_with_cache(
 /// worker owns an engine built by `factory`, so no locking is needed on
 /// solver state.
 ///
-/// Work distribution is a **work-stealing queue**: an atomic cursor over
-/// the candidate vector from which workers grab chunks, so a worker stuck
-/// behind one slow candidate no longer idles the rest of its stride.
-/// Chunked grabs amortize cursor contention while keeping the tail
-/// balanced. Workers share one [`VerdictCache`] (unless disabled via
-/// [`AnalysisOptions::use_cache`]), and results are merged back in
-/// candidate order, so the report list is byte-identical to the
-/// sequential driver's regardless of thread count or steal order.
+/// Work distribution is a **work-stealing queue over slice groups**:
+/// candidates are batched by sink function ([`FeasibilityEngine::begin_group`])
+/// and an atomic cursor hands whole groups to workers, so a worker stuck
+/// behind one slow candidate no longer idles the rest of its stride while
+/// related queries still land on the same engine back-to-back (which is
+/// what makes incremental sessions pay off). Workers share one
+/// [`VerdictCache`] (unless disabled via [`AnalysisOptions::use_cache`]),
+/// and results are merged back in candidate order, so the report list is
+/// byte-identical to the sequential driver's regardless of thread count
+/// or steal order.
 pub fn analyze_parallel(
     program: &Program,
     pdg: &Pdg,
@@ -360,17 +406,19 @@ pub fn analyze_parallel_with_cache(
         memory: MemoryAccountant,
     }
 
-    // Work-stealing cursor: workers atomically grab chunks of candidate
-    // indices. Chunks shrink with the candidate count so the tail stays
-    // balanced; `fetch_add` keeps the grab wait-free.
+    // Work-stealing cursor over slice groups: workers atomically grab one
+    // group at a time. Group granularity keeps related queries on one
+    // engine (the point of the batching) while `fetch_add` keeps the grab
+    // wait-free and the tail balanced.
+    let groups = group_by_sink(&candidates);
     let cursor = AtomicUsize::new(0);
-    let chunk = (candidates.len() / (threads * 8)).max(1);
 
     let t1 = Instant::now();
     let outputs: Vec<WorkerOut> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for _ in 0..threads {
             let cands = &candidates;
+            let groups = &groups;
             let cursor = &cursor;
             handles.push(scope.spawn(move || {
                 let mut engine = factory();
@@ -381,18 +429,19 @@ pub fn analyze_parallel_with_cache(
                     memory: MemoryAccountant::new(),
                 };
                 loop {
-                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-                    if start >= cands.len() {
+                    let g = cursor.fetch_add(1, Ordering::Relaxed);
+                    if g >= groups.len() {
                         break;
                     }
-                    let end = (start + chunk).min(cands.len());
-                    for (idx, cand) in cands.iter().enumerate().take(end).skip(start) {
+                    let (key, idxs) = &groups[g];
+                    engine.begin_group(*key);
+                    for &idx in idxs {
                         let v = solve_candidate(
                             program,
                             pdg,
                             engine.as_mut(),
                             cache,
-                            cand,
+                            &cands[idx],
                             &mut out.queries,
                         );
                         out.results.push((idx, v));

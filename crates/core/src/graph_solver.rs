@@ -16,8 +16,15 @@
 //!   have constant or affine returns (Fig. 9), and only then instantiates
 //!   the shrunken residue at the surviving call sites.
 //!
-//! Neither engine retains anything across queries — the "no caching"
-//! property of §3.2.2; each query charges only transient solver state.
+//! Neither engine ever caches a *path condition* — the "no caching"
+//! property of §3.2.2 concerns conditions. [`FusionSolver`] does retain
+//! query-independent artifacts across queries in one *epoch*: preprocessed
+//! local conditions (linear-size graph data), instantiated residues, and —
+//! in incremental mode — a [`SolveSession`] holding the Tseitin encodings
+//! and learnt clauses of formulas already solved. Epochs are bounded: a
+//! group boundary past [`FusionSolver::epoch_pool_limit`] resets the pool,
+//! the caches and the session together (their keys are `TermId`s, which a
+//! pool reset invalidates).
 
 use crate::engine::{CheckOutcome, Feasibility, FeasibilityEngine, SolveRecord};
 use crate::memory::{Category, MemoryAccountant, BYTES_PER_TERM_NODE};
@@ -28,6 +35,7 @@ use fusion_pdg::paths::DependencePath;
 use fusion_pdg::slice::{compute_slice, Constraint, ConstraintKind};
 use fusion_pdg::translate::{encode_op, instance_var, translate, truthy, TranslateOptions};
 use fusion_smt::preprocess::preprocess_fragment;
+use fusion_smt::session::SolveSession;
 use fusion_smt::solver::{deadline_expired, smt_solve, SatResult, SolverConfig};
 use fusion_smt::term::{Sort, TermId, TermKind, TermPool, VarIdx};
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -98,12 +106,18 @@ impl FeasibilityEngine for UnoptimizedGraphSolver {
             self.records.push(SolveRecord::from_outcome(&outcome));
             return outcome;
         };
+        // Transient memory: the cloned condition is resident *during* the
+        // query, so charge it before solving; the SAT clause bytes are only
+        // known once the query returns, so they are charged (and everything
+        // released) afterwards. Charging and releasing back-to-back would
+        // never overlap the query and understate concurrent peaks.
+        let cond_bytes = condition_nodes * BYTES_PER_TERM_NODE;
+        self.memory.charge(Category::SolverState, cond_bytes);
         let (result, stats) = smt_solve(&mut pool, translated.formula, &cfg);
-        // Transient memory: the cloned condition plus SAT state, released
-        // after the query.
-        let transient = condition_nodes * BYTES_PER_TERM_NODE + stats.cnf_clauses as u64 * 16;
-        self.memory.charge(Category::SolverState, transient);
-        self.memory.release(Category::SolverState, transient);
+        let clause_bytes = stats.cnf_clauses as u64 * 16;
+        self.memory.charge(Category::SolverState, clause_bytes);
+        self.memory
+            .release(Category::SolverState, cond_bytes + clause_bytes);
         let feasibility = match result {
             SatResult::Sat(_) => Feasibility::Feasible,
             SatResult::Unsat => Feasibility::Infeasible,
@@ -138,6 +152,48 @@ struct LocalCond {
     var_map: HashMap<VarIdx, VarId>,
 }
 
+/// Renames a preprocessed local condition into the instance named by `ctx`:
+/// interface variables map to their context-tagged instance names,
+/// preprocessing-introduced fresh variables are renamed apart per instance.
+fn instantiate(pool: &mut TermPool, lc: &LocalCond, ctx: &[CallSiteId], fid: FuncId) -> TermId {
+    let mut subst: HashMap<VarIdx, TermId> = HashMap::new();
+    for smt_var in pool.free_vars(lc.formula) {
+        let target = match lc.var_map.get(&smt_var) {
+            Some(&ir_var) => instance_var(pool, ctx, fid, ir_var),
+            None => pool.fresh_var("inst", pool.var_sort(smt_var)),
+        };
+        subst.insert(smt_var, target);
+    }
+    pool.substitute(lc.formula, &subst)
+}
+
+/// A cached local condition with its accounting and recency metadata.
+#[derive(Debug, Clone)]
+struct CachedLocal {
+    cond: LocalCond,
+    /// Bytes charged to [`Category::Cache`] for this entry.
+    bytes: u64,
+    /// Last-touched tick, for LRU eviction.
+    tick: u64,
+}
+
+/// Solver-side counters for the bench harness (`solve_bench`), aggregated
+/// over every `check_paths` call issued to one [`FusionSolver`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FusionMetrics {
+    /// Term-pool nodes built across all queries (pool growth, which for a
+    /// cold engine equals everything: local conditions, instances,
+    /// preprocessing rewrites).
+    pub terms_built: u64,
+    /// Permanent CNF clauses held by the incremental session (0 in cold
+    /// mode — cold clauses die with each query's solver).
+    pub session_clauses: u64,
+    /// SAT conflicts accumulated by the incremental session.
+    pub session_conflicts: u64,
+    /// Learnt clauses currently retained by the session.
+    pub session_learnts: u64,
+}
+
 /// Algorithm 6: the optimized, fused solver.
 #[derive(Debug)]
 pub struct FusionSolver {
@@ -151,6 +207,20 @@ pub struct FusionSolver {
     /// Ablation: skip the intra-procedural preprocessing of local
     /// conditions (clone raw equations).
     pub use_local_preprocess: bool,
+    /// Solve final queries through one incremental [`SolveSession`] per
+    /// epoch (assumption-guarded CDCL with memoized bit-blasting and
+    /// learnt-clause retention) instead of a cold per-query pipeline.
+    /// Verdicts are identical either way; this is purely a time/space
+    /// trade. The CLI exposes `--no-incremental` to turn it off.
+    pub incremental: bool,
+    /// Pool-size threshold (term nodes) above which a group boundary
+    /// ([`FeasibilityEngine::begin_group`]) resets the solving epoch —
+    /// pool, caches and session together. High by default so small runs
+    /// never reset.
+    pub epoch_pool_limit: usize,
+    /// Entry-count bound of the local-condition cache; least recently
+    /// used entries are evicted beyond it.
+    pub local_cache_cap: usize,
     memory: MemoryAccountant,
     records: Vec<SolveRecord>,
     /// Quick-path summaries, computed once per program (keyed by a cheap
@@ -159,9 +229,24 @@ pub struct FusionSolver {
     /// Persistent pool hosting the cached per-function local conditions.
     /// These are *linear-size graph data* (an alternative encoding of the
     /// PDG slice, preprocessed once per (function, slice) — §3.2.3), not
-    /// path conditions: their bytes are charged to [`Category::Graph`].
+    /// path conditions: their bytes are charged to [`Category::Cache`]
+    /// like the verdict cache's.
     pool: TermPool,
-    local_cache: HashMap<(FuncId, u64), LocalCond>,
+    local_cache: HashMap<(FuncId, u64), CachedLocal>,
+    /// Total bytes currently charged for `local_cache` entries.
+    local_cache_bytes: u64,
+    /// Monotone counter backing the LRU order of `local_cache`.
+    tick: u64,
+    /// The incremental solving session of the current epoch (lazy).
+    session: Option<SolveSession>,
+    /// Instantiated-residue memo: `(context, function, local formula) →
+    /// instance formula`. Avoids re-running the substitution (and minting
+    /// fresh `inst` variables) for instantiations repeated across queries
+    /// in one epoch. Sharing the preprocessing-introduced fresh variables
+    /// across queries is sound: each query's constraints on them live
+    /// under that query's own root assumption.
+    inst_cache: HashMap<(Vec<CallSiteId>, FuncId, TermId), TermId>,
+    terms_built: u64,
 }
 
 impl FusionSolver {
@@ -172,12 +257,52 @@ impl FusionSolver {
             max_instances: 1 << 16,
             use_quick_paths: true,
             use_local_preprocess: true,
+            incremental: true,
+            epoch_pool_limit: 1 << 20,
+            local_cache_cap: 1024,
             memory: MemoryAccountant::new(),
             records: Vec::new(),
             summaries: None,
             pool: TermPool::new(),
             local_cache: HashMap::new(),
+            local_cache_bytes: 0,
+            tick: 0,
+            session: None,
+            inst_cache: HashMap::new(),
+            terms_built: 0,
         }
+    }
+
+    /// Aggregate solver-side metrics (see [`FusionMetrics`]).
+    pub fn metrics(&self) -> FusionMetrics {
+        FusionMetrics {
+            terms_built: self.terms_built,
+            session_clauses: self
+                .session
+                .as_ref()
+                .map(|s| s.permanent_clauses() as u64)
+                .unwrap_or(0),
+            session_conflicts: self.session.as_ref().map(|s| s.conflicts()).unwrap_or(0),
+            session_learnts: self
+                .session
+                .as_ref()
+                .map(|s| s.learnt_clauses() as u64)
+                .unwrap_or(0),
+        }
+    }
+
+    /// Drops everything keyed by `TermId`: the pool, the local-condition
+    /// and instantiation caches, and the session. Called when the program
+    /// changes and when a group boundary finds the pool past
+    /// [`FusionSolver::epoch_pool_limit`].
+    fn reset_epoch(&mut self) {
+        self.pool = TermPool::new();
+        self.local_cache.clear();
+        self.memory.release(Category::Cache, self.local_cache_bytes);
+        self.local_cache_bytes = 0;
+        self.inst_cache.clear();
+        self.session = None;
+        self.memory.set(Category::SolverState, 0);
     }
 
     fn summaries_for(&mut self, program: &Program) -> &[RetSummary] {
@@ -188,8 +313,7 @@ impl FusionSolver {
         };
         if stale {
             self.summaries = Some((key.0, key.1, ret_summaries(program)));
-            self.pool = TermPool::new();
-            self.local_cache.clear();
+            self.reset_epoch();
         }
         &self.summaries.as_ref().expect("just set").2
     }
@@ -212,8 +336,11 @@ impl FusionSolver {
             h ^= v.0 as u64 + 1;
             h = h.wrapping_mul(0x1000_0000_01b3);
         }
-        if let Some(lc) = self.local_cache.get(&(fid, h)) {
-            return lc.clone();
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(entry) = self.local_cache.get_mut(&(fid, h)) {
+            entry.tick = tick;
+            return entry.cond.clone();
         }
         let func = program.func(fid);
         let pool = &mut self.pool;
@@ -310,12 +437,29 @@ impl FusionSolver {
             raw
         };
         let lc = LocalCond { formula, var_map };
-        // Linear-size, graph-resident data.
-        self.memory.charge(
-            Category::Graph,
-            self.pool.dag_size(formula) as u64 * BYTES_PER_TERM_NODE,
+        // Bounded, cache-resident data: evict least-recently-used entries
+        // past the capacity, then charge this entry's bytes to
+        // [`Category::Cache`] exactly like the verdict cache does.
+        let bytes = self.pool.dag_size(formula) as u64 * BYTES_PER_TERM_NODE;
+        while self.local_cache.len() >= self.local_cache_cap {
+            // Ticks are unique, so the minimum is deterministic.
+            let Some((&key, _)) = self.local_cache.iter().min_by_key(|(_, e)| e.tick) else {
+                break;
+            };
+            let evicted = self.local_cache.remove(&key).expect("key just found");
+            self.memory.release(Category::Cache, evicted.bytes);
+            self.local_cache_bytes -= evicted.bytes;
+        }
+        self.memory.charge(Category::Cache, bytes);
+        self.local_cache_bytes += bytes;
+        self.local_cache.insert(
+            (fid, h),
+            CachedLocal {
+                cond: lc.clone(),
+                bytes,
+                tick,
+            },
         );
-        self.local_cache.insert((fid, h), lc.clone());
         lc
     }
 }
@@ -323,6 +467,24 @@ impl FusionSolver {
 impl FeasibilityEngine for FusionSolver {
     fn name(&self) -> &'static str {
         "fusion"
+    }
+
+    fn begin_group(&mut self, _group: u64) {
+        // A fresh session per slice group: queries within a group share
+        // almost all of their encoding, so the session amortizes heavily
+        // there; *across* groups the overlap is small, and keeping one
+        // session alive would make every query re-search the accumulated
+        // universe (CDCL must extend its assignment over every variable
+        // ever blasted). Dropping the session — but keeping the pool and
+        // the term-level caches — bounds the SAT universe to one group's
+        // cone. Group boundaries are also the only place the whole epoch
+        // may reset: no `TermId` from a previous group is live in the
+        // caller, so once the pool outgrows its budget the pool, caches
+        // and session drop together.
+        self.session = None;
+        if self.pool.len() > self.epoch_pool_limit {
+            self.reset_epoch();
+        }
     }
 
     fn check_paths(
@@ -343,7 +505,9 @@ impl FeasibilityEngine for FusionSolver {
             locals.insert(fid, lc);
         }
         let pool_before = self.pool.len();
+        let incremental = self.incremental;
         let pool = &mut self.pool;
+        let inst_cache = &mut self.inst_cache;
 
         let mut parts: Vec<TermId> = Vec::new();
         let mut instances: HashSet<(Vec<CallSiteId>, FuncId)> = HashSet::new();
@@ -398,18 +562,24 @@ impl FeasibilityEngine for FusionSolver {
             };
             let func = program.func(fid);
             let lc = &locals[&fid];
-            // Rename the local condition into this instance.
-            let mut subst: HashMap<VarIdx, TermId> = HashMap::new();
-            for smt_var in pool.free_vars(lc.formula) {
-                let target = match lc.var_map.get(&smt_var) {
-                    Some(&ir_var) => instance_var(pool, &ctx, fid, ir_var),
-                    // Fresh variables introduced by preprocessing must be
-                    // renamed apart per instance.
-                    None => pool.fresh_var("inst", pool.var_sort(smt_var)),
-                };
-                subst.insert(smt_var, target);
-            }
-            let inst_formula = pool.substitute(lc.formula, &subst);
+            // Rename the local condition into this instance. In incremental
+            // mode the substitution (and its fresh-variable minting) is
+            // memoized per (context, function, local formula) for the
+            // epoch — repeated instantiations across queries reuse the same
+            // instance formula, which the session then recognizes as an
+            // already-blasted subterm.
+            let inst_formula = if incremental {
+                match inst_cache.get(&(ctx.clone(), fid, lc.formula)) {
+                    Some(&cached) => cached,
+                    None => {
+                        let f = instantiate(pool, lc, &ctx, fid);
+                        inst_cache.insert((ctx.clone(), fid, lc.formula), f);
+                        f
+                    }
+                }
+            } else {
+                instantiate(pool, lc, &ctx, fid)
+            };
             parts.push(inst_formula);
 
             for &v in &fs.verts {
@@ -475,10 +645,12 @@ impl FeasibilityEngine for FusionSolver {
         }
 
         if blowup {
+            let grown = (pool.len() - pool_before) as u64;
+            self.terms_built += grown;
             return CheckOutcome {
                 feasibility: Feasibility::Unknown,
                 duration: start.elapsed(),
-                condition_nodes: (pool.len() - pool_before) as u64,
+                condition_nodes: grown,
                 instances: instances.len(),
                 preprocess_decided: false,
             };
@@ -488,6 +660,7 @@ impl FeasibilityEngine for FusionSolver {
         // Budget the final query with the wall-clock remaining after
         // instantiation.
         let Some(cfg) = self.per_call.with_remaining(deadline) else {
+            self.terms_built += (self.pool.len() - pool_before) as u64;
             let outcome = CheckOutcome {
                 feasibility: Feasibility::Unknown,
                 duration: start.elapsed(),
@@ -498,13 +671,34 @@ impl FeasibilityEngine for FusionSolver {
             self.records.push(SolveRecord::from_outcome(&outcome));
             return outcome;
         };
-        let (result, stats) = smt_solve(pool, formula, &cfg);
-        // Transient memory: the assembled condition plus SAT state; a real
-        // implementation frees both after the query (no caching, §3.2.2).
-        let transient = condition_nodes * BYTES_PER_TERM_NODE + stats.cnf_clauses as u64 * 16;
-        self.memory.charge(Category::SolverState, transient);
-        self.memory.release(Category::SolverState, transient);
-        let _ = pool_before;
+        let cond_bytes = condition_nodes * BYTES_PER_TERM_NODE;
+        let (result, stats) = if self.incremental {
+            // Incremental: one assumption-guarded query against the
+            // epoch's persistent session. The session's clause database
+            // and CNF variables are resident *across* queries (set-based
+            // accounting); the assembled condition is a transient spike on
+            // top of them during the query.
+            let session = self.session.get_or_insert_with(SolveSession::new);
+            let out = session.solve_formula(&mut self.pool, formula, &cfg);
+            let resident = session.permanent_clauses() as u64 * 16 + session.cnf_vars() as u64 * 8;
+            self.memory
+                .set(Category::SolverState, resident + cond_bytes);
+            self.memory.set(Category::SolverState, resident);
+            out
+        } else {
+            // Cold: transient memory — the assembled condition plus SAT
+            // state — charged while the query runs, released after (no
+            // caching, §3.2.2). The condition is resident before the solve
+            // starts; the clause count is known only once it returns.
+            self.memory.charge(Category::SolverState, cond_bytes);
+            let out = smt_solve(&mut self.pool, formula, &cfg);
+            let clause_bytes = out.1.cnf_clauses as u64 * 16;
+            self.memory.charge(Category::SolverState, clause_bytes);
+            self.memory
+                .release(Category::SolverState, cond_bytes + clause_bytes);
+            out
+        };
+        self.terms_built += (self.pool.len() - pool_before) as u64;
         let feasibility = match result {
             SatResult::Sat(_) => Feasibility::Feasible,
             SatResult::Unsat => Feasibility::Infeasible,

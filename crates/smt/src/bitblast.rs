@@ -11,6 +11,7 @@
 //! barrel shifters, and borrow-chain comparators.
 
 use crate::cnf::{Cnf, Lit};
+use crate::sat::SatSolver;
 use crate::term::{BvOp, BvPred, Sort, TermId, TermKind, TermPool, VarIdx};
 use std::collections::HashMap;
 
@@ -52,27 +53,91 @@ impl BlastMap {
     }
 }
 
-struct Blaster<'p> {
-    pool: &'p TermPool,
+/// A bit-blaster whose gate memo table, variable map, and CNF variable
+/// universe persist across formulas.
+///
+/// Cold-solve uses it once per formula (via [`blast`]); a
+/// [`crate::session::SolveSession`] keeps one alive for a whole sequence of
+/// related formulas so shared subterms (memoized by [`TermId`]) are Tseitin-
+/// translated exactly once. The memo is keyed by `TermId`, so it is only
+/// valid as long as the companion [`TermPool`] is append-only — resetting the
+/// pool requires dropping the blaster too.
+#[derive(Debug)]
+pub struct SessionBlaster {
     cnf: Cnf,
     memo: HashMap<TermId, Bits>,
     map: BlastMap,
     true_lit: Lit,
 }
 
-impl<'p> Blaster<'p> {
-    fn new(pool: &'p TermPool) -> Self {
+impl Default for SessionBlaster {
+    fn default() -> Self {
+        SessionBlaster::new()
+    }
+}
+
+impl SessionBlaster {
+    /// Creates an empty blaster with its constant-true literal allocated.
+    pub fn new() -> Self {
         let mut cnf = Cnf::new();
         let t = cnf.fresh();
         let true_lit = Lit::pos(t);
         cnf.add_unit(true_lit);
-        Blaster {
-            pool,
+        SessionBlaster {
             cnf,
             memo: HashMap::new(),
             map: BlastMap::default(),
             true_lit,
         }
+    }
+
+    /// Blasts a boolean `formula` and returns its root literal *without*
+    /// asserting it. The definitional (Tseitin) clauses emitted are full
+    /// biconditionals, so the root literal is equivalent to the formula and
+    /// can be asserted directly — or passed as an assumption to
+    /// [`SatSolver::solve_under_assumptions`] for incremental use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `formula` is not boolean-sorted (an internal sort error).
+    pub fn blast_root(&mut self, pool: &TermPool, formula: TermId) -> Lit {
+        assert_eq!(
+            pool.sort(formula),
+            Sort::Bool,
+            "blast: formula must be Bool"
+        );
+        let Bits::Bool(root) = self.blast(pool, formula) else {
+            unreachable!("formula is Bool")
+        };
+        root
+    }
+
+    /// The variable map for model extraction. Accumulates entries for every
+    /// variable blasted so far in the session.
+    pub fn map(&self) -> &BlastMap {
+        &self.map
+    }
+
+    /// Number of CNF variables allocated so far (monotone over the session).
+    pub fn num_cnf_vars(&self) -> u32 {
+        self.cnf.num_vars
+    }
+
+    /// Number of distinct terms translated so far.
+    pub fn memo_len(&self) -> usize {
+        self.memo.len()
+    }
+
+    /// Moves all clauses emitted since the last drain into `solver`,
+    /// growing its variable universe first. After this call the blaster
+    /// holds no pending clauses (the solver owns the only copy).
+    pub fn drain_into(&mut self, solver: &mut SatSolver) -> usize {
+        solver.ensure_vars(self.cnf.num_vars as usize);
+        let n = self.cnf.clauses.len();
+        for clause in self.cnf.clauses.drain(..) {
+            solver.add_clause_incremental(clause);
+        }
+        n
     }
 
     fn konst(&self, b: bool) -> Lit {
@@ -292,11 +357,11 @@ impl<'p> Blaster<'p> {
             .collect()
     }
 
-    fn blast(&mut self, t: TermId) -> Bits {
+    fn blast(&mut self, pool: &TermPool, t: TermId) -> Bits {
         if let Some(b) = self.memo.get(&t) {
             return b.clone();
         }
-        let result = match self.pool.kind(t).clone() {
+        let result = match pool.kind(t).clone() {
             TermKind::BoolConst(b) => Bits::Bool(self.konst(b)),
             TermKind::BvConst { width, value } => {
                 let bits = (0..width)
@@ -304,7 +369,7 @@ impl<'p> Blaster<'p> {
                     .collect();
                 Bits::Bv(bits)
             }
-            TermKind::Var(v) => match self.pool.var_sort(v) {
+            TermKind::Var(v) => match pool.var_sort(v) {
                 Sort::Bool => {
                     let l = self.fresh();
                     self.map.bool_vars.insert(v, l);
@@ -317,7 +382,7 @@ impl<'p> Blaster<'p> {
                 }
             },
             TermKind::Not(x) => {
-                let Bits::Bool(l) = self.blast(x) else {
+                let Bits::Bool(l) = self.blast(pool, x) else {
                     unreachable!("not: bool")
                 };
                 Bits::Bool(!l)
@@ -326,7 +391,7 @@ impl<'p> Blaster<'p> {
                 let lits: Vec<Lit> = xs
                     .iter()
                     .map(|&x| {
-                        let Bits::Bool(l) = self.blast(x) else {
+                        let Bits::Bool(l) = self.blast(pool, x) else {
                             unreachable!("and: bool")
                         };
                         l
@@ -338,7 +403,7 @@ impl<'p> Blaster<'p> {
                 let lits: Vec<Lit> = xs
                     .iter()
                     .map(|&x| {
-                        let Bits::Bool(l) = self.blast(x) else {
+                        let Bits::Bool(l) = self.blast(pool, x) else {
                             unreachable!("or: bool")
                         };
                         l
@@ -346,7 +411,7 @@ impl<'p> Blaster<'p> {
                     .collect();
                 Bits::Bool(self.big_or(&lits))
             }
-            TermKind::Eq(a, b) => match (self.blast(a), self.blast(b)) {
+            TermKind::Eq(a, b) => match (self.blast(pool, a), self.blast(pool, b)) {
                 (Bits::Bool(x), Bits::Bool(y)) => Bits::Bool(!self.gate_xor(x, y)),
                 (Bits::Bv(x), Bits::Bv(y)) => Bits::Bool(self.eq_bits(&x, &y)),
                 _ => unreachable!("eq: sort mismatch"),
@@ -356,10 +421,10 @@ impl<'p> Blaster<'p> {
                 then_t,
                 else_t,
             } => {
-                let Bits::Bool(c) = self.blast(cond) else {
+                let Bits::Bool(c) = self.blast(pool, cond) else {
                     unreachable!("ite cond")
                 };
-                match (self.blast(then_t), self.blast(else_t)) {
+                match (self.blast(pool, then_t), self.blast(pool, else_t)) {
                     (Bits::Bool(x), Bits::Bool(y)) => Bits::Bool(self.gate_mux(c, x, y)),
                     (Bits::Bv(x), Bits::Bv(y)) => {
                         let bits = (0..x.len()).map(|i| self.gate_mux(c, x[i], y[i])).collect();
@@ -369,10 +434,10 @@ impl<'p> Blaster<'p> {
                 }
             }
             TermKind::Pred(p, a, b) => {
-                let Bits::Bv(mut x) = self.blast(a) else {
+                let Bits::Bv(mut x) = self.blast(pool, a) else {
                     unreachable!("pred lhs")
                 };
-                let Bits::Bv(mut y) = self.blast(b) else {
+                let Bits::Bv(mut y) = self.blast(pool, b) else {
                     unreachable!("pred rhs")
                 };
                 let (swap, strict_complement) = match p {
@@ -394,10 +459,10 @@ impl<'p> Blaster<'p> {
                 Bits::Bool(if strict_complement { !l } else { l })
             }
             TermKind::Bv(op, a, b) => {
-                let Bits::Bv(x) = self.blast(a) else {
+                let Bits::Bv(x) = self.blast(pool, a) else {
                     unreachable!("bv lhs")
                 };
-                let Bits::Bv(y) = self.blast(b) else {
+                let Bits::Bv(y) = self.blast(pool, b) else {
                     unreachable!("bv rhs")
                 };
                 let w = x.len();
@@ -480,15 +545,8 @@ impl<'p> Blaster<'p> {
 ///
 /// Panics if `formula` is not boolean-sorted (an internal sort error).
 pub fn blast(pool: &TermPool, formula: TermId) -> (Cnf, BlastMap) {
-    assert_eq!(
-        pool.sort(formula),
-        Sort::Bool,
-        "blast: formula must be Bool"
-    );
-    let mut b = Blaster::new(pool);
-    let Bits::Bool(root) = b.blast(formula) else {
-        unreachable!("formula is Bool")
-    };
+    let mut b = SessionBlaster::new();
+    let root = b.blast_root(pool, formula);
     b.cnf.add_unit(root);
     (b.cnf, b.map)
 }

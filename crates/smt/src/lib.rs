@@ -12,7 +12,8 @@
 //!   two-watched literals, VSIDS, 1-UIP learning, Luby restarts and phase
 //!   saving ([`sat`]);
 //! * the end-to-end **Algorithm 3 pipeline** with per-call budgets
-//!   ([`solver`]);
+//!   ([`solver`]) and its **incremental session** variant that amortizes
+//!   bit-blasting and CDCL state across related queries ([`session`]);
 //! * the heavyweight **tactics** the evaluation arms Pinpoint with: `qe`
 //!   and `ctx-solver-simplify` ([`tactic`]).
 //!
@@ -38,11 +39,13 @@ pub mod cnf;
 pub mod dimacs;
 pub mod preprocess;
 pub mod sat;
+pub mod session;
 pub mod smtlib;
 pub mod solver;
 pub mod tactic;
 pub mod term;
 
+pub use session::{SessionStats, SolveSession};
 pub use smtlib::to_smtlib2;
 pub use solver::{smt_solve, Model, SatResult, SolveStats, SolverConfig};
 pub use term::{BvOp, BvPred, Sort, TermId, TermKind, TermPool, Value, VarIdx};

@@ -80,7 +80,12 @@ pub struct SatSolver {
     phase: Vec<bool>,
     seen: Vec<bool>,
     ok: bool,
-    /// Statistics of the last [`SatSolver::solve`] call.
+    final_conflict: Vec<Lit>,
+    /// Count of learnt clauses in `clauses`, maintained incrementally so
+    /// the solve loop never scans the clause arena (a session solver's
+    /// arena is large and long-lived).
+    num_learnt: usize,
+    /// Cumulative statistics across all solve calls on this solver.
     pub stats: SatStats,
 }
 
@@ -105,6 +110,8 @@ impl SatSolver {
             phase: vec![false; n],
             seen: vec![false; n],
             ok: true,
+            final_conflict: Vec::new(),
+            num_learnt: 0,
             stats: SatStats::default(),
         };
         for v in 0..cnf.num_vars {
@@ -117,6 +124,73 @@ impl SatSolver {
             }
         }
         s
+    }
+
+    /// Builds an empty solver (zero variables, zero clauses) for incremental
+    /// use: grow it with [`SatSolver::ensure_vars`] and
+    /// [`SatSolver::add_clause_incremental`], query it with
+    /// [`SatSolver::solve_under_assumptions`].
+    pub fn empty() -> SatSolver {
+        SatSolver::new(&Cnf::new())
+    }
+
+    /// Grows the variable universe to at least `n` variables. New variables
+    /// start unassigned with zero activity and negative saved phase.
+    pub fn ensure_vars(&mut self, n: usize) {
+        if self.assign.len() >= n {
+            return;
+        }
+        let old = self.assign.len();
+        self.watches.resize_with(2 * n, Vec::new);
+        self.assign.resize(n, UNDEF);
+        self.level.resize(n, 0);
+        self.reason.resize(n, usize::MAX);
+        self.activity.resize(n, 0.0);
+        self.phase.resize(n, false);
+        self.seen.resize(n, false);
+        self.heap_index.resize(n, usize::MAX);
+        for v in old..n {
+            self.heap_insert(BVar(v as u32));
+        }
+    }
+
+    /// Number of variables currently known to the solver.
+    pub fn num_vars(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// Number of permanent (non-learnt) clauses in the database.
+    pub fn permanent_clauses(&self) -> usize {
+        self.clauses.len() - self.num_learnt
+    }
+
+    /// Number of learnt clauses currently retained.
+    pub fn learnt_clauses(&self) -> usize {
+        self.num_learnt
+    }
+
+    /// Whether the permanent clause database is still consistent. Once a
+    /// clause set is unsatisfiable at level 0 the solver stays `false`.
+    pub fn is_ok(&self) -> bool {
+        self.ok
+    }
+
+    /// Adds a clause between solve calls (incremental interface). Backtracks
+    /// to decision level 0 first, so this is safe to call at any point
+    /// between [`SatSolver::solve_under_assumptions`] calls. Referencing a
+    /// variable `v` requires a prior `ensure_vars(v + 1)`.
+    pub fn add_clause_incremental(&mut self, lits: Vec<Lit>) {
+        self.backtrack(0);
+        self.add_clause(lits);
+    }
+
+    /// The subset of assumption literals responsible for the last
+    /// assumption-failure `Unsat` answer from
+    /// [`SatSolver::solve_under_assumptions`] (MiniSat's "final conflict").
+    /// Empty when the last answer was not an assumption failure — in
+    /// particular when the clause database itself is unsatisfiable.
+    pub fn failed_assumptions(&self) -> &[Lit] {
+        &self.final_conflict
     }
 
     fn value(&self, l: Lit) -> u8 {
@@ -400,6 +474,7 @@ impl SatSolver {
             new_clauses.push(c);
         }
         self.clauses = new_clauses;
+        self.num_learnt = self.clauses.iter().filter(|c| c.learnt).count();
         for w in &mut self.watches {
             w.retain(|watch| remap[watch.clause] != usize::MAX);
             for watch in w.iter_mut() {
@@ -417,13 +492,67 @@ impl SatSolver {
 
     /// Runs the CDCL loop under the given budget.
     pub fn solve(&mut self, budget: SatBudget) -> SatOutcome {
+        self.solve_under_assumptions(&[], budget)
+    }
+
+    /// MiniSat-style final-conflict analysis: given a falsified assumption
+    /// literal `p`, walks the implication trail backwards to collect the
+    /// subset of assumption literals whose conjunction is inconsistent with
+    /// the clause database. Stores the result in `self.final_conflict`.
+    fn analyze_final(&mut self, p: Lit) {
+        self.final_conflict.clear();
+        self.final_conflict.push(p);
+        if self.decision_level() == 0 {
+            return;
+        }
+        self.seen[p.var().index()] = true;
+        for i in (self.trail_lim[0]..self.trail.len()).rev() {
+            let l = self.trail[i];
+            let v = l.var().index();
+            if !self.seen[v] {
+                continue;
+            }
+            let r = self.reason[v];
+            if r == usize::MAX {
+                // A decision inside the assumption prefix: one of the
+                // assumptions that forced ¬p.
+                debug_assert!(self.level[v] > 0);
+                self.final_conflict.push(l);
+            } else {
+                for k in 0..self.clauses[r].lits.len() {
+                    let q = self.clauses[r].lits[k];
+                    if q.var().index() != v && self.level[q.var().index()] > 0 {
+                        self.seen[q.var().index()] = true;
+                    }
+                }
+            }
+            self.seen[v] = false;
+        }
+        self.seen[p.var().index()] = false;
+    }
+
+    /// Runs the CDCL loop with the given assumption literals asserted as
+    /// pseudo-decisions (MiniSat's incremental interface). `Unsat` under
+    /// assumptions does *not* poison the solver: only a genuine level-0
+    /// conflict makes the clause database permanently inconsistent. When the
+    /// answer is an assumption failure, [`SatSolver::failed_assumptions`]
+    /// names the responsible subset. `budget.max_conflicts` bounds the
+    /// conflicts of *this call* (not cumulative across the session).
+    pub fn solve_under_assumptions(
+        &mut self,
+        assumptions: &[Lit],
+        budget: SatBudget,
+    ) -> SatOutcome {
+        self.final_conflict.clear();
         if !self.ok {
             return SatOutcome::Unsat;
         }
+        self.backtrack(0);
         if self.propagate().is_some() {
             self.ok = false;
             return SatOutcome::Unsat;
         }
+        let start_conflicts = self.stats.conflicts;
         let mut restart_count = 0u64;
         let mut conflicts_until_restart = luby(restart_count) * 100;
         let mut learnt_cap = (self.clauses.len() / 3).max(1000);
@@ -449,6 +578,7 @@ impl SatSolver {
                         learnt: true,
                         activity: 0.0,
                     });
+                    self.num_learnt += 1;
                     self.bump_clause(ci);
                     let ok = self.enqueue(first, ci);
                     debug_assert!(ok);
@@ -456,14 +586,18 @@ impl SatSolver {
                 self.var_inc /= 0.95;
                 self.cla_inc /= 0.999;
                 conflicts_until_restart = conflicts_until_restart.saturating_sub(1);
-                // Budget checks on conflicts (cheap point to test deadline).
+                // Budget checks on this call's conflicts (cheap point to
+                // test the deadline).
+                let call_conflicts = self.stats.conflicts - start_conflicts;
                 if let Some(mc) = budget.max_conflicts {
-                    if self.stats.conflicts >= mc {
+                    if call_conflicts >= mc {
+                        self.backtrack(0);
                         return SatOutcome::Unknown;
                     }
                 }
                 if let Some(dl) = budget.deadline {
-                    if self.stats.conflicts.is_multiple_of(256) && Instant::now() >= dl {
+                    if call_conflicts.is_multiple_of(256) && Instant::now() >= dl {
+                        self.backtrack(0);
                         return SatOutcome::Unknown;
                     }
                 }
@@ -474,14 +608,41 @@ impl SatSolver {
                     conflicts_until_restart = luby(restart_count) * 100;
                     self.backtrack(0);
                 }
-                let learnt_count = self.clauses.iter().filter(|c| c.learnt).count();
-                if learnt_count > learnt_cap {
+                if self.num_learnt > learnt_cap {
                     self.reduce_db();
                     learnt_cap += learnt_cap / 10;
+                }
+                // Re-assert assumptions as pseudo-decisions: assumption `i`
+                // lives at decision level `i + 1` (already-true assumptions
+                // get an empty level to keep the indexing aligned).
+                let mut asserted = false;
+                while (self.decision_level() as usize) < assumptions.len() {
+                    let p = assumptions[self.decision_level() as usize];
+                    match self.value(p) {
+                        1 => {
+                            self.trail_lim.push(self.trail.len());
+                        }
+                        0 => {
+                            self.analyze_final(p);
+                            self.backtrack(0);
+                            return SatOutcome::Unsat;
+                        }
+                        _ => {
+                            self.trail_lim.push(self.trail.len());
+                            let ok = self.enqueue(p, usize::MAX);
+                            debug_assert!(ok);
+                            asserted = true;
+                            break;
+                        }
+                    }
+                }
+                if asserted {
+                    continue;
                 }
                 match self.pick_branch() {
                     None => {
                         let model: Vec<bool> = self.assign.iter().map(|&a| a == 1).collect();
+                        self.backtrack(0);
                         return SatOutcome::Sat(model);
                     }
                     Some(l) => {
@@ -705,6 +866,130 @@ mod tests {
                 assert!(!m[b.index()]);
                 assert!(m[c.index()]);
             }
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn assumptions_flip_between_calls() {
+        // x ∨ y with assumption sequences exercising both polarities.
+        let mut cnf = Cnf::new();
+        let x = cnf.fresh();
+        let y = cnf.fresh();
+        cnf.add(vec![Lit::pos(x), Lit::pos(y)]);
+        let mut s = SatSolver::new(&cnf);
+        // Assume ¬x: y must hold.
+        match s.solve_under_assumptions(&[Lit::neg(x)], SatBudget::default()) {
+            SatOutcome::Sat(m) => {
+                assert!(!m[x.index()]);
+                assert!(m[y.index()]);
+            }
+            other => panic!("expected sat, got {other:?}"),
+        }
+        // Flip: assume ¬y — x must hold.
+        match s.solve_under_assumptions(&[Lit::neg(y)], SatBudget::default()) {
+            SatOutcome::Sat(m) => {
+                assert!(m[x.index()]);
+                assert!(!m[y.index()]);
+            }
+            other => panic!("expected sat, got {other:?}"),
+        }
+        // Contradictory assumptions: unsat, but the solver stays usable.
+        assert_eq!(
+            s.solve_under_assumptions(&[Lit::neg(x), Lit::neg(y)], SatBudget::default()),
+            SatOutcome::Unsat
+        );
+        assert!(s.is_ok(), "assumption failure must not poison the solver");
+        let failed = s.failed_assumptions().to_vec();
+        assert!(!failed.is_empty());
+        for l in &failed {
+            assert!(
+                *l == Lit::neg(x) || *l == Lit::neg(y),
+                "foreign literal {l:?}"
+            );
+        }
+        // And a later unconstrained call still answers Sat.
+        assert!(matches!(
+            s.solve_under_assumptions(&[], SatBudget::default()),
+            SatOutcome::Sat(_)
+        ));
+    }
+
+    #[test]
+    fn incremental_clause_addition_between_calls() {
+        let mut s = SatSolver::empty();
+        s.ensure_vars(2);
+        let a = Lit::pos(BVar(0));
+        let b = Lit::pos(BVar(1));
+        s.add_clause_incremental(vec![a, b]);
+        assert!(matches!(s.solve(SatBudget::default()), SatOutcome::Sat(_)));
+        s.add_clause_incremental(vec![!a]);
+        match s.solve(SatBudget::default()) {
+            SatOutcome::Sat(m) => assert!(m[1]),
+            other => panic!("expected sat, got {other:?}"),
+        }
+        s.add_clause_incremental(vec![!b]);
+        assert_eq!(s.solve(SatBudget::default()), SatOutcome::Unsat);
+        assert!(!s.is_ok(), "a genuine level-0 contradiction poisons the db");
+        // Permanently unsat now: failed_assumptions stays empty.
+        assert_eq!(
+            s.solve_under_assumptions(&[a], SatBudget::default()),
+            SatOutcome::Unsat
+        );
+        assert!(s.failed_assumptions().is_empty());
+    }
+
+    #[test]
+    fn unsat_after_sat_with_learnt_retention() {
+        // Pigeonhole 3→2 is unsat; guarded by a selector literal g the
+        // combined instance is sat with ¬g and unsat assuming g.
+        let mut cnf = Cnf::new();
+        let g = cnf.fresh();
+        let mut p = [[BVar(0); 2]; 3];
+        for row in p.iter_mut() {
+            for cell in row.iter_mut() {
+                *cell = cnf.fresh();
+            }
+        }
+        for row in &p {
+            cnf.add(vec![Lit::neg(g), Lit::pos(row[0]), Lit::pos(row[1])]);
+        }
+        #[allow(clippy::needless_range_loop)]
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    cnf.add(vec![Lit::neg(g), Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
+                }
+            }
+        }
+        let mut s = SatSolver::new(&cnf);
+        assert!(matches!(
+            s.solve_under_assumptions(&[Lit::neg(g)], SatBudget::default()),
+            SatOutcome::Sat(_)
+        ));
+        assert_eq!(
+            s.solve_under_assumptions(&[Lit::pos(g)], SatBudget::default()),
+            SatOutcome::Unsat
+        );
+        assert_eq!(s.failed_assumptions(), &[Lit::pos(g)]);
+        // Learnt clauses from the unsat call must not break later sat calls.
+        assert!(matches!(
+            s.solve_under_assumptions(&[Lit::neg(g)], SatBudget::default()),
+            SatOutcome::Sat(_)
+        ));
+    }
+
+    #[test]
+    fn ensure_vars_grows_universe() {
+        let mut s = SatSolver::empty();
+        assert_eq!(s.num_vars(), 0);
+        s.ensure_vars(5);
+        assert_eq!(s.num_vars(), 5);
+        s.ensure_vars(3); // never shrinks
+        assert_eq!(s.num_vars(), 5);
+        s.add_clause_incremental(vec![Lit::pos(BVar(4))]);
+        match s.solve(SatBudget::default()) {
+            SatOutcome::Sat(m) => assert!(m[4]),
             other => panic!("expected sat, got {other:?}"),
         }
     }

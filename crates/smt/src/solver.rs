@@ -75,6 +75,12 @@ pub struct Model {
 }
 
 impl Model {
+    /// Builds a model from a variable → value map (used by the incremental
+    /// session pipeline; the cold pipeline constructs it directly).
+    pub(crate) fn from_values(values: HashMap<VarIdx, u64>) -> Model {
+        Model { values }
+    }
+
     /// The value assigned to `v`, if it survived preprocessing.
     pub fn value(&self, v: VarIdx) -> Option<u64> {
         self.values.get(&v).copied()

@@ -1,0 +1,267 @@
+//! Property tests for [`fusion_smt::session::SolveSession`].
+//!
+//! The contract under test: on any *sequence* of formulas built in one
+//! shared pool, the incremental session verdict equals a fresh
+//! `smt_solve` verdict for every query (and both equal brute-force
+//! enumeration). Sequences deliberately include:
+//!
+//! * UNSAT-after-SAT interleavings — an unsatisfiable query mid-session
+//!   must not poison later satisfiable ones (Unsat under an assumption
+//!   never sets the persistent solver's `ok` flag);
+//! * assumption flips — `f, ¬f, f, ¬f` activates the same encoded
+//!   subgraph under opposite root assumptions back to back, exercising
+//!   learnt-clause retention across polarity changes.
+//!
+//! The Ast/BoolAst recipe machinery mirrors `tests/prop.rs` (integration
+//! tests cannot share code, so the helpers are duplicated).
+
+use fusion_smt::session::SolveSession;
+use fusion_smt::solver::{smt_solve, SatResult, SolverConfig};
+use fusion_smt::term::{BvOp, BvPred, Sort, TermId, TermPool, Value};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+const W: u32 = 4;
+const NVARS: usize = 3;
+
+/// A compact recipe for building a random formula inside a shared pool.
+#[derive(Debug, Clone)]
+enum Ast {
+    Var(u8),
+    Const(u8),
+    Bv(u8, Box<Ast>, Box<Ast>),
+    Ite(Box<Ast>, Box<Ast>, Box<Ast>),
+}
+
+#[derive(Debug, Clone)]
+enum BoolAst {
+    Eq(Ast, Ast),
+    Pred(u8, Ast, Ast),
+    Not(Box<BoolAst>),
+    And(Vec<BoolAst>),
+    Or(Vec<BoolAst>),
+}
+
+fn ast_strategy() -> impl Strategy<Value = Ast> {
+    let leaf = prop_oneof![
+        (0..NVARS as u8).prop_map(Ast::Var),
+        (0..16u8).prop_map(Ast::Const),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (0..11u8, inner.clone(), inner.clone()).prop_map(|(op, a, b)| Ast::Bv(
+                op,
+                Box::new(a),
+                Box::new(b)
+            )),
+            (inner.clone(), inner.clone(), inner).prop_map(|(c, a, b)| Ast::Ite(
+                Box::new(c),
+                Box::new(a),
+                Box::new(b)
+            )),
+        ]
+    })
+}
+
+fn bool_strategy() -> impl Strategy<Value = BoolAst> {
+    let leaf = prop_oneof![
+        (ast_strategy(), ast_strategy()).prop_map(|(a, b)| BoolAst::Eq(a, b)),
+        (0..4u8, ast_strategy(), ast_strategy()).prop_map(|(p, a, b)| BoolAst::Pred(p, a, b)),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|b| BoolAst::Not(Box::new(b))),
+            prop::collection::vec(inner.clone(), 2..4).prop_map(BoolAst::And),
+            prop::collection::vec(inner, 2..4).prop_map(BoolAst::Or),
+        ]
+    })
+}
+
+fn build_bv(pool: &mut TermPool, ast: &Ast) -> TermId {
+    match ast {
+        Ast::Var(i) => pool.var(&format!("v{i}"), Sort::Bv(W)),
+        Ast::Const(c) => pool.bv_const(*c as u64, W),
+        Ast::Bv(op, a, b) => {
+            let ops = [
+                BvOp::Add,
+                BvOp::Sub,
+                BvOp::Mul,
+                BvOp::Udiv,
+                BvOp::Urem,
+                BvOp::And,
+                BvOp::Or,
+                BvOp::Xor,
+                BvOp::Shl,
+                BvOp::Lshr,
+                BvOp::Ashr,
+            ];
+            let a = build_bv(pool, a);
+            let b = build_bv(pool, b);
+            pool.bv(ops[*op as usize % ops.len()], a, b)
+        }
+        Ast::Ite(c, a, b) => {
+            let c = build_bv(pool, c);
+            let zero = pool.bv_const(0, W);
+            let cb = pool.ne(c, zero);
+            let a = build_bv(pool, a);
+            let b = build_bv(pool, b);
+            pool.ite(cb, a, b)
+        }
+    }
+}
+
+fn build_bool(pool: &mut TermPool, ast: &BoolAst) -> TermId {
+    match ast {
+        BoolAst::Eq(a, b) => {
+            let a = build_bv(pool, a);
+            let b = build_bv(pool, b);
+            pool.eq(a, b)
+        }
+        BoolAst::Pred(p, a, b) => {
+            let preds = [BvPred::Ult, BvPred::Ule, BvPred::Slt, BvPred::Sle];
+            let a = build_bv(pool, a);
+            let b = build_bv(pool, b);
+            pool.pred(preds[*p as usize % preds.len()], a, b)
+        }
+        BoolAst::Not(b) => {
+            let b = build_bool(pool, b);
+            pool.not(b)
+        }
+        BoolAst::And(xs) => {
+            let xs: Vec<TermId> = xs.iter().map(|x| build_bool(pool, x)).collect();
+            pool.and(&xs)
+        }
+        BoolAst::Or(xs) => {
+            let xs: Vec<TermId> = xs.iter().map(|x| build_bool(pool, x)).collect();
+            pool.or(&xs)
+        }
+    }
+}
+
+/// Brute-force satisfiability over all assignments to the free variables.
+fn brute_force_sat(pool: &TermPool, t: TermId) -> bool {
+    let vars = pool.free_vars(t);
+    let n = vars.len();
+    assert!(n <= 6, "too many vars for brute force");
+    let total = 1u64 << (W as u64 * n as u64);
+    for bits in 0..total {
+        let mut env = HashMap::new();
+        for (i, &v) in vars.iter().enumerate() {
+            env.insert(v, (bits >> (W as u64 * i as u64)) & ((1 << W) - 1));
+        }
+        if pool.eval(t, &env) == Value::Bool(true) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Runs `asts` as one session sequence in a shared pool and checks every
+/// query three ways: against a fresh `smt_solve` on a cloned pool, against
+/// brute-force enumeration, and (when preprocessing is skipped, so the
+/// model covers the original variables) by evaluating the returned model.
+fn run_sequence(asts: &[BoolAst], skip_preprocessing: bool) {
+    let mut pool = TermPool::new();
+    let formulas: Vec<TermId> = asts.iter().map(|a| build_bool(&mut pool, a)).collect();
+    let cfg = SolverConfig {
+        skip_preprocessing,
+        ..Default::default()
+    };
+    let mut session = SolveSession::new();
+    for (i, &f) in formulas.iter().enumerate() {
+        let expected = brute_force_sat(&pool, f);
+        let mut cold_pool = pool.clone();
+        let (cold, _) = smt_solve(&mut cold_pool, f, &cfg);
+        let (inc, _) = session.solve_formula(&mut pool, f, &cfg);
+        assert_eq!(
+            inc.is_sat(),
+            cold.is_sat(),
+            "query {i}: session {inc:?} vs cold {cold:?} on {}",
+            pool.display(f)
+        );
+        assert_eq!(
+            inc.is_sat(),
+            expected,
+            "query {i}: session disagrees with brute force on {}",
+            pool.display(f)
+        );
+        assert_eq!(inc.is_unsat(), !expected, "query {i}: not a decision");
+        if skip_preprocessing {
+            // Without preprocessing the model must cover the original
+            // variables and satisfy the original formula. (With
+            // preprocessing, eliminated variables may be absent — see the
+            // `Model` docs — so model-eval is only checked here.)
+            if let SatResult::Sat(m) = &inc {
+                assert_eq!(
+                    m.eval(&pool, f),
+                    Value::Bool(true),
+                    "query {i}: session model does not satisfy {}",
+                    pool.display(f)
+                );
+            }
+        }
+    }
+    assert_eq!(session.stats.queries, asts.len() as u64);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary sequences, with and without preprocessing: incremental
+    /// verdicts equal fresh-solver verdicts equal ground truth, query by
+    /// query. Random sequences routinely mix SAT and UNSAT members, so
+    /// this also covers unordered interleavings beyond the directed cases
+    /// below.
+    #[test]
+    fn session_sequence_matches_fresh_solver(
+        asts in prop::collection::vec(bool_strategy(), 1..5),
+        skip in any::<bool>(),
+    ) {
+        run_sequence(&asts, skip);
+    }
+
+    /// Directed UNSAT-after-SAT interleaving. `a < b ∧ b ≤ a` (unsigned)
+    /// is always unsatisfiable but syntactically opaque — the pool's
+    /// `x ∧ ¬x → false` constructor fold cannot see it, and preprocessing
+    /// is skipped, so the contradiction is refuted *inside* the persistent
+    /// SAT solver. Later queries in the same session must be unaffected.
+    #[test]
+    fn unsat_after_sat_does_not_poison_later_queries(
+        a in ast_strategy(),
+        b in ast_strategy(),
+        c in bool_strategy(),
+    ) {
+        let lt = BoolAst::Pred(0, a.clone(), b.clone()); // Ult(a, b)
+        let ge = BoolAst::Pred(1, b, a); // Ule(b, a)
+        let contradiction = BoolAst::And(vec![lt.clone(), ge]);
+        let seq = [lt.clone(), contradiction, c, lt];
+        run_sequence(&seq, true);
+    }
+
+    /// Assumption flips: `f, ¬f, f, ¬f` re-activates one encoded subgraph
+    /// under opposite root assumptions. Learnt clauses from the positive
+    /// query are retained while solving the negative one and vice versa;
+    /// verdicts must stay pointwise correct throughout.
+    #[test]
+    fn assumption_flip_sequences(a in bool_strategy(), skip in any::<bool>()) {
+        let n = BoolAst::Not(Box::new(a.clone()));
+        let seq = [a.clone(), n.clone(), a, n];
+        run_sequence(&seq, skip);
+    }
+}
+
+/// Deterministic regression: a sequence whose middle member is refuted at
+/// the SAT layer, bracketed by satisfiable queries over the same terms.
+#[test]
+fn regression_sat_unsat_sat_shared_terms() {
+    let lt = BoolAst::Pred(0, Ast::Var(0), Ast::Var(1));
+    let ge = BoolAst::Pred(1, Ast::Var(0), Ast::Var(1));
+    // Ult(v0,v1) ∧ Ule(v0,v1) is satisfiable; Ult ∧ Ule-swapped is not.
+    let ge_swapped = BoolAst::Pred(1, Ast::Var(1), Ast::Var(0));
+    let seq = [
+        BoolAst::And(vec![lt.clone(), ge]),
+        BoolAst::And(vec![lt.clone(), ge_swapped]),
+        lt,
+    ];
+    run_sequence(&seq, true);
+}
