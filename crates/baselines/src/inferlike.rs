@@ -206,6 +206,8 @@ pub fn analyze_inferlike(
         candidates,
         queries: 0,
         cache: fusion::cache::CacheStats::default(), // never consults one
+        slice: fusion::slice_cache::SliceCacheStats::default(), // never slices
+        stages: fusion::engine::StageStats::default(),
         propagate_time: t0.elapsed(),
         solve_time: std::time::Duration::ZERO,
         peak_memory: memory.peak_total(),

@@ -1,0 +1,338 @@
+//! `pipeline_bench` — the streaming-pipeline perf harness
+//! (`BENCH_pipeline.json`).
+//!
+//! Three comparisons over a fixed corpus (a synthetic many-source
+//! hot-sink program plus two scaled workload subjects):
+//!
+//! * **barrier vs streaming** — `analyze_parallel_with_cache` (discover
+//!   everything, then solve) against `analyze_streaming_with_cache`
+//!   (discovery shards push completed sink groups through a bounded
+//!   channel into solve workers), same thread count, reports asserted
+//!   byte-identical against the sequential driver;
+//! * **slices cold vs memoized** — a cold run against a second run
+//!   sharing the same [`SliceCache`]: the warm run must answer its
+//!   closure requests from the memo;
+//! * **discovery throughput** — `discover_all` at 1 shard vs the bench
+//!   thread count, DFS steps per second.
+//!
+//! Output: `BENCH_pipeline.json` in the working directory (override with
+//! `FUSION_BENCH_OUT`). With `FUSION_BENCH_ENFORCE=1` the process exits
+//! non-zero when streaming is more than 5% slower than the barrier
+//! pipeline or the slice memo records no hits — the CI regression gate.
+
+use fusion::cache::VerdictCache;
+use fusion::checkers::Checker;
+use fusion::engine::{
+    analyze_parallel_with_cache, analyze_streaming_with_cache, analyze_with_cache, AnalysisOptions,
+    AnalysisRun, FeasibilityEngine,
+};
+use fusion::graph_solver::FusionSolver;
+use fusion::propagate::{discover_all, PropagateOptions};
+use fusion::slice_cache::SliceCache;
+use fusion_bench::{banner, build_subject, default_budget, scale_from_env};
+use fusion_ir::{compile, CompileOptions, Program};
+use fusion_pdg::graph::Pdg;
+use fusion_workloads::SUBJECTS;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Thread count the barrier-vs-streaming comparison runs at (the ISSUE's
+/// "≥ 4 threads" acceptance point).
+const THREADS: usize = 4;
+/// Wall-clock measurements take the best of this many repetitions.
+const ITERS: usize = 3;
+
+/// Synthetic subject: `funcs` functions, each holding one opaque
+/// nonlinear core guarding `sinks` null-deref candidates — many sources
+/// across many sink groups, so discovery shards and solve workers both
+/// have real work to overlap.
+fn hot_sink_source(funcs: usize, sinks: usize) -> String {
+    let mut s = String::from("extern fn deref(p);\n");
+    for f in 0..funcs {
+        let _ = writeln!(
+            s,
+            "fn churn{f}(a, b) {{ let t = a * b; let u = t * t + a; \
+             let v = u * b + t; let z = v * v + u; return z; }}"
+        );
+        let _ = writeln!(s, "fn hot{f}(x, y) {{");
+        let _ = writeln!(s, "  let w = churn{f}(x, y);");
+        for k in 0..sinks {
+            let target = 77 + 2 * k + f;
+            let _ = writeln!(
+                s,
+                "  let q{k} = null; let r{k} = 1; if (w == {target}) {{ r{k} = q{k}; }} deref(r{k});"
+            );
+        }
+        let _ = writeln!(
+            s,
+            "  let qz = null; let rz = 1; if (x * x == 3) {{ rz = qz; }} deref(rz);"
+        );
+        let _ = writeln!(s, "  return 0;\n}}");
+    }
+    s
+}
+
+struct Entry {
+    name: String,
+    program: Program,
+    pdg: Pdg,
+}
+
+fn corpus() -> Vec<Entry> {
+    let mut entries = Vec::new();
+    let hot = hot_sink_source(8, 12);
+    let program = compile(&hot, CompileOptions::default()).expect("corpus compiles");
+    let pdg = Pdg::build(&program);
+    entries.push(Entry {
+        name: "hot-sinks".into(),
+        program,
+        pdg,
+    });
+    let scale = scale_from_env();
+    for spec in &SUBJECTS[..2] {
+        let subject = build_subject(spec, scale);
+        entries.push(Entry {
+            name: spec.name.to_string(),
+            program: subject.program,
+            pdg: subject.pdg,
+        });
+    }
+    entries
+}
+
+fn factory() -> impl Fn() -> Box<dyn FeasibilityEngine> + Sync {
+    let budget = default_budget();
+    move || Box::new(FusionSolver::new(budget)) as Box<dyn FeasibilityEngine>
+}
+
+type ReportKey = (
+    fusion_pdg::graph::Vertex,
+    fusion_pdg::graph::Vertex,
+    fusion::engine::Feasibility,
+    Vec<fusion_pdg::graph::Vertex>,
+);
+
+fn keys(run: &AnalysisRun) -> Vec<ReportKey> {
+    run.reports
+        .iter()
+        .map(|r| (r.source, r.sink, r.verdict, r.path.nodes.clone()))
+        .collect()
+}
+
+fn main() {
+    banner(
+        "pipeline_bench: barrier vs streaming discovery→solve",
+        "same corpus, same threads; reports asserted identical to sequential",
+    );
+    let budget = default_budget();
+    let checker = Checker::null_deref();
+    let make = factory();
+
+    let mut barrier_us: u128 = 0;
+    let mut streaming_us: u128 = 0;
+    let mut reports_identical = true;
+    let mut slices_cold: u64 = 0;
+    let mut slices_warm: u64 = 0;
+    let mut slice_hits: u64 = 0;
+    let mut slice_requests: u64 = 0;
+    let mut discovery_steps: u64 = 0;
+    let mut discovery_seq_us: u128 = 0;
+    let mut discovery_shard_us: u128 = 0;
+
+    for entry in corpus() {
+        // Sequential reference transcript (fresh caches).
+        let mut seq_engine = FusionSolver::new(budget);
+        let seq_cache = VerdictCache::new();
+        let seq = analyze_with_cache(
+            &entry.program,
+            &entry.pdg,
+            &checker,
+            &mut seq_engine,
+            &AnalysisOptions::new(),
+            Some(&seq_cache),
+        );
+        let want = keys(&seq);
+
+        // Barrier vs streaming: best of ITERS, fresh caches per
+        // repetition so both modes run cold.
+        let mut best_barrier = u128::MAX;
+        let mut best_streaming = u128::MAX;
+        for _ in 0..ITERS {
+            let cache = VerdictCache::new();
+            let opts = AnalysisOptions::new();
+            let t = Instant::now();
+            let run = analyze_parallel_with_cache(
+                &entry.program,
+                &entry.pdg,
+                &checker,
+                &make,
+                THREADS,
+                &opts,
+                Some(&cache),
+            );
+            best_barrier = best_barrier.min(t.elapsed().as_micros());
+            if keys(&run) != want {
+                reports_identical = false;
+            }
+
+            let cache = VerdictCache::new();
+            let opts = AnalysisOptions::new();
+            let t = Instant::now();
+            let run = analyze_streaming_with_cache(
+                &entry.program,
+                &entry.pdg,
+                &checker,
+                &make,
+                THREADS,
+                &opts,
+                Some(&cache),
+            );
+            best_streaming = best_streaming.min(t.elapsed().as_micros());
+            if keys(&run) != want {
+                reports_identical = false;
+            }
+        }
+        barrier_us += best_barrier;
+        streaming_us += best_streaming;
+
+        // Slice memoization: cold run vs warm run sharing one SliceCache
+        // (fresh verdict caches both, so the warm run re-queries).
+        let shared = Arc::new(SliceCache::new());
+        let opts = AnalysisOptions::new().with_slice_cache(Arc::clone(&shared));
+        let cold_cache = VerdictCache::new();
+        let cold = analyze_streaming_with_cache(
+            &entry.program,
+            &entry.pdg,
+            &checker,
+            &make,
+            THREADS,
+            &opts,
+            Some(&cold_cache),
+        );
+        let warm_cache = VerdictCache::new();
+        let warm = analyze_streaming_with_cache(
+            &entry.program,
+            &entry.pdg,
+            &checker,
+            &make,
+            THREADS,
+            &opts,
+            Some(&warm_cache),
+        );
+        if keys(&cold) != want || keys(&warm) != want {
+            reports_identical = false;
+        }
+        slices_cold += cold.stages.slices_computed;
+        slices_warm += warm.stages.slices_computed;
+        slice_hits += warm.slice.hits;
+        slice_requests += warm.slice.hits + warm.slice.misses;
+
+        // Discovery throughput: 1 shard vs THREADS shards.
+        let popts = PropagateOptions::default();
+        let t = Instant::now();
+        let seq_d = discover_all(&entry.program, &entry.pdg, &checker, &popts, 1);
+        discovery_seq_us += t.elapsed().as_micros();
+        let t = Instant::now();
+        let par_d = discover_all(&entry.program, &entry.pdg, &checker, &popts, THREADS);
+        discovery_shard_us += t.elapsed().as_micros();
+        assert_eq!(
+            seq_d.candidates.len(),
+            par_d.candidates.len(),
+            "{}: sharded discovery changed the candidate set",
+            entry.name
+        );
+        discovery_steps += seq_d.steps;
+
+        println!(
+            "  {:<16} barrier={:>8}us streaming={:>8}us slices cold/warm={}/{}",
+            entry.name,
+            best_barrier,
+            best_streaming,
+            cold.stages.slices_computed,
+            warm.stages.slices_computed,
+        );
+    }
+    assert!(
+        reports_identical,
+        "pipeline modes must report byte-identically"
+    );
+
+    let steps_per_sec = |us: u128| -> f64 {
+        if us == 0 {
+            0.0
+        } else {
+            discovery_steps as f64 / (us as f64 / 1e6)
+        }
+    };
+    let hit_rate = if slice_requests == 0 {
+        0.0
+    } else {
+        slice_hits as f64 / slice_requests as f64
+    };
+    let streaming_pct = if barrier_us == 0 {
+        0.0
+    } else {
+        100.0 * streaming_us as f64 / barrier_us as f64
+    };
+
+    println!("--------------------------------------------------------------");
+    println!(
+        "barrier:   {:>9.3}ms   streaming: {:>9.3}ms   ({streaming_pct:.1}% of barrier)",
+        barrier_us as f64 / 1000.0,
+        streaming_us as f64 / 1000.0,
+    );
+    println!(
+        "slices:    cold {} -> memoized {} ({}x reduction); warm hit rate {:.2}",
+        slices_cold,
+        slices_warm,
+        if slices_warm == 0 {
+            slices_cold as f64
+        } else {
+            slices_cold as f64 / slices_warm as f64
+        },
+        hit_rate,
+    );
+    println!(
+        "discovery: {} steps; {:.0} steps/s at 1 shard, {:.0} steps/s at {THREADS} shards",
+        discovery_steps,
+        steps_per_sec(discovery_seq_us),
+        steps_per_sec(discovery_shard_us),
+    );
+
+    let json = format!(
+        "{{\n  \"scale\": {},\n  \"threads\": {THREADS},\n  \"iters\": {ITERS},\n  \
+         \"barrier_wall_us\": {barrier_us},\n  \"streaming_wall_us\": {streaming_us},\n  \
+         \"streaming_pct_of_barrier\": {streaming_pct:.2},\n  \
+         \"slices_computed_cold\": {slices_cold},\n  \
+         \"slices_computed_memoized\": {slices_warm},\n  \
+         \"slice_warm_hit_rate\": {hit_rate:.4},\n  \
+         \"discovery\": {{\"steps\": {discovery_steps}, \"seq_us\": {discovery_seq_us}, \
+         \"sharded_us\": {discovery_shard_us}, \"steps_per_sec_seq\": {:.0}, \
+         \"steps_per_sec_sharded\": {:.0}}},\n  \
+         \"reports_identical\": {reports_identical}\n}}\n",
+        scale_from_env(),
+        steps_per_sec(discovery_seq_us),
+        steps_per_sec(discovery_shard_us),
+    );
+    let out = std::env::var("FUSION_BENCH_OUT").unwrap_or_else(|_| "BENCH_pipeline.json".into());
+    std::fs::write(&out, &json).expect("write BENCH_pipeline.json");
+    println!("wrote {out}");
+
+    if std::env::var("FUSION_BENCH_ENFORCE").as_deref() == Ok("1") {
+        // CI gates: streaming within 105% of barrier; memo must hit.
+        let limit = barrier_us as f64 * 1.05;
+        if streaming_us as f64 > limit {
+            eprintln!(
+                "REGRESSION: streaming wall {streaming_us}us exceeds 105% of \
+                 barrier wall {barrier_us}us"
+            );
+            std::process::exit(1);
+        }
+        if slice_hits == 0 {
+            eprintln!("REGRESSION: slice memo recorded no hits on the warm runs");
+            std::process::exit(1);
+        }
+        println!("enforce: streaming within 105% of barrier, slice memo hit — ok");
+    }
+}

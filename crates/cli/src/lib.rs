@@ -14,6 +14,8 @@
 //!     --stats                            print PDG and cost statistics
 //!     --threads N                        parallel candidate checking
 //!     --cache / --no-cache               shared feasibility-verdict cache (default: on)
+//!     --stream / --no-stream             streaming discovery→solve pipeline for
+//!                                        --threads > 1 (default: on)
 //!     --no-incremental                   disable incremental solver sessions (fusion engine)
 //!     --dot FILE                         export the PDG in Graphviz format
 //!     --source NAME                      extra taint-source function (repeatable)
@@ -34,16 +36,18 @@ pub mod json;
 use fusion::cache::VerdictCache;
 use fusion::checkers::Checker;
 use fusion::engine::{
-    analyze_parallel_with_cache, analyze_with_cache, AnalysisOptions, AnalysisRun, Feasibility,
-    FeasibilityEngine,
+    analyze_parallel_with_cache, analyze_streaming_with_cache, analyze_with_cache, AnalysisOptions,
+    AnalysisRun, Feasibility, FeasibilityEngine,
 };
 use fusion::graph_solver::{FusionSolver, UnoptimizedGraphSolver};
+use fusion::slice_cache::SliceCache;
 use fusion_baselines::{ArEngine, PinpointEngine};
 use fusion_ir::{compile, CompileOptions};
 use fusion_pdg::graph::Pdg;
 use fusion_smt::solver::SolverConfig;
 use std::fmt;
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Which feasibility engine to use.
@@ -91,6 +95,11 @@ pub struct Options {
     pub threads: usize,
     /// Share one feasibility-verdict cache across checkers and workers.
     pub use_cache: bool,
+    /// Stream completed sink groups from discovery shards straight into
+    /// solve workers (`--threads` > 1). `--no-stream` falls back to the
+    /// barrier pipeline (discover everything, then solve). Findings are
+    /// byte-identical either way.
+    pub stream: bool,
     /// Incremental solver sessions for the fusion engine: queries in one
     /// slice group share a persistent SAT solver and bit-blast memo.
     /// `--no-incremental` forces a cold solve per query (the other engines
@@ -119,6 +128,7 @@ impl Default for Options {
             stats: false,
             threads: 1,
             use_cache: true,
+            stream: true,
             incremental: true,
             dot: None,
             extra_sources: Vec::new(),
@@ -244,13 +254,16 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
             "--stats" => opts.stats = true,
             "--cache" => opts.use_cache = true,
             "--no-cache" => opts.use_cache = false,
+            "--stream" => opts.stream = true,
+            "--no-stream" => opts.stream = false,
             "--no-incremental" => opts.incremental = false,
             "--help" | "-h" => {
                 return Err(CliError(
                     "usage: fusion-scan [--engine fusion|unopt|pinpoint|ar] \
                      [--checker null|cwe23|cwe402|all] [--timeout-secs N] \
                      [--solver-timeout-ms N] [--threads N] [--cache|--no-cache] \
-                     [--no-incremental] [--dot FILE] [--json] [--stats] FILE..."
+                     [--stream|--no-stream] [--no-incremental] [--dot FILE] \
+                     [--json] [--stats] FILE..."
                         .into(),
                 ))
             }
@@ -302,6 +315,22 @@ pub struct ScanReport {
     pub cache_misses: u64,
     /// Bytes retained by the shared verdict cache at the end of the scan.
     pub cache_bytes: u64,
+    /// Wall-clock milliseconds of candidate discovery (summed over runs;
+    /// overlaps solving in the streaming pipeline).
+    pub discover_ms: f64,
+    /// Engine milliseconds computing slice closures and constraints
+    /// (summed over workers and runs).
+    pub slice_ms: f64,
+    /// Engine milliseconds building terms and instances.
+    pub translate_ms: f64,
+    /// Engine milliseconds deciding satisfiability.
+    pub solve_ms: f64,
+    /// Slice closures computed from scratch across the scan.
+    pub slices_computed: u64,
+    /// Slice closures reused (per-candidate union or shared memo).
+    pub slices_reused: u64,
+    /// Bytes retained by the shared slice-closure cache at scan end.
+    pub slice_cache_bytes: u64,
 }
 
 impl ScanReport {
@@ -331,7 +360,10 @@ impl ScanReport {
             s,
             "],\n  \"suppressed\": {},\n  \"vertices\": {},\n  \"edges\": {},\
              \n  \"elapsed_ms\": {},\n  \"peak_memory_bytes\": {},\
-             \n  \"cache_hits\": {},\n  \"cache_misses\": {},\n  \"cache_bytes\": {}\n}}",
+             \n  \"cache_hits\": {},\n  \"cache_misses\": {},\n  \"cache_bytes\": {},\
+             \n  \"discover_ms\": {},\n  \"slice_ms\": {},\n  \"translate_ms\": {},\
+             \n  \"solve_ms\": {},\n  \"slices_computed\": {},\n  \"slices_reused\": {},\
+             \n  \"slice_cache_bytes\": {}\n}}",
             self.suppressed,
             self.vertices,
             self.edges,
@@ -339,7 +371,14 @@ impl ScanReport {
             self.peak_memory_bytes,
             self.cache_hits,
             self.cache_misses,
-            self.cache_bytes
+            self.cache_bytes,
+            self.discover_ms,
+            self.slice_ms,
+            self.translate_ms,
+            self.solve_ms,
+            self.slices_computed,
+            self.slices_reused,
+            self.slice_cache_bytes
         );
         s
     }
@@ -403,10 +442,12 @@ pub fn scan_source(source: &str, opts: &Options) -> Result<ScanReport, CliError>
         let dot = fusion_pdg::dot::pdg_to_dot(&program, &pdg, None);
         std::fs::write(path, dot).map_err(|e| CliError(format!("cannot write `{path}`: {e}")))?;
     }
-    // One verdict cache for the whole scan: shared across checkers and,
-    // in parallel runs, across workers.
+    // One verdict cache and one slice-closure cache for the whole scan:
+    // shared across checkers and, in parallel runs, across workers.
     let shared_cache = VerdictCache::new();
     let cache = opts.use_cache.then_some(&shared_cache);
+    let slice_cache = Arc::new(SliceCache::new());
+    let analysis_opts = AnalysisOptions::new().with_slice_cache(Arc::clone(&slice_cache));
     let mut peak = 0u64;
     for checker in &checkers {
         let run: AnalysisRun = if opts.threads > 1 {
@@ -414,15 +455,27 @@ pub fn scan_source(source: &str, opts: &Options) -> Result<ScanReport, CliError>
             let timeout = opts.timeout;
             let incremental = opts.incremental;
             let factory = move || make_engine(engine_choice, timeout, incremental);
-            analyze_parallel_with_cache(
-                &program,
-                &pdg,
-                checker,
-                &factory,
-                opts.threads,
-                &AnalysisOptions::new(),
-                cache,
-            )
+            if opts.stream {
+                analyze_streaming_with_cache(
+                    &program,
+                    &pdg,
+                    checker,
+                    &factory,
+                    opts.threads,
+                    &analysis_opts,
+                    cache,
+                )
+            } else {
+                analyze_parallel_with_cache(
+                    &program,
+                    &pdg,
+                    checker,
+                    &factory,
+                    opts.threads,
+                    &analysis_opts,
+                    cache,
+                )
+            }
         } else {
             let mut engine = make_engine(opts.engine, opts.timeout, opts.incremental);
             analyze_with_cache(
@@ -430,7 +483,7 @@ pub fn scan_source(source: &str, opts: &Options) -> Result<ScanReport, CliError>
                 &pdg,
                 checker,
                 engine.as_mut(),
-                &AnalysisOptions::new(),
+                &analysis_opts,
                 cache,
             )
         };
@@ -438,6 +491,12 @@ pub fn scan_source(source: &str, opts: &Options) -> Result<ScanReport, CliError>
         report.cache_hits += run.cache.hits;
         report.cache_misses += run.cache.misses;
         report.suppressed += run.suppressed;
+        report.discover_ms += run.stages.discover_wall.as_secs_f64() * 1e3;
+        report.slice_ms += run.stages.slice_wall.as_secs_f64() * 1e3;
+        report.translate_ms += run.stages.translate_wall.as_secs_f64() * 1e3;
+        report.solve_ms += run.stages.solve_wall.as_secs_f64() * 1e3;
+        report.slices_computed += run.stages.slices_computed;
+        report.slices_reused += run.stages.slices_reused;
         for r in &run.reports {
             report.findings.push(Finding {
                 checker: checker.kind.to_string(),
@@ -455,6 +514,7 @@ pub fn scan_source(source: &str, opts: &Options) -> Result<ScanReport, CliError>
     report.elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
     report.peak_memory_bytes = peak;
     report.cache_bytes = cache.map(|c| c.bytes()).unwrap_or(0);
+    report.slice_cache_bytes = slice_cache.bytes();
     Ok(report)
 }
 
@@ -518,6 +578,19 @@ pub fn run(args: &[String], out: &mut dyn std::io::Write) -> i32 {
                 report.cache_bytes,
                 report.cache_hits,
                 report.cache_misses
+            );
+            let _ = writeln!(
+                out,
+                "stages: discover {:.1} ms; slice {:.1} ms \
+                 ({} computed / {} reused, {} B retained); \
+                 translate {:.1} ms; solve {:.1} ms",
+                report.discover_ms,
+                report.slice_ms,
+                report.slices_computed,
+                report.slices_reused,
+                report.slice_cache_bytes,
+                report.translate_ms,
+                report.solve_ms
             );
         }
     }
@@ -741,6 +814,79 @@ mod tests {
         assert!(v.get("cache_hits").unwrap().as_f64().is_some());
         assert!(v.get("cache_misses").unwrap().as_f64().is_some());
         assert!(v.get("cache_bytes").unwrap().as_f64().is_some());
+        // So are the pipeline stage counters.
+        assert!(v.get("discover_ms").unwrap().as_f64().is_some());
+        assert!(v.get("slice_ms").unwrap().as_f64().is_some());
+        assert!(v.get("translate_ms").unwrap().as_f64().is_some());
+        assert!(v.get("solve_ms").unwrap().as_f64().is_some());
+        assert!(v.get("slices_computed").unwrap().as_f64().is_some());
+        assert!(v.get("slices_reused").unwrap().as_f64().is_some());
+        assert!(v.get("slice_cache_bytes").unwrap().as_f64().is_some());
+    }
+
+    #[test]
+    fn stream_flags_parse() {
+        let o = parse_args(&args(&["a.fus"])).unwrap();
+        assert!(o.stream, "streaming is the default");
+        let o = parse_args(&args(&["--no-stream", "a.fus"])).unwrap();
+        assert!(!o.stream);
+        let o = parse_args(&args(&["--no-stream", "--stream", "a.fus"])).unwrap();
+        assert!(o.stream);
+    }
+
+    #[test]
+    fn streaming_scan_matches_barrier_scan() {
+        let src = "extern fn deref(p);\n\
+            fn a(x) { let q = null; let r = 1; if (x > 1) { r = q; } deref(r); return 0; }\n\
+            fn b(x) { let q = null; let r = 1; if (x * 2 == 5) { r = q; } deref(r); return 0; }\n\
+            fn c(x) { let q = null; let r = 1; if (x < 0) { r = q; } deref(r); return 0; }";
+        let key = |r: &ScanReport| {
+            r.findings
+                .iter()
+                .map(|f| {
+                    (
+                        f.checker.clone(),
+                        f.source_function.clone(),
+                        f.sink_function.clone(),
+                        f.verdict.clone(),
+                        f.path_length,
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        let seq = scan_source(
+            src,
+            &Options {
+                checker: CheckerChoice::Null,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for threads in [2, 4] {
+            let streaming = scan_source(
+                src,
+                &Options {
+                    checker: CheckerChoice::Null,
+                    threads,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let barrier = scan_source(
+                src,
+                &Options {
+                    checker: CheckerChoice::Null,
+                    threads,
+                    stream: false,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(key(&seq), key(&streaming), "threads={threads}");
+            assert_eq!(key(&seq), key(&barrier), "threads={threads}");
+            assert_eq!(seq.suppressed, streaming.suppressed);
+            assert_eq!(seq.suppressed, barrier.suppressed);
+        }
     }
 
     #[test]

@@ -120,37 +120,9 @@ impl VerdictCache {
         self.shards.len()
     }
 
-    /// The canonical key of a path-set query: an FNV-1a fold over every
-    /// path's vertex sequence, link labels, and per-vertex transfer
-    /// function (definition kind, operands, guard). Identical program +
-    /// identical paths ⇒ identical key, independent of discovery order,
-    /// worker, or allocation.
+    /// The canonical key of a path-set query: see [`path_set_key`].
     pub fn key(program: &Program, paths: &[DependencePath]) -> u64 {
-        let mut h = Fnv::new();
-        h.write(paths.len() as u64);
-        for path in paths {
-            h.write(0xDEAD_BEEF); // path separator
-            h.write(path.nodes.len() as u64);
-            for v in &path.nodes {
-                h.write(v.func.0 as u64);
-                h.write(v.var.0 as u64);
-                hash_transfer(&mut h, program, *v);
-            }
-            for link in &path.links {
-                match link {
-                    Link::Local => h.write(1),
-                    Link::Enter(s) => {
-                        h.write(2);
-                        h.write(s.0 as u64);
-                    }
-                    Link::Exit(s) => {
-                        h.write(3);
-                        h.write(s.0 as u64);
-                    }
-                }
-            }
-        }
-        h.finish()
+        path_set_key(program, paths)
     }
 
     /// Looks up a verdict, counting a hit or miss.
@@ -219,6 +191,42 @@ impl VerdictCache {
             bytes: entries * BYTES_PER_CACHE_ENTRY,
         }
     }
+}
+
+/// The canonical content key of a path-set query: an FNV-1a fold over
+/// every path's vertex sequence, link labels, and per-vertex transfer
+/// function (definition kind, operands, guard). Identical program +
+/// identical paths ⇒ identical key, independent of discovery order,
+/// worker, or allocation. Shared by [`VerdictCache`] (verdict memo) and
+/// [`crate::slice_cache::SliceCache`] (closure memo): the same content
+/// identity governs both, since a slice closure and a verdict are each
+/// pure functions of the path set's dependence structure.
+pub fn path_set_key(program: &Program, paths: &[DependencePath]) -> u64 {
+    let mut h = Fnv::new();
+    h.write(paths.len() as u64);
+    for path in paths {
+        h.write(0xDEAD_BEEF); // path separator
+        h.write(path.nodes.len() as u64);
+        for v in &path.nodes {
+            h.write(v.func.0 as u64);
+            h.write(v.var.0 as u64);
+            hash_transfer(&mut h, program, *v);
+        }
+        for link in &path.links {
+            match link {
+                Link::Local => h.write(1),
+                Link::Enter(s) => {
+                    h.write(2);
+                    h.write(s.0 as u64);
+                }
+                Link::Exit(s) => {
+                    h.write(3);
+                    h.write(s.0 as u64);
+                }
+            }
+        }
+    }
+    h.finish()
 }
 
 /// Folds the transfer function of vertex `v` into the hash: the definition

@@ -6,14 +6,19 @@
 //! crate or the conventional baselines of `fusion-baselines`; the driver,
 //! reports and accounting are shared so comparisons are apples-to-apples.
 
-use crate::cache::{CacheStats, VerdictCache};
+use crate::cache::{path_set_key, CacheStats, VerdictCache};
 use crate::checkers::Checker;
-use crate::memory::{run_accounting, MemoryAccountant, BYTES_PER_DEF};
-use crate::propagate::{discover, Candidate, PropagateOptions};
+use crate::memory::{run_accounting, Category, MemoryAccountant, BYTES_PER_DEF};
+use crate::propagate::{
+    discover_all, discover_source, source_vertices, Candidate, PropagateOptions,
+};
+use crate::slice_cache::{SliceCache, SliceCacheStats};
+use crate::stream::BoundedQueue;
 use fusion_ir::ssa::Program;
 use fusion_pdg::graph::{Pdg, Vertex};
 use fusion_pdg::paths::DependencePath;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// The verdict on one path set.
@@ -90,11 +95,124 @@ pub trait FeasibilityEngine {
     /// default does nothing.
     fn begin_group(&mut self, _group: u64) {}
 
+    /// Announces that the next queries are the **alternative paths of one
+    /// candidate** with canonical content key `key` and full path set
+    /// `paths`. Engines may use this to compute the backward closure
+    /// *once* for the union of the paths and reuse it for every
+    /// alternative (the closure of a superset contains every definitional
+    /// equation a subset needs, and extra definitional equations over
+    /// acyclic SSA never change satisfiability — constraints are only
+    /// asserted for the queried path). Valid until the next
+    /// `begin_candidate` or `begin_group`. The default does nothing,
+    /// which is what keeps the conventional baselines
+    /// (`UnoptimizedGraphSolver`, Pinpoint, AR) faithful to the paper's
+    /// per-query slicing: they bypass both the per-candidate reuse and
+    /// the [`SliceCache`].
+    fn begin_candidate(
+        &mut self,
+        _program: &Program,
+        _pdg: &Pdg,
+        _key: u64,
+        _paths: &[DependencePath],
+    ) {
+    }
+
+    /// Hands the engine a shared slice-closure memo. Engines that slice
+    /// per query may consult it; the default ignores it (baselines
+    /// bypass the cache so their numbers stay faithful to the
+    /// conventional design).
+    fn attach_slice_cache(&mut self, _cache: Arc<SliceCache>) {}
+
+    /// Cumulative per-stage wall/counter totals over the engine's
+    /// lifetime (monotonic). The default reports zeros for engines that
+    /// do not instrument their stages.
+    fn stage_totals(&self) -> EngineStages {
+        EngineStages::default()
+    }
+
     /// The engine's memory accountant.
     fn memory(&self) -> &MemoryAccountant;
 
     /// Per-query records collected so far.
     fn records(&self) -> &[SolveRecord];
+}
+
+/// Cumulative stage totals an instrumented engine reports via
+/// [`FeasibilityEngine::stage_totals`]: how query wall-time splits into
+/// slicing, translation (term/clause building), and solving, plus how
+/// often a slice closure was computed from scratch versus reused (from
+/// the per-candidate union or the shared [`SliceCache`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStages {
+    /// Wall-time spent computing slice closures and constraints.
+    pub slice_wall: Duration,
+    /// Wall-time spent building terms/instances from the slice.
+    pub translate_wall: Duration,
+    /// Wall-time spent deciding satisfiability.
+    pub solve_wall: Duration,
+    /// Closures computed from scratch.
+    pub slices_computed: u64,
+    /// Closures served by per-candidate reuse or the shared memo.
+    pub slices_reused: u64,
+}
+
+impl EngineStages {
+    /// Sums another engine's totals into this one.
+    pub fn add(&mut self, other: &EngineStages) {
+        self.slice_wall += other.slice_wall;
+        self.translate_wall += other.translate_wall;
+        self.solve_wall += other.solve_wall;
+        self.slices_computed += other.slices_computed;
+        self.slices_reused += other.slices_reused;
+    }
+
+    /// Deltas relative to an `earlier` snapshot of the same engine.
+    pub fn since(&self, earlier: &EngineStages) -> EngineStages {
+        EngineStages {
+            slice_wall: self.slice_wall.saturating_sub(earlier.slice_wall),
+            translate_wall: self.translate_wall.saturating_sub(earlier.translate_wall),
+            solve_wall: self.solve_wall.saturating_sub(earlier.solve_wall),
+            slices_computed: self.slices_computed - earlier.slices_computed,
+            slices_reused: self.slices_reused - earlier.slices_reused,
+        }
+    }
+}
+
+/// Per-stage wall/counter breakdown of one analysis run
+/// (discover → slice → translate → solve), surfaced by the CLI's
+/// `--stats`/`--json`. Engine stage walls are summed across workers in
+/// parallel runs (CPU-time-like); `discover_wall` is the wall-clock
+/// span of the discovery stage.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageStats {
+    /// Wall-clock span of the discovery stage (sharded or not). In the
+    /// streaming pipeline this overlaps the solve stage.
+    pub discover_wall: Duration,
+    /// Total DFS steps taken by discovery.
+    pub discovery_steps: u64,
+    /// Discovery shard (producer) count.
+    pub discovery_shards: usize,
+    /// Engine time computing slice closures/constraints (summed over
+    /// workers).
+    pub slice_wall: Duration,
+    /// Engine time building terms/instances (summed over workers).
+    pub translate_wall: Duration,
+    /// Engine time deciding satisfiability (summed over workers).
+    pub solve_wall: Duration,
+    /// Slice closures computed from scratch.
+    pub slices_computed: u64,
+    /// Slice closures reused (per-candidate union or shared memo).
+    pub slices_reused: u64,
+}
+
+impl StageStats {
+    fn add_engine(&mut self, e: &EngineStages) {
+        self.slice_wall += e.slice_wall;
+        self.translate_wall += e.translate_wall;
+        self.solve_wall += e.solve_wall;
+        self.slices_computed += e.slices_computed;
+        self.slices_reused += e.slices_reused;
+    }
 }
 
 /// One reported bug.
@@ -135,17 +253,25 @@ pub struct AnalysisRun {
     /// Verdict-cache traffic attributable to this run (all zeros when the
     /// run was uncached).
     pub cache: CacheStats,
+    /// Slice-closure memo traffic attributable to this run (all zeros
+    /// when no [`SliceCache`] was configured).
+    pub slice: SliceCacheStats,
+    /// Per-stage wall/counter breakdown (discover/slice/translate/solve).
+    pub stages: StageStats,
 }
 
 impl AnalysisRun {
-    /// Total wall-clock time.
+    /// Total wall-clock time. In the streaming pipeline `solve_time` is
+    /// defined as `pipeline_wall − discovery span`, so this is the true
+    /// end-to-end wall for every driver.
     pub fn total_time(&self) -> Duration {
         self.propagate_time + self.solve_time
     }
 }
 
-/// Configuration of [`analyze`] and [`analyze_parallel`].
-#[derive(Debug, Clone, Copy)]
+/// Configuration of [`analyze`], [`analyze_parallel`], and
+/// [`analyze_streaming`].
+#[derive(Debug, Clone)]
 pub struct AnalysisOptions {
     /// Propagation limits.
     pub propagate: PropagateOptions,
@@ -154,6 +280,17 @@ pub struct AnalysisOptions {
     /// run-local cache; use the `*_with_cache` variants to share one
     /// cache across runs or checkers.
     pub use_cache: bool,
+    /// Shared slice-closure memo handed to engines that support it (the
+    /// `FusionSolver`; baselines bypass it). `Some` by default with a
+    /// run-local cache; pass a shared `Arc` to memoize closures across
+    /// runs, checkers, and engines, or `None` to disable memoization
+    /// entirely (engines still reuse one closure across the alternative
+    /// paths of a single candidate).
+    pub slice_cache: Option<Arc<SliceCache>>,
+    /// Discovery shard count for the sharded drivers. `None` (default)
+    /// uses the driver's thread count; the sequential driver always
+    /// discovers on one shard.
+    pub discover_shards: Option<usize>,
 }
 
 impl Default for AnalysisOptions {
@@ -161,6 +298,8 @@ impl Default for AnalysisOptions {
         Self {
             propagate: PropagateOptions::default(),
             use_cache: true,
+            slice_cache: Some(Arc::new(SliceCache::new())),
+            discover_shards: None,
         }
     }
 }
@@ -171,12 +310,21 @@ impl AnalysisOptions {
         Self::default()
     }
 
-    /// Default options with verdict caching disabled.
+    /// Default options with verdict caching *and* slice memoization
+    /// disabled — the fully conventional per-query configuration.
     pub fn without_cache() -> Self {
         Self {
             use_cache: false,
+            slice_cache: None,
             ..Self::default()
         }
+    }
+
+    /// Replaces the slice-closure memo (e.g. with one shared across
+    /// checkers or runs).
+    pub fn with_slice_cache(mut self, cache: Arc<SliceCache>) -> Self {
+        self.slice_cache = Some(cache);
+        self
     }
 }
 
@@ -222,6 +370,11 @@ fn solve_candidate(
     cand: &Candidate,
     queries: &mut usize,
 ) -> CandVerdict {
+    // Announce the candidate so the engine can compute the backward
+    // closure once for the union of the alternative paths (lazily — a
+    // candidate fully answered by the verdict cache never slices).
+    let cand_key = path_set_key(program, &cand.paths);
+    engine.begin_candidate(program, pdg, cand_key, &cand.paths);
     let mut verdict = Feasibility::Infeasible;
     let mut witness: Option<&DependencePath> = None;
     for path in &cand.paths {
@@ -298,8 +451,18 @@ pub fn analyze_with_cache(
     options: &AnalysisOptions,
     cache: Option<&VerdictCache>,
 ) -> AnalysisRun {
+    if let Some(sc) = &options.slice_cache {
+        engine.attach_slice_cache(Arc::clone(sc));
+    }
+    let slice_before = options
+        .slice_cache
+        .as_ref()
+        .map(|c| c.stats())
+        .unwrap_or_default();
+    let stages_before = engine.stage_totals();
     let t0 = Instant::now();
-    let candidates: Vec<Candidate> = discover(program, pdg, checker, &options.propagate);
+    let discovery = discover_all(program, pdg, checker, &options.propagate, 1);
+    let candidates = discovery.candidates;
     let propagate_time = t0.elapsed();
     let cache_before = cache.map(|c| c.stats()).unwrap_or_default();
 
@@ -329,15 +492,33 @@ pub fn analyze_with_cache(
     }
     let solve_time = t1.elapsed();
 
-    // The graph (and the cache, if any) is retained for the whole run,
+    // The graph (and the caches, if any) is retained for the whole run,
     // for every engine: one accounting path shared with the parallel
-    // driver.
+    // drivers. Discovery's transient visited-set bytes ride along as a
+    // concurrent accountant, exactly as in the sharded drivers.
     let graph_bytes = program.size() as u64 * BYTES_PER_DEF;
-    let cache_bytes = cache.map(|c| c.bytes()).unwrap_or(0);
-    let mem = run_accounting(std::iter::once(engine.memory()), graph_bytes, cache_bytes);
+    let cache_bytes = cache.map(|c| c.bytes()).unwrap_or(0)
+        + options.slice_cache.as_ref().map(|c| c.bytes()).unwrap_or(0);
+    let mem = run_accounting(
+        std::iter::once(engine.memory()).chain(discovery.memory.iter()),
+        graph_bytes,
+        cache_bytes,
+    );
     let cache_stats = cache
         .map(|c| c.stats().since(&cache_before))
         .unwrap_or_default();
+    let slice_stats = options
+        .slice_cache
+        .as_ref()
+        .map(|c| c.stats().since(&slice_before))
+        .unwrap_or_default();
+    let mut stages = StageStats {
+        discover_wall: propagate_time,
+        discovery_steps: discovery.steps,
+        discovery_shards: discovery.shards,
+        ..StageStats::default()
+    };
+    stages.add_engine(&engine.stage_totals().since(&stages_before));
 
     AnalysisRun {
         engine: engine.name().to_string(),
@@ -349,6 +530,8 @@ pub fn analyze_with_cache(
         solve_time,
         peak_memory: mem.peak_total(),
         cache: cache_stats,
+        slice: slice_stats,
+        stages,
     }
 }
 
@@ -391,10 +574,21 @@ pub fn analyze_parallel_with_cache(
     options: &AnalysisOptions,
     cache: Option<&VerdictCache>,
 ) -> AnalysisRun {
-    let t0 = Instant::now();
-    let candidates: Vec<Candidate> = discover(program, pdg, checker, &options.propagate);
-    let propagate_time = t0.elapsed();
     let threads = threads.max(1);
+    let slice_before = options
+        .slice_cache
+        .as_ref()
+        .map(|c| c.stats())
+        .unwrap_or_default();
+    let t0 = Instant::now();
+    // Sharded discovery: the barrier driver still waits for the full
+    // candidate list (use `analyze_streaming_with_cache` to overlap),
+    // but the discovery itself fans out across the same thread count,
+    // merged deterministically by source index.
+    let shards = options.discover_shards.unwrap_or(threads);
+    let discovery = discover_all(program, pdg, checker, &options.propagate, shards);
+    let candidates = discovery.candidates;
+    let propagate_time = t0.elapsed();
     let cache_before = cache.map(|c| c.stats()).unwrap_or_default();
 
     struct WorkerOut {
@@ -404,6 +598,7 @@ pub fn analyze_parallel_with_cache(
         results: Vec<(usize, CandVerdict)>,
         queries: usize,
         memory: MemoryAccountant,
+        stages: EngineStages,
     }
 
     // Work-stealing cursor over slice groups: workers atomically grab one
@@ -420,13 +615,18 @@ pub fn analyze_parallel_with_cache(
             let cands = &candidates;
             let groups = &groups;
             let cursor = &cursor;
+            let slice_cache = options.slice_cache.clone();
             handles.push(scope.spawn(move || {
                 let mut engine = factory();
+                if let Some(sc) = slice_cache {
+                    engine.attach_slice_cache(sc);
+                }
                 let mut out = WorkerOut {
                     name: engine.name(),
                     results: Vec::new(),
                     queries: 0,
                     memory: MemoryAccountant::new(),
+                    stages: EngineStages::default(),
                 };
                 loop {
                     let g = cursor.fetch_add(1, Ordering::Relaxed);
@@ -448,6 +648,7 @@ pub fn analyze_parallel_with_cache(
                     }
                 }
                 out.memory = engine.memory().clone();
+                out.stages = engine.stage_totals();
                 out
             }));
         }
@@ -467,8 +668,15 @@ pub fn analyze_parallel_with_cache(
     }
     let engine_name = outputs.first().map(|o| o.name).unwrap_or("parallel");
     let mut memories: Vec<MemoryAccountant> = Vec::with_capacity(outputs.len());
+    let mut stages = StageStats {
+        discover_wall: propagate_time,
+        discovery_steps: discovery.steps,
+        discovery_shards: discovery.shards,
+        ..StageStats::default()
+    };
     for o in outputs {
         memories.push(o.memory);
+        stages.add_engine(&o.stages);
         merged.extend(o.results);
     }
     merged.sort_by_key(|(idx, _)| *idx);
@@ -482,10 +690,20 @@ pub fn analyze_parallel_with_cache(
     }
 
     let graph_bytes = program.size() as u64 * BYTES_PER_DEF;
-    let cache_bytes = cache.map(|c| c.bytes()).unwrap_or(0);
-    let mem = run_accounting(memories.iter(), graph_bytes, cache_bytes);
+    let cache_bytes = cache.map(|c| c.bytes()).unwrap_or(0)
+        + options.slice_cache.as_ref().map(|c| c.bytes()).unwrap_or(0);
+    let mem = run_accounting(
+        memories.iter().chain(discovery.memory.iter()),
+        graph_bytes,
+        cache_bytes,
+    );
     let cache_stats = cache
         .map(|c| c.stats().since(&cache_before))
+        .unwrap_or_default();
+    let slice_stats = options
+        .slice_cache
+        .as_ref()
+        .map(|c| c.stats().since(&slice_before))
         .unwrap_or_default();
 
     AnalysisRun {
@@ -498,6 +716,286 @@ pub fn analyze_parallel_with_cache(
         solve_time,
         peak_memory: mem.peak_total(),
         cache: cache_stats,
+        slice: slice_stats,
+        stages,
+    }
+}
+
+/// Runs one checker through the **streaming discovery→solve pipeline**:
+/// discovery shards push completed sink groups through a bounded channel
+/// into group-stealing solve workers, so solving overlaps discovery
+/// wall-time instead of waiting behind the barrier of
+/// [`analyze_parallel`]. Reports are merged by `(source, candidate)`
+/// index and are **byte-identical** to the sequential driver's at any
+/// thread count. Allocates a run-local verdict cache per
+/// [`AnalysisOptions::use_cache`]; use
+/// [`analyze_streaming_with_cache`] to share one.
+pub fn analyze_streaming(
+    program: &Program,
+    pdg: &Pdg,
+    checker: &Checker,
+    factory: &(dyn Fn() -> Box<dyn FeasibilityEngine> + Sync),
+    threads: usize,
+    options: &AnalysisOptions,
+) -> AnalysisRun {
+    let local = VerdictCache::new();
+    let cache = options.use_cache.then_some(&local);
+    analyze_streaming_with_cache(program, pdg, checker, factory, threads, options, cache)
+}
+
+/// [`analyze_streaming`] with an explicit, possibly shared, verdict
+/// cache (`None` disables caching regardless of
+/// [`AnalysisOptions::use_cache`]).
+///
+/// Timing semantics: `propagate_time` is the wall-clock span until the
+/// last discovery shard finished; `solve_time` is the *rest* of the
+/// pipeline wall, so [`AnalysisRun::total_time`] equals the true
+/// end-to-end wall (overlap is visible as `propagate_time +
+/// solve_time < barrier driver's sum`).
+///
+/// With one thread there is nothing to overlap: the call delegates to
+/// the sequential driver (same discovery, same accounting), so
+/// 1-thread streaming peaks equal the sequential driver's exactly.
+pub fn analyze_streaming_with_cache(
+    program: &Program,
+    pdg: &Pdg,
+    checker: &Checker,
+    factory: &(dyn Fn() -> Box<dyn FeasibilityEngine> + Sync),
+    threads: usize,
+    options: &AnalysisOptions,
+    cache: Option<&VerdictCache>,
+) -> AnalysisRun {
+    let threads = threads.max(1);
+    if threads == 1 {
+        let mut engine = factory();
+        let name = engine.name();
+        let mut run = analyze_with_cache(program, pdg, checker, engine.as_mut(), options, cache);
+        run.engine = format!("{name}×1");
+        return run;
+    }
+
+    /// One unit of streamed work: the candidates of one (source, sink
+    /// function) group, tagged for the deterministic merge.
+    struct StreamGroup {
+        source_idx: usize,
+        sink_key: u64,
+        /// `(candidate index within the source, candidate)`.
+        cands: Vec<(usize, Candidate)>,
+    }
+
+    struct WorkerOut {
+        name: &'static str,
+        /// `((source index, local candidate index), outcome)` pairs.
+        results: Vec<((usize, usize), CandVerdict)>,
+        queries: usize,
+        memory: MemoryAccountant,
+        stages: EngineStages,
+    }
+
+    let slice_before = options
+        .slice_cache
+        .as_ref()
+        .map(|c| c.stats())
+        .unwrap_or_default();
+    let cache_before = cache.map(|c| c.stats()).unwrap_or_default();
+
+    let sources = source_vertices(program, checker);
+    let producers = options
+        .discover_shards
+        .unwrap_or(threads)
+        .clamp(1, sources.len().max(1));
+    // One bounded queue per solve worker, with groups routed by
+    // `sink_key % threads`. Sticky routing sends every group of one sink
+    // function to the same worker, so the engine's group-scoped state
+    // (the incremental session, instance memo) amortizes across the many
+    // per-source groups a sink function fragments into under streaming —
+    // matching the barrier driver's one-global-group-per-sink behavior.
+    // The parallelism granularity is unchanged: the barrier driver also
+    // hands a sink function's whole group to a single worker.
+    let queues: Vec<BoundedQueue<StreamGroup>> = (0..threads)
+        .map(|_| BoundedQueue::new(2, producers))
+        .collect();
+    let src_cursor = AtomicUsize::new(0);
+    let producers_left = AtomicUsize::new(producers);
+    let discover_span: Mutex<Duration> = Mutex::new(Duration::ZERO);
+    let discover_steps = std::sync::atomic::AtomicU64::new(0);
+    let candidates_total = AtomicUsize::new(0);
+    let discovery_accts: Mutex<Vec<MemoryAccountant>> = Mutex::new(Vec::new());
+
+    let t0 = Instant::now();
+    let outputs: Vec<WorkerOut> = std::thread::scope(|scope| {
+        // Discovery shards (producers): steal sources, group each
+        // source's candidates by sink function, stream the groups out.
+        for _ in 0..producers {
+            let queues = &queues;
+            let src_cursor = &src_cursor;
+            let producers_left = &producers_left;
+            let discover_span = &discover_span;
+            let discover_steps = &discover_steps;
+            let candidates_total = &candidates_total;
+            let discovery_accts = &discovery_accts;
+            let sources = &sources;
+            scope.spawn(move || {
+                let mut acct = MemoryAccountant::new();
+                loop {
+                    let i = src_cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= sources.len() {
+                        break;
+                    }
+                    let d = discover_source(program, pdg, checker, &options.propagate, sources[i]);
+                    acct.charge(Category::Graph, d.state_bytes);
+                    acct.release(Category::Graph, d.state_bytes);
+                    discover_steps.fetch_add(d.steps, Ordering::Relaxed);
+                    candidates_total.fetch_add(d.candidates.len(), Ordering::Relaxed);
+                    // Group by sink function within the source
+                    // (first-occurrence order), preserving local indices
+                    // for the merge.
+                    let mut order: Vec<StreamGroup> = Vec::new();
+                    let mut slot: std::collections::HashMap<u64, usize> =
+                        std::collections::HashMap::new();
+                    for (local, cand) in d.candidates.into_iter().enumerate() {
+                        let key = cand.sink.func.0 as u64;
+                        match slot.get(&key) {
+                            Some(&g) => order[g].cands.push((local, cand)),
+                            None => {
+                                slot.insert(key, order.len());
+                                order.push(StreamGroup {
+                                    source_idx: i,
+                                    sink_key: key,
+                                    cands: vec![(local, cand)],
+                                });
+                            }
+                        }
+                    }
+                    for group in order {
+                        let worker = (group.sink_key as usize) % queues.len();
+                        queues[worker].send(group);
+                    }
+                }
+                // The discovery stage's wall span ends when the *last*
+                // shard finishes.
+                if producers_left.fetch_sub(1, Ordering::SeqCst) == 1 {
+                    *discover_span.lock().expect("span lock") = t0.elapsed();
+                }
+                for queue in queues {
+                    queue.producer_done();
+                }
+                discovery_accts.lock().expect("acct lock").push(acct);
+            });
+        }
+        // Solve workers (consumers), each draining its own sticky queue.
+        let mut handles = Vec::new();
+        for queue in queues.iter().take(threads) {
+            let slice_cache = options.slice_cache.clone();
+            handles.push(scope.spawn(move || {
+                let mut engine = factory();
+                if let Some(sc) = slice_cache {
+                    engine.attach_slice_cache(sc);
+                }
+                let mut out = WorkerOut {
+                    name: engine.name(),
+                    results: Vec::new(),
+                    queries: 0,
+                    memory: MemoryAccountant::new(),
+                    stages: EngineStages::default(),
+                };
+                // Streamed groups fragment one sink function across many
+                // sources; a group boundary is only announced when the
+                // sink key actually changes, so the engine's group-scoped
+                // state spans the fragments exactly as it spans the
+                // barrier driver's single global group. (Verdicts never
+                // depend on where boundaries fall — `begin_group`'s
+                // contract — so this is purely a time/space trade.)
+                let mut last_key: Option<u64> = None;
+                while let Some(group) = queue.recv() {
+                    if last_key != Some(group.sink_key) {
+                        engine.begin_group(group.sink_key);
+                        last_key = Some(group.sink_key);
+                    }
+                    for (local_idx, cand) in &group.cands {
+                        let v = solve_candidate(
+                            program,
+                            pdg,
+                            engine.as_mut(),
+                            cache,
+                            cand,
+                            &mut out.queries,
+                        );
+                        out.results.push(((group.source_idx, *local_idx), v));
+                    }
+                }
+                out.memory = engine.memory().clone();
+                out.stages = engine.stage_totals();
+                out
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("solve worker"))
+            .collect()
+    });
+    let pipeline_wall = t0.elapsed();
+    let propagate_time = *discover_span.lock().expect("span lock");
+    let solve_time = pipeline_wall.saturating_sub(propagate_time);
+
+    // Deterministic merge: (source index, candidate index within the
+    // source) reproduces the sequential discovery order exactly.
+    let mut merged: Vec<((usize, usize), CandVerdict)> = Vec::new();
+    let mut queries = 0usize;
+    let engine_name = outputs.first().map(|o| o.name).unwrap_or("streaming");
+    let mut memories: Vec<MemoryAccountant> = Vec::with_capacity(outputs.len());
+    let mut stages = StageStats {
+        discover_wall: propagate_time,
+        discovery_steps: discover_steps.load(Ordering::Relaxed),
+        discovery_shards: producers,
+        ..StageStats::default()
+    };
+    for o in outputs {
+        queries += o.queries;
+        memories.push(o.memory);
+        stages.add_engine(&o.stages);
+        merged.extend(o.results);
+    }
+    merged.sort_by_key(|(key, _)| *key);
+    let mut reports: Vec<BugReport> = Vec::new();
+    let mut suppressed = 0usize;
+    for (_, v) in merged {
+        match v {
+            CandVerdict::Suppressed => suppressed += 1,
+            CandVerdict::Report(r) => reports.push(r),
+        }
+    }
+
+    let graph_bytes = program.size() as u64 * BYTES_PER_DEF;
+    let cache_bytes = cache.map(|c| c.bytes()).unwrap_or(0)
+        + options.slice_cache.as_ref().map(|c| c.bytes()).unwrap_or(0);
+    let discovery_accts = discovery_accts.into_inner().expect("acct lock");
+    let mem = run_accounting(
+        memories.iter().chain(discovery_accts.iter()),
+        graph_bytes,
+        cache_bytes,
+    );
+    let cache_stats = cache
+        .map(|c| c.stats().since(&cache_before))
+        .unwrap_or_default();
+    let slice_stats = options
+        .slice_cache
+        .as_ref()
+        .map(|c| c.stats().since(&slice_before))
+        .unwrap_or_default();
+
+    AnalysisRun {
+        engine: format!("{engine_name}×{threads}"),
+        reports,
+        suppressed,
+        candidates: candidates_total.load(Ordering::Relaxed),
+        queries,
+        propagate_time,
+        solve_time,
+        peak_memory: mem.peak_total(),
+        cache: cache_stats,
+        slice: slice_stats,
+        stages,
     }
 }
 

@@ -26,19 +26,25 @@
 //! the caches and the session together (their keys are `TermId`s, which a
 //! pool reset invalidates).
 
-use crate::engine::{CheckOutcome, Feasibility, FeasibilityEngine, SolveRecord};
+use crate::cache::path_set_key;
+use crate::engine::{CheckOutcome, EngineStages, Feasibility, FeasibilityEngine, SolveRecord};
 use crate::memory::{Category, MemoryAccountant, BYTES_PER_TERM_NODE};
 use crate::quickpath::{ret_summaries, RetSummary};
+use crate::slice_cache::{Closure, SliceCache};
 use fusion_ir::ssa::{CallSiteId, DefKind, FuncId, Program, VarId, WORD_BITS};
 use fusion_pdg::graph::Pdg;
 use fusion_pdg::paths::DependencePath;
-use fusion_pdg::slice::{compute_slice, Constraint, ConstraintKind};
+use fusion_pdg::slice::{
+    compute_closure, compute_slice, constraints_for, Constraint, ConstraintKind,
+};
 use fusion_pdg::translate::{encode_op, instance_var, translate, truthy, TranslateOptions};
 use fusion_smt::preprocess::preprocess_fragment;
 use fusion_smt::session::SolveSession;
 use fusion_smt::solver::{deadline_expired, smt_solve, SatResult, SolverConfig};
 use fusion_smt::term::{Sort, TermId, TermKind, TermPool, VarIdx};
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Algorithm 4: slice → clone everything → translate → standalone solve.
 #[derive(Debug)]
@@ -49,6 +55,7 @@ pub struct UnoptimizedGraphSolver {
     pub translate_opts: TranslateOptions,
     memory: MemoryAccountant,
     records: Vec<SolveRecord>,
+    stages: EngineStages,
 }
 
 impl UnoptimizedGraphSolver {
@@ -59,6 +66,7 @@ impl UnoptimizedGraphSolver {
             translate_opts: TranslateOptions::default(),
             memory: MemoryAccountant::new(),
             records: Vec::new(),
+            stages: EngineStages::default(),
         }
     }
 }
@@ -74,24 +82,33 @@ impl FeasibilityEngine for UnoptimizedGraphSolver {
         pdg: &Pdg,
         paths: &[DependencePath],
     ) -> CheckOutcome {
-        let start = std::time::Instant::now();
+        let start = Instant::now();
         let deadline = self.per_call.deadline_from(start);
+        // Algorithm 4 bypasses the slice memo by design: it re-slices every
+        // query from scratch (the baseline the optimized pipeline is
+        // measured against), so `begin_candidate` / `attach_slice_cache`
+        // stay at their no-op defaults.
         let slice = compute_slice(program, pdg, paths);
+        self.stages.slices_computed += 1;
+        self.stages.slice_wall += start.elapsed();
         // Fresh pool per query: nothing is cached (§3.2.2).
+        let translate_start = Instant::now();
         let mut pool = TermPool::new();
         let translated = match translate(program, &slice, &mut pool, &self.translate_opts) {
             Ok(t) => t,
             Err(_) => {
+                self.stages.translate_wall += translate_start.elapsed();
                 return CheckOutcome {
                     feasibility: Feasibility::Unknown,
                     duration: start.elapsed(),
                     condition_nodes: pool.len() as u64,
                     instances: 0,
                     preprocess_decided: false,
-                }
+                };
             }
         };
         let condition_nodes = pool.dag_size(translated.formula) as u64;
+        self.stages.translate_wall += translate_start.elapsed();
         // Budget the final query with whatever wall-clock remains after
         // slicing and translation; an exhausted budget degrades to Unknown
         // instead of stalling a worker.
@@ -113,7 +130,9 @@ impl FeasibilityEngine for UnoptimizedGraphSolver {
         // never overlap the query and understate concurrent peaks.
         let cond_bytes = condition_nodes * BYTES_PER_TERM_NODE;
         self.memory.charge(Category::SolverState, cond_bytes);
+        let solve_start = Instant::now();
         let (result, stats) = smt_solve(&mut pool, translated.formula, &cfg);
+        self.stages.solve_wall += solve_start.elapsed();
         let clause_bytes = stats.cnf_clauses as u64 * 16;
         self.memory.charge(Category::SolverState, clause_bytes);
         self.memory
@@ -140,6 +159,10 @@ impl FeasibilityEngine for UnoptimizedGraphSolver {
 
     fn records(&self) -> &[SolveRecord] {
         &self.records
+    }
+
+    fn stage_totals(&self) -> EngineStages {
+        self.stages
     }
 }
 
@@ -175,6 +198,20 @@ struct CachedLocal {
     bytes: u64,
     /// Last-touched tick, for LRU eviction.
     tick: u64,
+}
+
+/// The candidate the driver announced via
+/// [`FeasibilityEngine::begin_candidate`]: its canonical content key, its
+/// full path set, and the lazily resolved union closure shared by every
+/// alternative-path query of the candidate.
+///
+/// The closure stays `None` until a query actually needs it, so a
+/// candidate fully answered by the verdict cache never slices at all.
+#[derive(Debug)]
+struct CandCtx {
+    key: u64,
+    paths: Vec<DependencePath>,
+    closure: Option<Arc<Closure>>,
 }
 
 /// Solver-side counters for the bench harness (`solve_bench`), aggregated
@@ -247,6 +284,16 @@ pub struct FusionSolver {
     /// under that query's own root assumption.
     inst_cache: HashMap<(Vec<CallSiteId>, FuncId, TermId), TermId>,
     terms_built: u64,
+    /// Shared slice-closure memo, attached by the driver
+    /// ([`FeasibilityEngine::attach_slice_cache`]). Holds dependence
+    /// structure only — never formulas (§3.2.2's "no caching" concerns
+    /// *conditions*).
+    slice_cache: Option<Arc<SliceCache>>,
+    /// The current candidate context ([`FeasibilityEngine::begin_candidate`]),
+    /// sharing one union closure across its alternative-path queries.
+    cand: Option<CandCtx>,
+    /// Per-stage wall and counter totals ([`EngineStages`]).
+    stages: EngineStages,
 }
 
 impl FusionSolver {
@@ -270,6 +317,9 @@ impl FusionSolver {
             session: None,
             inst_cache: HashMap::new(),
             terms_built: 0,
+            slice_cache: None,
+            cand: None,
+            stages: EngineStages::default(),
         }
     }
 
@@ -462,6 +512,66 @@ impl FusionSolver {
         );
         lc
     }
+
+    /// Resolves the slice closure (Rules 2–3) for `paths`, sharing work at
+    /// two levels:
+    ///
+    /// * **within a candidate** — when the driver has announced a
+    ///   candidate via [`FeasibilityEngine::begin_candidate`], the union
+    ///   closure over the candidate's *full* path set is computed at most
+    ///   once and serves every alternative-path query. Sound because the
+    ///   closure only contributes definitional equations over acyclic SSA
+    ///   (extra definitions never change satisfiability); the per-path
+    ///   constraints (Rules 1/5) are recomputed per query by the caller;
+    /// * **across candidates / engines / runs** — closures are memoized
+    ///   in the attached [`SliceCache`] under the canonical content key
+    ///   ([`path_set_key`]).
+    ///
+    /// Resolution is lazy: a candidate fully answered by the verdict cache
+    /// never reaches this method and does zero slice work.
+    fn obtain_closure(
+        &mut self,
+        program: &Program,
+        pdg: &Pdg,
+        paths: &[DependencePath],
+    ) -> Arc<Closure> {
+        // Candidate context: one union closure for all alternative paths.
+        if let Some(ctx) = &mut self.cand {
+            if let Some(c) = &ctx.closure {
+                self.stages.slices_reused += 1;
+                return Arc::clone(c);
+            }
+            if let Some(cache) = &self.slice_cache {
+                if let Some(c) = cache.get(ctx.key) {
+                    self.stages.slices_reused += 1;
+                    ctx.closure = Some(Arc::clone(&c));
+                    return c;
+                }
+            }
+            let c = Arc::new(compute_closure(program, pdg, &ctx.paths));
+            self.stages.slices_computed += 1;
+            if let Some(cache) = &self.slice_cache {
+                cache.insert(ctx.key, Arc::clone(&c));
+            }
+            ctx.closure = Some(Arc::clone(&c));
+            return c;
+        }
+        // No candidate context (direct `check_paths` calls): memoize by
+        // content key when a cache is attached, else compute fresh.
+        if let Some(cache) = self.slice_cache.clone() {
+            let key = path_set_key(program, paths);
+            if let Some(c) = cache.get(key) {
+                self.stages.slices_reused += 1;
+                return c;
+            }
+            let c = Arc::new(compute_closure(program, pdg, paths));
+            self.stages.slices_computed += 1;
+            cache.insert(key, Arc::clone(&c));
+            return c;
+        }
+        self.stages.slices_computed += 1;
+        Arc::new(compute_closure(program, pdg, paths))
+    }
 }
 
 impl FeasibilityEngine for FusionSolver {
@@ -482,9 +592,32 @@ impl FeasibilityEngine for FusionSolver {
         // caller, so once the pool outgrows its budget the pool, caches
         // and session drop together.
         self.session = None;
+        self.cand = None;
         if self.pool.len() > self.epoch_pool_limit {
             self.reset_epoch();
         }
+    }
+
+    fn begin_candidate(
+        &mut self,
+        _program: &Program,
+        _pdg: &Pdg,
+        key: u64,
+        paths: &[DependencePath],
+    ) {
+        self.cand = Some(CandCtx {
+            key,
+            paths: paths.to_vec(),
+            closure: None,
+        });
+    }
+
+    fn attach_slice_cache(&mut self, cache: Arc<SliceCache>) {
+        self.slice_cache = Some(cache);
+    }
+
+    fn stage_totals(&self) -> EngineStages {
+        self.stages
     }
 
     fn check_paths(
@@ -493,14 +626,21 @@ impl FeasibilityEngine for FusionSolver {
         pdg: &Pdg,
         paths: &[DependencePath],
     ) -> CheckOutcome {
-        let start = std::time::Instant::now();
+        let start = Instant::now();
         let deadline = self.per_call.deadline_from(start);
         let summaries: Vec<RetSummary> = self.summaries_for(program).to_vec();
-        let slice = compute_slice(program, pdg, paths);
+        // Phase 2 dependence closure — memoized and shared (candidate ctx,
+        // slice cache); Phase 1 constraints — cheap, recomputed from the
+        // concrete queried path, never shared (§3.2.2).
+        let slice_start = Instant::now();
+        let closure = self.obtain_closure(program, pdg, paths);
+        let constraints = constraints_for(program, paths);
+        self.stages.slice_wall += slice_start.elapsed();
         // Local conditions, computed and preprocessed once per function
         // per program (cache hits across queries).
+        let translate_start = Instant::now();
         let mut locals: HashMap<FuncId, LocalCond> = HashMap::new();
-        for (&fid, fs) in &slice.funcs {
+        for (&fid, fs) in closure.iter() {
             let lc = self.local_condition(program, fid, &fs.verts);
             locals.insert(fid, lc);
         }
@@ -522,7 +662,7 @@ impl FeasibilityEngine for FusionSolver {
         };
 
         // Context-tagged constraints (identical to Algorithm 4).
-        for Constraint { ctx, func, kind } in &slice.constraints {
+        for Constraint { ctx, func, kind } in &constraints {
             schedule(&mut instances, &mut work, ctx.clone(), *func);
             let f = program.func(*func);
             match kind {
@@ -557,7 +697,7 @@ impl FeasibilityEngine for FusionSolver {
                 blowup = true;
                 break;
             }
-            let Some(fs) = slice.funcs.get(&fid) else {
+            let Some(fs) = closure.get(&fid) else {
                 continue;
             };
             let func = program.func(fid);
@@ -644,6 +784,7 @@ impl FeasibilityEngine for FusionSolver {
             }
         }
 
+        self.stages.translate_wall += translate_start.elapsed();
         if blowup {
             let grown = (pool.len() - pool_before) as u64;
             self.terms_built += grown;
@@ -672,6 +813,7 @@ impl FeasibilityEngine for FusionSolver {
             return outcome;
         };
         let cond_bytes = condition_nodes * BYTES_PER_TERM_NODE;
+        let solve_start = Instant::now();
         let (result, stats) = if self.incremental {
             // Incremental: one assumption-guarded query against the
             // epoch's persistent session. The session's clause database
@@ -698,6 +840,7 @@ impl FeasibilityEngine for FusionSolver {
                 .release(Category::SolverState, cond_bytes + clause_bytes);
             out
         };
+        self.stages.solve_wall += solve_start.elapsed();
         self.terms_built += (self.pool.len() - pool_before) as u64;
         let feasibility = match result {
             SatResult::Sat(_) => Feasibility::Feasible,

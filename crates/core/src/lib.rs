@@ -19,6 +19,10 @@
 //!   bug reports;
 //! * [`cache`] — the sharded feasibility-verdict memo cache shared across
 //!   worker engines;
+//! * [`slice_cache`] — the sharded LRU memo of slice *closures* (dependence
+//!   structure only — never formulas, preserving §3.2.2's discipline);
+//! * [`stream`] — the bounded channel behind the streaming
+//!   discovery→solve pipeline;
 //! * [`memory`] — categorized byte accounting behind every memory number
 //!   in the reproduced tables.
 //!
@@ -55,12 +59,16 @@ pub mod memory;
 pub mod propagate;
 pub mod quickpath;
 pub mod report;
+pub mod slice_cache;
+pub mod stream;
 
-pub use cache::{CacheStats, VerdictCache};
+pub use cache::{path_set_key, CacheStats, VerdictCache};
 pub use checkers::{default_checkers, CheckKind, Checker};
 pub use engine::{
-    analyze, analyze_parallel, analyze_parallel_with_cache, analyze_with_cache, AnalysisOptions,
-    AnalysisRun, BugReport, CheckOutcome, Feasibility, FeasibilityEngine, SolveRecord,
+    analyze, analyze_parallel, analyze_parallel_with_cache, analyze_streaming,
+    analyze_streaming_with_cache, analyze_with_cache, AnalysisOptions, AnalysisRun, BugReport,
+    CheckOutcome, Feasibility, FeasibilityEngine, SolveRecord, StageStats,
 };
 pub use graph_solver::{FusionSolver, UnoptimizedGraphSolver};
 pub use memory::{run_accounting, Category, MemoryAccountant};
+pub use slice_cache::{SliceCache, SliceCacheStats};

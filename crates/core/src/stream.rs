@@ -1,0 +1,193 @@
+//! A bounded multi-producer/multi-consumer channel for the streaming
+//! discovery→solve pipeline.
+//!
+//! Discovery shards (producers) push completed sink groups; solve
+//! workers (consumers) pop them as they arrive, so solving overlaps
+//! discovery wall-time instead of waiting behind a full barrier. The
+//! channel is **bounded**: when solving falls behind, producers block
+//! rather than queueing unbounded work (which would both balloon memory
+//! and defeat the accounting invariants). Built on `std` only
+//! (`Mutex<VecDeque>` + two `Condvar`s) — no external dependencies.
+//!
+//! Producers must announce completion via
+//! [`BoundedQueue::producer_done`]; once every registered producer is
+//! done and the queue drains, [`BoundedQueue::recv`] returns `None` and
+//! consumers shut down.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+struct State<T> {
+    queue: VecDeque<T>,
+    /// Producers still running; `recv` only reports exhaustion when
+    /// this reaches zero *and* the queue is empty.
+    producers: usize,
+}
+
+/// A bounded MPMC queue. All methods take `&self`; share by reference
+/// across scoped producer/consumer threads.
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items (rounded up to 1), fed
+    /// by exactly `producers` producers.
+    pub fn new(capacity: usize, producers: usize) -> Self {
+        BoundedQueue {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                producers,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Pushes an item, blocking while the queue is at capacity.
+    pub fn send(&self, item: T) {
+        let mut state = self.state.lock().expect("stream queue poisoned");
+        while state.queue.len() >= self.capacity {
+            state = self.not_full.wait(state).expect("stream queue poisoned");
+        }
+        state.queue.push_back(item);
+        drop(state);
+        self.not_empty.notify_one();
+    }
+
+    /// Pops an item, blocking while the queue is empty and producers
+    /// remain. Returns `None` once all producers are done and the queue
+    /// has drained — the consumer shutdown signal.
+    pub fn recv(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("stream queue poisoned");
+        loop {
+            if let Some(item) = state.queue.pop_front() {
+                drop(state);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if state.producers == 0 {
+                return None;
+            }
+            state = self.not_empty.wait(state).expect("stream queue poisoned");
+        }
+    }
+
+    /// Marks one producer as finished. When the last producer finishes,
+    /// all blocked consumers wake and drain out.
+    pub fn producer_done(&self) {
+        let mut state = self.state.lock().expect("stream queue poisoned");
+        state.producers = state.producers.saturating_sub(1);
+        let last = state.producers == 0;
+        drop(state);
+        if last {
+            self.not_empty.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn drains_in_fifo_order_single_threaded() {
+        let q = BoundedQueue::new(8, 1);
+        for i in 0..5 {
+            q.send(i);
+        }
+        q.producer_done();
+        let mut got = Vec::new();
+        while let Some(x) = q.recv() {
+            got.push(x);
+        }
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn recv_returns_none_only_after_all_producers_finish() {
+        let q = BoundedQueue::new(4, 2);
+        q.send(1);
+        q.producer_done();
+        assert_eq!(q.recv(), Some(1));
+        // One producer still live: a non-blocking check is impossible
+        // with condvars, so finish it from another thread while a
+        // consumer blocks in recv.
+        std::thread::scope(|scope| {
+            let q = &q;
+            scope.spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                q.send(2);
+                q.producer_done();
+            });
+            assert_eq!(q.recv(), Some(2));
+            assert_eq!(q.recv(), None);
+        });
+    }
+
+    #[test]
+    fn bounded_capacity_blocks_producers_until_consumed() {
+        let q = BoundedQueue::new(1, 1);
+        let produced = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let qr = &q;
+            let pr = &produced;
+            scope.spawn(move || {
+                for i in 0..100 {
+                    qr.send(i);
+                    pr.fetch_add(1, Ordering::SeqCst);
+                }
+                qr.producer_done();
+            });
+            let mut got = Vec::new();
+            while let Some(x) = qr.recv() {
+                got.push(x);
+                // Capacity 1: the producer can be at most one item
+                // ahead of what we have consumed (plus the one in
+                // flight).
+                assert!(produced.load(Ordering::SeqCst) <= got.len() + 1);
+            }
+            assert_eq!(got.len(), 100);
+            assert_eq!(got, (0..100).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    fn many_producers_many_consumers_deliver_everything_once() {
+        const PRODUCERS: usize = 4;
+        const CONSUMERS: usize = 4;
+        const PER: usize = 250;
+        let q = BoundedQueue::new(8, PRODUCERS);
+        let seen = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for p in 0..PRODUCERS {
+                let q = &q;
+                scope.spawn(move || {
+                    for i in 0..PER {
+                        q.send(p * PER + i);
+                    }
+                    q.producer_done();
+                });
+            }
+            for _ in 0..CONSUMERS {
+                let q = &q;
+                let seen = &seen;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    while let Some(x) = q.recv() {
+                        local.push(x);
+                    }
+                    seen.lock().unwrap().extend(local);
+                });
+            }
+        });
+        let mut all = seen.into_inner().unwrap();
+        all.sort_unstable();
+        assert_eq!(all, (0..PRODUCERS * PER).collect::<Vec<_>>());
+    }
+}

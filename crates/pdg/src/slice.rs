@@ -77,13 +77,23 @@ impl Slice {
     }
 }
 
-/// Computes the slice of Rules 1–3 for a set of dependence paths.
-pub fn compute_slice(program: &Program, _pdg: &Pdg, paths: &[DependencePath]) -> Slice {
-    let mut slice = Slice::default();
+/// The cheap front half of slicing: constraint roots extracted from the
+/// paths themselves (Rules 1–2), before any backward closure runs.
+struct Roots {
+    /// Deduplicated context-tagged constraints.
+    constraints: BTreeSet<Constraint>,
+    /// Closure worklist of `(func, var)` roots.
+    work: VecDeque<(FuncId, VarId)>,
+    /// Sites known to instantiate each callee (path entries).
+    entry_sites: BTreeMap<FuncId, BTreeSet<CallSiteId>>,
+}
+
+/// Phase 1: walk the paths, collecting constraints (Rules 1, 2) and the
+/// roots the backward closure will start from. Linear in total path
+/// length — the expensive part of slicing is Phase 2's closure.
+fn collect_roots(program: &Program, paths: &[DependencePath]) -> Roots {
     let mut constraints: BTreeSet<Constraint> = BTreeSet::new();
-    // Closure worklist of (func, var) roots.
     let mut work: VecDeque<(FuncId, VarId)> = VecDeque::new();
-    // Sites known to instantiate each callee (path entries + sliced calls).
     let mut entry_sites: BTreeMap<FuncId, BTreeSet<CallSiteId>> = BTreeMap::new();
     let push_root = |work: &mut VecDeque<(FuncId, VarId)>, f: FuncId, v: VarId| {
         work.push_back((f, v));
@@ -150,11 +160,59 @@ pub fn compute_slice(program: &Program, _pdg: &Pdg, paths: &[DependencePath]) ->
             }
         }
     }
+    Roots {
+        constraints,
+        work,
+        entry_sites,
+    }
+}
 
-    // Phase 2: backward closure over data dependence (Rule 3), modular
-    // across calls. Two event kinds interact: a parameter entering the
-    // slice requires the matching actuals at every known entry site; a new
-    // entry site requires the actuals for every already-sliced parameter.
+/// Just the context-tagged constraints a path set induces (Rules 1 and
+/// 5), *without* running the backward closure. This is the per-query
+/// half of slicing that can never be shared: constraints depend on the
+/// exact path, so recomputing them per feasibility query is both cheap
+/// (linear in path length) and required for soundness. The expensive,
+/// shareable half is [`compute_closure`].
+pub fn constraints_for(program: &Program, paths: &[DependencePath]) -> Vec<Constraint> {
+    collect_roots(program, paths)
+        .constraints
+        .into_iter()
+        .collect()
+}
+
+/// The backward data-dependence closure `V[Π]` of Rules 2–3 — the
+/// per-function vertex sets plus entry sites, *without* the
+/// constraints. Unlike constraints, the closure is a monotone function
+/// of the path set's dependence structure: the closure of a superset of
+/// paths contains every definitional equation any subset needs, and
+/// extra definitional equations over acyclic SSA never change
+/// satisfiability (constraints are only ever asserted for the queried
+/// path). That makes the closure safe to share across the alternative
+/// paths of one candidate and to memoize across candidates, which is
+/// exactly what `fusion::slice_cache::SliceCache` does. Formulas are
+/// never part of this artifact (§3.2.2's discipline is preserved).
+pub fn compute_closure(
+    program: &Program,
+    _pdg: &Pdg,
+    paths: &[DependencePath],
+) -> BTreeMap<FuncId, FuncSlice> {
+    let roots = collect_roots(program, paths);
+    close(program, roots.work, roots.entry_sites)
+}
+
+/// Phase 2: backward closure over data dependence (Rule 3), modular
+/// across calls. Two event kinds interact: a parameter entering the
+/// slice requires the matching actuals at every known entry site; a new
+/// entry site requires the actuals for every already-sliced parameter.
+fn close(
+    program: &Program,
+    mut work: VecDeque<(FuncId, VarId)>,
+    mut entry_sites: BTreeMap<FuncId, BTreeSet<CallSiteId>>,
+) -> BTreeMap<FuncId, FuncSlice> {
+    let mut funcs: BTreeMap<FuncId, FuncSlice> = BTreeMap::new();
+    let push_root = |work: &mut VecDeque<(FuncId, VarId)>, f: FuncId, v: VarId| {
+        work.push_back((f, v));
+    };
     let mut processed: BTreeSet<(FuncId, VarId)> = BTreeSet::new();
     // Pending site-param products handled via re-scanning on change.
     let mut site_work: VecDeque<(FuncId, CallSiteId)> = VecDeque::new();
@@ -168,7 +226,7 @@ pub fn compute_slice(program: &Program, _pdg: &Pdg, paths: &[DependencePath]) ->
             if !processed.insert((f, v)) {
                 continue;
             }
-            let fs = slice.funcs.entry(f).or_default();
+            let fs = funcs.entry(f).or_default();
             fs.verts.insert(v);
             let func = program.func(f);
             match &func.def(v).kind {
@@ -236,10 +294,19 @@ pub fn compute_slice(program: &Program, _pdg: &Pdg, paths: &[DependencePath]) ->
     }
 
     for (f, sites) in entry_sites {
-        slice.funcs.entry(f).or_default().entry_sites.extend(sites);
+        funcs.entry(f).or_default().entry_sites.extend(sites);
     }
-    slice.constraints = constraints.into_iter().collect();
-    slice
+    funcs
+}
+
+/// Computes the slice of Rules 1–3 for a set of dependence paths:
+/// Phase 1 ([`constraints_for`]) plus Phase 2 ([`compute_closure`]),
+/// sharing a single path walk.
+pub fn compute_slice(program: &Program, _pdg: &Pdg, paths: &[DependencePath]) -> Slice {
+    let roots = collect_roots(program, paths);
+    let constraints = roots.constraints.into_iter().collect();
+    let funcs = close(program, roots.work, roots.entry_sites);
+    Slice { funcs, constraints }
 }
 
 #[cfg(test)]

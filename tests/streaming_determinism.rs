@@ -1,0 +1,227 @@
+//! The streaming pipeline must be invisible in the output.
+//!
+//! `analyze_streaming_with_cache` overlaps candidate discovery with
+//! feasibility solving: discovery shards push completed sink groups
+//! through a bounded channel into group-stealing solve workers while
+//! later sources are still being explored. None of that scheduling may
+//! reach the user: for every thread count, with and without the verdict
+//! cache, with and without incremental sessions, the reports must be
+//! *byte-identical* — same sources, sinks, verdicts, witness paths, in
+//! the same order — to the barrier pipeline and to the sequential
+//! driver. This is the contract DESIGN.md ("Analysis pipeline") claims
+//! and the CLI's `--stream`/`--no-stream` pair relies on.
+
+use fusion::cache::VerdictCache;
+use fusion::checkers::Checker;
+use fusion::engine::{
+    analyze_parallel_with_cache, analyze_streaming_with_cache, analyze_with_cache, AnalysisOptions,
+    AnalysisRun, Feasibility, FeasibilityEngine,
+};
+use fusion::graph_solver::FusionSolver;
+use fusion_ir::{compile, CompileOptions, Program};
+use fusion_pdg::graph::Pdg;
+use fusion_smt::solver::SolverConfig;
+
+/// Several source functions across several sink functions, mixing
+/// feasible and infeasible flows (`x * x == 3` has no solution modulo a
+/// power of two), so streaming has real groups to overlap and verdicts
+/// are non-trivial.
+fn subject() -> (Program, Pdg, Checker) {
+    let mut src = String::from("extern fn getpass(); extern fn sendmsg(x);\n");
+    for i in 0..6 {
+        let lo = i * 2;
+        src.push_str(&format!(
+            "fn f{i}(flag) {{\n\
+               let a = getpass();\n\
+               let c = 1; let d = 1; let e = 1;\n\
+               if (flag > {lo}) {{ c = a + {i}; }}\n\
+               if (flag * flag == 3) {{ d = a + {i}; }}\n\
+               if (flag < {hi}) {{ e = a * 2; }}\n\
+               sendmsg(c);\n\
+               sendmsg(d);\n\
+               sendmsg(e);\n\
+               return 0;\n\
+             }}\n",
+            hi = lo + 5,
+        ));
+    }
+    let program = compile(&src, CompileOptions::default()).expect("compile");
+    let pdg = Pdg::build(&program);
+    (program, pdg, Checker::cwe402())
+}
+
+/// Everything that reaches the user, in a comparable form.
+type ReportKey = (
+    fusion_pdg::graph::Vertex,
+    fusion_pdg::graph::Vertex,
+    Feasibility,
+    Vec<fusion_pdg::graph::Vertex>,
+);
+
+fn keys(run: &AnalysisRun) -> Vec<ReportKey> {
+    run.reports
+        .iter()
+        .map(|r| (r.source, r.sink, r.verdict, r.path.nodes.clone()))
+        .collect()
+}
+
+fn factory(incremental: bool) -> impl Fn() -> Box<dyn FeasibilityEngine> + Sync {
+    move || {
+        let mut engine = FusionSolver::new(SolverConfig::default());
+        engine.incremental = incremental;
+        Box::new(engine)
+    }
+}
+
+#[test]
+fn streaming_equals_barrier_equals_sequential_1_to_8_threads() {
+    let (program, pdg, checker) = subject();
+
+    for use_cache in [false, true] {
+        for incremental in [true, false] {
+            let opts = if use_cache {
+                AnalysisOptions::new()
+            } else {
+                AnalysisOptions::without_cache()
+            };
+            // Sequential run is the reference transcript.
+            let seq_cache = VerdictCache::new();
+            let cache = use_cache.then_some(&seq_cache);
+            let mut reference_engine = FusionSolver::new(SolverConfig::default());
+            reference_engine.incremental = incremental;
+            let reference = analyze_with_cache(
+                &program,
+                &pdg,
+                &checker,
+                &mut reference_engine,
+                &opts,
+                cache,
+            );
+            assert!(!reference.reports.is_empty(), "subject must report");
+            assert!(reference.suppressed > 0, "subject must suppress");
+            let want = keys(&reference);
+
+            for threads in 1..=8 {
+                // Fresh caches per run: each configuration must stand alone.
+                let stream_cache = VerdictCache::new();
+                let streaming = analyze_streaming_with_cache(
+                    &program,
+                    &pdg,
+                    &checker,
+                    &factory(incremental),
+                    threads,
+                    &opts,
+                    use_cache.then_some(&stream_cache),
+                );
+                let barrier_cache = VerdictCache::new();
+                let barrier = analyze_parallel_with_cache(
+                    &program,
+                    &pdg,
+                    &checker,
+                    &factory(incremental),
+                    threads,
+                    &opts,
+                    use_cache.then_some(&barrier_cache),
+                );
+                assert_eq!(
+                    keys(&streaming),
+                    want,
+                    "streaming diverged at threads={threads} cache={use_cache} \
+                     incremental={incremental}"
+                );
+                assert_eq!(
+                    keys(&barrier),
+                    want,
+                    "barrier diverged at threads={threads} cache={use_cache} \
+                     incremental={incremental}"
+                );
+                assert_eq!(streaming.suppressed, reference.suppressed);
+                assert_eq!(barrier.suppressed, reference.suppressed);
+                assert_eq!(streaming.candidates, reference.candidates);
+            }
+        }
+    }
+}
+
+#[test]
+fn streaming_with_one_thread_matches_sequential_memory_peak() {
+    // With one thread there is nothing to overlap: the streaming driver
+    // delegates to the sequential one, so the categorized memory peaks
+    // must be *equal*, not merely close (ISSUE 3, satellite f).
+    let (program, pdg, checker) = subject();
+    let opts = AnalysisOptions::new();
+
+    let seq_cache = VerdictCache::new();
+    let mut engine = FusionSolver::new(SolverConfig::default());
+    let seq = analyze_with_cache(
+        &program,
+        &pdg,
+        &checker,
+        &mut engine,
+        &opts,
+        Some(&seq_cache),
+    );
+
+    let stream_cache = VerdictCache::new();
+    let streaming = analyze_streaming_with_cache(
+        &program,
+        &pdg,
+        &checker,
+        &factory(true),
+        1,
+        &opts,
+        Some(&stream_cache),
+    );
+
+    assert_eq!(keys(&seq), keys(&streaming));
+    assert_eq!(
+        seq.peak_memory, streaming.peak_memory,
+        "1-thread streaming must account memory exactly like the sequential driver"
+    );
+}
+
+#[test]
+fn slice_memo_is_shared_across_runs() {
+    // `AnalysisOptions::new()` carries one shared slice cache; a second
+    // run over the same program with a *fresh* verdict cache re-issues
+    // every query but must answer every closure request from the memo.
+    let (program, pdg, checker) = subject();
+    let opts = AnalysisOptions::new();
+
+    let cold_cache = VerdictCache::new();
+    let cold = analyze_streaming_with_cache(
+        &program,
+        &pdg,
+        &checker,
+        &factory(true),
+        4,
+        &opts,
+        Some(&cold_cache),
+    );
+    assert!(
+        cold.stages.slices_computed > 0,
+        "cold run must compute closures"
+    );
+    assert!(cold.stages.discovery_shards >= 1);
+
+    let warm_cache = VerdictCache::new();
+    let warm = analyze_streaming_with_cache(
+        &program,
+        &pdg,
+        &checker,
+        &factory(true),
+        4,
+        &opts,
+        Some(&warm_cache),
+    );
+    assert_eq!(keys(&cold), keys(&warm));
+    assert!(warm.queries > 0, "fresh verdict cache must re-query");
+    assert_eq!(
+        warm.stages.slices_computed, 0,
+        "warm run must answer every closure request from the shared memo \
+         (reused {} of {} queries)",
+        warm.stages.slices_reused, warm.queries
+    );
+    assert!(warm.stages.slices_reused > 0);
+    assert!(warm.slice.hits > 0, "slice-cache hits must be observable");
+}
