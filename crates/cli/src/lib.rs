@@ -7,6 +7,8 @@
 //! ```sh
 //! fusion-scan [OPTIONS] FILE...
 //!     --checker null|cwe23|cwe402|all    which checkers to run (default: all)
+//!     --list-checkers                    print every checker's sources, sinks,
+//!                                        sanitizers, and propagation policy
 //!     --engine fusion|unopt|pinpoint|ar  feasibility engine (default: fusion)
 //!     --timeout-secs N                   per-query SMT budget (default: 10)
 //!     --solver-timeout-ms N              per-query SMT budget, millisecond precision
@@ -25,19 +27,27 @@
 //! ```
 //!
 //! Multiple files are concatenated into one translation unit, so flows may
-//! cross files — the cross-file reasoning Table 5 highlights. One verdict
-//! cache is shared across every checker (and, with `--threads`, every
-//! worker) of a scan, so identical dependence paths are solved once.
+//! cross files — the cross-file reasoning Table 5 highlights.
+//!
+//! `--checker all` (the default) runs all three checkers as **one fused
+//! multi-client pass**: one discovery traversal fans out over every
+//! `(checker, source)` pair, sink groups are keyed on the sink function
+//! alone so queries from different checkers share solver sessions and
+//! slice closures, and one verdict cache is shared across every checker
+//! (and, with `--threads`, every worker), so identical dependence paths
+//! are solved once — even when two different checkers ask. The findings
+//! are byte-identical to running each checker alone; `--stats` and
+//! `--json` report them per checker.
 
 #![warn(missing_docs)]
 
 pub mod json;
 
 use fusion::cache::VerdictCache;
-use fusion::checkers::Checker;
+use fusion::checkers::{CheckKind, Checker, CheckerSet};
 use fusion::engine::{
-    analyze_parallel_with_cache, analyze_streaming_with_cache, analyze_with_cache, AnalysisOptions,
-    AnalysisRun, Feasibility, FeasibilityEngine,
+    analyze_multi_parallel_with_cache, analyze_multi_streaming_with_cache,
+    analyze_multi_with_cache, AnalysisOptions, Feasibility, FeasibilityEngine, MultiAnalysisRun,
 };
 use fusion::graph_solver::{FusionSolver, UnoptimizedGraphSolver};
 use fusion::slice_cache::SliceCache;
@@ -115,6 +125,9 @@ pub struct Options {
     pub unroll: usize,
     /// Extra taint-sanitizer function names.
     pub extra_sanitizers: Vec<String>,
+    /// Print the checker catalog (kind, sources, sinks, sanitizers,
+    /// propagation policy) and exit without scanning.
+    pub list_checkers: bool,
 }
 
 impl Default for Options {
@@ -135,6 +148,7 @@ impl Default for Options {
             extra_sinks: Vec::new(),
             unroll: 2,
             extra_sanitizers: Vec::new(),
+            list_checkers: false,
         }
     }
 }
@@ -257,10 +271,12 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
             "--stream" => opts.stream = true,
             "--no-stream" => opts.stream = false,
             "--no-incremental" => opts.incremental = false,
+            "--list-checkers" => opts.list_checkers = true,
             "--help" | "-h" => {
                 return Err(CliError(
                     "usage: fusion-scan [--engine fusion|unopt|pinpoint|ar] \
-                     [--checker null|cwe23|cwe402|all] [--timeout-secs N] \
+                     [--checker null|cwe23|cwe402|all] [--list-checkers] \
+                     [--timeout-secs N] \
                      [--solver-timeout-ms N] [--threads N] [--cache|--no-cache] \
                      [--stream|--no-stream] [--no-incremental] [--dot FILE] \
                      [--json] [--stats] FILE..."
@@ -273,10 +289,80 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
             file => opts.files.push(file.to_owned()),
         }
     }
-    if opts.files.is_empty() {
+    if opts.files.is_empty() && !opts.list_checkers {
         return Err(CliError("no input files (try --help)".into()));
     }
     Ok(opts)
+}
+
+/// Expands the `--checker` choice into the fused [`CheckerSet`], applying
+/// the `--source`/`--sink`/`--sanitizer` extensions to the taint
+/// checkers, and collects user-facing warnings — in particular when those
+/// extensions cannot apply because only the null checker was selected
+/// (the null checker seeds from `null` constants, not function names).
+pub fn effective_checkers(opts: &Options) -> (CheckerSet, Vec<String>) {
+    let mut checkers: Vec<Checker> = match opts.checker {
+        CheckerChoice::Null => vec![Checker::null_deref()],
+        CheckerChoice::Cwe23 => vec![Checker::cwe23()],
+        CheckerChoice::Cwe402 => vec![Checker::cwe402()],
+        CheckerChoice::All => fusion::checkers::default_checkers(),
+    };
+    let mut warnings = Vec::new();
+    let mut ignored = Vec::new();
+    if !opts.extra_sources.is_empty() {
+        ignored.push("--source");
+    }
+    if !opts.extra_sinks.is_empty() {
+        ignored.push("--sink");
+    }
+    if !opts.extra_sanitizers.is_empty() {
+        ignored.push("--sanitizer");
+    }
+    if !ignored.is_empty() && checkers.iter().all(|c| c.kind == CheckKind::NullDeref) {
+        warnings.push(format!(
+            "{} only extend the taint checkers (cwe23, cwe402) and are \
+             ignored under `--checker null`; the null checker seeds from \
+             `null` constants, not function names",
+            ignored.join("/")
+        ));
+    }
+    for c in &mut checkers {
+        if c.kind != CheckKind::NullDeref {
+            c.source_fns.extend(opts.extra_sources.iter().cloned());
+            c.sink_fns.extend(opts.extra_sinks.iter().cloned());
+            c.sanitizer_fns
+                .extend(opts.extra_sanitizers.iter().cloned());
+        }
+    }
+    (CheckerSet::new(checkers), warnings)
+}
+
+/// Renders the `--list-checkers` catalog: each default checker's kind,
+/// source/sink/sanitizer function names, and propagation policy.
+pub fn list_checkers_text() -> String {
+    let mut out = String::new();
+    for c in fusion::checkers::default_checkers() {
+        let _ = writeln!(out, "{}", c.kind);
+        let sources = if c.source_fns.is_empty() {
+            "null constants".to_owned()
+        } else {
+            c.source_fns.join(", ")
+        };
+        let sanitizers = if c.sanitizer_fns.is_empty() {
+            "(none)".to_owned()
+        } else {
+            c.sanitizer_fns.join(", ")
+        };
+        let _ = writeln!(out, "  sources:     {sources}");
+        let _ = writeln!(out, "  sinks:       {}", c.sink_fns.join(", "));
+        let _ = writeln!(out, "  sanitizers:  {sanitizers}");
+        let _ = writeln!(
+            out,
+            "  propagation: through-arithmetic={}, through-extern-calls={}",
+            c.through_binary, c.through_extern
+        );
+    }
+    out
 }
 
 /// One finding in machine-readable form.
@@ -294,6 +380,29 @@ pub struct Finding {
     pub path_length: usize,
 }
 
+/// One checker's share of a fused scan, for `--stats` and `--json`.
+#[derive(Debug, Clone, Default)]
+pub struct CheckerScanStats {
+    /// Checker name (`null-deref`, `cwe-23`, `cwe-402`).
+    pub checker: String,
+    /// Findings reported by this checker.
+    pub findings: usize,
+    /// This checker's candidates proven infeasible.
+    pub suppressed: usize,
+    /// Candidates discovered for this checker.
+    pub candidates: usize,
+    /// Feasibility queries issued for this checker (cache hits excluded).
+    pub queries: usize,
+    /// Verdict-cache hits while deciding this checker's candidates.
+    pub cache_hits: u64,
+    /// Verdict-cache misses while deciding this checker's candidates.
+    pub cache_misses: u64,
+    /// Discovery DFS steps spent on this checker's sources.
+    pub discovery_steps: u64,
+    /// Engine milliseconds answering this checker's queries.
+    pub solve_ms: f64,
+}
+
 /// Machine-readable scan result.
 #[derive(Debug, Clone, Default)]
 pub struct ScanReport {
@@ -301,6 +410,13 @@ pub struct ScanReport {
     pub findings: Vec<Finding>,
     /// Candidates proven infeasible (suppressed).
     pub suppressed: usize,
+    /// Per-checker breakdowns, in checker order.
+    pub checkers: Vec<CheckerScanStats>,
+    /// User-facing warnings (e.g. extras ignored under `--checker null`).
+    pub warnings: Vec<String>,
+    /// Incremental solver sessions opened across the scan (fusion
+    /// engine; 0 for the always-cold engines).
+    pub sessions_opened: u64,
     /// PDG vertex count.
     pub vertices: usize,
     /// PDG edge count.
@@ -356,14 +472,48 @@ impl ScanReport {
         if !self.findings.is_empty() {
             s.push_str("\n  ");
         }
+        s.push_str("],\n  \"checkers\": [");
+        for (i, c) in self.checkers.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "\n    {{\n      \"checker\": \"{}\",\n      \"findings\": {},\
+                 \n      \"suppressed\": {},\n      \"candidates\": {},\
+                 \n      \"queries\": {},\n      \"cache_hits\": {},\
+                 \n      \"cache_misses\": {},\n      \"discovery_steps\": {},\
+                 \n      \"solve_ms\": {}\n    }}",
+                json::escape(&c.checker),
+                c.findings,
+                c.suppressed,
+                c.candidates,
+                c.queries,
+                c.cache_hits,
+                c.cache_misses,
+                c.discovery_steps,
+                c.solve_ms
+            );
+        }
+        if !self.checkers.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("],\n  \"warnings\": [");
+        for (i, w) in self.warnings.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            let _ = write!(s, "\"{}\"", json::escape(w));
+        }
         let _ = write!(
             s,
-            "],\n  \"suppressed\": {},\n  \"vertices\": {},\n  \"edges\": {},\
+            "],\n  \"sessions_opened\": {},\n  \"suppressed\": {},\n  \"vertices\": {},\n  \"edges\": {},\
              \n  \"elapsed_ms\": {},\n  \"peak_memory_bytes\": {},\
              \n  \"cache_hits\": {},\n  \"cache_misses\": {},\n  \"cache_bytes\": {},\
              \n  \"discover_ms\": {},\n  \"slice_ms\": {},\n  \"translate_ms\": {},\
              \n  \"solve_ms\": {},\n  \"slices_computed\": {},\n  \"slices_reused\": {},\
              \n  \"slice_cache_bytes\": {}\n}}",
+            self.sessions_opened,
             self.suppressed,
             self.vertices,
             self.edges,
@@ -419,87 +569,82 @@ pub fn scan_source(source: &str, opts: &Options) -> Result<ScanReport, CliError>
     let program =
         compile(source, compile_opts).map_err(|e| CliError(format!("compile error: {e}")))?;
     let pdg = Pdg::build(&program);
-    let mut checkers: Vec<Checker> = match opts.checker {
-        CheckerChoice::Null => vec![Checker::null_deref()],
-        CheckerChoice::Cwe23 => vec![Checker::cwe23()],
-        CheckerChoice::Cwe402 => vec![Checker::cwe402()],
-        CheckerChoice::All => fusion::checkers::default_checkers(),
-    };
-    for c in &mut checkers {
-        if c.kind != fusion::checkers::CheckKind::NullDeref {
-            c.source_fns.extend(opts.extra_sources.iter().cloned());
-            c.sink_fns.extend(opts.extra_sinks.iter().cloned());
-            c.sanitizer_fns
-                .extend(opts.extra_sanitizers.iter().cloned());
-        }
-    }
+    let (set, warnings) = effective_checkers(opts);
     let mut report = ScanReport {
         vertices: pdg.stats().vertices,
         edges: pdg.stats().edges(),
+        warnings,
         ..Default::default()
     };
     if let Some(path) = &opts.dot {
         let dot = fusion_pdg::dot::pdg_to_dot(&program, &pdg, None);
         std::fs::write(path, dot).map_err(|e| CliError(format!("cannot write `{path}`: {e}")))?;
     }
-    // One verdict cache and one slice-closure cache for the whole scan:
-    // shared across checkers and, in parallel runs, across workers.
+    // One verdict cache and one slice-closure cache for the whole scan,
+    // shared across checkers and, in parallel runs, across workers; the
+    // whole checker set runs as one fused multi-client pass.
     let shared_cache = VerdictCache::new();
     let cache = opts.use_cache.then_some(&shared_cache);
     let slice_cache = Arc::new(SliceCache::new());
     let analysis_opts = AnalysisOptions::new().with_slice_cache(Arc::clone(&slice_cache));
-    let mut peak = 0u64;
-    for checker in &checkers {
-        let run: AnalysisRun = if opts.threads > 1 {
-            let engine_choice = opts.engine;
-            let timeout = opts.timeout;
-            let incremental = opts.incremental;
-            let factory = move || make_engine(engine_choice, timeout, incremental);
-            if opts.stream {
-                analyze_streaming_with_cache(
-                    &program,
-                    &pdg,
-                    checker,
-                    &factory,
-                    opts.threads,
-                    &analysis_opts,
-                    cache,
-                )
-            } else {
-                analyze_parallel_with_cache(
-                    &program,
-                    &pdg,
-                    checker,
-                    &factory,
-                    opts.threads,
-                    &analysis_opts,
-                    cache,
-                )
-            }
-        } else {
-            let mut engine = make_engine(opts.engine, opts.timeout, opts.incremental);
-            analyze_with_cache(
+    let run: MultiAnalysisRun = if opts.threads > 1 {
+        let engine_choice = opts.engine;
+        let timeout = opts.timeout;
+        let incremental = opts.incremental;
+        let factory = move || make_engine(engine_choice, timeout, incremental);
+        if opts.stream {
+            analyze_multi_streaming_with_cache(
                 &program,
                 &pdg,
-                checker,
-                engine.as_mut(),
+                &set,
+                &factory,
+                opts.threads,
                 &analysis_opts,
                 cache,
             )
-        };
-        peak = peak.max(run.peak_memory);
-        report.cache_hits += run.cache.hits;
-        report.cache_misses += run.cache.misses;
-        report.suppressed += run.suppressed;
-        report.discover_ms += run.stages.discover_wall.as_secs_f64() * 1e3;
-        report.slice_ms += run.stages.slice_wall.as_secs_f64() * 1e3;
-        report.translate_ms += run.stages.translate_wall.as_secs_f64() * 1e3;
-        report.solve_ms += run.stages.solve_wall.as_secs_f64() * 1e3;
-        report.slices_computed += run.stages.slices_computed;
-        report.slices_reused += run.stages.slices_reused;
-        for r in &run.reports {
+        } else {
+            analyze_multi_parallel_with_cache(
+                &program,
+                &pdg,
+                &set,
+                &factory,
+                opts.threads,
+                &analysis_opts,
+                cache,
+            )
+        }
+    } else {
+        let mut engine = make_engine(opts.engine, opts.timeout, opts.incremental);
+        analyze_multi_with_cache(&program, &pdg, &set, engine.as_mut(), &analysis_opts, cache)
+    };
+    report.cache_hits = run.cache.hits;
+    report.cache_misses = run.cache.misses;
+    report.discover_ms = run.stages.discover_wall.as_secs_f64() * 1e3;
+    report.slice_ms = run.stages.slice_wall.as_secs_f64() * 1e3;
+    report.translate_ms = run.stages.translate_wall.as_secs_f64() * 1e3;
+    report.solve_ms = run.stages.solve_wall.as_secs_f64() * 1e3;
+    report.slices_computed = run.stages.slices_computed;
+    report.slices_reused = run.stages.slices_reused;
+    report.sessions_opened = run.stages.sessions_opened;
+    // One true whole-scan peak: every engine live during the single fused
+    // pass plus the graph and caches — not a max over per-checker passes.
+    report.peak_memory_bytes = run.peak_memory;
+    for b in &run.checkers {
+        report.suppressed += b.suppressed;
+        report.checkers.push(CheckerScanStats {
+            checker: b.kind.to_string(),
+            findings: b.reports.len(),
+            suppressed: b.suppressed,
+            candidates: b.candidates,
+            queries: b.queries,
+            cache_hits: b.cache_hits,
+            cache_misses: b.cache_misses,
+            discovery_steps: b.discovery_steps,
+            solve_ms: b.solve_wall.as_secs_f64() * 1e3,
+        });
+        for r in &b.reports {
             report.findings.push(Finding {
-                checker: checker.kind.to_string(),
+                checker: b.kind.to_string(),
                 source_function: program.name(program.func(r.source.func).name).to_owned(),
                 sink_function: program.name(program.func(r.sink.func).name).to_owned(),
                 verdict: match r.verdict {
@@ -512,7 +657,6 @@ pub fn scan_source(source: &str, opts: &Options) -> Result<ScanReport, CliError>
         }
     }
     report.elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
-    report.peak_memory_bytes = peak;
     report.cache_bytes = cache.map(|c| c.bytes()).unwrap_or(0);
     report.slice_cache_bytes = slice_cache.bytes();
     Ok(report)
@@ -530,6 +674,10 @@ pub fn run(args: &[String], out: &mut dyn std::io::Write) -> i32 {
             return 2;
         }
     };
+    if opts.list_checkers {
+        let _ = write!(out, "{}", list_checkers_text());
+        return 0;
+    }
     let mut source = String::new();
     for f in &opts.files {
         match std::fs::read_to_string(f) {
@@ -553,6 +701,9 @@ pub fn run(args: &[String], out: &mut dyn std::io::Write) -> i32 {
     if opts.json {
         let _ = writeln!(out, "{}", report.to_json());
     } else {
+        for w in &report.warnings {
+            let _ = writeln!(out, "warning: {w}");
+        }
         for f in &report.findings {
             let _ = writeln!(
                 out,
@@ -570,15 +721,33 @@ pub fn run(args: &[String], out: &mut dyn std::io::Write) -> i32 {
             let _ = writeln!(
                 out,
                 "pdg: {} vertices, {} edges; {:.1} ms; peak {} KiB \
-                 (cache {} B, {} hit / {} miss)",
+                 (cache {} B, {} hit / {} miss); {} session(s) opened",
                 report.vertices,
                 report.edges,
                 report.elapsed_ms,
                 report.peak_memory_bytes / 1024,
                 report.cache_bytes,
                 report.cache_hits,
-                report.cache_misses
+                report.cache_misses,
+                report.sessions_opened
             );
+            for c in &report.checkers {
+                let _ = writeln!(
+                    out,
+                    "checker {}: {} finding(s), {} suppressed, {} candidate(s), \
+                     {} query(ies) ({} hit / {} miss), {} discovery step(s), \
+                     solve {:.1} ms",
+                    c.checker,
+                    c.findings,
+                    c.suppressed,
+                    c.candidates,
+                    c.queries,
+                    c.cache_hits,
+                    c.cache_misses,
+                    c.discovery_steps,
+                    c.solve_ms
+                );
+            }
             let _ = writeln!(
                 out,
                 "stages: discover {:.1} ms; slice {:.1} ms \
@@ -785,6 +954,119 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(scan_source(src, &plain).unwrap().findings.len(), 1);
+    }
+
+    #[test]
+    fn extras_under_null_checker_warn() {
+        // parse_args accepts the combination; the scan carries a warning.
+        let o = parse_args(&args(&["--checker", "null", "--source", "fetch", "a.fus"])).unwrap();
+        assert_eq!(o.checker, CheckerChoice::Null);
+        assert_eq!(o.extra_sources, vec!["fetch"]);
+        let (set, warnings) = effective_checkers(&o);
+        assert_eq!(set.len(), 1);
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].contains("--source"), "{warnings:?}");
+        assert!(warnings[0].contains("--checker null"), "{warnings:?}");
+        // No warning when a taint checker is in the set.
+        let all = Options {
+            extra_sources: vec!["fetch".into()],
+            ..Default::default()
+        };
+        assert!(effective_checkers(&all).1.is_empty());
+        // No warning without extras.
+        let plain = Options {
+            checker: CheckerChoice::Null,
+            ..Default::default()
+        };
+        assert!(effective_checkers(&plain).1.is_empty());
+        // End to end: run() surfaces the warning on the text output, and
+        // the scan result carries it for --json consumers.
+        let dir = std::env::temp_dir();
+        let clean = dir.join("fusion_cli_warn.fus");
+        std::fs::write(&clean, "fn f(x) { return x; }").unwrap();
+        let mut out = Vec::new();
+        let code = run(
+            &args(&[
+                "--checker",
+                "null",
+                "--sink",
+                "exfil",
+                &clean.display().to_string(),
+            ]),
+            &mut out,
+        );
+        assert_eq!(code, 0);
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("warning:"), "{text}");
+        assert!(text.contains("--sink"), "{text}");
+    }
+
+    #[test]
+    fn list_checkers_prints_catalog() {
+        let o = parse_args(&args(&["--list-checkers"])).unwrap();
+        assert!(o.list_checkers);
+        assert!(o.files.is_empty(), "no files required with --list-checkers");
+        let mut out = Vec::new();
+        let code = run(&args(&["--list-checkers"]), &mut out);
+        assert_eq!(code, 0);
+        let text = String::from_utf8(out).unwrap();
+        for needle in [
+            "null-deref",
+            "cwe-23",
+            "cwe-402",
+            "null constants",
+            "gets",
+            "fopen",
+            "getpass",
+            "sendmsg",
+            "realpath",
+            "hash",
+            "through-arithmetic=false",
+            "through-arithmetic=true",
+        ] {
+            assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn json_reports_per_checker_stats_and_warnings() {
+        let src = "extern fn deref(p); extern fn gets(); extern fn fopen(p);\n\
+            fn f() { let q = null; deref(q); let i = gets(); fopen(i); return 0; }";
+        let report = scan_source(src, &Options::default()).unwrap();
+        let v = json::Value::parse(&report.to_json()).expect("valid json");
+        let checkers = v.get("checkers").unwrap().as_array().unwrap();
+        assert_eq!(checkers.len(), 3);
+        assert_eq!(
+            checkers[0].get("checker").unwrap().as_str(),
+            Some("null-deref")
+        );
+        assert_eq!(checkers[0].get("findings").unwrap().as_f64(), Some(1.0));
+        assert_eq!(checkers[1].get("checker").unwrap().as_str(), Some("cwe-23"));
+        assert_eq!(checkers[1].get("findings").unwrap().as_f64(), Some(1.0));
+        assert_eq!(
+            checkers[2].get("checker").unwrap().as_str(),
+            Some("cwe-402")
+        );
+        assert!(checkers[0].get("queries").unwrap().as_f64().is_some());
+        assert!(checkers[0]
+            .get("discovery_steps")
+            .unwrap()
+            .as_f64()
+            .is_some());
+        assert!(v.get("sessions_opened").unwrap().as_f64().is_some());
+        assert_eq!(v.get("warnings").unwrap().as_array().unwrap().len(), 0);
+        // A warning-producing scan round-trips the message through JSON.
+        let warned = scan_source(
+            "fn f(x) { return x; }",
+            &Options {
+                checker: CheckerChoice::Null,
+                extra_sources: vec!["fetch".into()],
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let v = json::Value::parse(&warned.to_json()).expect("valid json");
+        assert_eq!(v.get("warnings").unwrap().as_array().unwrap().len(), 1);
     }
 
     #[test]

@@ -23,6 +23,19 @@
 //! * **Observable.** Hit/miss/insert counters are lock-free atomics; the
 //!   retained size is charged to [`Category::Cache`][crate::memory::Category]
 //!   by the analysis drivers via [`VerdictCache::bytes`].
+//! * **Checker-independent.** The key deliberately contains *no*
+//!   [`CheckerId`][crate::checkers::CheckerId]: a feasibility verdict is a
+//!   pure function of the path's *conditions* — the vertex sequence, the
+//!   link labels, and each vertex's transfer function, all of which
+//!   [`path_set_key`] hashes — and never of the client fact flowing along
+//!   it (null-ness, taint, privacy). The checker only decides *which*
+//!   paths get discovered; once a path exists, "can some execution take
+//!   it?" is the same question for every client. A fused multi-client
+//!   pass therefore shares this cache across checkers: when two checkers
+//!   discover byte-identical path content (e.g. overlapping source/sink
+//!   vocabularies), the second checker's queries hit the first's
+//!   verdicts. This is still not condition caching in the §3.2.2 sense —
+//!   the cache stores three-valued *verdicts*, never formulas.
 
 use crate::engine::Feasibility;
 use fusion_ir::ssa::{DefKind, Program};

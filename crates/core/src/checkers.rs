@@ -189,6 +189,88 @@ pub fn default_checkers() -> Vec<Checker> {
     vec![Checker::null_deref(), Checker::cwe23(), Checker::cwe402()]
 }
 
+/// The index of a checker within a [`CheckerSet`] — the client identity a
+/// fused multi-client pass carries on every work item and candidate so
+/// results can be split back per checker deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CheckerId(pub usize);
+
+impl std::fmt::Display for CheckerId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// An ordered set of checkers analyzed in **one fused pass** (§4 runs all
+/// three clients over one shared PDG). The order is canonical: discovery
+/// fans out over `(checker, source)` work items in `(checker_idx,
+/// source_idx)` order, so per-checker results are byte-identical to
+/// running each checker alone, at any shard or thread count.
+#[derive(Debug, Clone)]
+pub struct CheckerSet {
+    checkers: Vec<Checker>,
+}
+
+impl CheckerSet {
+    /// A set over the given checkers, in the given (canonical) order.
+    pub fn new(checkers: Vec<Checker>) -> CheckerSet {
+        CheckerSet { checkers }
+    }
+
+    /// A singleton set — how the single-checker `analyze*` entry points
+    /// ride the fused pipeline.
+    pub fn single(checker: Checker) -> CheckerSet {
+        CheckerSet {
+            checkers: vec![checker],
+        }
+    }
+
+    /// The paper's three clients ([`default_checkers`]).
+    pub fn all() -> CheckerSet {
+        CheckerSet {
+            checkers: default_checkers(),
+        }
+    }
+
+    /// Number of checkers in the set.
+    pub fn len(&self) -> usize {
+        self.checkers.len()
+    }
+
+    /// Whether the set holds no checkers.
+    pub fn is_empty(&self) -> bool {
+        self.checkers.is_empty()
+    }
+
+    /// The checker with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is out of range for this set.
+    pub fn get(&self, id: CheckerId) -> &Checker {
+        &self.checkers[id.0]
+    }
+
+    /// The checkers in canonical order.
+    pub fn checkers(&self) -> &[Checker] {
+        &self.checkers
+    }
+
+    /// Iterates `(id, checker)` pairs in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = (CheckerId, &Checker)> {
+        self.checkers
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (CheckerId(i), c))
+    }
+}
+
+impl From<Vec<Checker>> for CheckerSet {
+    fn from(checkers: Vec<Checker>) -> CheckerSet {
+        CheckerSet::new(checkers)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -264,6 +346,24 @@ mod tests {
             .unwrap();
         assert!(!Checker::null_deref().propagates_through(f, add.var, 0));
         assert!(Checker::cwe23().propagates_through(f, add.var, 0));
+    }
+
+    #[test]
+    fn checker_set_orders_and_indexes() {
+        let set = CheckerSet::all();
+        assert_eq!(set.len(), 3);
+        assert!(!set.is_empty());
+        assert_eq!(set.get(CheckerId(0)).kind, CheckKind::NullDeref);
+        assert_eq!(set.get(CheckerId(1)).kind, CheckKind::Cwe23);
+        assert_eq!(set.get(CheckerId(2)).kind, CheckKind::Cwe402);
+        let ids: Vec<CheckerId> = set.iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![CheckerId(0), CheckerId(1), CheckerId(2)]);
+        let single = CheckerSet::single(Checker::cwe23());
+        assert_eq!(single.len(), 1);
+        assert_eq!(single.get(CheckerId(0)).kind, CheckKind::Cwe23);
+        let from: CheckerSet = vec![Checker::cwe402()].into();
+        assert_eq!(from.checkers()[0].kind, CheckKind::Cwe402);
+        assert_eq!(CheckerId(2).to_string(), "c2");
     }
 
     #[test]

@@ -7,10 +7,10 @@
 //! reports and accounting are shared so comparisons are apples-to-apples.
 
 use crate::cache::{path_set_key, CacheStats, VerdictCache};
-use crate::checkers::Checker;
+use crate::checkers::{CheckKind, Checker, CheckerId, CheckerSet};
 use crate::memory::{run_accounting, Category, MemoryAccountant, BYTES_PER_DEF};
 use crate::propagate::{
-    discover_all, discover_source, source_vertices, Candidate, PropagateOptions,
+    discover_all_multi, discover_source_for, multi_source_vertices, Candidate, PropagateOptions,
 };
 use crate::slice_cache::{SliceCache, SliceCacheStats};
 use crate::stream::BoundedQueue;
@@ -154,6 +154,10 @@ pub struct EngineStages {
     pub slices_computed: u64,
     /// Closures served by per-candidate reuse or the shared memo.
     pub slices_reused: u64,
+    /// Incremental solver sessions opened (0 for engines that solve
+    /// cold). The multi-client bench uses this to show that queries from
+    /// different checkers landing on the same sink share one session.
+    pub sessions_opened: u64,
 }
 
 impl EngineStages {
@@ -164,6 +168,7 @@ impl EngineStages {
         self.solve_wall += other.solve_wall;
         self.slices_computed += other.slices_computed;
         self.slices_reused += other.slices_reused;
+        self.sessions_opened += other.sessions_opened;
     }
 
     /// Deltas relative to an `earlier` snapshot of the same engine.
@@ -174,6 +179,7 @@ impl EngineStages {
             solve_wall: self.solve_wall.saturating_sub(earlier.solve_wall),
             slices_computed: self.slices_computed - earlier.slices_computed,
             slices_reused: self.slices_reused - earlier.slices_reused,
+            sessions_opened: self.sessions_opened - earlier.sessions_opened,
         }
     }
 }
@@ -203,6 +209,8 @@ pub struct StageStats {
     pub slices_computed: u64,
     /// Slice closures reused (per-candidate union or shared memo).
     pub slices_reused: u64,
+    /// Incremental solver sessions opened across all workers.
+    pub sessions_opened: u64,
 }
 
 impl StageStats {
@@ -212,6 +220,7 @@ impl StageStats {
         self.solve_wall += e.solve_wall;
         self.slices_computed += e.slices_computed;
         self.slices_reused += e.slices_reused;
+        self.sessions_opened += e.sessions_opened;
     }
 }
 
@@ -266,6 +275,104 @@ impl AnalysisRun {
     /// end-to-end wall for every driver.
     pub fn total_time(&self) -> Duration {
         self.propagate_time + self.solve_time
+    }
+}
+
+/// One checker's share of a fused multi-client run: its reports (in the
+/// exact order a single-checker run would produce them) and its solve-side
+/// tallies. Stage *walls* other than `solve_wall` are whole-run quantities
+/// and live on [`MultiAnalysisRun::stages`]; everything here is
+/// attributable per candidate (candidates carry their [`CheckerId`]).
+#[derive(Debug, Clone)]
+pub struct CheckerBreakdown {
+    /// The client's bug class.
+    pub kind: CheckKind,
+    /// Bug reports for this checker, in canonical candidate order.
+    pub reports: Vec<BugReport>,
+    /// This checker's candidates whose every path was proven infeasible.
+    pub suppressed: usize,
+    /// Candidates discovered for this checker.
+    pub candidates: usize,
+    /// Feasibility queries issued to an engine for this checker's
+    /// candidates (verdict-cache hits excluded).
+    pub queries: usize,
+    /// Verdict-cache hits while deciding this checker's candidates.
+    pub cache_hits: u64,
+    /// Verdict-cache misses while deciding this checker's candidates.
+    pub cache_misses: u64,
+    /// DFS steps the fused discovery spent on this checker's sources.
+    pub discovery_steps: u64,
+    /// Engine wall-time spent answering this checker's queries (summed
+    /// over workers).
+    pub solve_wall: Duration,
+}
+
+/// Aggregate results of one **fused multi-client run**: every checker in
+/// the [`CheckerSet`] analyzed in a single pass over the shared PDG — one
+/// discovery traversal, one set of sink groups (keyed on the sink function
+/// only, so queries from different checkers share solver sessions and
+/// slice closures), and **one true whole-scan memory peak** instead of a
+/// max over per-checker passes.
+#[derive(Debug, Clone)]
+pub struct MultiAnalysisRun {
+    /// Engine name (same convention as [`AnalysisRun::engine`]).
+    pub engine: String,
+    /// Per-checker breakdowns, in [`CheckerSet`] order.
+    pub checkers: Vec<CheckerBreakdown>,
+    /// Total candidates across all checkers.
+    pub candidates: usize,
+    /// Total engine queries across all checkers.
+    pub queries: usize,
+    /// Wall-clock duration: propagation phase (all checkers fused).
+    pub propagate_time: Duration,
+    /// Wall-clock duration: solving phase (all checkers fused).
+    pub solve_time: Duration,
+    /// Peak tracked memory of the whole fused scan, bytes.
+    pub peak_memory: u64,
+    /// Verdict-cache traffic attributable to this run.
+    pub cache: CacheStats,
+    /// Slice-memo traffic attributable to this run.
+    pub slice: SliceCacheStats,
+    /// Whole-run per-stage breakdown (checker-attributable counters are
+    /// on the [`CheckerBreakdown`]s).
+    pub stages: StageStats,
+}
+
+impl MultiAnalysisRun {
+    /// Total wall-clock time (same semantics as
+    /// [`AnalysisRun::total_time`]).
+    pub fn total_time(&self) -> Duration {
+        self.propagate_time + self.solve_time
+    }
+
+    /// All reports across checkers, in checker-major canonical order.
+    pub fn all_reports(&self) -> impl Iterator<Item = &BugReport> {
+        self.checkers.iter().flat_map(|b| b.reports.iter())
+    }
+
+    /// Flattens into a single-checker [`AnalysisRun`] — exact for the
+    /// singleton sets the `analyze*` wrappers use; for larger sets the
+    /// reports concatenate in checker order and `suppressed` sums.
+    pub fn into_single(self) -> AnalysisRun {
+        let mut reports = Vec::new();
+        let mut suppressed = 0usize;
+        for b in self.checkers {
+            reports.extend(b.reports);
+            suppressed += b.suppressed;
+        }
+        AnalysisRun {
+            engine: self.engine,
+            reports,
+            suppressed,
+            candidates: self.candidates,
+            queries: self.queries,
+            propagate_time: self.propagate_time,
+            solve_time: self.solve_time,
+            peak_memory: self.peak_memory,
+            cache: self.cache,
+            slice: self.slice,
+            stages: self.stages,
+        }
     }
 }
 
@@ -335,13 +442,38 @@ enum CandVerdict {
     Report(BugReport),
 }
 
-/// Groups candidate indices by sink function — the slice-group batching
-/// unit. Candidates against the same sink share most of their slices, so
-/// solving them back-to-back maximizes what an incremental engine can
-/// reuse (cached local conditions, memoized instantiations, session
-/// encodings). Groups appear in first-occurrence order and indices stay
-/// ascending within a group, so a driver that walks the groups and sorts
-/// results by index reproduces the ungrouped candidate order exactly.
+/// Per-checker solve-side tallies a driver accumulates while deciding
+/// candidates (each candidate carries its [`CheckerId`], so attribution
+/// is exact even when workers interleave checkers).
+#[derive(Debug, Clone, Copy, Default)]
+struct CandTally {
+    queries: usize,
+    cache_hits: u64,
+    cache_misses: u64,
+    solve_wall: Duration,
+}
+
+impl CandTally {
+    fn add(&mut self, other: &CandTally) {
+        self.queries += other.queries;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.solve_wall += other.solve_wall;
+    }
+}
+
+/// Groups candidate indices by **sink function only** — the slice-group
+/// batching unit. Candidates against the same sink share most of their
+/// slices, so solving them back-to-back maximizes what an incremental
+/// engine can reuse (cached local conditions, memoized instantiations,
+/// session encodings). The key deliberately ignores the candidate's
+/// [`CheckerId`]: in a fused multi-client pass, queries from *different
+/// checkers* that land on the same sink function fall into one group and
+/// therefore share one solver session, one slice closure, and one warm
+/// translation cache — the whole point of fusing the clients. Groups
+/// appear in first-occurrence order and indices stay ascending within a
+/// group, so a driver that walks the groups and sorts results by index
+/// reproduces the ungrouped candidate order exactly.
 fn group_by_sink(candidates: &[Candidate]) -> Vec<(u64, Vec<usize>)> {
     let mut order: Vec<(u64, Vec<usize>)> = Vec::new();
     let mut slot: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
@@ -361,14 +493,16 @@ fn group_by_sink(candidates: &[Candidate]) -> Vec<(u64, Vec<usize>)> {
 /// Decides one candidate: query each alternative path until one is
 /// feasible. With a cache, each path's verdict is looked up by canonical
 /// key first and engine misses are stored back (Unknown is never stored).
-/// `queries` counts only queries actually issued to the engine.
+/// `tally.queries` counts only queries actually issued to the engine;
+/// hits/misses/solve-wall accumulate alongside so fused drivers can
+/// attribute solve effort per checker.
 fn solve_candidate(
     program: &Program,
     pdg: &Pdg,
     engine: &mut dyn FeasibilityEngine,
     cache: Option<&VerdictCache>,
     cand: &Candidate,
-    queries: &mut usize,
+    tally: &mut CandTally,
 ) -> CandVerdict {
     // Announce the candidate so the engine can compute the backward
     // closure once for the union of the alternative paths (lazily — a
@@ -383,18 +517,25 @@ fn solve_candidate(
             Some(c) => {
                 let key = VerdictCache::key(program, slice);
                 match c.get(key) {
-                    Some(v) => v,
+                    Some(v) => {
+                        tally.cache_hits += 1;
+                        v
+                    }
                     None => {
-                        *queries += 1;
+                        tally.cache_misses += 1;
+                        tally.queries += 1;
                         let o = engine.check_paths(program, pdg, slice);
+                        tally.solve_wall += o.duration;
                         c.insert(key, o.feasibility);
                         o.feasibility
                     }
                 }
             }
             None => {
-                *queries += 1;
-                engine.check_paths(program, pdg, slice).feasibility
+                tally.queries += 1;
+                let o = engine.check_paths(program, pdg, slice);
+                tally.solve_wall += o.duration;
+                o.feasibility
             }
         };
         match feasibility {
@@ -421,6 +562,41 @@ fn solve_candidate(
     }
 }
 
+/// Splits the canonical `(checker, verdict)` sequence of a fused run
+/// into per-checker breakdowns. Because the fused candidate order is
+/// checker-major (`(checker_idx, source_idx)`), each checker's report
+/// subsequence is exactly what a single-checker run produces.
+fn assemble_breakdowns(
+    set: &CheckerSet,
+    ordered: Vec<(CheckerId, CandVerdict)>,
+    tallies: &[CandTally],
+    per_checker_steps: &[u64],
+) -> Vec<CheckerBreakdown> {
+    let mut out: Vec<CheckerBreakdown> = set
+        .iter()
+        .map(|(id, c)| CheckerBreakdown {
+            kind: c.kind,
+            reports: Vec::new(),
+            suppressed: 0,
+            candidates: 0,
+            queries: tallies[id.0].queries,
+            cache_hits: tallies[id.0].cache_hits,
+            cache_misses: tallies[id.0].cache_misses,
+            discovery_steps: per_checker_steps.get(id.0).copied().unwrap_or(0),
+            solve_wall: tallies[id.0].solve_wall,
+        })
+        .collect();
+    for (id, v) in ordered {
+        let b = &mut out[id.0];
+        b.candidates += 1;
+        match v {
+            CandVerdict::Suppressed => b.suppressed += 1,
+            CandVerdict::Report(r) => b.reports.push(r),
+        }
+    }
+    out
+}
+
 /// Runs one checker over a program with the given feasibility engine.
 ///
 /// A candidate is reported when *any* of its alternative paths is feasible;
@@ -443,6 +619,9 @@ pub fn analyze(
 /// disables caching regardless of [`AnalysisOptions::use_cache`]). The
 /// returned [`AnalysisRun::cache`] counters are scoped to this run even
 /// when the cache is shared.
+///
+/// A thin wrapper over the fused path ([`analyze_multi_with_cache`])
+/// with a singleton [`CheckerSet`].
 pub fn analyze_with_cache(
     program: &Program,
     pdg: &Pdg,
@@ -451,6 +630,40 @@ pub fn analyze_with_cache(
     options: &AnalysisOptions,
     cache: Option<&VerdictCache>,
 ) -> AnalysisRun {
+    let set = CheckerSet::single(checker.clone());
+    analyze_multi_with_cache(program, pdg, &set, engine, options, cache).into_single()
+}
+
+/// Runs a whole [`CheckerSet`] over a program in **one fused pass** with
+/// one engine (sequential). Allocates a run-local verdict cache per
+/// [`AnalysisOptions::use_cache`]; use [`analyze_multi_with_cache`] to
+/// share one.
+pub fn analyze_multi(
+    program: &Program,
+    pdg: &Pdg,
+    set: &CheckerSet,
+    engine: &mut dyn FeasibilityEngine,
+    options: &AnalysisOptions,
+) -> MultiAnalysisRun {
+    let local = VerdictCache::new();
+    let cache = options.use_cache.then_some(&local);
+    analyze_multi_with_cache(program, pdg, set, engine, options, cache)
+}
+
+/// The fused sequential driver: one discovery traversal over every
+/// `(checker, source)` work item, one pass of sink groups over the
+/// engine. Sink groups are keyed on the sink function only, so
+/// candidates from different checkers landing on the same sink share the
+/// engine's group-scoped state (sessions, instance memos) and the slice
+/// memo — instead of each checker paying its own cold pass.
+pub fn analyze_multi_with_cache(
+    program: &Program,
+    pdg: &Pdg,
+    set: &CheckerSet,
+    engine: &mut dyn FeasibilityEngine,
+    options: &AnalysisOptions,
+    cache: Option<&VerdictCache>,
+) -> MultiAnalysisRun {
     if let Some(sc) = &options.slice_cache {
         engine.attach_slice_cache(Arc::clone(sc));
     }
@@ -461,41 +674,43 @@ pub fn analyze_with_cache(
         .unwrap_or_default();
     let stages_before = engine.stage_totals();
     let t0 = Instant::now();
-    let discovery = discover_all(program, pdg, checker, &options.propagate, 1);
+    let discovery = discover_all_multi(program, pdg, set, &options.propagate, 1);
     let candidates = discovery.candidates;
     let propagate_time = t0.elapsed();
     let cache_before = cache.map(|c| c.stats()).unwrap_or_default();
 
-    let mut reports = Vec::new();
-    let mut suppressed = 0usize;
-    let mut queries = 0usize;
-    // Slice-group batching: candidates sharing a sink function are solved
-    // back-to-back, so an incremental engine sees maximally related
-    // queries in a row. Results are re-sorted by candidate index, so
-    // grouping never changes the report order.
+    // Slice-group batching: candidates sharing a sink function — from
+    // *any* checker — are solved back-to-back, so an incremental engine
+    // sees maximally related queries in a row. Results are re-sorted by
+    // candidate index, so grouping never changes the report order.
+    let mut tallies = vec![CandTally::default(); set.len()];
     let groups = group_by_sink(&candidates);
     let t1 = Instant::now();
     let mut results: Vec<(usize, CandVerdict)> = Vec::with_capacity(candidates.len());
     for (key, idxs) in &groups {
         engine.begin_group(*key);
         for &idx in idxs {
-            let v = solve_candidate(program, pdg, engine, cache, &candidates[idx], &mut queries);
+            let cand = &candidates[idx];
+            let v = solve_candidate(
+                program,
+                pdg,
+                engine,
+                cache,
+                cand,
+                &mut tallies[cand.checker.0],
+            );
             results.push((idx, v));
         }
     }
     results.sort_by_key(|(idx, _)| *idx);
-    for (_, v) in results {
-        match v {
-            CandVerdict::Suppressed => suppressed += 1,
-            CandVerdict::Report(r) => reports.push(r),
-        }
-    }
     let solve_time = t1.elapsed();
 
     // The graph (and the caches, if any) is retained for the whole run,
     // for every engine: one accounting path shared with the parallel
     // drivers. Discovery's transient visited-set bytes ride along as a
-    // concurrent accountant, exactly as in the sharded drivers.
+    // concurrent accountant, exactly as in the sharded drivers. Because
+    // the whole checker set runs in one pass, this is the true
+    // whole-scan peak — not a max over per-checker passes.
     let graph_bytes = program.size() as u64 * BYTES_PER_DEF;
     let cache_bytes = cache.map(|c| c.bytes()).unwrap_or(0)
         + options.slice_cache.as_ref().map(|c| c.bytes()).unwrap_or(0);
@@ -520,10 +735,16 @@ pub fn analyze_with_cache(
     };
     stages.add_engine(&engine.stage_totals().since(&stages_before));
 
-    AnalysisRun {
+    let ordered: Vec<(CheckerId, CandVerdict)> = results
+        .into_iter()
+        .map(|(idx, v)| (candidates[idx].checker, v))
+        .collect();
+    let queries = tallies.iter().map(|t| t.queries).sum();
+    let checkers = assemble_breakdowns(set, ordered, &tallies, &discovery.per_checker_steps);
+
+    MultiAnalysisRun {
         engine: engine.name().to_string(),
-        reports,
-        suppressed,
+        checkers,
         candidates: candidates.len(),
         queries,
         propagate_time,
@@ -565,6 +786,10 @@ pub fn analyze_parallel(
 
 /// [`analyze_parallel`] with an explicit, possibly shared, verdict cache
 /// (`None` disables caching regardless of [`AnalysisOptions::use_cache`]).
+///
+/// A thin wrapper over the fused path
+/// ([`analyze_multi_parallel_with_cache`]) with a singleton
+/// [`CheckerSet`].
 pub fn analyze_parallel_with_cache(
     program: &Program,
     pdg: &Pdg,
@@ -574,6 +799,45 @@ pub fn analyze_parallel_with_cache(
     options: &AnalysisOptions,
     cache: Option<&VerdictCache>,
 ) -> AnalysisRun {
+    let set = CheckerSet::single(checker.clone());
+    analyze_multi_parallel_with_cache(program, pdg, &set, factory, threads, options, cache)
+        .into_single()
+}
+
+/// Runs a whole [`CheckerSet`] in one fused barrier-parallel pass.
+/// Allocates a run-local verdict cache per
+/// [`AnalysisOptions::use_cache`]; use
+/// [`analyze_multi_parallel_with_cache`] to share one.
+pub fn analyze_multi_parallel(
+    program: &Program,
+    pdg: &Pdg,
+    set: &CheckerSet,
+    factory: &(dyn Fn() -> Box<dyn FeasibilityEngine> + Sync),
+    threads: usize,
+    options: &AnalysisOptions,
+) -> MultiAnalysisRun {
+    let local = VerdictCache::new();
+    let cache = options.use_cache.then_some(&local);
+    analyze_multi_parallel_with_cache(program, pdg, set, factory, threads, options, cache)
+}
+
+/// The fused barrier-parallel driver: one sharded discovery over every
+/// `(checker, source)` work item, then work-stealing over sink groups
+/// that mix candidates from all checkers (the group key is the sink
+/// function only). Workers share one [`VerdictCache`] and one
+/// [`SliceCache`] across the whole set; results merge back in canonical
+/// candidate order, so per-checker reports are byte-identical to the
+/// sequential fused driver's — and to per-checker single runs —
+/// regardless of thread count or steal order.
+pub fn analyze_multi_parallel_with_cache(
+    program: &Program,
+    pdg: &Pdg,
+    set: &CheckerSet,
+    factory: &(dyn Fn() -> Box<dyn FeasibilityEngine> + Sync),
+    threads: usize,
+    options: &AnalysisOptions,
+    cache: Option<&VerdictCache>,
+) -> MultiAnalysisRun {
     let threads = threads.max(1);
     let slice_before = options
         .slice_cache
@@ -582,11 +846,11 @@ pub fn analyze_parallel_with_cache(
         .unwrap_or_default();
     let t0 = Instant::now();
     // Sharded discovery: the barrier driver still waits for the full
-    // candidate list (use `analyze_streaming_with_cache` to overlap),
-    // but the discovery itself fans out across the same thread count,
-    // merged deterministically by source index.
+    // candidate list (use `analyze_multi_streaming_with_cache` to
+    // overlap), but the discovery itself fans out across the same thread
+    // count, merged deterministically by work-item index.
     let shards = options.discover_shards.unwrap_or(threads);
-    let discovery = discover_all(program, pdg, checker, &options.propagate, shards);
+    let discovery = discover_all_multi(program, pdg, set, &options.propagate, shards);
     let candidates = discovery.candidates;
     let propagate_time = t0.elapsed();
     let cache_before = cache.map(|c| c.stats()).unwrap_or_default();
@@ -596,7 +860,8 @@ pub fn analyze_parallel_with_cache(
         name: &'static str,
         /// `(candidate index, outcome)` pairs, in steal order.
         results: Vec<(usize, CandVerdict)>,
-        queries: usize,
+        /// Per-checker tallies (indexed by `CheckerId.0`).
+        tallies: Vec<CandTally>,
         memory: MemoryAccountant,
         stages: EngineStages,
     }
@@ -624,7 +889,7 @@ pub fn analyze_parallel_with_cache(
                 let mut out = WorkerOut {
                     name: engine.name(),
                     results: Vec::new(),
-                    queries: 0,
+                    tallies: vec![CandTally::default(); set.len()],
                     memory: MemoryAccountant::new(),
                     stages: EngineStages::default(),
                 };
@@ -636,13 +901,14 @@ pub fn analyze_parallel_with_cache(
                     let (key, idxs) = &groups[g];
                     engine.begin_group(*key);
                     for &idx in idxs {
+                        let cand = &cands[idx];
                         let v = solve_candidate(
                             program,
                             pdg,
                             engine.as_mut(),
                             cache,
-                            &cands[idx],
-                            &mut out.queries,
+                            cand,
+                            &mut out.tallies[cand.checker.0],
                         );
                         out.results.push((idx, v));
                     }
@@ -662,10 +928,7 @@ pub fn analyze_parallel_with_cache(
     // Merge in candidate order: the exact order the sequential driver
     // would have produced, independent of which worker stole what.
     let mut merged: Vec<(usize, CandVerdict)> = Vec::with_capacity(candidates.len());
-    let mut queries = 0usize;
-    for o in &outputs {
-        queries += o.queries;
-    }
+    let mut tallies = vec![CandTally::default(); set.len()];
     let engine_name = outputs.first().map(|o| o.name).unwrap_or("parallel");
     let mut memories: Vec<MemoryAccountant> = Vec::with_capacity(outputs.len());
     let mut stages = StageStats {
@@ -675,19 +938,14 @@ pub fn analyze_parallel_with_cache(
         ..StageStats::default()
     };
     for o in outputs {
+        for (t, wt) in tallies.iter_mut().zip(&o.tallies) {
+            t.add(wt);
+        }
         memories.push(o.memory);
         stages.add_engine(&o.stages);
         merged.extend(o.results);
     }
     merged.sort_by_key(|(idx, _)| *idx);
-    let mut reports: Vec<BugReport> = Vec::new();
-    let mut suppressed = 0usize;
-    for (_, v) in merged {
-        match v {
-            CandVerdict::Suppressed => suppressed += 1,
-            CandVerdict::Report(r) => reports.push(r),
-        }
-    }
 
     let graph_bytes = program.size() as u64 * BYTES_PER_DEF;
     let cache_bytes = cache.map(|c| c.bytes()).unwrap_or(0)
@@ -706,10 +964,16 @@ pub fn analyze_parallel_with_cache(
         .map(|c| c.stats().since(&slice_before))
         .unwrap_or_default();
 
-    AnalysisRun {
+    let ordered: Vec<(CheckerId, CandVerdict)> = merged
+        .into_iter()
+        .map(|(idx, v)| (candidates[idx].checker, v))
+        .collect();
+    let queries = tallies.iter().map(|t| t.queries).sum();
+    let checkers = assemble_breakdowns(set, ordered, &tallies, &discovery.per_checker_steps);
+
+    MultiAnalysisRun {
         engine: format!("{engine_name}×{threads}"),
-        reports,
-        suppressed,
+        checkers,
         candidates: candidates.len(),
         queries,
         propagate_time,
@@ -765,29 +1029,68 @@ pub fn analyze_streaming_with_cache(
     options: &AnalysisOptions,
     cache: Option<&VerdictCache>,
 ) -> AnalysisRun {
+    let set = CheckerSet::single(checker.clone());
+    analyze_multi_streaming_with_cache(program, pdg, &set, factory, threads, options, cache)
+        .into_single()
+}
+
+/// Runs a whole [`CheckerSet`] through one fused streaming pipeline.
+/// Allocates a run-local verdict cache per
+/// [`AnalysisOptions::use_cache`]; use
+/// [`analyze_multi_streaming_with_cache`] to share one.
+pub fn analyze_multi_streaming(
+    program: &Program,
+    pdg: &Pdg,
+    set: &CheckerSet,
+    factory: &(dyn Fn() -> Box<dyn FeasibilityEngine> + Sync),
+    threads: usize,
+    options: &AnalysisOptions,
+) -> MultiAnalysisRun {
+    let local = VerdictCache::new();
+    let cache = options.use_cache.then_some(&local);
+    analyze_multi_streaming_with_cache(program, pdg, set, factory, threads, options, cache)
+}
+
+/// The fused streaming driver: producers steal `(checker, source)` work
+/// items and stream completed sink groups — keyed and **routed by the
+/// sink function only** — into sticky solve workers. A sink function
+/// targeted by several checkers therefore lands on one worker, whose
+/// engine keeps one warm session and one warm instance memo across all
+/// clients of that sink. Reports merge by `(work-item, candidate)` index
+/// and are byte-identical to the fused sequential driver's at any thread
+/// count.
+pub fn analyze_multi_streaming_with_cache(
+    program: &Program,
+    pdg: &Pdg,
+    set: &CheckerSet,
+    factory: &(dyn Fn() -> Box<dyn FeasibilityEngine> + Sync),
+    threads: usize,
+    options: &AnalysisOptions,
+    cache: Option<&VerdictCache>,
+) -> MultiAnalysisRun {
     let threads = threads.max(1);
     if threads == 1 {
         let mut engine = factory();
-        let name = engine.name();
-        let mut run = analyze_with_cache(program, pdg, checker, engine.as_mut(), options, cache);
-        run.engine = format!("{name}×1");
+        let mut run = analyze_multi_with_cache(program, pdg, set, engine.as_mut(), options, cache);
+        run.engine = format!("{}×1", run.engine);
         return run;
     }
 
-    /// One unit of streamed work: the candidates of one (source, sink
+    /// One unit of streamed work: the candidates of one (work item, sink
     /// function) group, tagged for the deterministic merge.
     struct StreamGroup {
-        source_idx: usize,
+        item_idx: usize,
         sink_key: u64,
-        /// `(candidate index within the source, candidate)`.
+        /// `(candidate index within the work item, candidate)`.
         cands: Vec<(usize, Candidate)>,
     }
 
     struct WorkerOut {
         name: &'static str,
-        /// `((source index, local candidate index), outcome)` pairs.
+        /// `((work-item index, local candidate index), outcome)` pairs.
         results: Vec<((usize, usize), CandVerdict)>,
-        queries: usize,
+        /// Per-checker tallies (indexed by `CheckerId.0`).
+        tallies: Vec<CandTally>,
         memory: MemoryAccountant,
         stages: EngineStages,
     }
@@ -799,11 +1102,11 @@ pub fn analyze_streaming_with_cache(
         .unwrap_or_default();
     let cache_before = cache.map(|c| c.stats()).unwrap_or_default();
 
-    let sources = source_vertices(program, checker);
+    let items = multi_source_vertices(program, set);
     let producers = options
         .discover_shards
         .unwrap_or(threads)
-        .clamp(1, sources.len().max(1));
+        .clamp(1, items.len().max(1));
     // One bounded queue per solve worker, with groups routed by
     // `sink_key % threads`. Sticky routing sends every group of one sink
     // function to the same worker, so the engine's group-scoped state
@@ -815,39 +1118,46 @@ pub fn analyze_streaming_with_cache(
     let queues: Vec<BoundedQueue<StreamGroup>> = (0..threads)
         .map(|_| BoundedQueue::new(2, producers))
         .collect();
-    let src_cursor = AtomicUsize::new(0);
+    let item_cursor = AtomicUsize::new(0);
     let producers_left = AtomicUsize::new(producers);
     let discover_span: Mutex<Duration> = Mutex::new(Duration::ZERO);
     let discover_steps = std::sync::atomic::AtomicU64::new(0);
+    let per_checker_steps: Mutex<Vec<u64>> = Mutex::new(vec![0u64; set.len()]);
     let candidates_total = AtomicUsize::new(0);
     let discovery_accts: Mutex<Vec<MemoryAccountant>> = Mutex::new(Vec::new());
 
     let t0 = Instant::now();
     let outputs: Vec<WorkerOut> = std::thread::scope(|scope| {
-        // Discovery shards (producers): steal sources, group each
-        // source's candidates by sink function, stream the groups out.
+        // Discovery shards (producers): steal (checker, source) work
+        // items, group each item's candidates by sink function, stream
+        // the groups out.
         for _ in 0..producers {
             let queues = &queues;
-            let src_cursor = &src_cursor;
+            let item_cursor = &item_cursor;
             let producers_left = &producers_left;
             let discover_span = &discover_span;
             let discover_steps = &discover_steps;
+            let per_checker_steps = &per_checker_steps;
             let candidates_total = &candidates_total;
             let discovery_accts = &discovery_accts;
-            let sources = &sources;
+            let items = &items;
             scope.spawn(move || {
                 let mut acct = MemoryAccountant::new();
+                let mut local_steps = vec![0u64; set.len()];
                 loop {
-                    let i = src_cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= sources.len() {
+                    let i = item_cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
                         break;
                     }
-                    let d = discover_source(program, pdg, checker, &options.propagate, sources[i]);
+                    let (id, src) = items[i];
+                    let d =
+                        discover_source_for(program, pdg, set.get(id), id, &options.propagate, src);
                     acct.charge(Category::Graph, d.state_bytes);
                     acct.release(Category::Graph, d.state_bytes);
                     discover_steps.fetch_add(d.steps, Ordering::Relaxed);
+                    local_steps[id.0] += d.steps;
                     candidates_total.fetch_add(d.candidates.len(), Ordering::Relaxed);
-                    // Group by sink function within the source
+                    // Group by sink function within the work item
                     // (first-occurrence order), preserving local indices
                     // for the merge.
                     let mut order: Vec<StreamGroup> = Vec::new();
@@ -860,7 +1170,7 @@ pub fn analyze_streaming_with_cache(
                             None => {
                                 slot.insert(key, order.len());
                                 order.push(StreamGroup {
-                                    source_idx: i,
+                                    item_idx: i,
                                     sink_key: key,
                                     cands: vec![(local, cand)],
                                 });
@@ -880,6 +1190,11 @@ pub fn analyze_streaming_with_cache(
                 for queue in queues {
                     queue.producer_done();
                 }
+                let mut shared = per_checker_steps.lock().expect("steps lock");
+                for (s, l) in shared.iter_mut().zip(&local_steps) {
+                    *s += l;
+                }
+                drop(shared);
                 discovery_accts.lock().expect("acct lock").push(acct);
             });
         }
@@ -895,17 +1210,19 @@ pub fn analyze_streaming_with_cache(
                 let mut out = WorkerOut {
                     name: engine.name(),
                     results: Vec::new(),
-                    queries: 0,
+                    tallies: vec![CandTally::default(); set.len()],
                     memory: MemoryAccountant::new(),
                     stages: EngineStages::default(),
                 };
                 // Streamed groups fragment one sink function across many
-                // sources; a group boundary is only announced when the
-                // sink key actually changes, so the engine's group-scoped
-                // state spans the fragments exactly as it spans the
-                // barrier driver's single global group. (Verdicts never
-                // depend on where boundaries fall — `begin_group`'s
-                // contract — so this is purely a time/space trade.)
+                // work items — including items of *different checkers*
+                // that share the sink; a group boundary is only announced
+                // when the sink key actually changes, so the engine's
+                // group-scoped state spans the fragments (and the
+                // checkers) exactly as it spans the barrier driver's
+                // single global group. (Verdicts never depend on where
+                // boundaries fall — `begin_group`'s contract — so this is
+                // purely a time/space trade.)
                 let mut last_key: Option<u64> = None;
                 while let Some(group) = queue.recv() {
                     if last_key != Some(group.sink_key) {
@@ -913,15 +1230,16 @@ pub fn analyze_streaming_with_cache(
                         last_key = Some(group.sink_key);
                     }
                     for (local_idx, cand) in &group.cands {
+                        let checker_idx = cand.checker.0;
                         let v = solve_candidate(
                             program,
                             pdg,
                             engine.as_mut(),
                             cache,
                             cand,
-                            &mut out.queries,
+                            &mut out.tallies[checker_idx],
                         );
-                        out.results.push(((group.source_idx, *local_idx), v));
+                        out.results.push(((group.item_idx, *local_idx), v));
                     }
                 }
                 out.memory = engine.memory().clone();
@@ -938,10 +1256,12 @@ pub fn analyze_streaming_with_cache(
     let propagate_time = *discover_span.lock().expect("span lock");
     let solve_time = pipeline_wall.saturating_sub(propagate_time);
 
-    // Deterministic merge: (source index, candidate index within the
-    // source) reproduces the sequential discovery order exactly.
+    // Deterministic merge: (work-item index, candidate index within the
+    // item) reproduces the fused sequential discovery order exactly —
+    // checker-major, since the work list is `(checker_idx, source_idx)`
+    // ordered.
     let mut merged: Vec<((usize, usize), CandVerdict)> = Vec::new();
-    let mut queries = 0usize;
+    let mut tallies = vec![CandTally::default(); set.len()];
     let engine_name = outputs.first().map(|o| o.name).unwrap_or("streaming");
     let mut memories: Vec<MemoryAccountant> = Vec::with_capacity(outputs.len());
     let mut stages = StageStats {
@@ -951,20 +1271,14 @@ pub fn analyze_streaming_with_cache(
         ..StageStats::default()
     };
     for o in outputs {
-        queries += o.queries;
+        for (t, wt) in tallies.iter_mut().zip(&o.tallies) {
+            t.add(wt);
+        }
         memories.push(o.memory);
         stages.add_engine(&o.stages);
         merged.extend(o.results);
     }
     merged.sort_by_key(|(key, _)| *key);
-    let mut reports: Vec<BugReport> = Vec::new();
-    let mut suppressed = 0usize;
-    for (_, v) in merged {
-        match v {
-            CandVerdict::Suppressed => suppressed += 1,
-            CandVerdict::Report(r) => reports.push(r),
-        }
-    }
 
     let graph_bytes = program.size() as u64 * BYTES_PER_DEF;
     let cache_bytes = cache.map(|c| c.bytes()).unwrap_or(0)
@@ -984,10 +1298,17 @@ pub fn analyze_streaming_with_cache(
         .map(|c| c.stats().since(&slice_before))
         .unwrap_or_default();
 
-    AnalysisRun {
+    let ordered: Vec<(CheckerId, CandVerdict)> = merged
+        .into_iter()
+        .map(|((item_idx, _), v)| (items[item_idx].0, v))
+        .collect();
+    let queries = tallies.iter().map(|t| t.queries).sum();
+    let per_checker_steps = per_checker_steps.into_inner().expect("steps lock");
+    let checkers = assemble_breakdowns(set, ordered, &tallies, &per_checker_steps);
+
+    MultiAnalysisRun {
         engine: format!("{engine_name}×{threads}"),
-        reports,
-        suppressed,
+        checkers,
         candidates: candidates_total.load(Ordering::Relaxed),
         queries,
         propagate_time,
@@ -1186,6 +1507,151 @@ mod tests {
             assert_eq!(a, b, "cache must not change reports");
             assert_eq!(uncached.suppressed, cached.suppressed);
         }
+    }
+
+    const FUSED_SRC: &str = "extern fn deref(p); extern fn gets(); extern fn fopen(x);\n\
+         extern fn getpass(); extern fn sendmsg(y);\n\
+         fn a(c) { let q = null; let r = 1; if (c > 0) { r = q; } deref(r); return 0; }\n\
+         fn b(c) { let t = gets(); if (c > 1) { fopen(t); } return 0; }\n\
+         fn d() { let s = getpass(); sendmsg(s); return 0; }";
+
+    fn report_key(r: &BugReport) -> (Vertex, Vertex, Feasibility, Vec<Vertex>) {
+        (r.source, r.sink, r.verdict, r.path.nodes.clone())
+    }
+
+    #[test]
+    fn fused_multi_matches_per_checker_runs() {
+        let p = compile(FUSED_SRC, CompileOptions::default()).expect("compile");
+        let g = Pdg::build(&p);
+        let set = CheckerSet::all();
+        let mut engine = FusionSolver::new(SolverConfig::default());
+        let fused = analyze_multi(&p, &g, &set, &mut engine, &AnalysisOptions::new());
+        assert_eq!(fused.checkers.len(), 3);
+        assert_eq!(
+            fused.checkers.iter().map(|b| b.candidates).sum::<usize>(),
+            fused.candidates
+        );
+        assert_eq!(
+            fused.checkers.iter().map(|b| b.queries).sum::<usize>(),
+            fused.queries
+        );
+        for (id, checker) in set.iter() {
+            let mut e = FusionSolver::new(SolverConfig::default());
+            let single = analyze(&p, &g, checker, &mut e, &AnalysisOptions::new());
+            let b = &fused.checkers[id.0];
+            assert_eq!(b.kind, checker.kind);
+            assert_eq!(b.candidates, single.candidates, "candidates for {id}");
+            assert_eq!(b.suppressed, single.suppressed, "suppressed for {id}");
+            let av: Vec<_> = single.reports.iter().map(report_key).collect();
+            let bv: Vec<_> = b.reports.iter().map(report_key).collect();
+            assert_eq!(av, bv, "reports for {id}");
+        }
+        // The flattened view concatenates per-checker reports.
+        assert_eq!(
+            fused.all_reports().count(),
+            fused
+                .checkers
+                .iter()
+                .map(|b| b.reports.len())
+                .sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn fused_parallel_and_streaming_match_fused_sequential() {
+        let p = compile(FUSED_SRC, CompileOptions::default()).expect("compile");
+        let g = Pdg::build(&p);
+        let set = CheckerSet::all();
+        let mut engine = FusionSolver::new(SolverConfig::default());
+        let seq = analyze_multi(&p, &g, &set, &mut engine, &AnalysisOptions::new());
+        for threads in [1usize, 2, 4] {
+            let par = analyze_multi_parallel(
+                &p,
+                &g,
+                &set,
+                &fusion_factory,
+                threads,
+                &AnalysisOptions::new(),
+            );
+            let stream = analyze_multi_streaming(
+                &p,
+                &g,
+                &set,
+                &fusion_factory,
+                threads,
+                &AnalysisOptions::new(),
+            );
+            assert_eq!(par.engine, format!("fusion×{threads}"));
+            assert_eq!(stream.engine, format!("fusion×{threads}"));
+            for run in [&par, &stream] {
+                assert_eq!(run.candidates, seq.candidates, "threads={threads}");
+                for (sb, rb) in seq.checkers.iter().zip(&run.checkers) {
+                    assert_eq!(sb.kind, rb.kind);
+                    assert_eq!(sb.suppressed, rb.suppressed, "threads={threads}");
+                    let a: Vec<_> = sb.reports.iter().map(report_key).collect();
+                    let b: Vec<_> = rb.reports.iter().map(report_key).collect();
+                    assert_eq!(a, b, "threads={threads} kind={}", sb.kind);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_pass_shares_sessions_and_discovery() {
+        // Three per-checker passes open at least one session per checker
+        // with candidates; the fused pass shares groups keyed on the sink
+        // function only, so it can never open more sessions than the sum.
+        let p = compile(FUSED_SRC, CompileOptions::default()).expect("compile");
+        let g = Pdg::build(&p);
+        let set = CheckerSet::all();
+        let mut engine = FusionSolver::new(SolverConfig::default());
+        let fused = analyze_multi(&p, &g, &set, &mut engine, &AnalysisOptions::without_cache());
+        assert!(fused.stages.sessions_opened >= 1);
+        let mut loop_sessions = 0u64;
+        let mut loop_steps = 0u64;
+        for (_, checker) in set.iter() {
+            let mut e = FusionSolver::new(SolverConfig::default());
+            let run = analyze(&p, &g, checker, &mut e, &AnalysisOptions::without_cache());
+            loop_sessions += run.stages.sessions_opened;
+            loop_steps += run.stages.discovery_steps;
+        }
+        assert!(fused.stages.sessions_opened <= loop_sessions);
+        // Discovery work is identical — it is the redundant *passes* the
+        // fusion removes, not steps.
+        assert_eq!(fused.stages.discovery_steps, loop_steps);
+        assert_eq!(
+            fused
+                .checkers
+                .iter()
+                .map(|b| b.discovery_steps)
+                .sum::<u64>(),
+            fused.stages.discovery_steps
+        );
+    }
+
+    #[test]
+    fn single_checker_wrappers_ride_the_fused_path() {
+        // The singleton-set wrappers must report exactly what the fused
+        // driver's breakdown holds.
+        let p = compile(MULTI_SRC, CompileOptions::default()).expect("compile");
+        let g = Pdg::build(&p);
+        let set = CheckerSet::single(Checker::null_deref());
+        let mut e1 = FusionSolver::new(SolverConfig::default());
+        let multi = analyze_multi(&p, &g, &set, &mut e1, &AnalysisOptions::new());
+        let mut e2 = FusionSolver::new(SolverConfig::default());
+        let single = analyze(
+            &p,
+            &g,
+            &Checker::null_deref(),
+            &mut e2,
+            &AnalysisOptions::new(),
+        );
+        assert_eq!(multi.checkers.len(), 1);
+        let a: Vec<_> = multi.checkers[0].reports.iter().map(report_key).collect();
+        let b: Vec<_> = single.reports.iter().map(report_key).collect();
+        assert_eq!(a, b);
+        assert_eq!(multi.candidates, single.candidates);
+        assert_eq!(multi.queries, single.queries);
     }
 
     #[test]

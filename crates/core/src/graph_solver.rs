@@ -820,6 +820,12 @@ impl FeasibilityEngine for FusionSolver {
             // and CNF variables are resident *across* queries (set-based
             // accounting); the assembled condition is a transient spike on
             // top of them during the query.
+            if self.session.is_none() {
+                // A fresh session opens here (first real query after a
+                // group boundary) — the counter the multi-client bench
+                // uses to show cross-checker groups share sessions.
+                self.stages.sessions_opened += 1;
+            }
             let session = self.session.get_or_insert_with(SolveSession::new);
             let out = session.solve_formula(&mut self.pool, formula, &cfg);
             let resident = session.permanent_clauses() as u64 * 16 + session.cnf_vars() as u64 * 8;

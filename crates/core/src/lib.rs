@@ -14,9 +14,10 @@
 //!   the Fig. 9 label deletion);
 //! * [`graph_solver`] — the IR-based SMT solutions: Algorithm 4
 //!   (unoptimized) and Algorithm 6 (the Fusion solver);
-//! * [`engine`] — the driver (sequential and work-stealing parallel), the
-//!   [`engine::FeasibilityEngine`] trait the baselines also implement, and
-//!   bug reports;
+//! * [`engine`] — the drivers (sequential, work-stealing barrier, and
+//!   streaming — each fused over a whole [`checkers::CheckerSet`] in one
+//!   multi-client pass), the [`engine::FeasibilityEngine`] trait the
+//!   baselines also implement, and bug reports;
 //! * [`cache`] — the sharded feasibility-verdict memo cache shared across
 //!   worker engines;
 //! * [`slice_cache`] — the sharded LRU memo of slice *closures* (dependence
@@ -63,11 +64,13 @@ pub mod slice_cache;
 pub mod stream;
 
 pub use cache::{path_set_key, CacheStats, VerdictCache};
-pub use checkers::{default_checkers, CheckKind, Checker};
+pub use checkers::{default_checkers, CheckKind, Checker, CheckerId, CheckerSet};
 pub use engine::{
-    analyze, analyze_parallel, analyze_parallel_with_cache, analyze_streaming,
-    analyze_streaming_with_cache, analyze_with_cache, AnalysisOptions, AnalysisRun, BugReport,
-    CheckOutcome, Feasibility, FeasibilityEngine, SolveRecord, StageStats,
+    analyze, analyze_multi, analyze_multi_parallel, analyze_multi_parallel_with_cache,
+    analyze_multi_streaming, analyze_multi_streaming_with_cache, analyze_multi_with_cache,
+    analyze_parallel, analyze_parallel_with_cache, analyze_streaming, analyze_streaming_with_cache,
+    analyze_with_cache, AnalysisOptions, AnalysisRun, BugReport, CheckOutcome, CheckerBreakdown,
+    Feasibility, FeasibilityEngine, MultiAnalysisRun, SolveRecord, StageStats,
 };
 pub use graph_solver::{FusionSolver, UnoptimizedGraphSolver};
 pub use memory::{run_accounting, Category, MemoryAccountant};

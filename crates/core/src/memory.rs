@@ -154,6 +154,13 @@ impl MemoryAccountant {
 /// Using one function for both drivers keeps the sequential and parallel
 /// peak numbers directly comparable: a 1-thread parallel run reports
 /// exactly the same peak as the sequential run with the same engine.
+///
+/// The fused multi-client drivers also route through here, so a
+/// `--checker all` scan reports one *true whole-scan peak* — every
+/// engine accountant that was live during the single fused pass, plus
+/// the graph and caches charged once — rather than the max over three
+/// independent per-checker passes (which would under-count nothing but
+/// also share nothing).
 pub fn run_accounting<'a>(
     engines: impl IntoIterator<Item = &'a MemoryAccountant>,
     graph_bytes: u64,

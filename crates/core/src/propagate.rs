@@ -26,7 +26,7 @@
 //!   kept verbatim as the oracle for the equivalence proptest
 //!   (`tests/discovery_prop.rs`).
 
-use crate::checkers::Checker;
+use crate::checkers::{Checker, CheckerId, CheckerSet};
 use crate::memory::{Category, MemoryAccountant};
 use fusion_ir::ssa::{CallSiteId, Program};
 use fusion_pdg::graph::{FlowTarget, Pdg, Vertex};
@@ -65,6 +65,12 @@ impl Default for PropagateOptions {
 /// makes the candidate a bug.
 #[derive(Debug, Clone)]
 pub struct Candidate {
+    /// The client checker this candidate belongs to — [`CheckerId(0)`]
+    /// for single-checker discovery, the checker's index in the
+    /// [`CheckerSet`] for a fused multi-client pass.
+    ///
+    /// [`CheckerId(0)`]: crate::checkers::CheckerId
+    pub checker: CheckerId,
     /// Where the fact is born.
     pub source: Vertex,
     /// The sink call statement the fact reaches.
@@ -130,6 +136,9 @@ struct Dfs<'a> {
     program: &'a Program,
     pdg: &'a Pdg,
     checker: &'a Checker,
+    /// Tag stamped on every recorded candidate (the client identity of a
+    /// fused multi-checker pass).
+    checker_id: CheckerId,
     opts: PropagateOptions,
     steps: usize,
     candidates: Vec<Candidate>,
@@ -152,12 +161,14 @@ impl<'a> Dfs<'a> {
         program: &'a Program,
         pdg: &'a Pdg,
         checker: &'a Checker,
+        checker_id: CheckerId,
         opts: PropagateOptions,
     ) -> Self {
         Self {
             program,
             pdg,
             checker,
+            checker_id,
             opts,
             steps: 0,
             candidates: Vec::new(),
@@ -185,6 +196,7 @@ impl<'a> Dfs<'a> {
                 debug_assert!(full.is_realizable());
                 e.insert(self.candidates.len());
                 self.candidates.push(Candidate {
+                    checker: self.checker_id,
                     source,
                     sink,
                     paths: vec![full],
@@ -291,6 +303,22 @@ pub fn source_vertices(program: &Program, checker: &Checker) -> Vec<Vertex> {
     sources
 }
 
+/// The fused multi-client work list: every `(checker, source)` pair in
+/// canonical order — checkers in [`CheckerSet`] order, then that
+/// checker's sources in [`source_vertices`] order. This is the unit of
+/// work the fused discovery shards (and the streaming producers) steal;
+/// merging per-item results back in item order keeps the fused pass
+/// byte-deterministic at any shard count.
+pub fn multi_source_vertices(program: &Program, set: &CheckerSet) -> Vec<(CheckerId, Vertex)> {
+    let mut items = Vec::new();
+    for (id, checker) in set.iter() {
+        for v in source_vertices(program, checker) {
+            items.push((id, v));
+        }
+    }
+    items
+}
+
 /// One source's worth of discovery — the unit of work the streaming
 /// pipeline's producer shards run and push downstream.
 #[derive(Debug)]
@@ -304,17 +332,19 @@ pub struct SourceDiscovery {
     pub state_bytes: u64,
 }
 
-/// Runs the DFS for a single source vertex (one element of
-/// [`source_vertices`]). The concatenation of `discover_source` results
-/// in source order is exactly [`discover`]'s output.
-pub fn discover_source(
+/// Runs the DFS for a single `(checker, source)` work item (one element
+/// of [`multi_source_vertices`]); every recorded candidate is stamped
+/// with `id`. The concatenation of results in work-item order is exactly
+/// [`discover_all_multi`]'s output.
+pub fn discover_source_for(
     program: &Program,
     pdg: &Pdg,
     checker: &Checker,
+    id: CheckerId,
     opts: &PropagateOptions,
     source: Vertex,
 ) -> SourceDiscovery {
-    let mut dfs = Dfs::new(program, pdg, checker, *opts);
+    let mut dfs = Dfs::new(program, pdg, checker, id, *opts);
     let mut path = DependencePath::unit(source);
     let mut stack = CallStack::new();
     dfs.explore(&mut path, &mut stack);
@@ -325,26 +355,29 @@ pub fn discover_source(
     }
 }
 
-/// Internal adapter returning `(candidates, steps, state_bytes)`.
-fn explore_source(
+/// Single-checker convenience wrapper over [`discover_source_for`]
+/// (candidates tagged [`CheckerId`]`(0)`, i.e. a singleton set).
+pub fn discover_source(
     program: &Program,
     pdg: &Pdg,
     checker: &Checker,
     opts: &PropagateOptions,
     source: Vertex,
-) -> (Vec<Candidate>, u64, u64) {
-    let d = discover_source(program, pdg, checker, opts, source);
-    (d.candidates, d.steps, d.state_bytes)
+) -> SourceDiscovery {
+    discover_source_for(program, pdg, checker, CheckerId(0), opts, source)
 }
 
 /// The result of a (possibly sharded) discovery pass.
 #[derive(Debug, Default)]
 pub struct Discovery {
-    /// All candidates, in the canonical sequential order (source order,
-    /// then DFS order within a source) regardless of shard count.
+    /// All candidates, in the canonical sequential order (work-item
+    /// order `(checker_idx, source_idx)`, then DFS order within a
+    /// source) regardless of shard count.
     pub candidates: Vec<Candidate>,
-    /// Total DFS steps across all sources.
+    /// Total DFS steps across all work items.
     pub steps: u64,
+    /// DFS steps attributed per checker (indexed by `CheckerId.0`).
+    pub per_checker_steps: Vec<u64>,
     /// How many shards actually ran.
     pub shards: usize,
     /// One accountant per shard, tracking transient visited-set bytes
@@ -354,44 +387,51 @@ pub struct Discovery {
     pub memory: Vec<MemoryAccountant>,
 }
 
-/// Runs sparse propagation for one checker across `shards` worker
-/// threads. Sources are partitioned dynamically (atomic cursor); each
-/// shard runs the DFS independently, and the per-source results are
-/// merged back in source order, so the output is **byte-identical to
-/// the sequential run** (`shards == 1`) at any shard count.
-pub fn discover_all(
+/// Runs sparse propagation for a whole [`CheckerSet`] in **one fused
+/// pass** across `shards` worker threads. The work list is every
+/// `(checker, source)` pair ([`multi_source_vertices`]); shards steal
+/// items off an atomic cursor and the per-item results are merged back
+/// in canonical `(checker_idx, source_idx)` order, so the output is
+/// **byte-identical to the sequential run** (`shards == 1`) at any
+/// shard count, and the per-checker candidate subsequence is exactly
+/// what a single-checker [`discover_all`] over that checker produces.
+pub fn discover_all_multi(
     program: &Program,
     pdg: &Pdg,
-    checker: &Checker,
+    set: &CheckerSet,
     opts: &PropagateOptions,
     shards: usize,
 ) -> Discovery {
-    let sources = source_vertices(program, checker);
-    let shards = shards.clamp(1, sources.len().max(1));
+    let items = multi_source_vertices(program, set);
+    let shards = shards.clamp(1, items.len().max(1));
     if shards <= 1 {
         let mut acct = MemoryAccountant::new();
         let mut candidates = Vec::new();
         let mut steps = 0u64;
-        for &src in &sources {
-            let (cs, st, bytes) = explore_source(program, pdg, checker, opts, src);
-            acct.charge(Category::Graph, bytes);
-            acct.release(Category::Graph, bytes);
-            steps += st;
-            candidates.extend(cs);
+        let mut per_checker_steps = vec![0u64; set.len()];
+        for &(id, src) in &items {
+            let d = discover_source_for(program, pdg, set.get(id), id, opts, src);
+            acct.charge(Category::Graph, d.state_bytes);
+            acct.release(Category::Graph, d.state_bytes);
+            steps += d.steps;
+            per_checker_steps[id.0] += d.steps;
+            candidates.extend(d.candidates);
         }
         return Discovery {
             candidates,
             steps,
+            per_checker_steps,
             shards: 1,
             memory: vec![acct],
         };
     }
 
-    // Sharded: shards steal sources off an atomic cursor; every source's
-    // output is tagged with its index so the merge is deterministic.
+    // Sharded: shards steal (checker, source) items off an atomic
+    // cursor; every item's output is tagged with its index so the merge
+    // is deterministic.
     let cursor = AtomicUsize::new(0);
-    let per_source: Mutex<Vec<(usize, Vec<Candidate>, u64)>> =
-        Mutex::new(Vec::with_capacity(sources.len()));
+    let per_item: Mutex<Vec<(usize, Vec<Candidate>, u64)>> =
+        Mutex::new(Vec::with_capacity(items.len()));
     let accountants: Mutex<Vec<MemoryAccountant>> = Mutex::new(Vec::with_capacity(shards));
     std::thread::scope(|scope| {
         for _ in 0..shards {
@@ -400,33 +440,56 @@ pub fn discover_all(
                 let mut local: Vec<(usize, Vec<Candidate>, u64)> = Vec::new();
                 loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= sources.len() {
+                    if i >= items.len() {
                         break;
                     }
-                    let (cs, st, bytes) = explore_source(program, pdg, checker, opts, sources[i]);
-                    acct.charge(Category::Graph, bytes);
-                    acct.release(Category::Graph, bytes);
-                    local.push((i, cs, st));
+                    let (id, src) = items[i];
+                    let d = discover_source_for(program, pdg, set.get(id), id, opts, src);
+                    acct.charge(Category::Graph, d.state_bytes);
+                    acct.release(Category::Graph, d.state_bytes);
+                    local.push((i, d.candidates, d.steps));
                 }
-                per_source.lock().unwrap().extend(local);
+                per_item.lock().unwrap().extend(local);
                 accountants.lock().unwrap().push(acct);
             });
         }
     });
-    let mut per_source = per_source.into_inner().unwrap();
-    per_source.sort_by_key(|(i, _, _)| *i);
+    let mut per_item = per_item.into_inner().unwrap();
+    per_item.sort_by_key(|(i, _, _)| *i);
     let mut candidates = Vec::new();
     let mut steps = 0u64;
-    for (_, cs, st) in per_source {
+    let mut per_checker_steps = vec![0u64; set.len()];
+    for (i, cs, st) in per_item {
         candidates.extend(cs);
         steps += st;
+        per_checker_steps[items[i].0 .0] += st;
     }
     Discovery {
         candidates,
         steps,
+        per_checker_steps,
         shards,
         memory: accountants.into_inner().unwrap(),
     }
+}
+
+/// Runs sparse propagation for one checker across `shards` worker
+/// threads — a thin wrapper over [`discover_all_multi`] with a
+/// singleton [`CheckerSet`] (all candidates tagged [`CheckerId`]`(0)`).
+pub fn discover_all(
+    program: &Program,
+    pdg: &Pdg,
+    checker: &Checker,
+    opts: &PropagateOptions,
+    shards: usize,
+) -> Discovery {
+    discover_all_multi(
+        program,
+        pdg,
+        &CheckerSet::single(checker.clone()),
+        opts,
+        shards,
+    )
 }
 
 /// Runs sparse propagation for one checker, returning all (source, sink)
@@ -472,6 +535,7 @@ impl<'a> RefDfs<'a> {
             }
         } else {
             self.candidates.push(Candidate {
+                checker: CheckerId(0),
                 source,
                 sink,
                 paths: vec![full],
@@ -819,6 +883,82 @@ mod tests {
                 assert_eq!(ap, bp, "shards={shards}");
             }
             // Transient DFS bytes were charged and released on every shard.
+            for acct in &sharded.memory {
+                assert_eq!(acct.current(Category::Graph), 0);
+            }
+        }
+    }
+
+    /// A program that exercises all three default checkers at once.
+    fn multi_program() -> (Program, Pdg) {
+        let src = "extern fn deref(p); extern fn gets(); extern fn fopen(x);\n\
+             extern fn getpass(); extern fn sendmsg(y);\n\
+             fn a() { let q = null; deref(q); return 0; }\n\
+             fn b() { let t = gets(); fopen(t); return 0; }\n\
+             fn c() { let s = getpass(); sendmsg(s); return 0; }\n";
+        let p = compile(src, CompileOptions::default()).expect("compile");
+        let g = Pdg::build(&p);
+        (p, g)
+    }
+
+    /// The fused pass is the concatenation of per-checker passes in
+    /// checker order, with every candidate tagged by its client.
+    #[test]
+    fn fused_discovery_is_checker_major_concatenation() {
+        use crate::checkers::CheckerSet;
+        let (p, g) = multi_program();
+        let opts = PropagateOptions::default();
+        let set = CheckerSet::all();
+        let fused = discover_all_multi(&p, &g, &set, &opts, 1);
+        assert_eq!(fused.per_checker_steps.len(), set.len());
+        assert_eq!(fused.per_checker_steps.iter().sum::<u64>(), fused.steps);
+
+        let mut expected = Vec::new();
+        for (id, checker) in set.iter() {
+            let single = discover_all(&p, &g, checker, &opts, 1);
+            assert_eq!(
+                fused.per_checker_steps[id.0], single.steps,
+                "per-checker step attribution for {id}"
+            );
+            for mut c in single.candidates {
+                c.checker = id; // single-checker passes tag CheckerId(0)
+                expected.push(c);
+            }
+        }
+        assert_eq!(fused.candidates.len(), expected.len());
+        for (f, e) in fused.candidates.iter().zip(&expected) {
+            assert_eq!(f.checker, e.checker);
+            assert_eq!(f.source, e.source);
+            assert_eq!(f.sink, e.sink);
+            let fp: Vec<_> = f.paths.iter().map(|p| (&p.nodes, &p.links)).collect();
+            let ep: Vec<_> = e.paths.iter().map(|p| (&p.nodes, &p.links)).collect();
+            assert_eq!(fp, ep);
+        }
+    }
+
+    /// Sharded fused discovery merges back into the canonical
+    /// `(checker_idx, source_idx)` order exactly.
+    #[test]
+    fn sharded_multi_discovery_is_deterministic() {
+        use crate::checkers::CheckerSet;
+        let (p, g) = multi_program();
+        let opts = PropagateOptions::default();
+        let set = CheckerSet::all();
+        let seq = discover_all_multi(&p, &g, &set, &opts, 1);
+        assert!(seq.candidates.len() >= 3);
+        for shards in 2..=8 {
+            let sharded = discover_all_multi(&p, &g, &set, &opts, shards);
+            assert_eq!(sharded.steps, seq.steps, "shards={shards}");
+            assert_eq!(
+                sharded.per_checker_steps, seq.per_checker_steps,
+                "shards={shards}"
+            );
+            assert_eq!(sharded.candidates.len(), seq.candidates.len());
+            for (a, b) in sharded.candidates.iter().zip(&seq.candidates) {
+                assert_eq!(a.checker, b.checker, "shards={shards}");
+                assert_eq!(a.source, b.source, "shards={shards}");
+                assert_eq!(a.sink, b.sink, "shards={shards}");
+            }
             for acct in &sharded.memory {
                 assert_eq!(acct.current(Category::Graph), 0);
             }

@@ -5,7 +5,7 @@
 //! what a code reviewer needs to triage the finding — and renders whole
 //! report batches grouped by function.
 
-use crate::engine::{BugReport, Feasibility};
+use crate::engine::{BugReport, Feasibility, MultiAnalysisRun};
 use fusion_ir::ssa::{DefKind, Program};
 use fusion_pdg::paths::Link;
 use std::fmt::Write as _;
@@ -74,6 +74,39 @@ pub fn render_reports(program: &Program, reports: &[BugReport]) -> String {
     out
 }
 
+/// Renders a fused multi-checker run: one section per checker (in
+/// [`CheckerSet`][crate::checkers::CheckerSet] order) with that
+/// checker's finding count, suppression count, and traces, plus a
+/// whole-run summary header.
+pub fn render_multi(program: &Program, run: &MultiAnalysisRun) -> String {
+    let mut out = String::new();
+    let total: usize = run.checkers.iter().map(|b| b.reports.len()).sum();
+    let _ = writeln!(
+        out,
+        "{total} finding(s) across {} checker(s) [{}]",
+        run.checkers.len(),
+        run.engine
+    );
+    for b in &run.checkers {
+        let _ = writeln!(
+            out,
+            "== {}: {} finding(s), {} suppressed, {} candidate(s), {} query(ies)",
+            b.kind,
+            b.reports.len(),
+            b.suppressed,
+            b.candidates,
+            b.queries
+        );
+        let mut sorted: Vec<&BugReport> = b.reports.iter().collect();
+        sorted.sort_by_key(|r| (r.source, r.sink));
+        for r in sorted {
+            out.push_str(&render_report(program, r));
+            out.push('\n');
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -114,6 +147,33 @@ mod tests {
         assert!(text.contains("a call to `deref`"), "{text}");
         // One line per path vertex plus the header.
         assert_eq!(text.lines().count(), reports[0].path.nodes.len() + 1);
+    }
+
+    #[test]
+    fn multi_rendering_sections_per_checker() {
+        use crate::checkers::CheckerSet;
+        use crate::engine::analyze_multi;
+        let src = "extern fn deref(p);\n\
+             extern fn gets(p);\n\
+             extern fn fopen(p);\n\
+             fn a() { let q = null; deref(q); return 0; }\n\
+             fn b(x) { let t = gets(x); fopen(t); return 0; }";
+        let program = compile(src, CompileOptions::default()).expect("compile");
+        let pdg = Pdg::build(&program);
+        let mut engine = FusionSolver::new(SolverConfig::default());
+        let set = CheckerSet::all();
+        let run = analyze_multi(&program, &pdg, &set, &mut engine, &AnalysisOptions::new());
+        let text = render_multi(&program, &run);
+        assert!(text.contains("across 3 checker(s)"), "{text}");
+        let nd = text.find("== null-deref:").expect("null-deref section");
+        let c23 = text.find("== cwe-23:").expect("cwe-23 section");
+        let c402 = text.find("== cwe-402:").expect("cwe-402 section");
+        assert!(nd < c23 && c23 < c402, "sections in CheckerSet order");
+        assert!(text.contains("== null-deref: 1 finding(s)"), "{text}");
+        assert!(text.contains("== cwe-23: 1 finding(s)"), "{text}");
+        assert!(text.contains("== cwe-402: 0 finding(s)"), "{text}");
+        let total: usize = run.checkers.iter().map(|b| b.reports.len()).sum();
+        assert!(text.starts_with(&format!("{total} finding(s)")), "{text}");
     }
 
     #[test]

@@ -8,7 +8,11 @@
 //! their entire dependence structure. [`SliceCache`] memoizes the
 //! closure under the same canonical content hash the verdict cache uses
 //! ([`crate::cache::path_set_key`]), shared across alternative paths,
-//! candidates, worker engines, and runs.
+//! candidates, worker engines, runs — and, in the fused multi-client
+//! pass, across *checkers*: the key is purely content-based (no
+//! [`CheckerId`][crate::checkers::CheckerId]), so when two checkers
+//! query overlapping dependence structure on the same sink, the second
+//! client reuses the closure the first one computed.
 //!
 //! **Why this is not condition caching.** The paper's fused design
 //! (§3.2.2) forbids caching *path conditions*: conditions are

@@ -3,7 +3,11 @@
 //!
 //! Discovery shards (producers) push completed sink groups; solve
 //! workers (consumers) pop them as they arrive, so solving overlaps
-//! discovery wall-time instead of waiting behind a full barrier. The
+//! discovery wall-time instead of waiting behind a full barrier. In the
+//! fused multi-client pipeline the items are *multi-client* groups —
+//! candidates from any checker, grouped and sticky-routed by sink
+//! function alone — so cross-checker queries on one sink land on the
+//! same consumer and share one solver session. The
 //! channel is **bounded**: when solving falls behind, producers block
 //! rather than queueing unbounded work (which would both balloon memory
 //! and defeat the accounting invariants). Built on `std` only
