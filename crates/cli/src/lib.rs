@@ -19,6 +19,11 @@
 //!     --stream / --no-stream             streaming discovery→solve pipeline for
 //!                                        --threads > 1 (default: on)
 //!     --no-incremental                   disable incremental solver sessions (fusion engine)
+//!     --absint / --no-absint             abstract-interpretation triage and solver
+//!                                        seeding (default: on; refute-only, findings
+//!                                        are identical either way)
+//!     --validate                         check the compiled IR against the full
+//!                                        invariant suite before analyzing
 //!     --dot FILE                         export the PDG in Graphviz format
 //!     --source NAME                      extra taint-source function (repeatable)
 //!     --sink NAME                        extra taint-sink function (repeatable)
@@ -115,6 +120,15 @@ pub struct Options {
     /// `--no-incremental` forces a cold solve per query (the other engines
     /// are always cold, so the flag is a no-op for them).
     pub incremental: bool,
+    /// Abstract-interpretation triage and solver seeding: per-function
+    /// interval/known-bits facts refute candidates before the solver runs
+    /// and seed its preprocessing. Refute-only — `--no-absint` produces
+    /// byte-identical findings, just with more solver work.
+    pub absint: bool,
+    /// Validate the compiled IR against the full invariant suite
+    /// ([`fusion_ir::validate::check_program`]) before analyzing, and
+    /// fail with every diagnostic when it is malformed.
+    pub validate: bool,
     /// Write the PDG as Graphviz DOT to this path.
     pub dot: Option<String>,
     /// Extra taint-source function names (added to both taint checkers).
@@ -143,6 +157,8 @@ impl Default for Options {
             use_cache: true,
             stream: true,
             incremental: true,
+            absint: true,
+            validate: false,
             dot: None,
             extra_sources: Vec::new(),
             extra_sinks: Vec::new(),
@@ -271,6 +287,9 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
             "--stream" => opts.stream = true,
             "--no-stream" => opts.stream = false,
             "--no-incremental" => opts.incremental = false,
+            "--absint" => opts.absint = true,
+            "--no-absint" => opts.absint = false,
+            "--validate" => opts.validate = true,
             "--list-checkers" => opts.list_checkers = true,
             "--help" | "-h" => {
                 return Err(CliError(
@@ -278,7 +297,8 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
                      [--checker null|cwe23|cwe402|all] [--list-checkers] \
                      [--timeout-secs N] \
                      [--solver-timeout-ms N] [--threads N] [--cache|--no-cache] \
-                     [--stream|--no-stream] [--no-incremental] [--dot FILE] \
+                     [--stream|--no-stream] [--no-incremental] \
+                     [--absint|--no-absint] [--validate] [--dot FILE] \
                      [--json] [--stats] FILE..."
                         .into(),
                 ))
@@ -447,6 +467,20 @@ pub struct ScanReport {
     pub slices_reused: u64,
     /// Bytes retained by the shared slice-closure cache at scan end.
     pub slice_cache_bytes: u64,
+    /// Dependence paths refuted by abstract-interpretation triage before
+    /// any solver work (0 with `--no-absint`).
+    pub triaged_paths: u64,
+    /// Candidates whose *every* path was triaged away — decided with zero
+    /// slice, translation, or solver work.
+    pub triaged_candidates: u64,
+    /// Sink groups whose solver session never opened because triage
+    /// answered all their queries.
+    pub sessions_skipped: u64,
+    /// Slice-closure computations avoided by fully-triaged candidates.
+    pub slices_skipped: u64,
+    /// Assembled solver queries refuted by seeded known-bits
+    /// preprocessing before bit-blasting.
+    pub absint_refutes: u64,
 }
 
 impl ScanReport {
@@ -512,7 +546,9 @@ impl ScanReport {
              \n  \"cache_hits\": {},\n  \"cache_misses\": {},\n  \"cache_bytes\": {},\
              \n  \"discover_ms\": {},\n  \"slice_ms\": {},\n  \"translate_ms\": {},\
              \n  \"solve_ms\": {},\n  \"slices_computed\": {},\n  \"slices_reused\": {},\
-             \n  \"slice_cache_bytes\": {}\n}}",
+             \n  \"slice_cache_bytes\": {},\n  \"triaged_paths\": {},\
+             \n  \"triaged_candidates\": {},\n  \"sessions_skipped\": {},\
+             \n  \"slices_skipped\": {},\n  \"absint_refutes\": {}\n}}",
             self.sessions_opened,
             self.suppressed,
             self.vertices,
@@ -528,7 +564,12 @@ impl ScanReport {
             self.solve_ms,
             self.slices_computed,
             self.slices_reused,
-            self.slice_cache_bytes
+            self.slice_cache_bytes,
+            self.triaged_paths,
+            self.triaged_candidates,
+            self.sessions_skipped,
+            self.slices_skipped,
+            self.absint_refutes
         );
         s
     }
@@ -568,6 +609,16 @@ pub fn scan_source(source: &str, opts: &Options) -> Result<ScanReport, CliError>
     };
     let program =
         compile(source, compile_opts).map_err(|e| CliError(format!("compile error: {e}")))?;
+    if opts.validate {
+        let errs = fusion_ir::validate::check_program(&program);
+        if !errs.is_empty() {
+            let mut msg = format!("IR validation failed with {} diagnostic(s):", errs.len());
+            for e in &errs {
+                let _ = write!(msg, "\n  {e}");
+            }
+            return Err(CliError(msg));
+        }
+    }
     let pdg = Pdg::build(&program);
     let (set, warnings) = effective_checkers(opts);
     let mut report = ScanReport {
@@ -586,7 +637,8 @@ pub fn scan_source(source: &str, opts: &Options) -> Result<ScanReport, CliError>
     let shared_cache = VerdictCache::new();
     let cache = opts.use_cache.then_some(&shared_cache);
     let slice_cache = Arc::new(SliceCache::new());
-    let analysis_opts = AnalysisOptions::new().with_slice_cache(Arc::clone(&slice_cache));
+    let mut analysis_opts = AnalysisOptions::new().with_slice_cache(Arc::clone(&slice_cache));
+    analysis_opts.absint = opts.absint;
     let run: MultiAnalysisRun = if opts.threads > 1 {
         let engine_choice = opts.engine;
         let timeout = opts.timeout;
@@ -626,6 +678,11 @@ pub fn scan_source(source: &str, opts: &Options) -> Result<ScanReport, CliError>
     report.slices_computed = run.stages.slices_computed;
     report.slices_reused = run.stages.slices_reused;
     report.sessions_opened = run.stages.sessions_opened;
+    report.triaged_paths = run.stages.triaged_paths;
+    report.triaged_candidates = run.stages.triaged_candidates;
+    report.sessions_skipped = run.stages.sessions_skipped;
+    report.slices_skipped = run.stages.slices_skipped;
+    report.absint_refutes = run.stages.absint_refutes;
     // One true whole-scan peak: every engine live during the single fused
     // pass plus the graph and caches — not a max over per-checker passes.
     report.peak_memory_bytes = run.peak_memory;
@@ -760,6 +817,19 @@ pub fn run(args: &[String], out: &mut dyn std::io::Write) -> i32 {
                 report.slice_cache_bytes,
                 report.translate_ms,
                 report.solve_ms
+            );
+            // Avoided work: what the abstract-interpretation triage
+            // answered before the solver pipeline ever ran.
+            let _ = writeln!(
+                out,
+                "avoided: {} path(s) triaged, {} candidate(s) fully refuted pre-solve",
+                report.triaged_paths, report.triaged_candidates
+            );
+            let _ = writeln!(
+                out,
+                "avoided: {} session(s) skipped, {} slice closure(s) skipped, \
+                 {} seeded solver refutation(s)",
+                report.sessions_skipped, report.slices_skipped, report.absint_refutes
             );
         }
     }
@@ -1230,6 +1300,97 @@ mod tests {
             assert_eq!(key(&r1), key(&r2), "threads={threads}");
             assert_eq!(r1.suppressed, r2.suppressed);
         }
+    }
+
+    #[test]
+    fn absint_flags_parse_and_triage_preserves_findings() {
+        let o = parse_args(&args(&["a.fus"])).unwrap();
+        assert!(o.absint, "absint triage is the default");
+        let o = parse_args(&args(&["--no-absint", "a.fus"])).unwrap();
+        assert!(!o.absint);
+        let o = parse_args(&args(&["--no-absint", "--absint", "a.fus"])).unwrap();
+        assert!(o.absint);
+        // Refute-only contract: triage never changes what is reported —
+        // only how much work it took. `g`'s guard (2x == 5) is refuted by
+        // parity, so with triage on it never reaches the solver.
+        let src = "extern fn deref(p);\n\
+            fn a(x) { let q = null; let r = 1; if (x > 1) { r = q; } deref(r); return 0; }\n\
+            fn b(x) { let q = null; let r = 1; if (x * 2 == 5) { r = q; } deref(r); return 0; }";
+        let key = |r: &ScanReport| {
+            r.findings
+                .iter()
+                .map(|f| {
+                    (
+                        f.checker.clone(),
+                        f.source_function.clone(),
+                        f.sink_function.clone(),
+                        f.verdict.clone(),
+                        f.path_length,
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        for threads in [1, 3] {
+            let on = Options {
+                checker: CheckerChoice::Null,
+                threads,
+                ..Default::default()
+            };
+            let off = Options {
+                checker: CheckerChoice::Null,
+                threads,
+                absint: false,
+                ..Default::default()
+            };
+            let r1 = scan_source(src, &on).unwrap();
+            let r2 = scan_source(src, &off).unwrap();
+            assert_eq!(key(&r1), key(&r2), "threads={threads}");
+            assert_eq!(r1.suppressed, r2.suppressed, "threads={threads}");
+            assert!(r1.triaged_paths > 0, "triage fires on the parity guard");
+            assert_eq!(r2.triaged_paths, 0, "--no-absint disables triage");
+            assert_eq!(r2.absint_refutes, 0);
+        }
+    }
+
+    #[test]
+    fn validate_flag_parses_and_passes_on_lowered_ir() {
+        let o = parse_args(&args(&["--validate", "a.fus"])).unwrap();
+        assert!(o.validate);
+        let opts = Options {
+            validate: true,
+            ..Default::default()
+        };
+        let report = scan_source("fn f(x) { return x; }", &opts).unwrap();
+        assert!(report.findings.is_empty());
+    }
+
+    #[test]
+    fn json_reports_avoided_work() {
+        let src = "extern fn deref(p);\n\
+            fn b(x) { let q = null; let r = 1; if (x * 2 == 5) { r = q; } deref(r); return 0; }";
+        let opts = Options {
+            checker: CheckerChoice::Null,
+            ..Default::default()
+        };
+        let report = scan_source(src, &opts).unwrap();
+        let v = json::Value::parse(&report.to_json()).expect("valid json");
+        assert!(v.get("triaged_paths").unwrap().as_f64().unwrap() > 0.0);
+        assert!(v.get("triaged_candidates").unwrap().as_f64().is_some());
+        assert!(v.get("sessions_skipped").unwrap().as_f64().is_some());
+        assert!(v.get("slices_skipped").unwrap().as_f64().is_some());
+        assert!(v.get("absint_refutes").unwrap().as_f64().is_some());
+        // The text --stats surface carries the avoided-work lines.
+        let dir = std::env::temp_dir();
+        let f = dir.join("fusion_cli_avoided.fus");
+        std::fs::write(&f, src).unwrap();
+        let mut out = Vec::new();
+        run(
+            &args(&["--checker", "null", "--stats", &f.display().to_string()]),
+            &mut out,
+        );
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("avoided:"), "{text}");
+        assert!(text.contains("triaged"), "{text}");
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! crate or the conventional baselines of `fusion-baselines`; the driver,
 //! reports and accounting are shared so comparisons are apples-to-apples.
 
+use crate::absint::ProgramFacts;
 use crate::cache::{path_set_key, CacheStats, VerdictCache};
 use crate::checkers::{CheckKind, Checker, CheckerId, CheckerSet};
 use crate::memory::{run_accounting, Category, MemoryAccountant, BYTES_PER_DEF};
@@ -123,6 +124,15 @@ pub trait FeasibilityEngine {
     /// conventional design).
     fn attach_slice_cache(&mut self, _cache: Arc<SliceCache>) {}
 
+    /// Hands the engine the program's abstract-interpretation facts
+    /// ([`crate::absint::ProgramFacts`]), memoized once per function.
+    /// Engines may use them to *seed* formula preprocessing (known-bits
+    /// facts fire on first contact instead of being rediscovered per
+    /// instance) — a refute-only optimization that never changes which
+    /// candidates are reported. The default ignores them (baselines stay
+    /// faithful to the conventional design).
+    fn attach_absint(&mut self, _facts: Arc<crate::absint::ProgramFacts>) {}
+
     /// Cumulative per-stage wall/counter totals over the engine's
     /// lifetime (monotonic). The default reports zeros for engines that
     /// do not instrument their stages.
@@ -158,6 +168,11 @@ pub struct EngineStages {
     /// cold). The multi-client bench uses this to show that queries from
     /// different checkers landing on the same sink share one session.
     pub sessions_opened: u64,
+    /// Assembled queries the engine refuted by *seeded* known-bits
+    /// preprocessing (abstract program facts attached via
+    /// [`FeasibilityEngine::attach_absint`]) before opening a session or
+    /// bit-blasting anything.
+    pub absint_refutes: u64,
 }
 
 impl EngineStages {
@@ -169,6 +184,7 @@ impl EngineStages {
         self.slices_computed += other.slices_computed;
         self.slices_reused += other.slices_reused;
         self.sessions_opened += other.sessions_opened;
+        self.absint_refutes += other.absint_refutes;
     }
 
     /// Deltas relative to an `earlier` snapshot of the same engine.
@@ -180,6 +196,7 @@ impl EngineStages {
             slices_computed: self.slices_computed - earlier.slices_computed,
             slices_reused: self.slices_reused - earlier.slices_reused,
             sessions_opened: self.sessions_opened - earlier.sessions_opened,
+            absint_refutes: self.absint_refutes - earlier.absint_refutes,
         }
     }
 }
@@ -211,6 +228,23 @@ pub struct StageStats {
     pub slices_reused: u64,
     /// Incremental solver sessions opened across all workers.
     pub sessions_opened: u64,
+    /// Candidates whose *every* path was refuted by abstract-interpretation
+    /// triage: suppressed with zero cache, slice, or solver work.
+    pub triaged_candidates: u64,
+    /// Individual dependence paths refuted by abstract-interpretation
+    /// triage before any cache lookup or engine query.
+    pub triaged_paths: u64,
+    /// Sink groups that issued no engine query because triage refuted
+    /// paths in them — each is an incremental session the run never had to
+    /// open.
+    pub sessions_skipped: u64,
+    /// Union slice closures never computed because the whole candidate was
+    /// triaged away (one per fully-triaged candidate).
+    pub slices_skipped: u64,
+    /// Assembled queries the engines refuted by seeded known-bits
+    /// preprocessing (solver-side absint seeding, distinct from the
+    /// driver-side path triage above).
+    pub absint_refutes: u64,
 }
 
 impl StageStats {
@@ -221,6 +255,7 @@ impl StageStats {
         self.slices_computed += e.slices_computed;
         self.slices_reused += e.slices_reused;
         self.sessions_opened += e.sessions_opened;
+        self.absint_refutes += e.absint_refutes;
     }
 }
 
@@ -398,6 +433,13 @@ pub struct AnalysisOptions {
     /// uses the driver's thread count; the sequential driver always
     /// discovers on one shard.
     pub discover_shards: Option<usize>,
+    /// Abstract-interpretation triage (on by default): per-function
+    /// Const/Affine/Interval/KnownBits facts refute candidate paths before
+    /// any cache lookup, slice closure, or solver session, and seed the
+    /// engine's formula preprocessing. Triage may only *refute* — it never
+    /// claims feasibility — so reports are byte-identical with it off (the
+    /// CLI exposes `--no-absint`).
+    pub absint: bool,
 }
 
 impl Default for AnalysisOptions {
@@ -407,6 +449,7 @@ impl Default for AnalysisOptions {
             use_cache: true,
             slice_cache: Some(Arc::new(SliceCache::new())),
             discover_shards: None,
+            absint: true,
         }
     }
 }
@@ -451,6 +494,15 @@ struct CandTally {
     cache_hits: u64,
     cache_misses: u64,
     solve_wall: Duration,
+    /// Paths refuted by abstract-interpretation triage (no cache lookup,
+    /// no engine query).
+    triaged_paths: u64,
+    /// Candidates whose every path was triaged away (suppressed with zero
+    /// solver-side work).
+    triaged_candidates: u64,
+    /// Union slice closures skipped because the whole candidate was
+    /// triaged (one per fully-triaged candidate).
+    slices_skipped: u64,
 }
 
 impl CandTally {
@@ -459,7 +511,49 @@ impl CandTally {
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
         self.solve_wall += other.solve_wall;
+        self.triaged_paths += other.triaged_paths;
+        self.triaged_candidates += other.triaged_candidates;
+        self.slices_skipped += other.slices_skipped;
     }
+}
+
+/// `(total queries issued, total triaged paths)` across a tally set —
+/// the group-boundary snapshot the drivers use to count sink groups whose
+/// incremental session was never opened because triage refuted paths.
+fn tally_totals(tallies: &[CandTally]) -> (usize, u64) {
+    (
+        tallies.iter().map(|t| t.queries).sum(),
+        tallies.iter().map(|t| t.triaged_paths).sum(),
+    )
+}
+
+/// Debug-build contract check at every fused-driver entry: the sparse
+/// analyses, the PDG construction and the abstract interpreter all assume
+/// the IR invariants of [`fusion_ir::validate::check_program`] (acyclic
+/// gated SSA, consistent call-site table, unrolled call graph). Release
+/// builds skip the walk; the CLI exposes the same check as `--validate`.
+fn debug_validate(program: &Program) {
+    #[cfg(debug_assertions)]
+    {
+        let errs = fusion_ir::validate::check_program(program);
+        assert!(
+            errs.is_empty(),
+            "IR validation failed with {} diagnostic(s); first: {}",
+            errs.len(),
+            errs[0]
+        );
+    }
+    #[cfg(not(debug_assertions))]
+    let _ = program;
+}
+
+/// Copies the summed triage counters of a run's tallies into its
+/// [`StageStats`].
+fn fill_triage_stats(stages: &mut StageStats, tallies: &[CandTally], sessions_skipped: u64) {
+    stages.triaged_paths = tallies.iter().map(|t| t.triaged_paths).sum();
+    stages.triaged_candidates = tallies.iter().map(|t| t.triaged_candidates).sum();
+    stages.slices_skipped = tallies.iter().map(|t| t.slices_skipped).sum();
+    stages.sessions_skipped = sessions_skipped;
 }
 
 /// Groups candidate indices by **sink function only** — the slice-group
@@ -496,22 +590,57 @@ fn group_by_sink(candidates: &[Candidate]) -> Vec<(u64, Vec<usize>)> {
 /// `tally.queries` counts only queries actually issued to the engine;
 /// hits/misses/solve-wall accumulate alongside so fused drivers can
 /// attribute solve effort per checker.
+///
+/// When abstract facts are supplied, each path is first checked against
+/// them ([`ProgramFacts::path_refuted`]): a refuted path is infeasible in
+/// every execution, so it is skipped with zero cache or engine work, and a
+/// candidate whose *every* path is refuted short-circuits to suppression
+/// before [`FeasibilityEngine::begin_candidate`] — no session is touched
+/// and no slice closure is ever computed for it. Triage may only refute,
+/// never claim feasibility, so reports are byte-identical either way.
+#[allow(clippy::too_many_arguments)] // one call per driver; a params struct would only obscure
 fn solve_candidate(
     program: &Program,
     pdg: &Pdg,
     engine: &mut dyn FeasibilityEngine,
     cache: Option<&VerdictCache>,
+    facts: Option<&ProgramFacts>,
+    kind: CheckKind,
     cand: &Candidate,
     tally: &mut CandTally,
 ) -> CandVerdict {
+    // Abstract-interpretation triage: refute paths against per-function
+    // facts before any cache lookup or solver work.
+    let triaged: Vec<bool> = match facts {
+        Some(f) => cand
+            .paths
+            .iter()
+            .map(|p| f.path_refuted(program, p, kind))
+            .collect(),
+        None => vec![false; cand.paths.len()],
+    };
+    let refuted = triaged.iter().filter(|&&t| t).count();
+    tally.triaged_paths += refuted as u64;
+    if refuted == cand.paths.len() {
+        tally.triaged_candidates += 1;
+        tally.slices_skipped += 1;
+        return CandVerdict::Suppressed;
+    }
     // Announce the candidate so the engine can compute the backward
     // closure once for the union of the alternative paths (lazily — a
-    // candidate fully answered by the verdict cache never slices).
+    // candidate fully answered by the verdict cache never slices). The
+    // full path set is announced even when some paths were triaged: the
+    // union closure of a superset is sound for every subset, and keeping
+    // the canonical key independent of triage keeps the slice memo shared
+    // between triaged and untriaged runs.
     let cand_key = path_set_key(program, &cand.paths);
     engine.begin_candidate(program, pdg, cand_key, &cand.paths);
     let mut verdict = Feasibility::Infeasible;
     let mut witness: Option<&DependencePath> = None;
-    for path in &cand.paths {
+    for (path, &is_triaged) in cand.paths.iter().zip(&triaged) {
+        if is_triaged {
+            continue;
+        }
         let slice = std::slice::from_ref(path);
         let feasibility = match cache {
             Some(c) => {
@@ -664,8 +793,17 @@ pub fn analyze_multi_with_cache(
     options: &AnalysisOptions,
     cache: Option<&VerdictCache>,
 ) -> MultiAnalysisRun {
+    debug_validate(program);
     if let Some(sc) = &options.slice_cache {
         engine.attach_slice_cache(Arc::clone(sc));
+    }
+    // Abstract facts, computed once per run (memoized per function inside)
+    // and shared by driver-side triage and engine-side seeding.
+    let facts = options
+        .absint
+        .then(|| Arc::new(ProgramFacts::compute(program)));
+    if let Some(f) = &facts {
+        engine.attach_absint(Arc::clone(f));
     }
     let slice_before = options
         .slice_cache
@@ -687,8 +825,10 @@ pub fn analyze_multi_with_cache(
     let groups = group_by_sink(&candidates);
     let t1 = Instant::now();
     let mut results: Vec<(usize, CandVerdict)> = Vec::with_capacity(candidates.len());
+    let mut sessions_skipped = 0u64;
     for (key, idxs) in &groups {
         engine.begin_group(*key);
+        let (q_before, tr_before) = tally_totals(&tallies);
         for &idx in idxs {
             let cand = &candidates[idx];
             let v = solve_candidate(
@@ -696,10 +836,16 @@ pub fn analyze_multi_with_cache(
                 pdg,
                 engine,
                 cache,
+                facts.as_deref(),
+                set.get(cand.checker).kind,
                 cand,
                 &mut tallies[cand.checker.0],
             );
             results.push((idx, v));
+        }
+        let (q_after, tr_after) = tally_totals(&tallies);
+        if q_after == q_before && tr_after > tr_before {
+            sessions_skipped += 1;
         }
     }
     results.sort_by_key(|(idx, _)| *idx);
@@ -734,6 +880,7 @@ pub fn analyze_multi_with_cache(
         ..StageStats::default()
     };
     stages.add_engine(&engine.stage_totals().since(&stages_before));
+    fill_triage_stats(&mut stages, &tallies, sessions_skipped);
 
     let ordered: Vec<(CheckerId, CandVerdict)> = results
         .into_iter()
@@ -838,7 +985,11 @@ pub fn analyze_multi_parallel_with_cache(
     options: &AnalysisOptions,
     cache: Option<&VerdictCache>,
 ) -> MultiAnalysisRun {
+    debug_validate(program);
     let threads = threads.max(1);
+    let facts = options
+        .absint
+        .then(|| Arc::new(ProgramFacts::compute(program)));
     let slice_before = options
         .slice_cache
         .as_ref()
@@ -864,6 +1015,9 @@ pub fn analyze_multi_parallel_with_cache(
         tallies: Vec<CandTally>,
         memory: MemoryAccountant,
         stages: EngineStages,
+        /// Sink groups this worker never issued a query for because triage
+        /// refuted paths in them.
+        sessions_skipped: u64,
     }
 
     // Work-stealing cursor over slice groups: workers atomically grab one
@@ -881,10 +1035,14 @@ pub fn analyze_multi_parallel_with_cache(
             let groups = &groups;
             let cursor = &cursor;
             let slice_cache = options.slice_cache.clone();
+            let facts = facts.clone();
             handles.push(scope.spawn(move || {
                 let mut engine = factory();
                 if let Some(sc) = slice_cache {
                     engine.attach_slice_cache(sc);
+                }
+                if let Some(f) = &facts {
+                    engine.attach_absint(Arc::clone(f));
                 }
                 let mut out = WorkerOut {
                     name: engine.name(),
@@ -892,6 +1050,7 @@ pub fn analyze_multi_parallel_with_cache(
                     tallies: vec![CandTally::default(); set.len()],
                     memory: MemoryAccountant::new(),
                     stages: EngineStages::default(),
+                    sessions_skipped: 0,
                 };
                 loop {
                     let g = cursor.fetch_add(1, Ordering::Relaxed);
@@ -900,6 +1059,7 @@ pub fn analyze_multi_parallel_with_cache(
                     }
                     let (key, idxs) = &groups[g];
                     engine.begin_group(*key);
+                    let (q_before, tr_before) = tally_totals(&out.tallies);
                     for &idx in idxs {
                         let cand = &cands[idx];
                         let v = solve_candidate(
@@ -907,10 +1067,16 @@ pub fn analyze_multi_parallel_with_cache(
                             pdg,
                             engine.as_mut(),
                             cache,
+                            facts.as_deref(),
+                            set.get(cand.checker).kind,
                             cand,
                             &mut out.tallies[cand.checker.0],
                         );
                         out.results.push((idx, v));
+                    }
+                    let (q_after, tr_after) = tally_totals(&out.tallies);
+                    if q_after == q_before && tr_after > tr_before {
+                        out.sessions_skipped += 1;
                     }
                 }
                 out.memory = engine.memory().clone();
@@ -937,15 +1103,18 @@ pub fn analyze_multi_parallel_with_cache(
         discovery_shards: discovery.shards,
         ..StageStats::default()
     };
+    let mut sessions_skipped = 0u64;
     for o in outputs {
         for (t, wt) in tallies.iter_mut().zip(&o.tallies) {
             t.add(wt);
         }
         memories.push(o.memory);
         stages.add_engine(&o.stages);
+        sessions_skipped += o.sessions_skipped;
         merged.extend(o.results);
     }
     merged.sort_by_key(|(idx, _)| *idx);
+    fill_triage_stats(&mut stages, &tallies, sessions_skipped);
 
     let graph_bytes = program.size() as u64 * BYTES_PER_DEF;
     let cache_bytes = cache.map(|c| c.bytes()).unwrap_or(0)
@@ -1068,6 +1237,7 @@ pub fn analyze_multi_streaming_with_cache(
     options: &AnalysisOptions,
     cache: Option<&VerdictCache>,
 ) -> MultiAnalysisRun {
+    debug_validate(program);
     let threads = threads.max(1);
     if threads == 1 {
         let mut engine = factory();
@@ -1093,8 +1263,14 @@ pub fn analyze_multi_streaming_with_cache(
         tallies: Vec<CandTally>,
         memory: MemoryAccountant,
         stages: EngineStages,
+        /// Streamed groups this worker never issued a query for because
+        /// triage refuted paths in them.
+        sessions_skipped: u64,
     }
 
+    let facts = options
+        .absint
+        .then(|| Arc::new(ProgramFacts::compute(program)));
     let slice_before = options
         .slice_cache
         .as_ref()
@@ -1202,10 +1378,14 @@ pub fn analyze_multi_streaming_with_cache(
         let mut handles = Vec::new();
         for queue in queues.iter().take(threads) {
             let slice_cache = options.slice_cache.clone();
+            let facts = facts.clone();
             handles.push(scope.spawn(move || {
                 let mut engine = factory();
                 if let Some(sc) = slice_cache {
                     engine.attach_slice_cache(sc);
+                }
+                if let Some(f) = &facts {
+                    engine.attach_absint(Arc::clone(f));
                 }
                 let mut out = WorkerOut {
                     name: engine.name(),
@@ -1213,6 +1393,7 @@ pub fn analyze_multi_streaming_with_cache(
                     tallies: vec![CandTally::default(); set.len()],
                     memory: MemoryAccountant::new(),
                     stages: EngineStages::default(),
+                    sessions_skipped: 0,
                 };
                 // Streamed groups fragment one sink function across many
                 // work items — including items of *different checkers*
@@ -1229,6 +1410,7 @@ pub fn analyze_multi_streaming_with_cache(
                         engine.begin_group(group.sink_key);
                         last_key = Some(group.sink_key);
                     }
+                    let (q_before, tr_before) = tally_totals(&out.tallies);
                     for (local_idx, cand) in &group.cands {
                         let checker_idx = cand.checker.0;
                         let v = solve_candidate(
@@ -1236,10 +1418,16 @@ pub fn analyze_multi_streaming_with_cache(
                             pdg,
                             engine.as_mut(),
                             cache,
+                            facts.as_deref(),
+                            set.get(cand.checker).kind,
                             cand,
                             &mut out.tallies[checker_idx],
                         );
                         out.results.push(((group.item_idx, *local_idx), v));
+                    }
+                    let (q_after, tr_after) = tally_totals(&out.tallies);
+                    if q_after == q_before && tr_after > tr_before {
+                        out.sessions_skipped += 1;
                     }
                 }
                 out.memory = engine.memory().clone();
@@ -1270,15 +1458,18 @@ pub fn analyze_multi_streaming_with_cache(
         discovery_shards: producers,
         ..StageStats::default()
     };
+    let mut sessions_skipped = 0u64;
     for o in outputs {
         for (t, wt) in tallies.iter_mut().zip(&o.tallies) {
             t.add(wt);
         }
         memories.push(o.memory);
         stages.add_engine(&o.stages);
+        sessions_skipped += o.sessions_skipped;
         merged.extend(o.results);
     }
     merged.sort_by_key(|(key, _)| *key);
+    fill_triage_stats(&mut stages, &tallies, sessions_skipped);
 
     let graph_bytes = program.size() as u64 * BYTES_PER_DEF;
     let cache_bytes = cache.map(|c| c.bytes()).unwrap_or(0)

@@ -26,6 +26,7 @@
 //! the caches and the session together (their keys are `TermId`s, which a
 //! pool reset invalidates).
 
+use crate::absint::ProgramFacts;
 use crate::cache::path_set_key;
 use crate::engine::{CheckOutcome, EngineStages, Feasibility, FeasibilityEngine, SolveRecord};
 use crate::memory::{Category, MemoryAccountant, BYTES_PER_TERM_NODE};
@@ -37,8 +38,10 @@ use fusion_pdg::paths::DependencePath;
 use fusion_pdg::slice::{
     compute_closure, compute_slice, constraints_for, Constraint, ConstraintKind,
 };
-use fusion_pdg::translate::{encode_op, instance_var, translate, truthy, TranslateOptions};
-use fusion_smt::preprocess::preprocess_fragment;
+use fusion_pdg::translate::{
+    encode_op, instance_var_tracked, translate, truthy, TranslateOptions, VarOrigins,
+};
+use fusion_smt::preprocess::{preprocess_fragment_seeded, refute_by_known_bits_seeded, BitsSeeds};
 use fusion_smt::session::SolveSession;
 use fusion_smt::solver::{deadline_expired, smt_solve, SatResult, SolverConfig};
 use fusion_smt::term::{Sort, TermId, TermKind, TermPool, VarIdx};
@@ -178,11 +181,19 @@ struct LocalCond {
 /// Renames a preprocessed local condition into the instance named by `ctx`:
 /// interface variables map to their context-tagged instance names,
 /// preprocessing-introduced fresh variables are renamed apart per instance.
-fn instantiate(pool: &mut TermPool, lc: &LocalCond, ctx: &[CallSiteId], fid: FuncId) -> TermId {
+/// Instance-variable provenance is recorded in `origins` so the final
+/// formula can be seeded with per-function abstract facts.
+fn instantiate(
+    pool: &mut TermPool,
+    lc: &LocalCond,
+    ctx: &[CallSiteId],
+    fid: FuncId,
+    origins: &mut VarOrigins,
+) -> TermId {
     let mut subst: HashMap<VarIdx, TermId> = HashMap::new();
     for smt_var in pool.free_vars(lc.formula) {
         let target = match lc.var_map.get(&smt_var) {
-            Some(&ir_var) => instance_var(pool, ctx, fid, ir_var),
+            Some(&ir_var) => instance_var_tracked(pool, ctx, fid, ir_var, origins),
             None => pool.fresh_var("inst", pool.var_sort(smt_var)),
         };
         subst.insert(smt_var, target);
@@ -294,6 +305,16 @@ pub struct FusionSolver {
     cand: Option<CandCtx>,
     /// Per-stage wall and counter totals ([`EngineStages`]).
     stages: EngineStages,
+    /// Abstract-interpretation facts attached by the driver
+    /// ([`FeasibilityEngine::attach_absint`]). Used to seed the known-bits
+    /// analysis of local-condition preprocessing and the final assembled
+    /// query (refute-only — never changes which candidates are reported).
+    facts: Option<Arc<ProgramFacts>>,
+    /// Provenance of instance variables minted this epoch: which
+    /// `(function, IR variable)` each SMT clone instantiates. Facts are
+    /// memoized per function, so every clone of one definition shares one
+    /// seed.
+    origins: VarOrigins,
 }
 
 impl FusionSolver {
@@ -320,6 +341,8 @@ impl FusionSolver {
             slice_cache: None,
             cand: None,
             stages: EngineStages::default(),
+            facts: None,
+            origins: VarOrigins::new(),
         }
     }
 
@@ -352,6 +375,7 @@ impl FusionSolver {
         self.local_cache_bytes = 0;
         self.inst_cache.clear();
         self.session = None;
+        self.origins = VarOrigins::new();
         self.memory.set(Category::SolverState, 0);
     }
 
@@ -362,7 +386,14 @@ impl FusionSolver {
             None => true,
         };
         if stale {
-            self.summaries = Some((key.0, key.1, ret_summaries(program)));
+            // The quick-path summaries are the Const/Affine projection of
+            // the abstract-interpretation domain; when the driver attached
+            // matching facts, project them instead of recomputing.
+            let sums = match &self.facts {
+                Some(f) if f.matches(program) => f.ret_summaries(),
+                _ => ret_summaries(program),
+            };
+            self.summaries = Some((key.0, key.1, sums));
             self.reset_epoch();
         }
         &self.summaries.as_ref().expect("just set").2
@@ -480,9 +511,24 @@ impl FusionSolver {
         let raw = pool.and(&parts);
         // Intra-procedural preprocessing, once per function — never per
         // clone (§3.2.3, "reducing the number of functions to clone" /
-        // "speeding up preprocessing").
+        // "speeding up preprocessing"). When the driver attached abstract
+        // facts, the fragment's known-bits analysis is seeded with them —
+        // per-function facts are unconditional, so the cached fragment
+        // stays sound for every instance, and bit facts fire on first
+        // contact instead of being rediscovered structurally per query.
         let formula = if self.use_local_preprocess {
-            preprocess_fragment(pool, raw, &protected).term
+            let mut seeds = BitsSeeds::new();
+            if let Some(facts) = &self.facts {
+                if facts.matches(program) {
+                    for (&idx, &v) in &var_map {
+                        let av = facts.value(fid, v);
+                        if av.known != 0 {
+                            seeds.insert(idx, av.known as u64, av.value as u64);
+                        }
+                    }
+                }
+            }
+            preprocess_fragment_seeded(pool, raw, &protected, &seeds).term
         } else {
             raw
         };
@@ -616,6 +662,10 @@ impl FeasibilityEngine for FusionSolver {
         self.slice_cache = Some(cache);
     }
 
+    fn attach_absint(&mut self, facts: Arc<ProgramFacts>) {
+        self.facts = Some(facts);
+    }
+
     fn stage_totals(&self) -> EngineStages {
         self.stages
     }
@@ -648,6 +698,7 @@ impl FeasibilityEngine for FusionSolver {
         let incremental = self.incremental;
         let pool = &mut self.pool;
         let inst_cache = &mut self.inst_cache;
+        let origins = &mut self.origins;
 
         let mut parts: Vec<TermId> = Vec::new();
         let mut instances: HashSet<(Vec<CallSiteId>, FuncId)> = HashSet::new();
@@ -670,7 +721,7 @@ impl FeasibilityEngine for FusionSolver {
                     let DefKind::Branch { cond } = f.def(*branch).kind else {
                         unreachable!("guards are branches")
                     };
-                    let cv = instance_var(pool, ctx, *func, cond);
+                    let cv = instance_var_tracked(pool, ctx, *func, cond, origins);
                     let t = truthy(pool, cv);
                     parts.push(t);
                 }
@@ -678,7 +729,7 @@ impl FeasibilityEngine for FusionSolver {
                     let DefKind::Ite { cond, .. } = f.def(*ite).kind else {
                         unreachable!("gated vertices are ites")
                     };
-                    let cv = instance_var(pool, ctx, *func, cond);
+                    let cv = instance_var_tracked(pool, ctx, *func, cond, origins);
                     let t = truthy(pool, cv);
                     parts.push(if *taken_then { t } else { pool.not(t) });
                 }
@@ -712,13 +763,13 @@ impl FeasibilityEngine for FusionSolver {
                 match inst_cache.get(&(ctx.clone(), fid, lc.formula)) {
                     Some(&cached) => cached,
                     None => {
-                        let f = instantiate(pool, lc, &ctx, fid);
+                        let f = instantiate(pool, lc, &ctx, fid, origins);
                         inst_cache.insert((ctx.clone(), fid, lc.formula), f);
                         f
                     }
                 }
             } else {
-                instantiate(pool, lc, &ctx, fid)
+                instantiate(pool, lc, &ctx, fid, origins)
             };
             parts.push(inst_formula);
 
@@ -733,8 +784,9 @@ impl FeasibilityEngine for FusionSolver {
                             unreachable!("call sites point at calls")
                         };
                         let actual = args[*index];
-                        let lhs = instance_var(pool, &ctx, fid, v);
-                        let rhs = instance_var(pool, &caller_ctx, cs.caller, actual);
+                        let lhs = instance_var_tracked(pool, &ctx, fid, v, origins);
+                        let rhs =
+                            instance_var_tracked(pool, &caller_ctx, cs.caller, actual, origins);
                         schedule(&mut instances, &mut work, caller_ctx, cs.caller);
                         let e = pool.eq(lhs, rhs);
                         parts.push(e);
@@ -744,7 +796,7 @@ impl FeasibilityEngine for FusionSolver {
                         if callee_f.is_extern {
                             continue; // unconstrained result
                         }
-                        let lhs = instance_var(pool, &ctx, fid, v);
+                        let lhs = instance_var_tracked(pool, &ctx, fid, v, origins);
                         // Quick path: constant / affine callees never get
                         // cloned — the parenthesis label is deleted.
                         let summary = if self.use_quick_paths {
@@ -760,7 +812,7 @@ impl FeasibilityEngine for FusionSolver {
                             }
                             RetSummary::Affine { index, mul, add } => {
                                 let actual = args[index];
-                                let av = instance_var(pool, &ctx, fid, actual);
+                                let av = instance_var_tracked(pool, &ctx, fid, actual, origins);
                                 let m = pool.bv_const(mul as u64, WORD_BITS);
                                 let a = pool.bv_const(add as u64, WORD_BITS);
                                 let prod = pool.bv(fusion_smt::term::BvOp::Mul, m, av);
@@ -772,7 +824,8 @@ impl FeasibilityEngine for FusionSolver {
                                 let mut sub_ctx = ctx.clone();
                                 sub_ctx.push(*site);
                                 let ret = callee_f.ret.expect("non-extern has a return");
-                                let rhs = instance_var(pool, &sub_ctx, *callee, ret);
+                                let rhs =
+                                    instance_var_tracked(pool, &sub_ctx, *callee, ret, origins);
                                 schedule(&mut instances, &mut work, sub_ctx, *callee);
                                 let e = pool.eq(lhs, rhs);
                                 parts.push(e);
@@ -798,6 +851,44 @@ impl FeasibilityEngine for FusionSolver {
         }
         let formula = pool.and(&parts);
         let condition_nodes = pool.dag_size(formula) as u64;
+        // Absint seeding: before any session or bit-blasting work, try to
+        // refute the assembled query against the per-function known-bits
+        // facts. Facts are unconditional consequences of the definitional
+        // system, so a bit conflict here is a genuine Unsat — the seeding
+        // is refute-only and never claims feasibility.
+        let mut absint_refuted = false;
+        if let Some(facts) = self.facts.clone() {
+            if facts.matches(program) {
+                let mut seeds = BitsSeeds::new();
+                for idx in pool.free_vars(formula) {
+                    if let Some((ofid, ovar)) = origins.get(idx) {
+                        let av = facts.value(ofid, ovar);
+                        if av.known != 0 {
+                            seeds.insert(idx, av.known as u64, av.value as u64);
+                        }
+                    }
+                }
+                if !seeds.is_empty() {
+                    let r = refute_by_known_bits_seeded(pool, formula, &seeds);
+                    if pool.as_bool_const(r) == Some(false) {
+                        absint_refuted = true;
+                    }
+                }
+            }
+        }
+        if absint_refuted {
+            self.stages.absint_refutes += 1;
+            self.terms_built += (self.pool.len() - pool_before) as u64;
+            let outcome = CheckOutcome {
+                feasibility: Feasibility::Infeasible,
+                duration: start.elapsed(),
+                condition_nodes,
+                instances: instances.len(),
+                preprocess_decided: true,
+            };
+            self.records.push(SolveRecord::from_outcome(&outcome));
+            return outcome;
+        }
         // Budget the final query with the wall-clock remaining after
         // instantiation.
         let Some(cfg) = self.per_call.with_remaining(deadline) else {
@@ -1028,6 +1119,39 @@ mod tests {
         // still clones some — but strictly fewer than Alg. 4.
         assert!(b[0].1.instances <= a[0].1.instances);
         assert_eq!(a[0].1.instances, 1 + 1 + 2 + 4);
+    }
+
+    #[test]
+    fn attached_facts_refute_assembled_queries_before_solving() {
+        // Direct `check_paths` calls see no driver triage, so the seeded
+        // refutation of the assembled query is the layer that fires: the
+        // parity guard's condition variable carries a known-bits fact of
+        // constant 0, and the conjunction is refuted before any session
+        // or bit-blasting work.
+        let src = "extern fn deref(p);\n\
+            fn foo(x) {\n\
+              let pp = null;\n\
+              let r = 1;\n\
+              if (x * 2 == 5) { r = pp; }\n\
+              deref(r);\n\
+              return 0;\n\
+            }";
+        let p = compile(src, CompileOptions::default()).expect("compile");
+        let g = Pdg::build(&p);
+        let cands = discover(&p, &g, &Checker::null_deref(), &PropagateOptions::default());
+        assert_eq!(cands.len(), 1);
+        let mut fused = FusionSolver::new(SolverConfig::default());
+        fused.attach_absint(Arc::new(crate::absint::ProgramFacts::compute(&p)));
+        let o = fused.check_paths(&p, &g, &cands[0].paths[..1]);
+        assert_eq!(o.feasibility, Feasibility::Infeasible);
+        assert!(
+            fused.stage_totals().absint_refutes > 0 || o.preprocess_decided,
+            "the seeded layers must decide the parity guard pre-solve: {o:?}"
+        );
+        // An unseeded engine agrees on the verdict (refute-only contract).
+        let mut plain = FusionSolver::new(SolverConfig::default());
+        let o2 = plain.check_paths(&p, &g, &cands[0].paths[..1]);
+        assert_eq!(o2.feasibility, Feasibility::Infeasible);
     }
 
     #[test]

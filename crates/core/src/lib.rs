@@ -6,6 +6,10 @@
 //! the program dependence graph, so the analysis never computes, caches, or
 //! excessively clones path conditions.
 //!
+//! * [`absint`] — the sparse abstract interpreter (Const ⊑ Affine ⊑
+//!   Interval × KnownBits per definition, memoized once per function) that
+//!   triages candidates before any solver work and seeds formula
+//!   preprocessing with known-bits facts;
 //! * [`checkers`] — the paper's three checkers (null dereference, CWE-23,
 //!   CWE-402) as data-driven source/sink/propagation specs;
 //! * [`propagate`] — sparse, condition-free fact propagation collecting
@@ -52,6 +56,7 @@
 
 #![warn(missing_docs)]
 
+pub mod absint;
 pub mod cache;
 pub mod checkers;
 pub mod engine;
@@ -63,6 +68,7 @@ pub mod report;
 pub mod slice_cache;
 pub mod stream;
 
+pub use absint::{AbsVal, ProgramFacts};
 pub use cache::{path_set_key, CacheStats, VerdictCache};
 pub use checkers::{default_checkers, CheckKind, Checker, CheckerId, CheckerSet};
 pub use engine::{

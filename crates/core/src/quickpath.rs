@@ -11,8 +11,14 @@
 //! of its parameters, computed once per function (memoized — never per call
 //! site) by value propagation over the gated SSA graph. Because the IR is
 //! pure and total, these equalities hold unconditionally.
+//!
+//! Since the introduction of [`crate::absint`] the summaries are no longer
+//! a standalone traversal: they are the Const/Affine *projection* of the
+//! abstract-interpretation product domain
+//! ([`crate::absint::ProgramFacts::ret_summaries`]), so there is exactly
+//! one value-propagation engine in the analysis.
 
-use fusion_ir::ssa::{DefKind, FuncId, Op, Program, VarId};
+use fusion_ir::ssa::Program;
 
 /// What a function returns, as seen through the quick path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,155 +40,15 @@ pub enum RetSummary {
     Opaque,
 }
 
-/// The value summary of an individual definition.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum ValSummary {
-    Const(u32),
-    Affine { index: usize, mul: u32, add: u32 },
-    Opaque,
-}
-
-impl ValSummary {
-    fn param(index: usize) -> Self {
-        ValSummary::Affine {
-            index,
-            mul: 1,
-            add: 0,
-        }
-    }
-}
-
 /// Computes the return summary of every function, bottom-up over the
 /// (acyclic, post-unrolling) call graph.
+///
+/// This is the Const/Affine projection of the abstract-interpretation
+/// product domain — see [`crate::absint::ProgramFacts::ret_summaries`].
+/// The shape algebra of the domain is byte-compatible with the historical
+/// per-definition propagation loop this function used to run.
 pub fn ret_summaries(program: &Program) -> Vec<RetSummary> {
-    let n = program.functions.len();
-    let mut out = vec![None::<RetSummary>; n];
-    for f in &program.functions {
-        summary_of(program, f.id, &mut out);
-    }
-    out.into_iter()
-        .map(|s| s.expect("all functions summarized"))
-        .collect()
-}
-
-fn summary_of(program: &Program, fid: FuncId, memo: &mut Vec<Option<RetSummary>>) -> RetSummary {
-    if let Some(s) = memo[fid.index()] {
-        return s;
-    }
-    // Break (should-be-impossible) cycles conservatively.
-    memo[fid.index()] = Some(RetSummary::Opaque);
-    let func = program.func(fid);
-    let summary = match func.ret {
-        None => RetSummary::Opaque, // extern
-        Some(ret) => {
-            let mut vals: Vec<Option<ValSummary>> = vec![None; func.defs.len()];
-            let s = value_of(program, fid, ret, &mut vals, memo);
-            match s {
-                ValSummary::Const(c) => RetSummary::Const(c),
-                ValSummary::Affine { index, mul, add } => RetSummary::Affine { index, mul, add },
-                ValSummary::Opaque => RetSummary::Opaque,
-            }
-        }
-    };
-    memo[fid.index()] = Some(summary);
-    summary
-}
-
-fn value_of(
-    program: &Program,
-    fid: FuncId,
-    var: VarId,
-    vals: &mut Vec<Option<ValSummary>>,
-    memo: &mut Vec<Option<RetSummary>>,
-) -> ValSummary {
-    if let Some(v) = vals[var.index()] {
-        return v;
-    }
-    let func = program.func(fid);
-    let v = match &func.def(var).kind {
-        DefKind::Param { index } => ValSummary::param(*index),
-        DefKind::Const { value, .. } => ValSummary::Const(*value),
-        DefKind::Copy { src } | DefKind::Return { src } => value_of(program, fid, *src, vals, memo),
-        DefKind::Ite { then_v, else_v, .. } => {
-            let a = value_of(program, fid, *then_v, vals, memo);
-            let b = value_of(program, fid, *else_v, vals, memo);
-            if a == b && a != ValSummary::Opaque {
-                a
-            } else {
-                ValSummary::Opaque
-            }
-        }
-        DefKind::Branch { .. } => ValSummary::Opaque,
-        DefKind::Binary { op, lhs, rhs } => {
-            let a = value_of(program, fid, *lhs, vals, memo);
-            let b = value_of(program, fid, *rhs, vals, memo);
-            combine(*op, a, b)
-        }
-        DefKind::Call { callee, args, .. } => {
-            match summary_of(program, *callee, memo) {
-                RetSummary::Const(c) => ValSummary::Const(c),
-                RetSummary::Affine { index, mul, add } => {
-                    // Compose with the argument's own summary.
-                    match args
-                        .get(index)
-                        .map(|a| value_of(program, fid, *a, vals, memo))
-                    {
-                        Some(ValSummary::Const(c)) => {
-                            ValSummary::Const(mul.wrapping_mul(c).wrapping_add(add))
-                        }
-                        Some(ValSummary::Affine {
-                            index: i,
-                            mul: m,
-                            add: a,
-                        }) => ValSummary::Affine {
-                            index: i,
-                            mul: mul.wrapping_mul(m),
-                            add: mul.wrapping_mul(a).wrapping_add(add),
-                        },
-                        _ => ValSummary::Opaque,
-                    }
-                }
-                RetSummary::Opaque => ValSummary::Opaque,
-            }
-        }
-    };
-    vals[var.index()] = Some(v);
-    v
-}
-
-fn combine(op: Op, a: ValSummary, b: ValSummary) -> ValSummary {
-    use ValSummary::*;
-    match (op, a, b) {
-        (_, Const(x), Const(y)) => Const(op.eval(x, y)),
-        (Op::Add, Affine { index, mul, add }, Const(c))
-        | (Op::Add, Const(c), Affine { index, mul, add }) => Affine {
-            index,
-            mul,
-            add: add.wrapping_add(c),
-        },
-        (Op::Sub, Affine { index, mul, add }, Const(c)) => Affine {
-            index,
-            mul,
-            add: add.wrapping_sub(c),
-        },
-        (Op::Sub, Const(c), Affine { index, mul, add }) => Affine {
-            index,
-            mul: 0u32.wrapping_sub(mul),
-            add: c.wrapping_sub(add),
-        },
-        (Op::Mul, Affine { index, mul, add }, Const(c))
-        | (Op::Mul, Const(c), Affine { index, mul, add }) => Affine {
-            index,
-            mul: mul.wrapping_mul(c),
-            add: add.wrapping_mul(c),
-        },
-        (Op::Shl, Affine { index, mul, add }, Const(c)) if c < 32 => Affine {
-            index,
-            mul: mul.wrapping_shl(c),
-            add: add.wrapping_shl(c),
-        },
-        _ => Opaque,
-    }
+    crate::absint::ProgramFacts::compute(program).ret_summaries()
 }
 
 #[cfg(test)]

@@ -26,22 +26,55 @@ impl fmt::Display for ValidateError {
 
 impl Error for ValidateError {}
 
-/// Checks all core-IR invariants.
+/// Checks all core-IR invariants, stopping at the first violation.
+///
+/// A thin wrapper over [`check_program`] for callers that only need a
+/// pass/fail answer; batch consumers (the CLI's `--validate`, the driver's
+/// debug assertion) use [`check_program`] directly to report every
+/// diagnostic at once.
 ///
 /// # Errors
 ///
-/// Returns the first violated invariant:
+/// Returns the first violated invariant (see [`check_program`] for the
+/// full list).
+pub fn validate(program: &Program) -> Result<(), ValidateError> {
+    match check_program(program).into_iter().next() {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Checks all core-IR invariants, collecting *every* diagnostic.
 ///
-/// * definition ids are dense and ordered (`defs[i].var == VarId(i)`);
-/// * every operand and guard refers to an earlier definition;
-/// * guards refer to [`DefKind::Branch`] definitions;
-/// * guard regions are contiguous and properly nested;
+/// The invariants are the contract between lowering / the workload
+/// generator and everything downstream — the sparse analyses, the PDG
+/// construction, and the abstract interpreter all assume them:
+///
+/// * **SSA single-assignment** — definition ids are dense and ordered
+///   (`defs[i].var == VarId(i)`), so each variable is assigned exactly
+///   once;
+/// * **acyclic SSA** — every operand and guard refers to an *earlier*,
+///   in-bounds definition (the gated-φ/ite encoding of merges keeps the
+///   definitional system acyclic, which is what makes one-pass abstract
+///   interpretation and topological translation sound);
+/// * **gating well-formedness** — guards refer to [`DefKind::Branch`]
+///   definitions, guard regions are contiguous and properly nested, and
+///   returns are unguarded;
 /// * parameters come first, in declaration order;
 /// * non-extern functions end with their unique [`DefKind::Return`];
-/// * call sites reference existing functions with matching arity, and the
-///   global call-site table is consistent;
-/// * externs have no body.
-pub fn validate(program: &Program) -> Result<(), ValidateError> {
+/// * call sites reference existing functions ([`crate::ssa::FuncId`]
+///   in bounds) with matching arity, and the global call-site table is
+///   consistent;
+/// * externs have no body;
+/// * **acyclic call graph** — lowering unrolls bounded recursion, so the
+///   post-unrolling call graph over non-extern callees must be a DAG
+///   (context-sensitive cloning would otherwise diverge).
+///
+/// Diagnostics are reported in program order (per function, per
+/// definition); follow-on checks that would index out of bounds after an
+/// earlier violation are skipped rather than risked.
+pub fn check_program(program: &Program) -> Vec<ValidateError> {
+    let mut errs: Vec<ValidateError> = Vec::new();
     for func in &program.functions {
         let fname = program.name(func.name).to_owned();
         let err = |message: String| ValidateError {
@@ -50,98 +83,173 @@ pub fn validate(program: &Program) -> Result<(), ValidateError> {
         };
         if func.is_extern {
             if !func.defs.is_empty() {
-                return Err(err("extern function has a body".into()));
+                errs.push(err("extern function has a body".into()));
             }
             continue;
         }
+        let before = errs.len();
         // Dense ids, operand ordering, guard sanity.
         let mut return_count = 0usize;
         for (i, def) in func.defs.iter().enumerate() {
             if def.var.index() != i {
-                return Err(err(format!("definition {i} has id {}", def.var)));
+                errs.push(err(format!("definition {i} has id {}", def.var)));
             }
             for o in def.kind.operands() {
-                if o.index() >= i {
-                    return Err(err(format!("{} uses {o} before its definition", def.var)));
+                if o.index() >= func.defs.len() {
+                    errs.push(err(format!("{} uses out-of-range variable {o}", def.var)));
+                } else if o.index() >= i {
+                    errs.push(err(format!("{} uses {o} before its definition", def.var)));
                 }
             }
             if let Some(g) = def.guard {
                 if g.index() >= i {
-                    return Err(err(format!("{} guarded by later vertex {g}", def.var)));
-                }
-                if !matches!(func.def(g).kind, DefKind::Branch { .. }) {
-                    return Err(err(format!("guard {g} of {} is not a branch", def.var)));
+                    errs.push(err(format!("{} guarded by later vertex {g}", def.var)));
+                } else if !matches!(func.def(g).kind, DefKind::Branch { .. }) {
+                    errs.push(err(format!("guard {g} of {} is not a branch", def.var)));
                 }
             }
             if let DefKind::Return { .. } = def.kind {
                 return_count += 1;
                 if def.guard.is_some() {
-                    return Err(err("return statement is guarded".into()));
+                    errs.push(err("return statement is guarded".into()));
                 }
             }
             if let DefKind::Call { callee, args, site } = &def.kind {
-                let callee_f = program
-                    .functions
-                    .get(callee.index())
-                    .ok_or_else(|| err(format!("call to out-of-range function {callee}")))?;
-                if !callee_f.is_extern && callee_f.params.len() != args.len() {
-                    return Err(err(format!(
-                        "call at {} passes {} args to `{}` ({} params)",
-                        def.var,
-                        args.len(),
-                        program.name(callee_f.name),
-                        callee_f.params.len()
-                    )));
-                }
-                let cs = program
-                    .call_sites
-                    .get(site.index())
-                    .ok_or_else(|| err(format!("call site {site} out of range")))?;
-                if cs.caller != func.id || cs.stmt != def.var || cs.callee != *callee {
-                    return Err(err(format!("call-site table inconsistent at {site}")));
+                match program.functions.get(callee.index()) {
+                    None => errs.push(err(format!("call to out-of-range function {callee}"))),
+                    Some(callee_f) => {
+                        if !callee_f.is_extern && callee_f.params.len() != args.len() {
+                            errs.push(err(format!(
+                                "call at {} passes {} args to `{}` ({} params)",
+                                def.var,
+                                args.len(),
+                                program.name(callee_f.name),
+                                callee_f.params.len()
+                            )));
+                        }
+                        match program.call_sites.get(site.index()) {
+                            None => errs.push(err(format!("call site {site} out of range"))),
+                            Some(cs) => {
+                                if cs.caller != func.id
+                                    || cs.stmt != def.var
+                                    || cs.callee != *callee
+                                {
+                                    errs.push(err(format!(
+                                        "call-site table inconsistent at {site}"
+                                    )));
+                                }
+                            }
+                        }
+                    }
                 }
             }
         }
         // Parameters first and in order.
         for (pi, &p) in func.params.iter().enumerate() {
+            if p.index() >= func.defs.len() {
+                errs.push(err(format!("parameter {pi} is out of range ({p})")));
+                continue;
+            }
             if p.index() != pi {
-                return Err(err(format!("parameter {pi} is not definition {pi}")));
+                errs.push(err(format!("parameter {pi} is not definition {pi}")));
+                continue;
             }
             match func.def(p).kind {
                 DefKind::Param { index } if index == pi => {}
-                _ => return Err(err(format!("definition {p} is not parameter #{pi}"))),
+                _ => errs.push(err(format!("definition {p} is not parameter #{pi}"))),
             }
         }
         // Single trailing return.
         if return_count != 1 {
-            return Err(err(format!("{return_count} return statements (want 1)")));
+            errs.push(err(format!("{return_count} return statements (want 1)")));
         }
         match func.ret {
-            Some(r) if r.index() == func.defs.len() - 1 => {}
-            _ => return Err(err("return is not the final definition".into())),
+            Some(r) if r.index() == func.defs.len().wrapping_sub(1) => {}
+            _ => errs.push(err("return is not the final definition".into())),
         }
         // Guard regions contiguous and properly nested: once a guard's
-        // region is left, it never reopens.
-        let mut closed: Vec<bool> = vec![false; func.defs.len()];
-        let mut prev_chain: Vec<VarId> = Vec::new();
-        for def in &func.defs {
-            let mut chain = func.guards(def.var);
-            chain.reverse(); // outermost first
-            for g in &chain {
-                if closed[g.index()] {
-                    return Err(err(format!("guard region of {g} reopened at {}", def.var)));
+        // region is left, it never reopens. Walking guard chains requires
+        // the structural checks above to have passed for this function.
+        if errs.len() == before {
+            let mut closed: Vec<bool> = vec![false; func.defs.len()];
+            let mut prev_chain: Vec<VarId> = Vec::new();
+            for def in &func.defs {
+                let mut chain = func.guards(def.var);
+                chain.reverse(); // outermost first
+                for g in &chain {
+                    if closed[g.index()] {
+                        errs.push(err(format!("guard region of {g} reopened at {}", def.var)));
+                    }
                 }
-            }
-            // Any guard present previously but absent now is closed.
-            for g in &prev_chain {
-                if !chain.contains(g) {
-                    closed[g.index()] = true;
+                // Any guard present previously but absent now is closed.
+                for g in &prev_chain {
+                    if !chain.contains(g) {
+                        closed[g.index()] = true;
+                    }
                 }
+                prev_chain = chain;
             }
-            prev_chain = chain;
         }
     }
-    Ok(())
+    // Whole-program: the post-unrolling call graph over non-extern callees
+    // must be acyclic (iterative three-color DFS; one cycle is reported,
+    // with its witness path).
+    let n = program.functions.len();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for cs in &program.call_sites {
+        let (caller, callee) = (cs.caller.index(), cs.callee.index());
+        if caller < n && callee < n && !program.functions[callee].is_extern {
+            adj[caller].push(callee);
+        }
+    }
+    let mut color = vec![0u8; n]; // 0 = white, 1 = gray, 2 = black
+    'roots: for start in 0..n {
+        if color[start] != 0 {
+            continue;
+        }
+        let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+        color[start] = 1;
+        while let Some(&mut (u, ref mut next)) = stack.last_mut() {
+            if *next < adj[u].len() {
+                let v = adj[u][*next];
+                *next += 1;
+                match color[v] {
+                    0 => {
+                        color[v] = 1;
+                        stack.push((v, 0));
+                    }
+                    1 => {
+                        // Gray → gray edge closes a cycle; the witness is
+                        // the gray path from `v` back to `u`.
+                        let pos = stack
+                            .iter()
+                            .position(|&(f, _)| f == v)
+                            .expect("gray vertex is on the stack");
+                        let path: Vec<String> = stack[pos..]
+                            .iter()
+                            .map(|&(f, _)| program.name(program.functions[f].name).to_owned())
+                            .chain(std::iter::once(
+                                program.name(program.functions[v].name).to_owned(),
+                            ))
+                            .collect();
+                        errs.push(ValidateError {
+                            function: program.name(program.functions[v].name).to_owned(),
+                            message: format!(
+                                "call graph has a cycle: {} (recursion must be unrolled)",
+                                path.join(" -> ")
+                            ),
+                        });
+                        break 'roots;
+                    }
+                    _ => {}
+                }
+            } else {
+                color[u] = 2;
+                stack.pop();
+            }
+        }
+    }
+    errs
 }
 
 #[cfg(test)]
@@ -213,6 +321,57 @@ mod tests {
             ret: p.functions[1].ret,
             is_extern: true,
         };
+        assert!(validate(&p).is_err());
+    }
+
+    #[test]
+    fn check_program_collects_all_diagnostics() {
+        let mut p = compile("fn g(a) { return a; } fn f(b) { return b; }");
+        // Corrupt both functions: each return becomes a forward self-copy.
+        for f in &mut p.functions {
+            let name = f.defs[0].name;
+            let last = f.defs.len() - 1;
+            f.defs[last] = Def {
+                var: VarId(last as u32),
+                kind: DefKind::Copy {
+                    src: VarId(last as u32),
+                },
+                guard: None,
+                name,
+            };
+        }
+        let errs = check_program(&p);
+        // Each function reports its own use-before-def *and* missing
+        // return — `validate` would have stopped at the first.
+        assert!(errs.len() >= 4, "diagnostics: {errs:?}");
+        assert!(errs.iter().any(|e| e.function == "g"));
+        assert!(errs.iter().any(|e| e.function == "f"));
+        assert_eq!(validate(&p).unwrap_err(), errs[0]);
+    }
+
+    #[test]
+    fn detects_recursive_call_graph() {
+        let mut p = compile("fn g() { return 1; } fn f() { return g(); }");
+        // Rewire f's call to target f itself, keeping the call-site table
+        // consistent: a post-unrolling program must never be recursive.
+        let fid = p.functions[1].id;
+        let mut site = None;
+        for d in &mut p.functions[1].defs {
+            if let DefKind::Call {
+                callee, site: s, ..
+            } = &mut d.kind
+            {
+                *callee = fid;
+                site = Some(*s);
+            }
+        }
+        let site = site.expect("f has a call");
+        p.call_sites[site.index()].callee = fid;
+        let errs = check_program(&p);
+        assert!(
+            errs.iter().any(|e| e.message.contains("cycle")),
+            "diagnostics: {errs:?}"
+        );
         assert!(validate(&p).is_err());
     }
 

@@ -132,6 +132,66 @@ pub fn instance_var(pool: &mut TermPool, ctx: &[CallSiteId], func: FuncId, var: 
     pool.var(&name, Sort::Bv(WORD_BITS))
 }
 
+/// Provenance of SMT instance variables: which IR definition each renamed
+/// clone came from.
+///
+/// Because abstract facts are memoized per *function* (never per call site),
+/// every clone of the same definition shares one fact; the origin map is
+/// what lets a solver seed formula preprocessing with those per-function
+/// facts on first contact (the §3.2.3 preprocessing discipline).
+#[derive(Debug, Clone, Default)]
+pub struct VarOrigins {
+    map: std::collections::HashMap<fusion_smt::term::VarIdx, (FuncId, VarId)>,
+}
+
+impl VarOrigins {
+    /// An empty origin map.
+    pub fn new() -> VarOrigins {
+        VarOrigins::default()
+    }
+
+    /// Records that SMT variable `idx` instantiates `func`'s `var`.
+    pub fn record(&mut self, idx: fusion_smt::term::VarIdx, func: FuncId, var: VarId) {
+        self.map.insert(idx, (func, var));
+    }
+
+    /// The IR definition `idx` instantiates, if tracked.
+    pub fn get(&self, idx: fusion_smt::term::VarIdx) -> Option<(FuncId, VarId)> {
+        self.map.get(&idx).copied()
+    }
+
+    /// Iterates over all `(smt var, (func, var))` origin entries.
+    pub fn iter(&self) -> impl Iterator<Item = (fusion_smt::term::VarIdx, (FuncId, VarId))> + '_ {
+        self.map.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Number of tracked variables.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no origins are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// [`instance_var`] that also records the variable's IR origin, so callers
+/// can later seed preprocessing with per-function abstract facts.
+pub fn instance_var_tracked(
+    pool: &mut TermPool,
+    ctx: &[CallSiteId],
+    func: FuncId,
+    var: VarId,
+    origins: &mut VarOrigins,
+) -> TermId {
+    let t = instance_var(pool, ctx, func, var);
+    if let fusion_smt::term::TermKind::Var(idx) = *pool.kind(t) {
+        origins.record(idx, func, var);
+    }
+    t
+}
+
 /// Translates a slice to its path condition (Rules 4–8 + cloning).
 ///
 /// # Errors

@@ -587,6 +587,52 @@ fn drop_unconstrained_units(
     }
 }
 
+/// External known-bits assumptions about free variables, as computed by an
+/// upstream abstract interpretation over the *program* (not the formula).
+///
+/// Each entry states that every satisfying assignment of the full system
+/// the formula belongs to gives the variable a value `v` with
+/// `v & known == value`. Seeding the known-bits analysis with such facts is
+/// satisfiability-preserving for the conjoined system: any model respects
+/// the facts, so a bit conflict derived from them still proves the
+/// equality (and hence the system) unsatisfiable. The facts are
+/// unconditional consequences of the program's acyclic SSA — no path
+/// condition is encoded in them.
+#[derive(Debug, Clone, Default)]
+pub struct BitsSeeds {
+    map: HashMap<VarIdx, (u64, u64)>,
+}
+
+impl BitsSeeds {
+    /// An empty seed set (the unseeded behaviour).
+    pub fn new() -> BitsSeeds {
+        BitsSeeds::default()
+    }
+
+    /// Registers `var & known == value` (value bits outside `known` are
+    /// ignored).
+    pub fn insert(&mut self, var: VarIdx, known: u64, value: u64) {
+        if known != 0 {
+            self.map.insert(var, (known, value & known));
+        }
+    }
+
+    /// The fact registered for `var`, if any.
+    pub fn get(&self, var: VarIdx) -> Option<(u64, u64)> {
+        self.map.get(&var).copied()
+    }
+
+    /// Number of seeded variables.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no facts are registered.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
 /// Bit-level constant ("known bits") analysis of a term.
 #[derive(Debug, Clone, Copy, Default)]
 struct KnownBits {
@@ -610,7 +656,12 @@ impl KnownBits {
     }
 }
 
-fn known_bits(pool: &TermPool, t: TermId, memo: &mut HashMap<TermId, KnownBits>) -> KnownBits {
+fn known_bits(
+    pool: &TermPool,
+    t: TermId,
+    memo: &mut HashMap<TermId, KnownBits>,
+    seeds: &BitsSeeds,
+) -> KnownBits {
     if let Some(&k) = memo.get(&t) {
         return k;
     }
@@ -620,9 +671,16 @@ fn known_bits(pool: &TermPool, t: TermId, memo: &mut HashMap<TermId, KnownBits>)
     let m = mask(w);
     let out = match pool.kind(t).clone() {
         TermKind::BvConst { value, .. } => KnownBits::all(value, w),
+        TermKind::Var(v) => match seeds.get(v) {
+            Some((known, value)) => KnownBits {
+                known: known & m,
+                value: value & known & m,
+            },
+            None => KnownBits::default(),
+        },
         TermKind::Bv(op, a, b) => {
-            let ka = known_bits(pool, a, memo);
-            let kb = known_bits(pool, b, memo);
+            let ka = known_bits(pool, a, memo, seeds);
+            let kb = known_bits(pool, b, memo, seeds);
             match op {
                 BvOp::And => {
                     let known0 = (ka.known & !ka.value) | (kb.known & !kb.value);
@@ -700,8 +758,8 @@ fn known_bits(pool: &TermPool, t: TermId, memo: &mut HashMap<TermId, KnownBits>)
             }
         }
         TermKind::Ite { then_t, else_t, .. } => {
-            let ka = known_bits(pool, then_t, memo);
-            let kb = known_bits(pool, else_t, memo);
+            let ka = known_bits(pool, then_t, memo, seeds);
+            let kb = known_bits(pool, else_t, memo, seeds);
             let agree = ka.known & kb.known & !(ka.value ^ kb.value);
             KnownBits {
                 known: agree,
@@ -720,22 +778,31 @@ fn known_bits(pool: &TermPool, t: TermId, memo: &mut HashMap<TermId, KnownBits>)
 /// an equivalence, safe at any polarity, and is what decides the parity
 /// conditions of the workloads without bit-blasting.
 pub fn refute_by_known_bits(pool: &mut TermPool, t: TermId) -> TermId {
+    refute_by_known_bits_seeded(pool, t, &BitsSeeds::default())
+}
+
+/// [`refute_by_known_bits`] with external facts about free variables: the
+/// seeded bits participate in the same bit-conflict test, so program-level
+/// facts (e.g. "this variable is even") refute equalities on first contact
+/// instead of being rediscovered structurally per instance.
+pub fn refute_by_known_bits_seeded(pool: &mut TermPool, t: TermId, seeds: &BitsSeeds) -> TermId {
     let mut kmemo: HashMap<TermId, KnownBits> = HashMap::new();
     fn go(
         pool: &mut TermPool,
         t: TermId,
         memo: &mut HashMap<TermId, TermId>,
         kmemo: &mut HashMap<TermId, KnownBits>,
+        seeds: &BitsSeeds,
     ) -> TermId {
         if let Some(&r) = memo.get(&t) {
             return r;
         }
         let r = match pool.kind(t).clone() {
             TermKind::Eq(a, b) if matches!(pool.sort(a), Sort::Bv(_)) => {
-                let a2 = go(pool, a, memo, kmemo);
-                let b2 = go(pool, b, memo, kmemo);
-                let ka = known_bits(pool, a2, kmemo);
-                let kb = known_bits(pool, b2, kmemo);
+                let a2 = go(pool, a, memo, kmemo, seeds);
+                let b2 = go(pool, b, memo, kmemo, seeds);
+                let ka = known_bits(pool, a2, kmemo, seeds);
+                let kb = known_bits(pool, b2, kmemo, seeds);
                 let both = ka.known & kb.known;
                 if (ka.value ^ kb.value) & both != 0 {
                     pool.ff()
@@ -744,20 +811,26 @@ pub fn refute_by_known_bits(pool: &mut TermPool, t: TermId) -> TermId {
                 }
             }
             TermKind::Not(x) => {
-                let x = go(pool, x, memo, kmemo);
+                let x = go(pool, x, memo, kmemo, seeds);
                 pool.not(x)
             }
             TermKind::And(xs) => {
-                let xs: Vec<TermId> = xs.iter().map(|&x| go(pool, x, memo, kmemo)).collect();
+                let xs: Vec<TermId> = xs
+                    .iter()
+                    .map(|&x| go(pool, x, memo, kmemo, seeds))
+                    .collect();
                 pool.and(&xs)
             }
             TermKind::Or(xs) => {
-                let xs: Vec<TermId> = xs.iter().map(|&x| go(pool, x, memo, kmemo)).collect();
+                let xs: Vec<TermId> = xs
+                    .iter()
+                    .map(|&x| go(pool, x, memo, kmemo, seeds))
+                    .collect();
                 pool.or(&xs)
             }
             TermKind::Eq(a, b) => {
-                let a = go(pool, a, memo, kmemo);
-                let b = go(pool, b, memo, kmemo);
+                let a = go(pool, a, memo, kmemo, seeds);
+                let b = go(pool, b, memo, kmemo, seeds);
                 pool.eq(a, b)
             }
             TermKind::Ite {
@@ -765,19 +838,19 @@ pub fn refute_by_known_bits(pool: &mut TermPool, t: TermId) -> TermId {
                 then_t,
                 else_t,
             } => {
-                let c = go(pool, cond, memo, kmemo);
-                let tt = go(pool, then_t, memo, kmemo);
-                let ee = go(pool, else_t, memo, kmemo);
+                let c = go(pool, cond, memo, kmemo, seeds);
+                let tt = go(pool, then_t, memo, kmemo, seeds);
+                let ee = go(pool, else_t, memo, kmemo, seeds);
                 pool.ite(c, tt, ee)
             }
             TermKind::Bv(op, a, b) => {
-                let a = go(pool, a, memo, kmemo);
-                let b = go(pool, b, memo, kmemo);
+                let a = go(pool, a, memo, kmemo, seeds);
+                let b = go(pool, b, memo, kmemo, seeds);
                 pool.bv(op, a, b)
             }
             TermKind::Pred(p, a, b) => {
-                let a = go(pool, a, memo, kmemo);
-                let b = go(pool, b, memo, kmemo);
+                let a = go(pool, a, memo, kmemo, seeds);
+                let b = go(pool, b, memo, kmemo, seeds);
                 pool.pred(p, a, b)
             }
             _ => t,
@@ -786,7 +859,7 @@ pub fn refute_by_known_bits(pool: &mut TermPool, t: TermId) -> TermId {
         r
     }
     let mut memo = HashMap::new();
-    go(pool, t, &mut memo, &mut kmemo)
+    go(pool, t, &mut memo, &mut kmemo, seeds)
 }
 
 /// A linear form over one bit width: `Σ coeff·var + constant (mod 2^w)`.
@@ -1077,13 +1150,25 @@ pub fn preprocess_fragment(
     t: TermId,
     protected: &std::collections::HashSet<VarIdx>,
 ) -> Preprocessed {
+    preprocess_fragment_seeded(pool, t, protected, &BitsSeeds::default())
+}
+
+/// [`preprocess_fragment`] with external known-bits facts about free
+/// variables (see [`BitsSeeds`]): the known-bits refutation pass consults
+/// the seeds, so program-level facts decide fragments on first contact.
+pub fn preprocess_fragment_seeded(
+    pool: &mut TermPool,
+    t: TermId,
+    protected: &std::collections::HashSet<VarIdx>,
+    seeds: &BitsSeeds,
+) -> Preprocessed {
     let mut t = simplify(pool, t);
     let mut rounds = 0u32;
     for _ in 0..8 {
         let before = t;
         rounds += 1;
         t = reduce_strength(pool, t);
-        t = refute_by_known_bits(pool, t);
+        t = refute_by_known_bits_seeded(pool, t, seeds);
         t = propagate_constants_protected(pool, t, protected);
         t = propagate_equalities_protected(pool, t, protected);
         t = gaussian_eliminate_protected(pool, t, protected);
@@ -1181,6 +1266,48 @@ mod tests {
         let r = propagate_constants(&mut p, f);
         // x = 3 (3*3=9): formula collapses to true after substituting.
         assert_eq!(p.as_bool_const(r), Some(true));
+    }
+
+    #[test]
+    fn seeded_known_bits_refute_parity() {
+        // Without seeds, `x == 7` with free `x` is undecided. Seeding the
+        // fact "x is even" (bit 0 known zero) refutes the equality.
+        let mut p = pool();
+        let x = p.var("x", Sort::Bv(32));
+        let c7 = p.bv_const(7, 32);
+        let f = p.eq(x, c7);
+        let unseeded = refute_by_known_bits(&mut p, f);
+        assert_eq!(p.as_bool_const(unseeded), None);
+        let mut seeds = BitsSeeds::new();
+        let TermKind::Var(vx) = *p.kind(x) else {
+            panic!("expected var");
+        };
+        seeds.insert(vx, 1, 0);
+        assert_eq!(seeds.len(), 1);
+        assert!(!seeds.is_empty());
+        let seeded = refute_by_known_bits_seeded(&mut p, f, &seeds);
+        assert_eq!(p.as_bool_const(seeded), Some(false));
+    }
+
+    #[test]
+    fn seeded_fragment_pipeline_decides() {
+        // Seeds flow through the fragment pipeline: `x * 2 + 1 == 8` with a
+        // seeded odd/even fact on a *derived* variable composes with the
+        // structural analysis.
+        let mut p = pool();
+        let x = p.var("x", Sort::Bv(32));
+        let c8 = p.bv_const(8, 32);
+        let c1 = p.bv_const(1, 32);
+        let sum = p.bv(BvOp::Add, x, c1);
+        let f = p.eq(sum, c8);
+        // x even ⇒ x + 1 odd ⇒ never 8.
+        let TermKind::Var(vx) = *p.kind(x) else {
+            panic!("expected var");
+        };
+        let mut seeds = BitsSeeds::new();
+        seeds.insert(vx, 1, 0);
+        let out = preprocess_fragment_seeded(&mut p, f, &Default::default(), &seeds);
+        assert_eq!(out.decided, Some(false));
     }
 
     #[test]
