@@ -186,6 +186,13 @@ fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Value) -> Result<Value, St
     }
 }
 
+/// Reads the four hex digits of a `\uXXXX` escape starting at `at`.
+fn parse_hex4(b: &[u8], at: usize) -> Result<u32, String> {
+    let hex = b.get(at..at + 4).ok_or("truncated \\u escape")?;
+    let s = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+    u32::from_str_radix(s, 16).map_err(|_| format!("bad \\u escape `{s}`"))
+}
+
 fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
     expect(b, pos, b'"')?;
     let mut out = String::new();
@@ -208,12 +215,43 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
                     Some(b'b') => out.push('\u{8}'),
                     Some(b'f') => out.push('\u{c}'),
                     Some(b'u') => {
-                        let hex = b.get(*pos + 1..*pos + 5).ok_or("truncated \\u escape")?;
-                        let s = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
-                        let n = u32::from_str_radix(s, 16)
-                            .map_err(|_| format!("bad \\u escape `{s}`"))?;
-                        out.push(char::from_u32(n).unwrap_or('\u{fffd}'));
+                        let n = parse_hex4(b, *pos + 1)?;
                         *pos += 4;
+                        match n {
+                            // High surrogate: must pair with an
+                            // immediately following `\uXXXX` low
+                            // surrogate; the pair combines into one
+                            // astral-plane scalar. Decoding the halves
+                            // independently would mangle every character
+                            // above U+FFFF into two replacement chars.
+                            0xD800..=0xDBFF => {
+                                if b.get(*pos + 1..*pos + 3) != Some(b"\\u") {
+                                    return Err(format!(
+                                        "lone high surrogate \\u{n:04x} at byte {}",
+                                        *pos - 4
+                                    ));
+                                }
+                                let lo = parse_hex4(b, *pos + 3)?;
+                                if !(0xDC00..=0xDFFF).contains(&lo) {
+                                    return Err(format!(
+                                        "high surrogate \\u{n:04x} followed by \\u{lo:04x} \
+                                         (not a low surrogate) at byte {}",
+                                        *pos - 4
+                                    ));
+                                }
+                                *pos += 6;
+                                let c = 0x10000 + ((n - 0xD800) << 10) + (lo - 0xDC00);
+                                out.push(char::from_u32(c).expect("valid surrogate pair"));
+                            }
+                            // Low surrogate with no preceding high half.
+                            0xDC00..=0xDFFF => {
+                                return Err(format!(
+                                    "lone low surrogate \\u{n:04x} at byte {}",
+                                    *pos - 4
+                                ));
+                            }
+                            _ => out.push(char::from_u32(n).expect("non-surrogate BMP scalar")),
+                        }
                     }
                     _ => return Err(format!("bad escape at byte {}", *pos)),
                 }
@@ -269,5 +307,42 @@ mod tests {
         let doc = format!("{{\"s\": \"{}\"}}", escape(original));
         let v = Value::parse(&doc).unwrap();
         assert_eq!(v.get("s").unwrap().as_str(), Some(original));
+    }
+
+    #[test]
+    fn surrogate_pairs_combine_into_astral_scalars() {
+        // U+1F600 (emoji) and U+10348 (Gothic hwair) as escaped pairs.
+        let v = Value::parse("\"\\uD83D\\uDE00 and \\uD800\\uDF48\"").unwrap();
+        assert_eq!(v.as_str(), Some("\u{1F600} and \u{10348}"));
+        // BMP escapes are unaffected.
+        let v = Value::parse("\"A\\uFFFD\"").unwrap();
+        assert_eq!(v.as_str(), Some("A\u{FFFD}"));
+    }
+
+    #[test]
+    fn astral_text_round_trips_through_escape_and_parse() {
+        // `escape` passes astral chars through as raw UTF-8; the parser
+        // must accept both that and the escaped-pair spelling, decoding
+        // to the same string.
+        let original = "emoji \u{1F600}, Gothic \u{10348}, music \u{1D11E}";
+        let doc = format!("{{\"s\": \"{}\"}}", escape(original));
+        let v = Value::parse(&doc).unwrap();
+        assert_eq!(v.get("s").unwrap().as_str(), Some(original));
+        let escaped =
+            "{\"s\": \"emoji \\uD83D\\uDE00, Gothic \\uD800\\uDF48, music \\uD834\\uDD1E\"}";
+        let v = Value::parse(escaped).unwrap();
+        assert_eq!(v.get("s").unwrap().as_str(), Some(original));
+    }
+
+    #[test]
+    fn lone_surrogates_are_rejected() {
+        // Bare high half: end of string, non-escape follower, wrong escape.
+        assert!(Value::parse("\"\\uD83D\"").is_err());
+        assert!(Value::parse("\"\\uD83Dx\"").is_err());
+        assert!(Value::parse("\"\\uD83D\\n\"").is_err());
+        // Bare low half.
+        assert!(Value::parse("\"\\uDE00\"").is_err());
+        // Two high halves in a row.
+        assert!(Value::parse("\"\\uD83D\\uD83D\"").is_err());
     }
 }

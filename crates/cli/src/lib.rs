@@ -125,6 +125,12 @@ pub struct Options {
     /// and seed its preprocessing. Refute-only — `--no-absint` produces
     /// byte-identical findings, just with more solver work.
     pub absint: bool,
+    /// Pre-discovery PDG compaction: frontier reachability pruning,
+    /// summary-chain collapse, and isomorphic-fragment verdict sharing.
+    /// `--no-compact` (or the `FUSION_NO_COMPACT` environment variable)
+    /// disables it; findings are byte-identical either way, compaction
+    /// just removes discovery steps and solver queries.
+    pub compact: bool,
     /// Validate the compiled IR against the full invariant suite
     /// ([`fusion_ir::validate::check_program`]) before analyzing, and
     /// fail with every diagnostic when it is malformed.
@@ -158,6 +164,7 @@ impl Default for Options {
             stream: true,
             incremental: true,
             absint: true,
+            compact: std::env::var_os("FUSION_NO_COMPACT").is_none(),
             validate: false,
             dot: None,
             extra_sources: Vec::new(),
@@ -289,6 +296,8 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
             "--no-incremental" => opts.incremental = false,
             "--absint" => opts.absint = true,
             "--no-absint" => opts.absint = false,
+            "--compact" => opts.compact = true,
+            "--no-compact" => opts.compact = false,
             "--validate" => opts.validate = true,
             "--list-checkers" => opts.list_checkers = true,
             "--help" | "-h" => {
@@ -298,7 +307,8 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
                      [--timeout-secs N] \
                      [--solver-timeout-ms N] [--threads N] [--cache|--no-cache] \
                      [--stream|--no-stream] [--no-incremental] \
-                     [--absint|--no-absint] [--validate] [--dot FILE] \
+                     [--absint|--no-absint] [--compact|--no-compact] \
+                     [--validate] [--dot FILE] \
                      [--json] [--stats] FILE..."
                         .into(),
                 ))
@@ -481,6 +491,17 @@ pub struct ScanReport {
     /// Assembled solver queries refuted by seeded known-bits
     /// preprocessing before bit-blasting.
     pub absint_refutes: u64,
+    /// PDG vertices removed by compaction's frontier reachability pruning,
+    /// summed per checker (0 with `--no-compact`).
+    pub vertices_pruned: u64,
+    /// Checker-taken PDG edges with a pruned endpoint, summed per checker.
+    pub edges_pruned: u64,
+    /// Summary corridors collapsed into composite chains, summed per
+    /// checker.
+    pub chains_collapsed: u64,
+    /// Solver queries answered by compaction's isomorphic-fragment
+    /// verdict memo instead of the engine.
+    pub iso_hits: u64,
 }
 
 impl ScanReport {
@@ -548,7 +569,9 @@ impl ScanReport {
              \n  \"solve_ms\": {},\n  \"slices_computed\": {},\n  \"slices_reused\": {},\
              \n  \"slice_cache_bytes\": {},\n  \"triaged_paths\": {},\
              \n  \"triaged_candidates\": {},\n  \"sessions_skipped\": {},\
-             \n  \"slices_skipped\": {},\n  \"absint_refutes\": {}\n}}",
+             \n  \"slices_skipped\": {},\n  \"absint_refutes\": {},\
+             \n  \"vertices_pruned\": {},\n  \"edges_pruned\": {},\
+             \n  \"chains_collapsed\": {},\n  \"iso_hits\": {}\n}}",
             self.sessions_opened,
             self.suppressed,
             self.vertices,
@@ -569,7 +592,11 @@ impl ScanReport {
             self.triaged_candidates,
             self.sessions_skipped,
             self.slices_skipped,
-            self.absint_refutes
+            self.absint_refutes,
+            self.vertices_pruned,
+            self.edges_pruned,
+            self.chains_collapsed,
+            self.iso_hits
         );
         s
     }
@@ -639,6 +666,7 @@ pub fn scan_source(source: &str, opts: &Options) -> Result<ScanReport, CliError>
     let slice_cache = Arc::new(SliceCache::new());
     let mut analysis_opts = AnalysisOptions::new().with_slice_cache(Arc::clone(&slice_cache));
     analysis_opts.absint = opts.absint;
+    analysis_opts.compact = opts.compact;
     let run: MultiAnalysisRun = if opts.threads > 1 {
         let engine_choice = opts.engine;
         let timeout = opts.timeout;
@@ -683,6 +711,10 @@ pub fn scan_source(source: &str, opts: &Options) -> Result<ScanReport, CliError>
     report.sessions_skipped = run.stages.sessions_skipped;
     report.slices_skipped = run.stages.slices_skipped;
     report.absint_refutes = run.stages.absint_refutes;
+    report.vertices_pruned = run.stages.vertices_pruned;
+    report.edges_pruned = run.stages.edges_pruned;
+    report.chains_collapsed = run.stages.chains_collapsed;
+    report.iso_hits = run.stages.iso_hits;
     // One true whole-scan peak: every engine live during the single fused
     // pass plus the graph and caches — not a max over per-checker passes.
     report.peak_memory_bytes = run.peak_memory;
@@ -830,6 +862,17 @@ pub fn run(args: &[String], out: &mut dyn std::io::Write) -> i32 {
                 "avoided: {} session(s) skipped, {} slice closure(s) skipped, \
                  {} seeded solver refutation(s)",
                 report.sessions_skipped, report.slices_skipped, report.absint_refutes
+            );
+            // Compaction: dead graph the pre-discovery pass removed and
+            // solver queries answered by isomorphic-fragment sharing.
+            let _ = writeln!(
+                out,
+                "compaction: {} vertex(es) pruned, {} edge(s) pruned, \
+                 {} chain(s) collapsed, {} iso hit(s)",
+                report.vertices_pruned,
+                report.edges_pruned,
+                report.chains_collapsed,
+                report.iso_hits
             );
         }
     }
@@ -1350,6 +1393,95 @@ mod tests {
             assert_eq!(r2.triaged_paths, 0, "--no-absint disables triage");
             assert_eq!(r2.absint_refutes, 0);
         }
+    }
+
+    #[test]
+    fn compact_flags_parse_and_compaction_preserves_findings() {
+        // The default tracks FUSION_NO_COMPACT so the CI matrix can run
+        // the whole suite uncompacted.
+        let o = parse_args(&args(&["a.fus"])).unwrap();
+        assert_eq!(
+            o.compact,
+            std::env::var_os("FUSION_NO_COMPACT").is_none(),
+            "compaction is the default unless FUSION_NO_COMPACT is set"
+        );
+        let o = parse_args(&args(&["--no-compact", "a.fus"])).unwrap();
+        assert!(!o.compact);
+        let o = parse_args(&args(&["--no-compact", "--compact", "a.fus"])).unwrap();
+        assert!(o.compact);
+        // Report-preserving contract: compaction removes work, never
+        // findings. `dead` has no sink reachable from its source and is
+        // pruned; `id` is a single-entry/single-exit corridor and
+        // collapses.
+        let src = "extern fn deref(p);\n\
+            fn id(v) { return v; }\n\
+            fn dead(x) { let q = null; let y = q; return y; }\n\
+            fn a(x) { let q = null; let r = 1; if (x > 1) { r = id(q); } deref(r); return 0; }";
+        let key = |r: &ScanReport| {
+            r.findings
+                .iter()
+                .map(|f| {
+                    (
+                        f.checker.clone(),
+                        f.source_function.clone(),
+                        f.sink_function.clone(),
+                        f.verdict.clone(),
+                        f.path_length,
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        for threads in [1, 3] {
+            let on = Options {
+                checker: CheckerChoice::Null,
+                threads,
+                compact: true,
+                ..Default::default()
+            };
+            let off = Options {
+                checker: CheckerChoice::Null,
+                threads,
+                compact: false,
+                ..Default::default()
+            };
+            let r1 = scan_source(src, &on).unwrap();
+            let r2 = scan_source(src, &off).unwrap();
+            assert_eq!(key(&r1), key(&r2), "threads={threads}");
+            assert_eq!(r1.suppressed, r2.suppressed, "threads={threads}");
+            assert!(r1.vertices_pruned > 0, "dead flow is pruned");
+            assert!(r1.chains_collapsed > 0, "id corridor collapses");
+            assert_eq!(r2.vertices_pruned, 0, "--no-compact disables pruning");
+            assert_eq!(r2.chains_collapsed, 0);
+        }
+    }
+
+    #[test]
+    fn json_reports_compaction_counters() {
+        let src = "extern fn deref(p);\n\
+            fn dead(x) { let q = null; let y = q; return y; }\n\
+            fn a(x) { let q = null; let r = 1; if (x > 1) { r = q; } deref(r); return 0; }";
+        let opts = Options {
+            checker: CheckerChoice::Null,
+            compact: true,
+            ..Default::default()
+        };
+        let report = scan_source(src, &opts).unwrap();
+        let v = json::Value::parse(&report.to_json()).expect("valid json");
+        assert!(v.get("vertices_pruned").unwrap().as_f64().unwrap() > 0.0);
+        assert!(v.get("edges_pruned").unwrap().as_f64().is_some());
+        assert!(v.get("chains_collapsed").unwrap().as_f64().is_some());
+        assert!(v.get("iso_hits").unwrap().as_f64().is_some());
+        // The text --stats surface carries the compaction line.
+        let dir = std::env::temp_dir();
+        let f = dir.join("fusion_cli_compact.fus");
+        std::fs::write(&f, src).unwrap();
+        let mut out = Vec::new();
+        run(
+            &args(&["--checker", "null", "--stats", &f.display().to_string()]),
+            &mut out,
+        );
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("compaction:"), "{text}");
     }
 
     #[test]

@@ -36,6 +36,16 @@
 //!   vocabularies), the second checker's queries hit the first's
 //!   verdicts. This is still not condition caching in the §3.2.2 sense —
 //!   the cache stores three-valued *verdicts*, never formulas.
+//! * **128-bit keys.** A bare 64-bit content hash is too narrow for a
+//!   *correctness-bearing* memo: at a few hundred million distinct path
+//!   sets the birthday bound makes a silent collision — and therefore a
+//!   silently wrong verdict or closure — plausible over a large scan
+//!   corpus. [`path_set_key`] therefore folds the serialized path content
+//!   into **two independently seeded FNV-1a streams** and keys both this
+//!   cache and [`crate::slice_cache::SliceCache`] on the [`Key128`] pair.
+//!   Colliding now requires the same unstructured input to collide under
+//!   both seeds simultaneously (~2⁻¹²⁸ per pair), while the fold stays
+//!   allocation-free and order-deterministic.
 
 use crate::engine::Feasibility;
 use fusion_ir::ssa::{DefKind, Program};
@@ -44,10 +54,36 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-/// Approximate retained bytes per cache entry: the 8-byte key, the verdict,
-/// and amortized hash-table overhead (bucket slot, control bytes, growth
-/// slack).
-pub const BYTES_PER_CACHE_ENTRY: u64 = 32;
+/// Approximate retained bytes per cache entry: the 16-byte key, the
+/// verdict, and amortized hash-table overhead (bucket slot, control bytes,
+/// growth slack).
+pub const BYTES_PER_CACHE_ENTRY: u64 = 40;
+
+/// The widened content key: the same word stream folded through two
+/// independently seeded FNV-1a streams. Two path sets alias only if they
+/// collide under *both* seeds, pushing the effective collision bound from
+/// a birthday-plausible 2⁻⁶⁴ to a negligible 2⁻¹²⁸.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Key128 {
+    /// The primary FNV-1a stream (the pre-widening 64-bit key).
+    pub lo: u64,
+    /// The second, independently seeded stream.
+    pub hi: u64,
+}
+
+impl Key128 {
+    /// Assembles a key from its two halves. Mostly useful in tests that
+    /// need hand-built (e.g. deliberately half-colliding) keys; analysis
+    /// code obtains keys from [`path_set_key`].
+    pub fn from_parts(lo: u64, hi: u64) -> Self {
+        Key128 { lo, hi }
+    }
+
+    /// The lock-stripe index for this key among `shards` stripes.
+    fn shard_index(self, shards: usize) -> usize {
+        (self.lo as usize) % shards
+    }
+}
 
 /// Monotonic cache counters, plus the retained entry count and byte size
 /// at observation time. Obtained from [`VerdictCache::stats`]; two
@@ -97,7 +133,7 @@ impl CacheStats {
 /// All methods take `&self`; the cache is `Sync` and meant to be shared by
 /// reference (or `Arc`) across the solving threads of one or many runs.
 pub struct VerdictCache {
-    shards: Vec<Mutex<HashMap<u64, Feasibility>>>,
+    shards: Vec<Mutex<HashMap<Key128, Feasibility>>>,
     hits: AtomicU64,
     misses: AtomicU64,
     inserts: AtomicU64,
@@ -134,13 +170,13 @@ impl VerdictCache {
     }
 
     /// The canonical key of a path-set query: see [`path_set_key`].
-    pub fn key(program: &Program, paths: &[DependencePath]) -> u64 {
+    pub fn key(program: &Program, paths: &[DependencePath]) -> Key128 {
         path_set_key(program, paths)
     }
 
     /// Looks up a verdict, counting a hit or miss.
-    pub fn get(&self, key: u64) -> Option<Feasibility> {
-        let shard = &self.shards[(key as usize) % self.shards.len()];
+    pub fn get(&self, key: Key128) -> Option<Feasibility> {
+        let shard = &self.shards[key.shard_index(self.shards.len())];
         let found = shard
             .lock()
             .expect("cache shard poisoned")
@@ -160,11 +196,11 @@ impl VerdictCache {
 
     /// Stores a verdict. [`Feasibility::Unknown`] is *not* stored: it only
     /// says a budget ran out, and memoizing it would pin the failure.
-    pub fn insert(&self, key: u64, verdict: Feasibility) {
+    pub fn insert(&self, key: Key128, verdict: Feasibility) {
         if verdict == Feasibility::Unknown {
             return;
         }
-        let shard = &self.shards[(key as usize) % self.shards.len()];
+        let shard = &self.shards[key.shard_index(self.shards.len())];
         let inserted = shard
             .lock()
             .expect("cache shard poisoned")
@@ -206,15 +242,17 @@ impl VerdictCache {
     }
 }
 
-/// The canonical content key of a path-set query: an FNV-1a fold over
+/// The canonical content key of a path-set query: a dual FNV-1a fold over
 /// every path's vertex sequence, link labels, and per-vertex transfer
-/// function (definition kind, operands, guard). Identical program +
-/// identical paths ⇒ identical key, independent of discovery order,
-/// worker, or allocation. Shared by [`VerdictCache`] (verdict memo) and
+/// function (definition kind, operands, guard), producing a 128-bit
+/// [`Key128`] (two independently seeded 64-bit streams over the same
+/// words). Identical program + identical paths ⇒ identical key,
+/// independent of discovery order, worker, or allocation. Shared by
+/// [`VerdictCache`] (verdict memo) and
 /// [`crate::slice_cache::SliceCache`] (closure memo): the same content
 /// identity governs both, since a slice closure and a verdict are each
 /// pure functions of the path set's dependence structure.
-pub fn path_set_key(program: &Program, paths: &[DependencePath]) -> u64 {
+pub fn path_set_key(program: &Program, paths: &[DependencePath]) -> Key128 {
     let mut h = Fnv::new();
     h.write(paths.len() as u64);
     for path in paths {
@@ -245,7 +283,7 @@ pub fn path_set_key(program: &Program, paths: &[DependencePath]) -> u64 {
 /// Folds the transfer function of vertex `v` into the hash: the definition
 /// kind's tag and fields. Two vertices with equal ids but different
 /// definitions (different programs) hash apart.
-fn hash_transfer(h: &mut Fnv, program: &Program, v: fusion_pdg::graph::Vertex) {
+pub(crate) fn hash_transfer(h: &mut Fnv, program: &Program, v: fusion_pdg::graph::Vertex) {
     let def = program.func(v.func).def(v.var);
     match &def.kind {
         DefKind::Param { index } => {
@@ -304,23 +342,45 @@ fn hash_transfer(h: &mut Fnv, program: &Program, v: fusion_pdg::graph::Vertex) {
     }
 }
 
-/// FNV-1a over u64 words (each word folded byte-wise for diffusion).
-struct Fnv(u64);
+/// The standard FNV-1a 64-bit offset basis: seed of the primary stream
+/// (and of the pre-widening key, so the low half is bit-compatible with
+/// the historical 64-bit key).
+const FNV_SEED_LO: u64 = 0xcbf2_9ce4_8422_2325;
+/// Seed of the second stream — any constant distinct from the offset
+/// basis works; the byte-wise XOR-multiply fold is nonlinear, so the two
+/// streams diverge immediately and never track each other.
+const FNV_SEED_HI: u64 = 0x9e37_79b9_7f4a_7c15;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Dual-stream FNV-1a over u64 words (each word folded byte-wise for
+/// diffusion into both streams).
+pub(crate) struct Fnv {
+    lo: u64,
+    hi: u64,
+}
 
 impl Fnv {
-    fn new() -> Self {
-        Fnv(0xcbf2_9ce4_8422_2325)
-    }
-
-    fn write(&mut self, word: u64) {
-        for byte in word.to_le_bytes() {
-            self.0 ^= byte as u64;
-            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+    pub(crate) fn new() -> Self {
+        Fnv {
+            lo: FNV_SEED_LO,
+            hi: FNV_SEED_HI,
         }
     }
 
-    fn finish(&self) -> u64 {
-        self.0
+    pub(crate) fn write(&mut self, word: u64) {
+        for byte in word.to_le_bytes() {
+            self.lo ^= byte as u64;
+            self.lo = self.lo.wrapping_mul(FNV_PRIME);
+            self.hi ^= byte as u64;
+            self.hi = self.hi.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    pub(crate) fn finish(&self) -> Key128 {
+        Key128 {
+            lo: self.lo,
+            hi: self.hi,
+        }
     }
 }
 
@@ -329,6 +389,11 @@ mod tests {
     use super::*;
     use fusion_ir::{compile, CompileOptions};
     use fusion_pdg::graph::Pdg;
+
+    /// A distinct, hand-built test key per index.
+    fn k(n: u64) -> Key128 {
+        Key128::from_parts(n, !n)
+    }
 
     fn program_and_paths() -> (Program, Vec<DependencePath>) {
         let src = "extern fn deref(p);\n\
@@ -356,16 +421,40 @@ mod tests {
         assert_eq!(k1, k2, "same content, same key");
         let other = VerdictCache::key(&program, std::slice::from_ref(&paths[1]));
         assert_ne!(k1, other, "f and g paths traverse different vertices");
+        // Both streams must separate distinct content, not just the pair.
+        assert_ne!(k1.lo, other.lo, "primary stream distinguishes paths");
+        assert_ne!(k1.hi, other.hi, "secondary stream distinguishes paths");
+    }
+
+    #[test]
+    fn colliding_prefix_keys_no_longer_alias() {
+        // Regression for the 64-bit-key soundness hole: before widening,
+        // the cache key was exactly `Key128::lo`, so two path sets whose
+        // primary FNV streams collide would silently alias and return one
+        // another's verdicts/closures. Model that collision with two
+        // hand-built keys sharing the full 64-bit prefix and differing
+        // only in the independently seeded second stream: the widened
+        // cache must keep them separate.
+        let a = Key128::from_parts(0xDEAD_BEEF_DEAD_BEEF, 0x1111_1111_1111_1111);
+        let b = Key128::from_parts(0xDEAD_BEEF_DEAD_BEEF, 0x2222_2222_2222_2222);
+        assert_eq!(a.lo, b.lo, "the old 64-bit keys collide");
+        assert_ne!(a, b, "the widened keys do not");
+        let cache = VerdictCache::with_shards(4);
+        cache.insert(a, Feasibility::Feasible);
+        cache.insert(b, Feasibility::Infeasible);
+        assert_eq!(cache.get(a), Some(Feasibility::Feasible));
+        assert_eq!(cache.get(b), Some(Feasibility::Infeasible));
+        assert_eq!(cache.len(), 2, "colliding-prefix keys occupy two entries");
     }
 
     #[test]
     fn get_insert_and_counters() {
         let cache = VerdictCache::with_shards(4);
-        assert_eq!(cache.get(42), None);
-        cache.insert(42, Feasibility::Feasible);
-        assert_eq!(cache.get(42), Some(Feasibility::Feasible));
-        cache.insert(43, Feasibility::Infeasible);
-        assert_eq!(cache.get(43), Some(Feasibility::Infeasible));
+        assert_eq!(cache.get(k(42)), None);
+        cache.insert(k(42), Feasibility::Feasible);
+        assert_eq!(cache.get(k(42)), Some(Feasibility::Feasible));
+        cache.insert(k(43), Feasibility::Infeasible);
+        assert_eq!(cache.get(k(43)), Some(Feasibility::Infeasible));
         let s = cache.stats();
         assert_eq!(s.hits, 2);
         assert_eq!(s.misses, 1);
@@ -378,17 +467,17 @@ mod tests {
     #[test]
     fn unknown_is_never_stored() {
         let cache = VerdictCache::new();
-        cache.insert(7, Feasibility::Unknown);
+        cache.insert(k(7), Feasibility::Unknown);
         assert!(cache.is_empty());
-        assert_eq!(cache.get(7), None);
+        assert_eq!(cache.get(k(7)), None);
         assert_eq!(cache.stats().inserts, 0);
     }
 
     #[test]
     fn reinsert_does_not_double_count() {
         let cache = VerdictCache::new();
-        cache.insert(1, Feasibility::Feasible);
-        cache.insert(1, Feasibility::Feasible);
+        cache.insert(k(1), Feasibility::Feasible);
+        cache.insert(k(1), Feasibility::Feasible);
         assert_eq!(cache.stats().inserts, 1);
         assert_eq!(cache.len(), 1);
     }
@@ -396,11 +485,11 @@ mod tests {
     #[test]
     fn stats_since_scopes_counters() {
         let cache = VerdictCache::new();
-        cache.insert(1, Feasibility::Feasible);
-        let _ = cache.get(1);
+        cache.insert(k(1), Feasibility::Feasible);
+        let _ = cache.get(k(1));
         let before = cache.stats();
-        let _ = cache.get(1);
-        let _ = cache.get(2);
+        let _ = cache.get(k(1));
+        let _ = cache.get(k(2));
         let delta = cache.stats().since(&before);
         assert_eq!(delta.hits, 1);
         assert_eq!(delta.misses, 1);
@@ -416,13 +505,13 @@ mod tests {
                 scope.spawn(move || {
                     for i in 0..256u64 {
                         let key = i % 32;
-                        if cache.get(key).is_none() {
+                        if cache.get(k(key)).is_none() {
                             let v = if key % 2 == 0 {
                                 Feasibility::Feasible
                             } else {
                                 Feasibility::Infeasible
                             };
-                            cache.insert(key, v);
+                            cache.insert(k(key), v);
                         }
                         let _ = t;
                     }
@@ -436,7 +525,7 @@ mod tests {
             } else {
                 Feasibility::Infeasible
             };
-            assert_eq!(cache.get(key), Some(want), "key {key}");
+            assert_eq!(cache.get(k(key)), Some(want), "key {key}");
         }
         let s = cache.stats();
         assert!(s.hits > 0 && s.misses >= 32);

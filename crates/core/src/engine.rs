@@ -7,14 +7,16 @@
 //! reports and accounting are shared so comparisons are apples-to-apples.
 
 use crate::absint::ProgramFacts;
-use crate::cache::{path_set_key, CacheStats, VerdictCache};
+use crate::cache::{path_set_key, CacheStats, Key128, VerdictCache};
 use crate::checkers::{CheckKind, Checker, CheckerId, CheckerSet};
+use crate::compact::CompactPdg;
 use crate::memory::{run_accounting, Category, MemoryAccountant, BYTES_PER_DEF};
 use crate::propagate::{
-    discover_all_multi, discover_source_for, multi_source_vertices, Candidate, PropagateOptions,
+    discover_all_multi_compact, discover_source_for_compact, multi_source_vertices, Candidate,
+    PropagateOptions,
 };
 use crate::slice_cache::{SliceCache, SliceCacheStats};
-use crate::stream::BoundedQueue;
+use crate::stream::{BoundedQueue, CloseGuard};
 use fusion_ir::ssa::Program;
 use fusion_pdg::graph::{Pdg, Vertex};
 use fusion_pdg::paths::DependencePath;
@@ -113,7 +115,7 @@ pub trait FeasibilityEngine {
         &mut self,
         _program: &Program,
         _pdg: &Pdg,
-        _key: u64,
+        _key: Key128,
         _paths: &[DependencePath],
     ) {
     }
@@ -245,6 +247,18 @@ pub struct StageStats {
     /// preprocessing (solver-side absint seeding, distinct from the
     /// driver-side path triage above).
     pub absint_refutes: u64,
+    /// Vertices removed by the compaction pass's frontier reachability
+    /// pruning, summed per checker (zero when compaction is off).
+    pub vertices_pruned: u64,
+    /// Checker-taken PDG edges with a pruned endpoint, summed per checker.
+    pub edges_pruned: u64,
+    /// Single-entry/single-exit summary corridors collapsed into
+    /// composite chains, summed per checker.
+    pub chains_collapsed: u64,
+    /// Solver queries answered by the compaction pass's isomorphic-
+    /// fragment verdict memo instead of the engine (after an exact-key
+    /// cache miss).
+    pub iso_hits: u64,
 }
 
 impl StageStats {
@@ -440,6 +454,15 @@ pub struct AnalysisOptions {
     /// claims feasibility — so reports are byte-identical with it off (the
     /// CLI exposes `--no-absint`).
     pub absint: bool,
+    /// Pre-discovery PDG compaction (on by default unless the
+    /// `FUSION_NO_COMPACT` environment variable is set; the CLI exposes
+    /// `--no-compact`): frontier reachability pruning, summary-chain
+    /// collapse, and isomorphic-fragment verdict sharing. Reports are
+    /// byte-identical with it off whenever the propagation step/path
+    /// budgets do not bind (compaction only makes discovery cheaper, so a
+    /// binding budget can cut the uncompacted walk earlier); discovery
+    /// steps and solver queries only ever shrink.
+    pub compact: bool,
 }
 
 impl Default for AnalysisOptions {
@@ -450,6 +473,7 @@ impl Default for AnalysisOptions {
             slice_cache: Some(Arc::new(SliceCache::new())),
             discover_shards: None,
             absint: true,
+            compact: std::env::var_os("FUSION_NO_COMPACT").is_none(),
         }
     }
 }
@@ -503,6 +527,9 @@ struct CandTally {
     /// Union slice closures skipped because the whole candidate was
     /// triaged (one per fully-triaged candidate).
     slices_skipped: u64,
+    /// Queries answered by the compaction pass's isomorphic-fragment
+    /// verdict memo (no engine work, counted after an exact cache miss).
+    iso_hits: u64,
 }
 
 impl CandTally {
@@ -514,6 +541,7 @@ impl CandTally {
         self.triaged_paths += other.triaged_paths;
         self.triaged_candidates += other.triaged_candidates;
         self.slices_skipped += other.slices_skipped;
+        self.iso_hits += other.iso_hits;
     }
 }
 
@@ -554,6 +582,18 @@ fn fill_triage_stats(stages: &mut StageStats, tallies: &[CandTally], sessions_sk
     stages.triaged_candidates = tallies.iter().map(|t| t.triaged_candidates).sum();
     stages.slices_skipped = tallies.iter().map(|t| t.slices_skipped).sum();
     stages.sessions_skipped = sessions_skipped;
+    stages.iso_hits = tallies.iter().map(|t| t.iso_hits).sum();
+}
+
+/// Copies a compacted view's pruning counters into a run's
+/// [`StageStats`] (no-op when compaction was off).
+fn fill_compact_stats(stages: &mut StageStats, compact: Option<&CompactPdg>) {
+    if let Some(c) = compact {
+        let cs = c.stats();
+        stages.vertices_pruned = cs.vertices_pruned;
+        stages.edges_pruned = cs.edges_pruned;
+        stages.chains_collapsed = cs.chains_collapsed;
+    }
 }
 
 /// Groups candidate indices by **sink function only** — the slice-group
@@ -598,6 +638,14 @@ fn group_by_sink(candidates: &[Candidate]) -> Vec<(u64, Vec<usize>)> {
 /// before [`FeasibilityEngine::begin_candidate`] — no session is touched
 /// and no slice closure is ever computed for it. Triage may only refute,
 /// never claim feasibility, so reports are byte-identical either way.
+///
+/// With a compacted view, a path whose exact key misses is additionally
+/// looked up in the isomorphic-fragment memo ([`CompactPdg::iso_key`])
+/// before the engine is queried: a hit replays the definite verdict of a
+/// structurally identical path already decided (renaming of functions
+/// and call sites cannot change satisfiability — no identity reaches the
+/// solver), so the query is skipped entirely. Unknown verdicts are never
+/// memoized, so budget-dependent outcomes never leak between fragments.
 #[allow(clippy::too_many_arguments)] // one call per driver; a params struct would only obscure
 fn solve_candidate(
     program: &Program,
@@ -605,6 +653,7 @@ fn solve_candidate(
     engine: &mut dyn FeasibilityEngine,
     cache: Option<&VerdictCache>,
     facts: Option<&ProgramFacts>,
+    compact: Option<&CompactPdg>,
     kind: CheckKind,
     cand: &Candidate,
     tally: &mut CandTally,
@@ -652,20 +701,13 @@ fn solve_candidate(
                     }
                     None => {
                         tally.cache_misses += 1;
-                        tally.queries += 1;
-                        let o = engine.check_paths(program, pdg, slice);
-                        tally.solve_wall += o.duration;
-                        c.insert(key, o.feasibility);
-                        o.feasibility
+                        let v = query_with_iso(program, pdg, engine, compact, slice, tally);
+                        c.insert(key, v);
+                        v
                     }
                 }
             }
-            None => {
-                tally.queries += 1;
-                let o = engine.check_paths(program, pdg, slice);
-                tally.solve_wall += o.duration;
-                o.feasibility
-            }
+            None => query_with_iso(program, pdg, engine, compact, slice, tally),
         };
         match feasibility {
             Feasibility::Feasible => {
@@ -689,6 +731,30 @@ fn solve_candidate(
             path: witness.expect("non-infeasible verdict has a path").clone(),
         }),
     }
+}
+
+/// Decides one path's feasibility, consulting the compacted view's
+/// isomorphic-fragment memo before the engine (see [`solve_candidate`]).
+fn query_with_iso(
+    program: &Program,
+    pdg: &Pdg,
+    engine: &mut dyn FeasibilityEngine,
+    compact: Option<&CompactPdg>,
+    slice: &[DependencePath],
+    tally: &mut CandTally,
+) -> Feasibility {
+    let iso = compact.map(|cp| (cp.iso(), cp.iso_key(slice)));
+    if let Some(v) = iso.as_ref().and_then(|(memo, key)| memo.get(*key)) {
+        tally.iso_hits += 1;
+        return v;
+    }
+    tally.queries += 1;
+    let o = engine.check_paths(program, pdg, slice);
+    tally.solve_wall += o.duration;
+    if let Some((memo, key)) = iso {
+        memo.insert(key, o.feasibility);
+    }
+    o.feasibility
 }
 
 /// Splits the canonical `(checker, verdict)` sequence of a fused run
@@ -812,7 +878,13 @@ pub fn analyze_multi_with_cache(
         .unwrap_or_default();
     let stages_before = engine.stage_totals();
     let t0 = Instant::now();
-    let discovery = discover_all_multi(program, pdg, set, &options.propagate, 1);
+    // The compaction pass runs inside the discovery span: its build cost
+    // is part of what the discover wall attributes.
+    let compact = options
+        .compact
+        .then(|| CompactPdg::build(program, pdg, set, &options.propagate));
+    let discovery =
+        discover_all_multi_compact(program, pdg, set, &options.propagate, 1, compact.as_ref());
     let candidates = discovery.candidates;
     let propagate_time = t0.elapsed();
     let cache_before = cache.map(|c| c.stats()).unwrap_or_default();
@@ -837,6 +909,7 @@ pub fn analyze_multi_with_cache(
                 engine,
                 cache,
                 facts.as_deref(),
+                compact.as_ref(),
                 set.get(cand.checker).kind,
                 cand,
                 &mut tallies[cand.checker.0],
@@ -881,6 +954,7 @@ pub fn analyze_multi_with_cache(
     };
     stages.add_engine(&engine.stage_totals().since(&stages_before));
     fill_triage_stats(&mut stages, &tallies, sessions_skipped);
+    fill_compact_stats(&mut stages, compact.as_ref());
 
     let ordered: Vec<(CheckerId, CandVerdict)> = results
         .into_iter()
@@ -1001,7 +1075,17 @@ pub fn analyze_multi_parallel_with_cache(
     // overlap), but the discovery itself fans out across the same thread
     // count, merged deterministically by work-item index.
     let shards = options.discover_shards.unwrap_or(threads);
-    let discovery = discover_all_multi(program, pdg, set, &options.propagate, shards);
+    let compact = options
+        .compact
+        .then(|| CompactPdg::build(program, pdg, set, &options.propagate));
+    let discovery = discover_all_multi_compact(
+        program,
+        pdg,
+        set,
+        &options.propagate,
+        shards,
+        compact.as_ref(),
+    );
     let candidates = discovery.candidates;
     let propagate_time = t0.elapsed();
     let cache_before = cache.map(|c| c.stats()).unwrap_or_default();
@@ -1036,6 +1120,7 @@ pub fn analyze_multi_parallel_with_cache(
             let cursor = &cursor;
             let slice_cache = options.slice_cache.clone();
             let facts = facts.clone();
+            let compact = compact.as_ref();
             handles.push(scope.spawn(move || {
                 let mut engine = factory();
                 if let Some(sc) = slice_cache {
@@ -1068,6 +1153,7 @@ pub fn analyze_multi_parallel_with_cache(
                             engine.as_mut(),
                             cache,
                             facts.as_deref(),
+                            compact,
                             set.get(cand.checker).kind,
                             cand,
                             &mut out.tallies[cand.checker.0],
@@ -1115,6 +1201,7 @@ pub fn analyze_multi_parallel_with_cache(
     }
     merged.sort_by_key(|(idx, _)| *idx);
     fill_triage_stats(&mut stages, &tallies, sessions_skipped);
+    fill_compact_stats(&mut stages, compact.as_ref());
 
     let graph_bytes = program.size() as u64 * BYTES_PER_DEF;
     let cache_bytes = cache.map(|c| c.bytes()).unwrap_or(0)
@@ -1303,6 +1390,12 @@ pub fn analyze_multi_streaming_with_cache(
     let discovery_accts: Mutex<Vec<MemoryAccountant>> = Mutex::new(Vec::new());
 
     let t0 = Instant::now();
+    // The compaction pass runs once, up front, inside the discovery span;
+    // producers and solve workers share it by reference.
+    let compact = options
+        .compact
+        .then(|| CompactPdg::build(program, pdg, set, &options.propagate));
+    let compact = compact.as_ref();
     let outputs: Vec<WorkerOut> = std::thread::scope(|scope| {
         // Discovery shards (producers): steal (checker, source) work
         // items, group each item's candidates by sink function, stream
@@ -1320,14 +1413,26 @@ pub fn analyze_multi_streaming_with_cache(
             scope.spawn(move || {
                 let mut acct = MemoryAccountant::new();
                 let mut local_steps = vec![0u64; set.len()];
-                loop {
+                // Flipped when a send is refused: some consumer's queue
+                // closed (it panicked), so the pipeline cannot complete —
+                // stop discovering, but still run the shutdown protocol
+                // below so every queue learns this producer is done.
+                let mut consumers_live = true;
+                while consumers_live {
                     let i = item_cursor.fetch_add(1, Ordering::Relaxed);
                     if i >= items.len() {
                         break;
                     }
                     let (id, src) = items[i];
-                    let d =
-                        discover_source_for(program, pdg, set.get(id), id, &options.propagate, src);
+                    let d = discover_source_for_compact(
+                        program,
+                        pdg,
+                        set.get(id),
+                        id,
+                        &options.propagate,
+                        src,
+                        compact,
+                    );
                     acct.charge(Category::Graph, d.state_bytes);
                     acct.release(Category::Graph, d.state_bytes);
                     discover_steps.fetch_add(d.steps, Ordering::Relaxed);
@@ -1355,7 +1460,10 @@ pub fn analyze_multi_streaming_with_cache(
                     }
                     for group in order {
                         let worker = (group.sink_key as usize) % queues.len();
-                        queues[worker].send(group);
+                        if !queues[worker].send(group) {
+                            consumers_live = false;
+                            break;
+                        }
                     }
                 }
                 // The discovery stage's wall span ends when the *last*
@@ -1404,6 +1512,14 @@ pub fn analyze_multi_streaming_with_cache(
                 // single global group. (Verdicts never depend on where
                 // boundaries fall — `begin_group`'s contract — so this is
                 // purely a time/space trade.)
+                // Liveness: if this worker dies mid-solve (a panicking
+                // engine), the guard closes its queue on unwind, so
+                // producers parked on the bounded `not_full` condvar wake
+                // up, observe the refusal, and wind down — the panic then
+                // propagates through the scope join instead of
+                // deadlocking it. Harmless on orderly exit: the queue is
+                // already drained when the guard fires.
+                let _close_guard = CloseGuard::new(queue);
                 let mut last_key: Option<u64> = None;
                 while let Some(group) = queue.recv() {
                     if last_key != Some(group.sink_key) {
@@ -1419,6 +1535,7 @@ pub fn analyze_multi_streaming_with_cache(
                             engine.as_mut(),
                             cache,
                             facts.as_deref(),
+                            compact,
                             set.get(cand.checker).kind,
                             cand,
                             &mut out.tallies[checker_idx],
@@ -1470,6 +1587,7 @@ pub fn analyze_multi_streaming_with_cache(
     }
     merged.sort_by_key(|(key, _)| *key);
     fill_triage_stats(&mut stages, &tallies, sessions_skipped);
+    fill_compact_stats(&mut stages, compact);
 
     let graph_bytes = program.size() as u64 * BYTES_PER_DEF;
     let cache_bytes = cache.map(|c| c.bytes()).unwrap_or(0)
@@ -1785,6 +1903,61 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn compaction_preserves_reports_and_shrinks_work() {
+        // `dead` gives pruning something to remove, the `id` corridor
+        // collapses to a chain, and the byte-identical bodies of `f` and
+        // `g` exercise the isomorphic verdict memo: the compacted run
+        // must produce the same reports with strictly fewer discovery
+        // steps and strictly fewer solver queries.
+        let src = "extern fn deref(p);\n\
+             fn dead(y) { let z = y + 1; return z; }\n\
+             fn id(x) { return x; }\n\
+             fn f(x) { let q = null; let r = 1; if (x > 0) { r = q; } deref(r); return 0; }\n\
+             fn g(x) { let q = null; let r = 1; if (x > 0) { r = q; } deref(r); return 0; }\n\
+             fn h(c) { let q = null; let u = id(q); let n = dead(c); if (c > n) { deref(u); } return 0; }";
+        let p = compile(src, CompileOptions::default()).expect("compile");
+        let g = Pdg::build(&p);
+        let set = CheckerSet::all();
+        let off = AnalysisOptions {
+            compact: false,
+            ..AnalysisOptions::new()
+        };
+        let on = AnalysisOptions {
+            compact: true,
+            ..AnalysisOptions::new()
+        };
+        let mut e1 = FusionSolver::new(SolverConfig::default());
+        let plain = analyze_multi(&p, &g, &set, &mut e1, &off);
+        let mut e2 = FusionSolver::new(SolverConfig::default());
+        let compacted = analyze_multi(&p, &g, &set, &mut e2, &on);
+        for (pb, cb) in plain.checkers.iter().zip(&compacted.checkers) {
+            assert_eq!(pb.kind, cb.kind);
+            assert_eq!(pb.candidates, cb.candidates);
+            assert_eq!(pb.suppressed, cb.suppressed);
+            let a: Vec<_> = pb.reports.iter().map(report_key).collect();
+            let b: Vec<_> = cb.reports.iter().map(report_key).collect();
+            assert_eq!(a, b, "reports must be byte-identical for {}", pb.kind);
+        }
+        assert_eq!(plain.stages.vertices_pruned, 0, "off ⇒ no pruning stats");
+        assert!(compacted.stages.vertices_pruned > 0);
+        assert!(compacted.stages.edges_pruned > 0);
+        assert!(compacted.stages.chains_collapsed > 0);
+        assert!(
+            compacted.stages.discovery_steps < plain.stages.discovery_steps,
+            "compacted discovery {} must undercut plain {}",
+            compacted.stages.discovery_steps,
+            plain.stages.discovery_steps
+        );
+        assert!(compacted.stages.iso_hits > 0, "f/g paths are isomorphic");
+        assert!(
+            compacted.queries < plain.queries,
+            "iso sharing must drop queries ({} vs {})",
+            compacted.queries,
+            plain.queries
+        );
     }
 
     #[test]

@@ -27,7 +27,7 @@
 //! pool reset invalidates).
 
 use crate::absint::ProgramFacts;
-use crate::cache::path_set_key;
+use crate::cache::{path_set_key, Key128};
 use crate::engine::{CheckOutcome, EngineStages, Feasibility, FeasibilityEngine, SolveRecord};
 use crate::memory::{Category, MemoryAccountant, BYTES_PER_TERM_NODE};
 use crate::quickpath::{ret_summaries, RetSummary};
@@ -220,7 +220,7 @@ struct CachedLocal {
 /// candidate fully answered by the verdict cache never slices at all.
 #[derive(Debug)]
 struct CandCtx {
-    key: u64,
+    key: Key128,
     paths: Vec<DependencePath>,
     closure: Option<Arc<Closure>>,
 }
@@ -648,7 +648,7 @@ impl FeasibilityEngine for FusionSolver {
         &mut self,
         _program: &Program,
         _pdg: &Pdg,
-        key: u64,
+        key: Key128,
         paths: &[DependencePath],
     ) {
         self.cand = Some(CandCtx {

@@ -24,6 +24,9 @@
 //!   baselines also implement, and bug reports;
 //! * [`cache`] — the sharded feasibility-verdict memo cache shared across
 //!   worker engines;
+//! * [`compact`] — the pre-discovery PDG-compaction pass: frontier
+//!   reachability pruning, summary-chain collapse, and isomorphic-fragment
+//!   verdict sharing, all over dependence structure only;
 //! * [`slice_cache`] — the sharded LRU memo of slice *closures* (dependence
 //!   structure only — never formulas, preserving §3.2.2's discipline);
 //! * [`stream`] — the bounded channel behind the streaming
@@ -59,6 +62,7 @@
 pub mod absint;
 pub mod cache;
 pub mod checkers;
+pub mod compact;
 pub mod engine;
 pub mod graph_solver;
 pub mod memory;
@@ -69,8 +73,9 @@ pub mod slice_cache;
 pub mod stream;
 
 pub use absint::{AbsVal, ProgramFacts};
-pub use cache::{path_set_key, CacheStats, VerdictCache};
+pub use cache::{path_set_key, CacheStats, Key128, VerdictCache};
 pub use checkers::{default_checkers, CheckKind, Checker, CheckerId, CheckerSet};
+pub use compact::{CompactPdg, CompactStats, IsoVerdicts};
 pub use engine::{
     analyze, analyze_multi, analyze_multi_parallel, analyze_multi_parallel_with_cache,
     analyze_multi_streaming, analyze_multi_streaming_with_cache, analyze_multi_with_cache,

@@ -27,8 +27,10 @@
 //!   (`tests/discovery_prop.rs`).
 
 use crate::checkers::{Checker, CheckerId, CheckerSet};
+use crate::compact::CompactPdg;
 use crate::memory::{Category, MemoryAccountant};
 use fusion_ir::ssa::{CallSiteId, Program};
+use fusion_pdg::compact::SummaryChain;
 use fusion_pdg::graph::{FlowTarget, Pdg, Vertex};
 use fusion_pdg::paths::{DependencePath, Link};
 use std::collections::hash_map::Entry;
@@ -139,6 +141,10 @@ struct Dfs<'a> {
     /// Tag stamped on every recorded candidate (the client identity of a
     /// fused multi-checker pass).
     checker_id: CheckerId,
+    /// The compacted view, when the pass ran: dead vertices are never
+    /// stepped onto, and collapsed summary chains are replayed as one
+    /// composite edge instead of vertex-by-vertex exploration.
+    compact: Option<&'a CompactPdg>,
     opts: PropagateOptions,
     steps: usize,
     candidates: Vec<Candidate>,
@@ -162,6 +168,7 @@ impl<'a> Dfs<'a> {
         pdg: &'a Pdg,
         checker: &'a Checker,
         checker_id: CheckerId,
+        compact: Option<&'a CompactPdg>,
         opts: PropagateOptions,
     ) -> Self {
         Self {
@@ -169,6 +176,7 @@ impl<'a> Dfs<'a> {
             pdg,
             checker,
             checker_id,
+            compact,
             opts,
             steps: 0,
             candidates: Vec::new(),
@@ -202,6 +210,59 @@ impl<'a> Dfs<'a> {
                     paths: vec![full],
                 });
             }
+        }
+    }
+
+    /// Whether `v` survives the compaction pass's liveness pruning (true
+    /// whenever the pass did not run).
+    fn live(&self, v: Vertex) -> bool {
+        self.compact.is_none_or(|c| c.is_live(self.checker_id, v))
+    }
+
+    /// Replays a collapsed summary chain as one composite edge: pushes
+    /// the chain's original `(link, vertex)` body onto the path — with
+    /// exactly the `(vertex, stack hash)` state keys a vertex-by-vertex
+    /// walk would have inserted — and recurses once from the caller-side
+    /// receiver, with the stack unchanged (the `Enter`/`Exit` pair
+    /// cancels). Consumes **zero** DFS steps for the body; the replayed
+    /// path is byte-identical to an uncollapsed traversal.
+    fn traverse_chain(
+        &mut self,
+        path: &mut DependencePath,
+        stack: &mut CallStack,
+        chain: &SummaryChain,
+    ) {
+        let n = chain.body.len();
+        let h_orig = stack.hash();
+        let h_in = mix_site(h_orig, chain.site);
+        // Insert the body's DFS states one by one; any collision means
+        // the vertex-by-vertex walk would have been cut off at that point
+        // (and, the corridor being silent, recorded nothing) — roll back
+        // and skip the whole chain. Rolled-back elements all carry
+        // `h_in`: a failure at index i < n leaves only indices < i ≤ n-1
+        // inserted, and only the last body element (the receiver) uses
+        // `h_orig`.
+        for (i, &(_, v)) in chain.body.iter().enumerate() {
+            let h = if i + 1 == n { h_orig } else { h_in };
+            if !self.states.insert((v, h)) {
+                for &(_, u) in &chain.body[..i] {
+                    self.states.remove(&(u, h_in));
+                }
+                return;
+            }
+        }
+        self.max_states = self.max_states.max(self.states.len());
+        for &(link, v) in &chain.body {
+            path.push(link, v);
+        }
+        self.explore(path, stack);
+        for _ in 0..n {
+            path.nodes.pop();
+            path.links.pop();
+        }
+        for (i, &(_, v)) in chain.body.iter().enumerate() {
+            let h = if i + 1 == n { h_orig } else { h_in };
+            self.states.remove(&(v, h));
         }
     }
 
@@ -239,7 +300,11 @@ impl<'a> Dfs<'a> {
                     {
                         continue;
                     }
-                    self.step(path, stack, Link::Local, Vertex::new(at.func, to));
+                    let v = Vertex::new(at.func, to);
+                    if !self.live(v) {
+                        continue; // pruned: on no source→sink chain
+                    }
+                    self.step(path, stack, Link::Local, v);
                 }
                 FlowTarget::IntoCallee {
                     site,
@@ -249,11 +314,26 @@ impl<'a> Dfs<'a> {
                     if stack.len() >= self.opts.max_call_depth {
                         continue;
                     }
+                    let entry = Vertex::new(callee, param);
+                    if !self.live(entry) {
+                        continue; // pruned: the callee corridor is dead
+                    }
+                    if let Some(chain) = self
+                        .compact
+                        .and_then(|c| c.chain(self.checker_id, site, param))
+                    {
+                        self.traverse_chain(path, stack, chain);
+                        continue;
+                    }
                     stack.push(site);
-                    self.step(path, stack, Link::Enter(site), Vertex::new(callee, param));
+                    self.step(path, stack, Link::Enter(site), entry);
                     stack.pop();
                 }
                 FlowTarget::BackToCaller { site, caller, dst } => {
+                    let v = Vertex::new(caller, dst);
+                    if !self.live(v) {
+                        continue; // pruned: the caller side is dead
+                    }
                     // CFL discipline: match the entering site, or escape
                     // upward with an empty stack.
                     let popped = match stack.last() {
@@ -264,7 +344,7 @@ impl<'a> Dfs<'a> {
                         Some(_) => continue, // mismatched parenthesis
                         None => false,       // upward escape
                     };
-                    self.step(path, stack, Link::Exit(site), Vertex::new(caller, dst));
+                    self.step(path, stack, Link::Exit(site), v);
                     if popped {
                         stack.push(site);
                     }
@@ -281,7 +361,11 @@ impl<'a> Dfs<'a> {
                         && !sink_here
                         && !self.checker.is_sanitizer(self.program, func, to)
                     {
-                        self.step(path, stack, Link::Local, Vertex::new(at.func, to));
+                        let v = Vertex::new(at.func, to);
+                        if !self.live(v) {
+                            continue; // pruned
+                        }
+                        self.step(path, stack, Link::Local, v);
                     }
                 }
             }
@@ -344,7 +428,35 @@ pub fn discover_source_for(
     opts: &PropagateOptions,
     source: Vertex,
 ) -> SourceDiscovery {
-    let mut dfs = Dfs::new(program, pdg, checker, id, *opts);
+    discover_source_for_compact(program, pdg, checker, id, opts, source, None)
+}
+
+/// [`discover_source_for`] with an optional compacted PDG view: dead
+/// sources are skipped outright (a source whose liveness pruning removed
+/// it reaches no sink, so the DFS would burn ≥ 1 step recording
+/// nothing), live exploration never steps onto pruned vertices, and
+/// collapsed summary chains are replayed as composite edges. Reports are
+/// byte-identical to the uncompacted walk whenever the step/path budgets
+/// do not bind; steps only ever shrink.
+pub fn discover_source_for_compact(
+    program: &Program,
+    pdg: &Pdg,
+    checker: &Checker,
+    id: CheckerId,
+    opts: &PropagateOptions,
+    source: Vertex,
+    compact: Option<&CompactPdg>,
+) -> SourceDiscovery {
+    if let Some(c) = compact {
+        if !c.is_live(id, source) {
+            return SourceDiscovery {
+                candidates: Vec::new(),
+                steps: 0,
+                state_bytes: 0,
+            };
+        }
+    }
+    let mut dfs = Dfs::new(program, pdg, checker, id, compact, *opts);
     let mut path = DependencePath::unit(source);
     let mut stack = CallStack::new();
     dfs.explore(&mut path, &mut stack);
@@ -402,6 +514,21 @@ pub fn discover_all_multi(
     opts: &PropagateOptions,
     shards: usize,
 ) -> Discovery {
+    discover_all_multi_compact(program, pdg, set, opts, shards, None)
+}
+
+/// [`discover_all_multi`] with an optional compacted PDG view (see
+/// [`discover_source_for_compact`] for the per-source semantics). The
+/// deterministic merge is untouched: the compaction is a pure per-item
+/// filter, so the output stays byte-identical at any shard count.
+pub fn discover_all_multi_compact(
+    program: &Program,
+    pdg: &Pdg,
+    set: &CheckerSet,
+    opts: &PropagateOptions,
+    shards: usize,
+    compact: Option<&CompactPdg>,
+) -> Discovery {
     let items = multi_source_vertices(program, set);
     let shards = shards.clamp(1, items.len().max(1));
     if shards <= 1 {
@@ -410,7 +537,7 @@ pub fn discover_all_multi(
         let mut steps = 0u64;
         let mut per_checker_steps = vec![0u64; set.len()];
         for &(id, src) in &items {
-            let d = discover_source_for(program, pdg, set.get(id), id, opts, src);
+            let d = discover_source_for_compact(program, pdg, set.get(id), id, opts, src, compact);
             acct.charge(Category::Graph, d.state_bytes);
             acct.release(Category::Graph, d.state_bytes);
             steps += d.steps;
@@ -444,7 +571,15 @@ pub fn discover_all_multi(
                         break;
                     }
                     let (id, src) = items[i];
-                    let d = discover_source_for(program, pdg, set.get(id), id, opts, src);
+                    let d = discover_source_for_compact(
+                        program,
+                        pdg,
+                        set.get(id),
+                        id,
+                        opts,
+                        src,
+                        compact,
+                    );
                     acct.charge(Category::Graph, d.state_bytes);
                     acct.release(Category::Graph, d.state_bytes);
                     local.push((i, d.candidates, d.steps));
@@ -886,6 +1021,51 @@ mod tests {
             for acct in &sharded.memory {
                 assert_eq!(acct.current(Category::Graph), 0);
             }
+        }
+    }
+
+    /// Compacted discovery must be byte-identical to the plain walk —
+    /// same candidates, same paths — while taking strictly fewer steps
+    /// (dead flows are pruned, identity corridors replay as chains).
+    #[test]
+    fn compacted_discovery_is_byte_identical_and_cheaper() {
+        use crate::checkers::CheckerSet;
+        let src = "extern fn deref(p);\n\
+             fn id(x) { return x; }\n\
+             fn dead(y) { let z = y + 1; let w = z * 2; return w; }\n\
+             fn f(c) {\n\
+               let q = null;\n\
+               let r = id(q);\n\
+               let n = dead(c);\n\
+               if (c > n) { deref(r); }\n\
+               return 0;\n\
+             }\n\
+             fn g() { let q = null; let u = id(id(q)); deref(u); return 0; }";
+        let p = compile(src, CompileOptions::default()).expect("compile");
+        let g = Pdg::build(&p);
+        let opts = PropagateOptions::default();
+        let set = CheckerSet::single(Checker::null_deref());
+        let plain = discover_all_multi(&p, &g, &set, &opts, 1);
+        let compact = CompactPdg::build(&p, &g, &set, &opts);
+        assert!(compact.stats().vertices_pruned > 0);
+        assert!(compact.stats().chains_collapsed > 0);
+        for shards in 1..=4 {
+            let c = discover_all_multi_compact(&p, &g, &set, &opts, shards, Some(&compact));
+            assert_eq!(c.candidates.len(), plain.candidates.len());
+            for (a, b) in c.candidates.iter().zip(&plain.candidates) {
+                assert_eq!(a.checker, b.checker);
+                assert_eq!(a.source, b.source);
+                assert_eq!(a.sink, b.sink);
+                let ap: Vec<_> = a.paths.iter().map(|p| (&p.nodes, &p.links)).collect();
+                let bp: Vec<_> = b.paths.iter().map(|p| (&p.nodes, &p.links)).collect();
+                assert_eq!(ap, bp, "shards={shards}");
+            }
+            assert!(
+                c.steps < plain.steps,
+                "compacted steps {} must undercut plain {}",
+                c.steps,
+                plain.steps
+            );
         }
     }
 

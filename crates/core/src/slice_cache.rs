@@ -31,6 +31,7 @@
 //! an LRU bound per shard (like the solver's `local_cache`) so retained
 //! closures cannot grow without limit.
 
+use crate::cache::Key128;
 use fusion_ir::ssa::FuncId;
 use fusion_pdg::slice::FuncSlice;
 use std::collections::{BTreeMap, HashMap};
@@ -104,7 +105,7 @@ impl SliceCacheStats {
 #[derive(Debug)]
 struct Shard {
     /// key → (closure, last-use tick, estimated bytes).
-    map: HashMap<u64, (Arc<Closure>, u64, u64)>,
+    map: HashMap<Key128, (Arc<Closure>, u64, u64)>,
     tick: u64,
 }
 
@@ -163,13 +164,13 @@ impl SliceCache {
         }
     }
 
-    fn shard(&self, key: u64) -> &Mutex<Shard> {
-        &self.shards[(key as usize) % self.shards.len()]
+    fn shard(&self, key: Key128) -> &Mutex<Shard> {
+        &self.shards[(key.lo as usize) % self.shards.len()]
     }
 
     /// Looks up a closure, counting a hit or miss and refreshing the
     /// entry's LRU tick on hit.
-    pub fn get(&self, key: u64) -> Option<Arc<Closure>> {
+    pub fn get(&self, key: Key128) -> Option<Arc<Closure>> {
         let mut shard = self.shard(key).lock().expect("slice cache poisoned");
         shard.tick += 1;
         let tick = shard.tick;
@@ -192,7 +193,7 @@ impl SliceCache {
     /// Stores a closure, evicting least-recently-used entries past the
     /// per-shard capacity. Re-inserting an existing key only refreshes
     /// its tick.
-    pub fn insert(&self, key: u64, closure: Arc<Closure>) {
+    pub fn insert(&self, key: Key128, closure: Arc<Closure>) {
         let bytes = closure_bytes(&closure);
         let mut shard = self.shard(key).lock().expect("slice cache poisoned");
         shard.tick += 1;
@@ -250,6 +251,11 @@ mod tests {
     use super::*;
     use std::collections::BTreeSet;
 
+    /// A distinct, hand-built test key per index.
+    fn k(n: u64) -> Key128 {
+        Key128::from_parts(n, !n)
+    }
+
     fn closure(n: usize) -> Arc<Closure> {
         let mut c = Closure::new();
         let fs = FuncSlice {
@@ -263,9 +269,9 @@ mod tests {
     #[test]
     fn get_insert_and_counters() {
         let cache = SliceCache::with_config(2, 8);
-        assert!(cache.get(1).is_none());
-        cache.insert(1, closure(3));
-        let hit = cache.get(1).expect("hit");
+        assert!(cache.get(k(1)).is_none());
+        cache.insert(k(1), closure(3));
+        let hit = cache.get(k(1)).expect("hit");
         assert_eq!(hit[&FuncId(0)].verts.len(), 3);
         let s = cache.stats();
         assert_eq!((s.hits, s.misses, s.inserts), (1, 1, 1));
@@ -277,8 +283,8 @@ mod tests {
     #[test]
     fn reinsert_refreshes_without_double_count() {
         let cache = SliceCache::with_config(1, 8);
-        cache.insert(5, closure(2));
-        cache.insert(5, closure(2));
+        cache.insert(k(5), closure(2));
+        cache.insert(k(5), closure(2));
         let s = cache.stats();
         assert_eq!(s.inserts, 1);
         assert_eq!(s.entries, 1);
@@ -288,13 +294,13 @@ mod tests {
     #[test]
     fn lru_evicts_least_recent_and_releases_bytes() {
         let cache = SliceCache::with_config(1, 2);
-        cache.insert(1, closure(1));
-        cache.insert(2, closure(1));
-        let _ = cache.get(1); // 1 is now the most recent
-        cache.insert(3, closure(1)); // evicts 2
-        assert!(cache.get(1).is_some());
-        assert!(cache.get(2).is_none(), "LRU victim must be evicted");
-        assert!(cache.get(3).is_some());
+        cache.insert(k(1), closure(1));
+        cache.insert(k(2), closure(1));
+        let _ = cache.get(k(1)); // 1 is now the most recent
+        cache.insert(k(3), closure(1)); // evicts 2
+        assert!(cache.get(k(1)).is_some());
+        assert!(cache.get(k(2)).is_none(), "LRU victim must be evicted");
+        assert!(cache.get(k(3)).is_some());
         let s = cache.stats();
         assert_eq!(s.evictions, 1);
         assert_eq!(s.entries, 2);
@@ -304,11 +310,11 @@ mod tests {
     #[test]
     fn since_scopes_counters() {
         let cache = SliceCache::new();
-        cache.insert(1, closure(1));
-        let _ = cache.get(1);
+        cache.insert(k(1), closure(1));
+        let _ = cache.get(k(1));
         let before = cache.stats();
-        let _ = cache.get(1);
-        let _ = cache.get(9);
+        let _ = cache.get(k(1));
+        let _ = cache.get(k(9));
         let d = cache.stats().since(&before);
         assert_eq!((d.hits, d.misses, d.inserts), (1, 1, 0));
     }
@@ -322,8 +328,8 @@ mod tests {
                 scope.spawn(move || {
                     for i in 0..128u64 {
                         let key = i % 16;
-                        if cache.get(key).is_none() {
-                            cache.insert(key, closure(key as usize + 1));
+                        if cache.get(k(key)).is_none() {
+                            cache.insert(k(key), closure(key as usize + 1));
                         }
                     }
                 });
@@ -331,8 +337,22 @@ mod tests {
         });
         assert_eq!(cache.len(), 16);
         for key in 0..16u64 {
-            let c = cache.get(key).expect("retained");
+            let c = cache.get(k(key)).expect("retained");
             assert_eq!(c[&FuncId(0)].verts.len(), key as usize + 1);
         }
+    }
+
+    #[test]
+    fn colliding_prefix_keys_do_not_alias() {
+        // Same regression as the verdict cache: two keys identical in the
+        // pre-widening 64-bit half must remain distinct closures.
+        let a = Key128::from_parts(99, 1);
+        let b = Key128::from_parts(99, 2);
+        let cache = SliceCache::with_config(2, 8);
+        cache.insert(a, closure(1));
+        cache.insert(b, closure(5));
+        assert_eq!(cache.get(a).unwrap()[&FuncId(0)].verts.len(), 1);
+        assert_eq!(cache.get(b).unwrap()[&FuncId(0)].verts.len(), 5);
+        assert_eq!(cache.len(), 2);
     }
 }

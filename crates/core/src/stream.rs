@@ -17,6 +17,19 @@
 //! [`BoundedQueue::producer_done`]; once every registered producer is
 //! done and the queue drains, [`BoundedQueue::recv`] returns `None` and
 //! consumers shut down.
+//!
+//! ## Liveness under consumer failure
+//!
+//! A consumer that stops receiving — most importantly, one that
+//! **panics** mid-solve — would historically leave producers parked on
+//! the `not_full` condvar forever: the scoped-thread join then deadlocks
+//! the whole pipeline instead of propagating the panic. The channel
+//! therefore supports [`BoundedQueue::close`]: closing wakes *every*
+//! waiter on both condvars, makes [`BoundedQueue::send`] return `false`
+//! (item refused) and [`BoundedQueue::recv`] return `None` immediately.
+//! Consumers hold a [`CloseGuard`] so the close fires on unwind as well
+//! as on orderly return; producers that see `send` fail stop producing
+//! and still call `producer_done`, so every exit path converges.
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
@@ -26,6 +39,9 @@ struct State<T> {
     /// Producers still running; `recv` only reports exhaustion when
     /// this reaches zero *and* the queue is empty.
     producers: usize,
+    /// Set by [`BoundedQueue::close`]: sends are refused and receives
+    /// drain nothing further. Sticky.
+    closed: bool,
 }
 
 /// A bounded MPMC queue. All methods take `&self`; share by reference
@@ -45,6 +61,7 @@ impl<T> BoundedQueue<T> {
             state: Mutex::new(State {
                 queue: VecDeque::new(),
                 producers,
+                closed: false,
             }),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
@@ -52,23 +69,38 @@ impl<T> BoundedQueue<T> {
         }
     }
 
-    /// Pushes an item, blocking while the queue is at capacity.
-    pub fn send(&self, item: T) {
+    /// Pushes an item, blocking while the queue is at capacity. Returns
+    /// `true` if the item was enqueued, `false` if the queue was (or
+    /// became, while blocked) closed — the signal that the consumer side
+    /// is gone and the producer should wind down. The item is dropped in
+    /// that case.
+    #[must_use = "a false return means the consumer side is gone; stop producing"]
+    pub fn send(&self, item: T) -> bool {
         let mut state = self.state.lock().expect("stream queue poisoned");
-        while state.queue.len() >= self.capacity {
+        while !state.closed && state.queue.len() >= self.capacity {
             state = self.not_full.wait(state).expect("stream queue poisoned");
+        }
+        if state.closed {
+            return false;
         }
         state.queue.push_back(item);
         drop(state);
         self.not_empty.notify_one();
+        true
     }
 
     /// Pops an item, blocking while the queue is empty and producers
     /// remain. Returns `None` once all producers are done and the queue
-    /// has drained — the consumer shutdown signal.
+    /// has drained — the consumer shutdown signal — or immediately once
+    /// the queue is closed (buffered items are discarded: a closed
+    /// pipeline's results are incomplete by definition and must not be
+    /// half-consumed).
     pub fn recv(&self) -> Option<T> {
         let mut state = self.state.lock().expect("stream queue poisoned");
         loop {
+            if state.closed {
+                return None;
+            }
             if let Some(item) = state.queue.pop_front() {
                 drop(state);
                 self.not_full.notify_one();
@@ -92,6 +124,44 @@ impl<T> BoundedQueue<T> {
             self.not_empty.notify_all();
         }
     }
+
+    /// Closes the queue: every parked producer and consumer wakes,
+    /// pending and future [`BoundedQueue::send`]s return `false`, and
+    /// [`BoundedQueue::recv`] returns `None`. Idempotent. Call when the
+    /// consumer side can no longer make progress (see [`CloseGuard`]),
+    /// so producers blocked on a full queue are never stranded.
+    pub fn close(&self) {
+        let mut state = self.state.lock().expect("stream queue poisoned");
+        state.closed = true;
+        drop(state);
+        self.not_full.notify_all();
+        self.not_empty.notify_all();
+    }
+}
+
+/// An RAII guard that [`close`]s a queue when dropped — including on
+/// **panic unwind**. Each streaming consumer holds one for its own
+/// queue: if the consumer dies mid-solve, the close wakes any producer
+/// parked on the queue's `not_full` condvar, the producer's `send`
+/// returns `false`, and the pipeline unwinds instead of deadlocking at
+/// thread join.
+///
+/// [`close`]: BoundedQueue::close
+pub struct CloseGuard<'a, T> {
+    queue: &'a BoundedQueue<T>,
+}
+
+impl<'a, T> CloseGuard<'a, T> {
+    /// Guards `queue`, closing it when this value drops.
+    pub fn new(queue: &'a BoundedQueue<T>) -> Self {
+        CloseGuard { queue }
+    }
+}
+
+impl<T> Drop for CloseGuard<'_, T> {
+    fn drop(&mut self) {
+        self.queue.close();
+    }
 }
 
 #[cfg(test)]
@@ -103,7 +173,7 @@ mod tests {
     fn drains_in_fifo_order_single_threaded() {
         let q = BoundedQueue::new(8, 1);
         for i in 0..5 {
-            q.send(i);
+            assert!(q.send(i));
         }
         q.producer_done();
         let mut got = Vec::new();
@@ -116,7 +186,7 @@ mod tests {
     #[test]
     fn recv_returns_none_only_after_all_producers_finish() {
         let q = BoundedQueue::new(4, 2);
-        q.send(1);
+        assert!(q.send(1));
         q.producer_done();
         assert_eq!(q.recv(), Some(1));
         // One producer still live: a non-blocking check is impossible
@@ -126,7 +196,7 @@ mod tests {
             let q = &q;
             scope.spawn(move || {
                 std::thread::sleep(std::time::Duration::from_millis(20));
-                q.send(2);
+                assert!(q.send(2));
                 q.producer_done();
             });
             assert_eq!(q.recv(), Some(2));
@@ -143,7 +213,7 @@ mod tests {
             let pr = &produced;
             scope.spawn(move || {
                 for i in 0..100 {
-                    qr.send(i);
+                    assert!(qr.send(i));
                     pr.fetch_add(1, Ordering::SeqCst);
                 }
                 qr.producer_done();
@@ -173,7 +243,7 @@ mod tests {
                 let q = &q;
                 scope.spawn(move || {
                     for i in 0..PER {
-                        q.send(p * PER + i);
+                        assert!(q.send(p * PER + i));
                     }
                     q.producer_done();
                 });
@@ -193,5 +263,82 @@ mod tests {
         let mut all = seen.into_inner().unwrap();
         all.sort_unstable();
         assert_eq!(all, (0..PRODUCERS * PER).collect::<Vec<_>>());
+    }
+
+    /// The regression for the streaming-pipeline deadlock: a consumer
+    /// that panics while producers are parked on a full queue must not
+    /// strand them. The close-guard wakes the producer, whose `send`
+    /// reports the closure, and the producer still announces
+    /// `producer_done` — every thread exits.
+    #[test]
+    fn panicking_consumer_releases_blocked_producers() {
+        let q = BoundedQueue::new(1, 1);
+        let sent = AtomicUsize::new(0);
+        let refused = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|scope| {
+                let q = &q;
+                let sent = &sent;
+                let refused = &refused;
+                scope.spawn(move || {
+                    // Without close() this producer parks forever on
+                    // not_full once the consumer is gone: capacity is 1
+                    // and nothing drains.
+                    for i in 0..100 {
+                        if q.send(i) {
+                            sent.fetch_add(1, Ordering::SeqCst);
+                        } else {
+                            refused.fetch_add(1, Ordering::SeqCst);
+                            break;
+                        }
+                    }
+                    q.producer_done();
+                });
+                let _guard = CloseGuard::new(q);
+                let first = q.recv().expect("producer sent at least one item");
+                assert_eq!(first, 0);
+                panic!("consumer dies mid-solve");
+            });
+        }));
+        assert!(result.is_err(), "the consumer panic must propagate");
+        assert!(refused.load(Ordering::SeqCst) >= 1, "send reported closure");
+        assert!(
+            sent.load(Ordering::SeqCst) < 100,
+            "producer wound down early"
+        );
+        // The queue is closed: both sides observe shutdown immediately.
+        assert!(!q.send(999));
+        assert_eq!(q.recv(), None);
+    }
+
+    /// Orderly completion with a close-guard in place: the guard only
+    /// fires after the consumer drained everything, so nothing is lost.
+    #[test]
+    fn close_guard_is_harmless_on_orderly_shutdown() {
+        let q = BoundedQueue::new(2, 1);
+        std::thread::scope(|scope| {
+            let q = &q;
+            scope.spawn(move || {
+                for i in 0..10 {
+                    assert!(q.send(i));
+                }
+                q.producer_done();
+            });
+            let _guard = CloseGuard::new(q);
+            let mut got = Vec::new();
+            while let Some(x) = q.recv() {
+                got.push(x);
+            }
+            assert_eq!(got, (0..10).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    fn close_is_idempotent_and_sticky() {
+        let q: BoundedQueue<i32> = BoundedQueue::new(4, 1);
+        q.close();
+        q.close();
+        assert!(!q.send(1));
+        assert_eq!(q.recv(), None);
     }
 }

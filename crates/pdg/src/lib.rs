@@ -5,6 +5,8 @@
 //!
 //! * [`graph`] — PDG construction per the Fig. 5 rules, with labeled call
 //!   and return edges and the Table 2 size statistics;
+//! * [`compact`] — dense vertex numbering, bit sets and collapsed summary
+//!   chains backing the pre-discovery compaction pass (`fusion::compact`);
 //! * [`paths`] — data-dependence paths with CFL call/return links and
 //!   calling-context reconstruction;
 //! * [`slice`] — the linear, modular slice `G[Π]` (Rules 1–3);
@@ -29,12 +31,14 @@
 
 #![warn(missing_docs)]
 
+pub mod compact;
 pub mod dot;
 pub mod graph;
 pub mod paths;
 pub mod slice;
 pub mod translate;
 
+pub use compact::{DenseBitSet, SummaryChain, VertexIndexer};
 pub use dot::pdg_to_dot;
 pub use graph::{FlowTarget, Pdg, PdgStats, Vertex};
 pub use paths::{Context, DependencePath, Link};
