@@ -34,7 +34,7 @@ use fusion::engine::{
 };
 use fusion::graph_solver::FusionSolver;
 use fusion::slice_cache::SliceCache;
-use fusion_bench::{banner, default_budget, scale_from_env};
+use fusion_bench::{banner, default_budget, report, scale_from_env};
 use fusion_ir::{compile, CompileOptions};
 use fusion_pdg::graph::Pdg;
 use std::fmt::Write as _;
@@ -283,42 +283,35 @@ fn main() {
         on.slices_skipped,
         on.absint_refutes,
     );
-    let out = std::env::var("FUSION_BENCH_OUT").unwrap_or_else(|_| "BENCH_absint.json".into());
-    std::fs::write(&out, &json).expect("write BENCH_absint.json");
-    println!("wrote {out}");
+    report::write("BENCH_absint.json", &json);
 
-    if std::env::var("FUSION_BENCH_ENFORCE").as_deref() == Ok("1") {
-        // CI gates: triage must avoid real work — at least one candidate
-        // refuted outright, strictly fewer sessions and slice closures,
-        // and no wall regression (≤ 100% of the untriaged run).
-        if on.triaged_candidates == 0 {
-            eprintln!("REGRESSION: triage refuted no candidates");
-            std::process::exit(1);
-        }
-        if on.sessions >= off.sessions {
-            eprintln!(
-                "REGRESSION: triaged run opened {} sessions, untriaged opened {}",
-                on.sessions, off.sessions
-            );
-            std::process::exit(1);
-        }
-        if on.slices >= off.slices {
-            eprintln!(
-                "REGRESSION: triaged run computed {} slice closures, untriaged computed {}",
-                on.slices, off.slices
-            );
-            std::process::exit(1);
-        }
-        if on.wall_us > off.wall_us {
-            eprintln!(
-                "REGRESSION: triaged wall {}us exceeds untriaged wall {}us",
-                on.wall_us, off.wall_us
-            );
-            std::process::exit(1);
-        }
-        println!(
-            "enforce: triage refuted candidates, opened fewer sessions, \
-             computed fewer slices, and did not regress wall — ok"
-        );
-    }
+    // CI gates: triage must avoid real work — at least one candidate
+    // refuted outright, strictly fewer sessions and slice closures,
+    // and no wall regression (≤ 100% of the untriaged run).
+    let gate = report::Gate::from_env();
+    gate.require(on.triaged_candidates > 0, || {
+        "triage refuted no candidates".into()
+    });
+    gate.require(on.sessions < off.sessions, || {
+        format!(
+            "triaged run opened {} sessions, untriaged opened {}",
+            on.sessions, off.sessions
+        )
+    });
+    gate.require(on.slices < off.slices, || {
+        format!(
+            "triaged run computed {} slice closures, untriaged computed {}",
+            on.slices, off.slices
+        )
+    });
+    gate.require(on.wall_us <= off.wall_us, || {
+        format!(
+            "triaged wall {}us exceeds untriaged wall {}us",
+            on.wall_us, off.wall_us
+        )
+    });
+    gate.pass(
+        "triage refuted candidates, opened fewer sessions, \
+         computed fewer slices, and did not regress wall",
+    );
 }

@@ -38,7 +38,7 @@ use fusion::engine::{
 };
 use fusion::graph_solver::FusionSolver;
 use fusion::slice_cache::SliceCache;
-use fusion_bench::{banner, default_budget, scale_from_env};
+use fusion_bench::{banner, default_budget, report, scale_from_env};
 use fusion_ir::{compile, CompileOptions};
 use fusion_pdg::graph::Pdg;
 use std::fmt::Write as _;
@@ -265,38 +265,32 @@ fn main() {
         on.chains_collapsed,
         on.iso_hits,
     );
-    let out = std::env::var("FUSION_BENCH_OUT").unwrap_or_else(|_| "BENCH_compact.json".into());
-    std::fs::write(&out, &json).expect("write BENCH_compact.json");
-    println!("wrote {out}");
+    report::write("BENCH_compact.json", &json);
 
-    if std::env::var("FUSION_BENCH_ENFORCE").as_deref() == Ok("1") {
-        // CI gates: compaction must avoid real work — strictly fewer
-        // discovery steps, strictly fewer solver queries, and no wall
-        // regression (≤ 100% of the uncompacted run).
-        if on.steps >= off.steps {
-            eprintln!(
-                "REGRESSION: compacted run took {} discovery steps, uncompacted took {}",
-                on.steps, off.steps
-            );
-            std::process::exit(1);
-        }
-        if on.queries >= off.queries {
-            eprintln!(
-                "REGRESSION: compacted run issued {} queries, uncompacted issued {}",
-                on.queries, off.queries
-            );
-            std::process::exit(1);
-        }
-        if on.wall_us > off.wall_us {
-            eprintln!(
-                "REGRESSION: compacted wall {}us exceeds uncompacted wall {}us",
-                on.wall_us, off.wall_us
-            );
-            std::process::exit(1);
-        }
-        println!(
-            "enforce: compaction took fewer steps, issued fewer queries, \
-             and did not regress wall — ok"
-        );
-    }
+    // CI gates: compaction must avoid real work — strictly fewer
+    // discovery steps, strictly fewer solver queries, and no wall
+    // regression (≤ 100% of the uncompacted run).
+    let gate = report::Gate::from_env();
+    gate.require(on.steps < off.steps, || {
+        format!(
+            "compacted run took {} discovery steps, uncompacted took {}",
+            on.steps, off.steps
+        )
+    });
+    gate.require(on.queries < off.queries, || {
+        format!(
+            "compacted run issued {} queries, uncompacted issued {}",
+            on.queries, off.queries
+        )
+    });
+    gate.require(on.wall_us <= off.wall_us, || {
+        format!(
+            "compacted wall {}us exceeds uncompacted wall {}us",
+            on.wall_us, off.wall_us
+        )
+    });
+    gate.pass(
+        "compaction took fewer steps, issued fewer queries, \
+         and did not regress wall",
+    );
 }

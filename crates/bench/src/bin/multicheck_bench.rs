@@ -33,7 +33,7 @@ use fusion::engine::{
 };
 use fusion::graph_solver::FusionSolver;
 use fusion::slice_cache::SliceCache;
-use fusion_bench::{banner, default_budget, scale_from_env};
+use fusion_bench::{banner, default_budget, report, scale_from_env};
 use fusion_ir::{compile, CompileOptions};
 use fusion_pdg::graph::Pdg;
 use std::fmt::Write as _;
@@ -269,39 +269,32 @@ fn main() {
         scale_from_env(),
         set.len(),
     );
-    let out = std::env::var("FUSION_BENCH_OUT").unwrap_or_else(|_| "BENCH_multicheck.json".into());
-    std::fs::write(&out, &json).expect("write BENCH_multicheck.json");
-    println!("wrote {out}");
+    report::write("BENCH_multicheck.json", &json);
 
-    if std::env::var("FUSION_BENCH_ENFORCE").as_deref() == Ok("1") {
-        // CI gates: the fused pass must share for real — strictly fewer
-        // sessions, strictly fewer slice closures, and ≤ 90% of the
-        // loop's wall at the bench thread count.
-        if fused_sessions >= loop_sessions {
-            eprintln!(
-                "REGRESSION: fused pass opened {fused_sessions} sessions, \
-                 per-checker loop opened {loop_sessions}"
-            );
-            std::process::exit(1);
-        }
-        if fused_slices >= loop_slices {
-            eprintln!(
-                "REGRESSION: fused pass computed {fused_slices} slice closures, \
-                 per-checker loop computed {loop_slices}"
-            );
-            std::process::exit(1);
-        }
-        let limit = loop_wall_us as f64 * 0.90;
-        if fused_wall_us as f64 > limit {
-            eprintln!(
-                "REGRESSION: fused wall {fused_wall_us}us exceeds 90% of \
-                 loop wall {loop_wall_us}us"
-            );
-            std::process::exit(1);
-        }
-        println!(
-            "enforce: fused opened fewer sessions, computed fewer slices, \
-             and ran within 90% of the loop — ok"
-        );
-    }
+    // CI gates: the fused pass must share for real — strictly fewer
+    // sessions, strictly fewer slice closures, and ≤ 90% of the
+    // loop's wall at the bench thread count.
+    let gate = report::Gate::from_env();
+    gate.require(fused_sessions < loop_sessions, || {
+        format!(
+            "fused pass opened {fused_sessions} sessions, \
+             per-checker loop opened {loop_sessions}"
+        )
+    });
+    gate.require(fused_slices < loop_slices, || {
+        format!(
+            "fused pass computed {fused_slices} slice closures, \
+             per-checker loop computed {loop_slices}"
+        )
+    });
+    gate.require(fused_wall_us as f64 <= loop_wall_us as f64 * 0.90, || {
+        format!(
+            "fused wall {fused_wall_us}us exceeds 90% of \
+             loop wall {loop_wall_us}us"
+        )
+    });
+    gate.pass(
+        "fused opened fewer sessions, computed fewer slices, \
+         and ran within 90% of the loop",
+    );
 }

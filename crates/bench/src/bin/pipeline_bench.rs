@@ -29,7 +29,7 @@ use fusion::engine::{
 use fusion::graph_solver::FusionSolver;
 use fusion::propagate::{discover_all, PropagateOptions};
 use fusion::slice_cache::SliceCache;
-use fusion_bench::{banner, build_subject, default_budget, scale_from_env};
+use fusion_bench::{banner, build_subject, default_budget, report, scale_from_env};
 use fusion_ir::{compile, CompileOptions, Program};
 use fusion_pdg::graph::Pdg;
 use fusion_workloads::SUBJECTS;
@@ -315,24 +315,18 @@ fn main() {
         steps_per_sec(discovery_seq_us),
         steps_per_sec(discovery_shard_us),
     );
-    let out = std::env::var("FUSION_BENCH_OUT").unwrap_or_else(|_| "BENCH_pipeline.json".into());
-    std::fs::write(&out, &json).expect("write BENCH_pipeline.json");
-    println!("wrote {out}");
+    report::write("BENCH_pipeline.json", &json);
 
-    if std::env::var("FUSION_BENCH_ENFORCE").as_deref() == Ok("1") {
-        // CI gates: streaming within 105% of barrier; memo must hit.
-        let limit = barrier_us as f64 * 1.05;
-        if streaming_us as f64 > limit {
-            eprintln!(
-                "REGRESSION: streaming wall {streaming_us}us exceeds 105% of \
-                 barrier wall {barrier_us}us"
-            );
-            std::process::exit(1);
-        }
-        if slice_hits == 0 {
-            eprintln!("REGRESSION: slice memo recorded no hits on the warm runs");
-            std::process::exit(1);
-        }
-        println!("enforce: streaming within 105% of barrier, slice memo hit — ok");
-    }
+    // CI gates: streaming within 105% of barrier; memo must hit.
+    let gate = report::Gate::from_env();
+    gate.require(streaming_us as f64 <= barrier_us as f64 * 1.05, || {
+        format!(
+            "streaming wall {streaming_us}us exceeds 105% of \
+             barrier wall {barrier_us}us"
+        )
+    });
+    gate.require(slice_hits > 0, || {
+        "slice memo recorded no hits on the warm runs".into()
+    });
+    gate.pass("streaming within 105% of barrier, slice memo hit");
 }

@@ -24,7 +24,7 @@ use fusion::checkers::Checker;
 use fusion::engine::{analyze, AnalysisOptions, AnalysisRun, Feasibility};
 use fusion::graph_solver::FusionSolver;
 use fusion::propagate::{discover, Candidate, PropagateOptions};
-use fusion_bench::{banner, build_subject, default_budget, scale_from_env};
+use fusion_bench::{banner, build_subject, default_budget, report, scale_from_env};
 use fusion_ir::{compile, CompileOptions, Program};
 use fusion_pdg::graph::Pdg;
 use fusion_pdg::slice::compute_slice;
@@ -396,20 +396,18 @@ fn main() {
         mode_json(&cold),
         mode_json(&session_t),
     );
-    let out = std::env::var("FUSION_BENCH_OUT").unwrap_or_else(|_| "BENCH_solve.json".into());
-    std::fs::write(&out, &json).expect("write BENCH_solve.json");
-    println!("wrote {out}");
+    report::write("BENCH_solve.json", &json);
 
-    if std::env::var("FUSION_BENCH_ENFORCE").as_deref() == Ok("1") {
-        // CI gate: session must never be >10% slower than cold.
-        let limit = cold.wall_us as f64 * 1.10;
-        if session_t.wall_us as f64 > limit {
-            eprintln!(
-                "REGRESSION: session wall {}us exceeds 110% of cold wall {}us",
+    // CI gate: session must never be >10% slower than cold.
+    let gate = report::Gate::from_env();
+    gate.require(
+        session_t.wall_us as f64 <= cold.wall_us as f64 * 1.10,
+        || {
+            format!(
+                "session wall {}us exceeds 110% of cold wall {}us",
                 session_t.wall_us, cold.wall_us
-            );
-            std::process::exit(1);
-        }
-        println!("enforce: session within 110% of cold — ok");
-    }
+            )
+        },
+    );
+    gate.pass("session within 110% of cold");
 }

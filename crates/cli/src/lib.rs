@@ -131,6 +131,13 @@ pub struct Options {
     /// disables it; findings are byte-identical either way, compaction
     /// just removes discovery steps and solver queries.
     pub compact: bool,
+    /// E-graph simplification of solver terms: bounded equality saturation
+    /// with cost-based extraction runs on each local condition before
+    /// instantiation and on each assembled query before bit-blasting.
+    /// `--no-egraph` (or the `FUSION_NO_EGRAPH` environment variable)
+    /// disables it; findings are byte-identical either way, the e-graph
+    /// just shrinks the terms and CNF the solver sees.
+    pub egraph: bool,
     /// Validate the compiled IR against the full invariant suite
     /// ([`fusion_ir::validate::check_program`]) before analyzing, and
     /// fail with every diagnostic when it is malformed.
@@ -165,6 +172,7 @@ impl Default for Options {
             incremental: true,
             absint: true,
             compact: std::env::var_os("FUSION_NO_COMPACT").is_none(),
+            egraph: std::env::var_os("FUSION_NO_EGRAPH").is_none(),
             validate: false,
             dot: None,
             extra_sources: Vec::new(),
@@ -298,6 +306,8 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
             "--no-absint" => opts.absint = false,
             "--compact" => opts.compact = true,
             "--no-compact" => opts.compact = false,
+            "--egraph" => opts.egraph = true,
+            "--no-egraph" => opts.egraph = false,
             "--validate" => opts.validate = true,
             "--list-checkers" => opts.list_checkers = true,
             "--help" | "-h" => {
@@ -308,7 +318,7 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
                      [--solver-timeout-ms N] [--threads N] [--cache|--no-cache] \
                      [--stream|--no-stream] [--no-incremental] \
                      [--absint|--no-absint] [--compact|--no-compact] \
-                     [--validate] [--dot FILE] \
+                     [--egraph|--no-egraph] [--validate] [--dot FILE] \
                      [--json] [--stats] FILE..."
                         .into(),
                 ))
@@ -502,6 +512,18 @@ pub struct ScanReport {
     /// Solver queries answered by compaction's isomorphic-fragment
     /// verdict memo instead of the engine.
     pub iso_hits: u64,
+    /// E-classes built by equality-saturation term simplification across
+    /// the scan (0 with `--no-egraph`).
+    pub egraph_classes: u64,
+    /// Rewrites (rule-driven e-class unions) the e-graph applied.
+    pub egraph_rewrites: u64,
+    /// E-graph passes that saturated within budget.
+    pub egraph_saturated: u64,
+    /// E-graph passes abandoned by the e-node/rebuild caps.
+    pub egraph_cap_hits: u64,
+    /// Term-DAG nodes removed by cost-based extraction (the
+    /// extracted-term delta).
+    pub egraph_nodes_saved: u64,
 }
 
 impl ScanReport {
@@ -571,7 +593,10 @@ impl ScanReport {
              \n  \"triaged_candidates\": {},\n  \"sessions_skipped\": {},\
              \n  \"slices_skipped\": {},\n  \"absint_refutes\": {},\
              \n  \"vertices_pruned\": {},\n  \"edges_pruned\": {},\
-             \n  \"chains_collapsed\": {},\n  \"iso_hits\": {}\n}}",
+             \n  \"chains_collapsed\": {},\n  \"iso_hits\": {},\
+             \n  \"egraph_classes\": {},\n  \"egraph_rewrites\": {},\
+             \n  \"egraph_saturated\": {},\n  \"egraph_cap_hits\": {},\
+             \n  \"egraph_nodes_saved\": {}\n}}",
             self.sessions_opened,
             self.suppressed,
             self.vertices,
@@ -596,7 +621,12 @@ impl ScanReport {
             self.vertices_pruned,
             self.edges_pruned,
             self.chains_collapsed,
-            self.iso_hits
+            self.iso_hits,
+            self.egraph_classes,
+            self.egraph_rewrites,
+            self.egraph_saturated,
+            self.egraph_cap_hits,
+            self.egraph_nodes_saved
         );
         s
     }
@@ -606,11 +636,13 @@ fn make_engine(
     choice: EngineChoice,
     timeout: Duration,
     incremental: bool,
+    egraph: bool,
 ) -> Box<dyn FeasibilityEngine> {
-    let cfg = SolverConfig {
+    let mut cfg = SolverConfig {
         timeout: Some(timeout),
         ..Default::default()
     };
+    cfg.egraph.enabled = egraph;
     match choice {
         EngineChoice::Fusion => {
             let mut engine = FusionSolver::new(cfg);
@@ -671,7 +703,8 @@ pub fn scan_source(source: &str, opts: &Options) -> Result<ScanReport, CliError>
         let engine_choice = opts.engine;
         let timeout = opts.timeout;
         let incremental = opts.incremental;
-        let factory = move || make_engine(engine_choice, timeout, incremental);
+        let egraph = opts.egraph;
+        let factory = move || make_engine(engine_choice, timeout, incremental, egraph);
         if opts.stream {
             analyze_multi_streaming_with_cache(
                 &program,
@@ -694,7 +727,7 @@ pub fn scan_source(source: &str, opts: &Options) -> Result<ScanReport, CliError>
             )
         }
     } else {
-        let mut engine = make_engine(opts.engine, opts.timeout, opts.incremental);
+        let mut engine = make_engine(opts.engine, opts.timeout, opts.incremental, opts.egraph);
         analyze_multi_with_cache(&program, &pdg, &set, engine.as_mut(), &analysis_opts, cache)
     };
     report.cache_hits = run.cache.hits;
@@ -715,6 +748,11 @@ pub fn scan_source(source: &str, opts: &Options) -> Result<ScanReport, CliError>
     report.edges_pruned = run.stages.edges_pruned;
     report.chains_collapsed = run.stages.chains_collapsed;
     report.iso_hits = run.stages.iso_hits;
+    report.egraph_classes = run.stages.egraph_classes;
+    report.egraph_rewrites = run.stages.egraph_rewrites;
+    report.egraph_saturated = run.stages.egraph_saturated;
+    report.egraph_cap_hits = run.stages.egraph_cap_hits;
+    report.egraph_nodes_saved = run.stages.egraph_nodes_saved;
     // One true whole-scan peak: every engine live during the single fused
     // pass plus the graph and caches — not a max over per-checker passes.
     report.peak_memory_bytes = run.peak_memory;
@@ -873,6 +911,17 @@ pub fn run(args: &[String], out: &mut dyn std::io::Write) -> i32 {
                 report.edges_pruned,
                 report.chains_collapsed,
                 report.iso_hits
+            );
+            // E-graph: equality-saturation simplification of solver terms.
+            let _ = writeln!(
+                out,
+                "egraph: {} class(es), {} rewrite(s), {} saturated, \
+                 {} cap hit(s), {} node(s) saved",
+                report.egraph_classes,
+                report.egraph_rewrites,
+                report.egraph_saturated,
+                report.egraph_cap_hits,
+                report.egraph_nodes_saved
             );
         }
     }
@@ -1482,6 +1531,93 @@ mod tests {
         );
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("compaction:"), "{text}");
+    }
+
+    #[test]
+    fn egraph_flags_parse_and_simplification_preserves_findings() {
+        // The default tracks FUSION_NO_EGRAPH so the CI matrix can run
+        // the whole suite with the saturation leg off.
+        let o = parse_args(&args(&["a.fus"])).unwrap();
+        assert_eq!(
+            o.egraph,
+            std::env::var_os("FUSION_NO_EGRAPH").is_none(),
+            "the e-graph is the default unless FUSION_NO_EGRAPH is set"
+        );
+        let o = parse_args(&args(&["--no-egraph", "a.fus"])).unwrap();
+        assert!(!o.egraph);
+        let o = parse_args(&args(&["--no-egraph", "--egraph", "a.fus"])).unwrap();
+        assert!(o.egraph);
+        // Report-preserving contract: the e-graph shrinks terms, never
+        // findings. The guard's arithmetic gives the saturation real
+        // rewrites to apply.
+        let src = "extern fn deref(p);\n\
+            fn a(x) { let q = null; let r = 1; \
+             if (x * 4 + 0 == x + x + 6) { r = q; } deref(r); return 0; }";
+        let key = |r: &ScanReport| {
+            r.findings
+                .iter()
+                .map(|f| {
+                    (
+                        f.checker.clone(),
+                        f.source_function.clone(),
+                        f.sink_function.clone(),
+                        f.verdict.clone(),
+                        f.path_length,
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        for threads in [1, 3] {
+            let on = Options {
+                checker: CheckerChoice::Null,
+                threads,
+                egraph: true,
+                ..Default::default()
+            };
+            let off = Options {
+                checker: CheckerChoice::Null,
+                threads,
+                egraph: false,
+                ..Default::default()
+            };
+            let r1 = scan_source(src, &on).unwrap();
+            let r2 = scan_source(src, &off).unwrap();
+            assert_eq!(key(&r1), key(&r2), "threads={threads}");
+            assert_eq!(r1.suppressed, r2.suppressed, "threads={threads}");
+            assert!(r1.egraph_classes > 0, "the e-graph ran");
+            assert_eq!(r2.egraph_classes, 0, "--no-egraph disables the pass");
+            assert_eq!(r2.egraph_rewrites, 0);
+        }
+    }
+
+    #[test]
+    fn json_reports_egraph_counters() {
+        let src = "extern fn deref(p);\n\
+            fn a(x) { let q = null; let r = 1; \
+             if (x * 4 + 0 == x + x + 6) { r = q; } deref(r); return 0; }";
+        let opts = Options {
+            checker: CheckerChoice::Null,
+            egraph: true,
+            ..Default::default()
+        };
+        let report = scan_source(src, &opts).unwrap();
+        let v = json::Value::parse(&report.to_json()).expect("valid json");
+        assert!(v.get("egraph_classes").unwrap().as_f64().unwrap() > 0.0);
+        assert!(v.get("egraph_rewrites").unwrap().as_f64().is_some());
+        assert!(v.get("egraph_saturated").unwrap().as_f64().is_some());
+        assert!(v.get("egraph_cap_hits").unwrap().as_f64().is_some());
+        assert!(v.get("egraph_nodes_saved").unwrap().as_f64().is_some());
+        // The text --stats surface carries the egraph line.
+        let dir = std::env::temp_dir();
+        let f = dir.join("fusion_cli_egraph.fus");
+        std::fs::write(&f, src).unwrap();
+        let mut out = Vec::new();
+        run(
+            &args(&["--checker", "null", "--stats", &f.display().to_string()]),
+            &mut out,
+        );
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("egraph:"), "{text}");
     }
 
     #[test]

@@ -175,6 +175,20 @@ pub struct EngineStages {
     /// [`FeasibilityEngine::attach_absint`]) before opening a session or
     /// bit-blasting anything.
     pub absint_refutes: u64,
+    /// E-classes built by equality-saturation simplification of local
+    /// conditions, summed across passes.
+    pub egraph_classes: u64,
+    /// Rewrites (rule-driven e-class unions) applied by the e-graph.
+    pub egraph_rewrites: u64,
+    /// E-graph passes that reached saturation (a change-free iteration)
+    /// within budget.
+    pub egraph_saturated: u64,
+    /// E-graph passes abandoned by the e-node/rebuild caps (the input
+    /// term was used unchanged).
+    pub egraph_cap_hits: u64,
+    /// Term-DAG nodes removed by cost-based extraction (input minus
+    /// extracted size, summed; the extracted-term delta).
+    pub egraph_nodes_saved: u64,
 }
 
 impl EngineStages {
@@ -187,6 +201,11 @@ impl EngineStages {
         self.slices_reused += other.slices_reused;
         self.sessions_opened += other.sessions_opened;
         self.absint_refutes += other.absint_refutes;
+        self.egraph_classes += other.egraph_classes;
+        self.egraph_rewrites += other.egraph_rewrites;
+        self.egraph_saturated += other.egraph_saturated;
+        self.egraph_cap_hits += other.egraph_cap_hits;
+        self.egraph_nodes_saved += other.egraph_nodes_saved;
     }
 
     /// Deltas relative to an `earlier` snapshot of the same engine.
@@ -199,7 +218,21 @@ impl EngineStages {
             slices_reused: self.slices_reused - earlier.slices_reused,
             sessions_opened: self.sessions_opened - earlier.sessions_opened,
             absint_refutes: self.absint_refutes - earlier.absint_refutes,
+            egraph_classes: self.egraph_classes - earlier.egraph_classes,
+            egraph_rewrites: self.egraph_rewrites - earlier.egraph_rewrites,
+            egraph_saturated: self.egraph_saturated - earlier.egraph_saturated,
+            egraph_cap_hits: self.egraph_cap_hits - earlier.egraph_cap_hits,
+            egraph_nodes_saved: self.egraph_nodes_saved - earlier.egraph_nodes_saved,
         }
+    }
+
+    /// Sums one e-graph pass's counters into the engine totals.
+    pub fn absorb_egraph(&mut self, eg: &fusion_smt::egraph::EGraphStats) {
+        self.egraph_classes += eg.classes;
+        self.egraph_rewrites += eg.rewrites;
+        self.egraph_saturated += eg.saturated;
+        self.egraph_cap_hits += eg.cap_hits;
+        self.egraph_nodes_saved += eg.nodes_saved();
     }
 }
 
@@ -259,6 +292,19 @@ pub struct StageStats {
     /// fragment verdict memo instead of the engine (after an exact-key
     /// cache miss).
     pub iso_hits: u64,
+    /// E-classes built by equality-saturation simplification of local
+    /// conditions (zero when the e-graph leg is disabled).
+    pub egraph_classes: u64,
+    /// Rewrites (rule-driven e-class unions) applied by the e-graph.
+    pub egraph_rewrites: u64,
+    /// E-graph passes that saturated (reached a change-free iteration)
+    /// within budget.
+    pub egraph_saturated: u64,
+    /// E-graph passes abandoned by the e-node/rebuild caps.
+    pub egraph_cap_hits: u64,
+    /// Term-DAG nodes removed by cost-based extraction (the
+    /// extracted-term delta).
+    pub egraph_nodes_saved: u64,
 }
 
 impl StageStats {
@@ -270,6 +316,11 @@ impl StageStats {
         self.slices_reused += e.slices_reused;
         self.sessions_opened += e.sessions_opened;
         self.absint_refutes += e.absint_refutes;
+        self.egraph_classes += e.egraph_classes;
+        self.egraph_rewrites += e.egraph_rewrites;
+        self.egraph_saturated += e.egraph_saturated;
+        self.egraph_cap_hits += e.egraph_cap_hits;
+        self.egraph_nodes_saved += e.egraph_nodes_saved;
     }
 }
 

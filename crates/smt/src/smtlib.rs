@@ -91,71 +91,121 @@ pub fn to_smtlib2(pool: &TermPool, formula: TermId) -> String {
             stack.extend(pool.children(t));
         }
     }
-    fn expr(pool: &TermPool, t: TermId, bound: &HashMap<TermId, String>) -> String {
-        if let Some(name) = bound.get(&t) {
-            return name.clone();
-        }
-        match pool.kind(t) {
-            TermKind::BoolConst(b) => b.to_string(),
-            TermKind::BvConst { width, value } => {
-                format!("(_ bv{value} {width})")
-            }
-            TermKind::Var(v) => ident(pool.var_name(*v)),
-            TermKind::Not(x) => format!("(not {})", expr(pool, *x, bound)),
-            TermKind::And(xs) => {
-                let parts: Vec<String> = xs.iter().map(|&x| expr(pool, x, bound)).collect();
-                format!("(and {})", parts.join(" "))
-            }
-            TermKind::Or(xs) => {
-                let parts: Vec<String> = xs.iter().map(|&x| expr(pool, x, bound)).collect();
-                format!("(or {})", parts.join(" "))
-            }
-            TermKind::Eq(a, b) => {
-                format!("(= {} {})", expr(pool, *a, bound), expr(pool, *b, bound))
-            }
-            TermKind::Ite {
-                cond,
-                then_t,
-                else_t,
-            } => format!(
-                "(ite {} {} {})",
-                expr(pool, *cond, bound),
-                expr(pool, *then_t, bound),
-                expr(pool, *else_t, bound)
-            ),
-            TermKind::Bv(op, a, b) => format!(
-                "({} {} {})",
-                op_smt(*op),
-                expr(pool, *a, bound),
-                expr(pool, *b, bound)
-            ),
-            TermKind::Pred(p, a, b) => format!(
-                "({} {} {})",
-                pred_smt(*p),
-                expr(pool, *a, bound),
-                expr(pool, *b, bound)
-            ),
-        }
+    // Expression rendering is iterative (explicit token stack, no
+    // recursion): deep unshared chains — exactly what engine-built
+    // conditions look like before simplification — must not overflow the
+    // stack, and the text is written straight into one buffer so the
+    // script stays linear in DAG size.
+    enum Tok {
+        Term(TermId),
+        Text(&'static str),
     }
-    // Bind shared non-leaf nodes bottom-up (post-order over the DAG) so a
-    // cloned-condition script stays linear in DAG size.
+    fn expr(pool: &TermPool, root: TermId, bound: &HashMap<TermId, String>) -> String {
+        let mut out = String::new();
+        let mut stack = vec![Tok::Term(root)];
+        while let Some(tok) = stack.pop() {
+            let t = match tok {
+                Tok::Text(s) => {
+                    out.push_str(s);
+                    continue;
+                }
+                Tok::Term(t) => t,
+            };
+            if let Some(name) = bound.get(&t) {
+                out.push_str(name);
+                continue;
+            }
+            // Non-leaf nodes push their pieces in reverse so children pop
+            // in left-to-right order.
+            match pool.kind(t) {
+                TermKind::BoolConst(b) => {
+                    let _ = write!(out, "{b}");
+                }
+                TermKind::BvConst { width, value } => {
+                    let _ = write!(out, "(_ bv{value} {width})");
+                }
+                TermKind::Var(v) => out.push_str(&ident(pool.var_name(*v))),
+                TermKind::Not(x) => {
+                    out.push_str("(not ");
+                    stack.push(Tok::Text(")"));
+                    stack.push(Tok::Term(*x));
+                }
+                TermKind::And(xs) | TermKind::Or(xs) => {
+                    let opener = if matches!(pool.kind(t), TermKind::And(_)) {
+                        "(and "
+                    } else {
+                        "(or "
+                    };
+                    out.push_str(opener);
+                    stack.push(Tok::Text(")"));
+                    for (i, &x) in xs.iter().enumerate().rev() {
+                        stack.push(Tok::Term(x));
+                        if i > 0 {
+                            stack.push(Tok::Text(" "));
+                        }
+                    }
+                }
+                TermKind::Eq(a, b) => {
+                    out.push_str("(= ");
+                    stack.push(Tok::Text(")"));
+                    stack.push(Tok::Term(*b));
+                    stack.push(Tok::Text(" "));
+                    stack.push(Tok::Term(*a));
+                }
+                TermKind::Ite {
+                    cond,
+                    then_t,
+                    else_t,
+                } => {
+                    out.push_str("(ite ");
+                    stack.push(Tok::Text(")"));
+                    stack.push(Tok::Term(*else_t));
+                    stack.push(Tok::Text(" "));
+                    stack.push(Tok::Term(*then_t));
+                    stack.push(Tok::Text(" "));
+                    stack.push(Tok::Term(*cond));
+                }
+                TermKind::Bv(op, a, b) => {
+                    let _ = write!(out, "({} ", op_smt(*op));
+                    stack.push(Tok::Text(")"));
+                    stack.push(Tok::Term(*b));
+                    stack.push(Tok::Text(" "));
+                    stack.push(Tok::Term(*a));
+                }
+                TermKind::Pred(p, a, b) => {
+                    let _ = write!(out, "({} ", pred_smt(*p));
+                    stack.push(Tok::Text(")"));
+                    stack.push(Tok::Term(*b));
+                    stack.push(Tok::Text(" "));
+                    stack.push(Tok::Term(*a));
+                }
+            }
+        }
+        out
+    }
+    // Bind shared non-leaf nodes bottom-up (iterative post-order over the
+    // DAG — again recursion-free) so a cloned-condition script stays
+    // linear in DAG size.
     let mut order: Vec<TermId> = Vec::new();
     let mut seen2 = std::collections::HashSet::new();
-    fn postorder(
-        pool: &TermPool,
-        t: TermId,
-        seen: &mut std::collections::HashSet<TermId>,
-        out: &mut Vec<TermId>,
-    ) {
-        if !seen.insert(t) {
-            return;
+    let mut walk: Vec<(TermId, bool)> = vec![(formula, false)];
+    while let Some((t, expanded)) = walk.pop() {
+        if expanded {
+            order.push(t);
+            continue;
         }
-        for c in pool.children(t) {
-            postorder(pool, c, seen, out);
+        if !seen2.insert(t) {
+            continue;
         }
-        out.push(t);
+        walk.push((t, true));
+        let mut kids = pool.children(t);
+        kids.reverse();
+        for c in kids {
+            if !seen2.contains(&c) {
+                walk.push((c, false));
+            }
+        }
     }
-    postorder(pool, formula, &mut seen2, &mut order);
     let mut bound: HashMap<TermId, String> = HashMap::new();
     let mut lets: Vec<(String, String)> = Vec::new();
     for &t in &order {
@@ -171,16 +221,21 @@ pub fn to_smtlib2(pool: &TermPool, formula: TermId) -> String {
             bound.insert(t, name);
         }
     }
+    // Nest the bindings without re-copying the body per level (a heavily
+    // shared DAG can earn thousands of lets): emit every `(let (...)` in
+    // definition order — the deepest binding is outermost, exactly the
+    // nesting right-fold wrapping would produce — then the root, then all
+    // the closing parens at once.
     let root = expr(pool, formula, &bound);
-    if lets.is_empty() {
-        let _ = writeln!(out, "(assert {root})");
-    } else {
-        let mut body = root;
-        for (name, def) in lets.into_iter().rev() {
-            body = format!("(let (({name} {def})) {body})");
-        }
-        let _ = writeln!(out, "(assert {body})");
+    out.push_str("(assert ");
+    for (name, def) in &lets {
+        let _ = write!(out, "(let (({name} {def})) ");
     }
+    out.push_str(&root);
+    for _ in &lets {
+        out.push(')');
+    }
+    out.push_str(")\n");
     out.push_str("(check-sat)\n");
     out
 }
@@ -221,6 +276,53 @@ mod tests {
         let f = p.eq(a, two);
         let s = to_smtlib2(&p, f);
         assert!(s.contains("(let ((?n"), "{s}");
+    }
+
+    #[test]
+    fn deeply_shared_dag_stays_linear() {
+        // A doubling DAG: t_{k+1} = t_k + t_k, 60 levels deep. Printed as
+        // a tree this would be ~2^60 characters; with let bindings the
+        // script must stay linear in the DAG's 60-odd nodes.
+        let mut p = TermPool::new();
+        let x = p.var("x", Sort::Bv(64));
+        let mut t = x;
+        for _ in 0..60 {
+            t = p.bv(BvOp::Add, t, t);
+        }
+        let zero = p.bv_const(0, 64);
+        let f = p.eq(t, zero);
+        let s = to_smtlib2(&p, f);
+        assert!(s.len() < 10_000, "script exploded: {} bytes", s.len());
+        assert!(s.contains("(let ((?n"), "{s}");
+        assert!(s.ends_with("(check-sat)\n"));
+        // Every binding is defined before use: each ?nN reference appears
+        // after its `(let ((?nN` definition.
+        for (i, _) in s.match_indices("?n") {
+            let name_end = i + 2 + s[i + 2..].find(|c: char| !c.is_ascii_digit()).unwrap();
+            let name = &s[i..name_end];
+            let def = s.find(&format!("(let (({name} ")).expect("binding exists");
+            assert!(def <= i, "{name} used before its definition");
+        }
+    }
+
+    #[test]
+    fn deep_unshared_chain_does_not_overflow() {
+        // 50k-node left-leaning chain with no sharing: nothing earns a
+        // let, so the printer walks the whole spine — it must do so
+        // iteratively (the old recursive printer blew the stack here).
+        let mut p = TermPool::new();
+        let x = p.var("x", Sort::Bv(32));
+        let mut t = x;
+        for i in 0..50_000u64 {
+            let k = p.bv_const(i % 7 + 1, 32);
+            t = p.bv(BvOp::Xor, t, k);
+        }
+        let zero = p.bv_const(0, 32);
+        let f = p.eq(t, zero);
+        let s = to_smtlib2(&p, f);
+        assert!(s.contains("(assert (= "), "{}", &s[..200.min(s.len())]);
+        assert_eq!(s.matches("bvxor").count(), 50_000);
+        assert!(s.ends_with("(check-sat)\n"));
     }
 
     #[test]

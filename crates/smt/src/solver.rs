@@ -8,7 +8,8 @@
 //! limit.
 
 use crate::bitblast::blast;
-use crate::preprocess::preprocess;
+use crate::egraph::{EGraphConfig, EGraphStats};
+use crate::preprocess::preprocess_ext;
 use crate::sat::{SatBudget, SatOutcome, SatSolver};
 use crate::term::{Sort, TermId, TermPool, Value, VarIdx};
 use std::collections::HashMap;
@@ -24,6 +25,9 @@ pub struct SolverConfig {
     /// Skip the preprocessing phase entirely (used to model a solver
     /// deprived of the paper's optimizations in ablations).
     pub skip_preprocessing: bool,
+    /// E-graph simplification leg of preprocessing (equality saturation +
+    /// cost-based extraction, [`crate::egraph`]).
+    pub egraph: EGraphConfig,
 }
 
 impl SolverConfig {
@@ -144,6 +148,8 @@ pub struct SolveStats {
     pub sat_decisions: u64,
     /// Total wall-clock duration of the call.
     pub duration: Duration,
+    /// E-graph saturation counters (zeroed when the leg is disabled).
+    pub egraph: EGraphStats,
 }
 
 /// Solves `formula` (Algorithm 3). Returns the verdict and call statistics.
@@ -170,8 +176,9 @@ pub fn smt_solve(
     let processed = if config.skip_preprocessing {
         formula
     } else {
-        let pre = preprocess(pool, formula);
+        let (pre, eg) = preprocess_ext(pool, formula, &config.egraph);
         stats.preprocess_rounds = pre.rounds;
+        stats.egraph = eg;
         pre.term
     };
     stats.size_after = pool.dag_size(processed);

@@ -1,0 +1,299 @@
+//! Property tests for the e-graph simplification pass.
+//!
+//! Equality saturation with empty known-bits seeds must be a *logical
+//! equivalence*, not merely equisatisfiable: every rewrite unites terms
+//! with the same value under every assignment, no fresh variables are
+//! introduced, and extraction picks one representative per class — so
+//! the extracted term must evaluate identically to the input at every
+//! point. This holds for **every** extraction strategy, which is the
+//! contract that lets `SolverConfig` swap extractors freely (and the
+//! reason the end-to-end reports stay byte-identical with the pass on
+//! or off, see `tests/egraph_determinism.rs` at the workspace root).
+//!
+//! Also pinned here: the pass is deterministic (same input term → same
+//! output term), and the saturation caps fall through cleanly (a cap
+//! hit returns the input unchanged rather than a half-rewritten term).
+
+use fusion_smt::egraph::{egraph_simplify, EGraphConfig, ExtractorKind};
+use fusion_smt::preprocess::BitsSeeds;
+use fusion_smt::term::{BvOp, BvPred, Sort, TermId, TermPool, Value};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+const W: u32 = 4;
+const NVARS: usize = 3;
+
+/// A compact recipe for building a random formula inside a fresh pool.
+#[derive(Debug, Clone)]
+enum Ast {
+    Var(u8),
+    Const(u8),
+    Bv(u8, Box<Ast>, Box<Ast>),
+    Ite(Box<Ast>, Box<Ast>, Box<Ast>),
+}
+
+#[derive(Debug, Clone)]
+enum BoolAst {
+    Eq(Ast, Ast),
+    Pred(u8, Ast, Ast),
+    Not(Box<BoolAst>),
+    And(Vec<BoolAst>),
+    Or(Vec<BoolAst>),
+}
+
+fn ast_strategy() -> impl Strategy<Value = Ast> {
+    let leaf = prop_oneof![
+        (0..NVARS as u8).prop_map(Ast::Var),
+        (0..16u8).prop_map(Ast::Const),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (0..11u8, inner.clone(), inner.clone()).prop_map(|(op, a, b)| Ast::Bv(
+                op,
+                Box::new(a),
+                Box::new(b)
+            )),
+            (inner.clone(), inner.clone(), inner).prop_map(|(c, a, b)| Ast::Ite(
+                Box::new(c),
+                Box::new(a),
+                Box::new(b)
+            )),
+        ]
+    })
+}
+
+fn bool_strategy() -> impl Strategy<Value = BoolAst> {
+    let leaf = prop_oneof![
+        (ast_strategy(), ast_strategy()).prop_map(|(a, b)| BoolAst::Eq(a, b)),
+        (0..4u8, ast_strategy(), ast_strategy()).prop_map(|(p, a, b)| BoolAst::Pred(p, a, b)),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|b| BoolAst::Not(Box::new(b))),
+            prop::collection::vec(inner.clone(), 2..4).prop_map(BoolAst::And),
+            prop::collection::vec(inner, 2..4).prop_map(BoolAst::Or),
+        ]
+    })
+}
+
+fn build_bv(pool: &mut TermPool, ast: &Ast) -> TermId {
+    match ast {
+        Ast::Var(i) => pool.var(&format!("v{i}"), Sort::Bv(W)),
+        Ast::Const(c) => pool.bv_const(*c as u64, W),
+        Ast::Bv(op, a, b) => {
+            let ops = [
+                BvOp::Add,
+                BvOp::Sub,
+                BvOp::Mul,
+                BvOp::Udiv,
+                BvOp::Urem,
+                BvOp::And,
+                BvOp::Or,
+                BvOp::Xor,
+                BvOp::Shl,
+                BvOp::Lshr,
+                BvOp::Ashr,
+            ];
+            let a = build_bv(pool, a);
+            let b = build_bv(pool, b);
+            pool.bv(ops[*op as usize % ops.len()], a, b)
+        }
+        Ast::Ite(c, a, b) => {
+            let c = build_bv(pool, c);
+            let zero = pool.bv_const(0, W);
+            let cb = pool.ne(c, zero);
+            let a = build_bv(pool, a);
+            let b = build_bv(pool, b);
+            pool.ite(cb, a, b)
+        }
+    }
+}
+
+fn build_bool(pool: &mut TermPool, ast: &BoolAst) -> TermId {
+    match ast {
+        BoolAst::Eq(a, b) => {
+            let a = build_bv(pool, a);
+            let b = build_bv(pool, b);
+            pool.eq(a, b)
+        }
+        BoolAst::Pred(p, a, b) => {
+            let preds = [BvPred::Ult, BvPred::Ule, BvPred::Slt, BvPred::Sle];
+            let a = build_bv(pool, a);
+            let b = build_bv(pool, b);
+            pool.pred(preds[*p as usize % preds.len()], a, b)
+        }
+        BoolAst::Not(b) => {
+            let b = build_bool(pool, b);
+            pool.not(b)
+        }
+        BoolAst::And(xs) => {
+            let xs: Vec<TermId> = xs.iter().map(|x| build_bool(pool, x)).collect();
+            pool.and(&xs)
+        }
+        BoolAst::Or(xs) => {
+            let xs: Vec<TermId> = xs.iter().map(|x| build_bool(pool, x)).collect();
+            pool.or(&xs)
+        }
+    }
+}
+
+/// An always-on config for `kind` — explicit `enabled` so the property
+/// holds even under the CI leg that sets `FUSION_NO_EGRAPH=1` (which
+/// flips the *default* config off; the pass itself must still be
+/// correct whenever somebody turns it on).
+fn config(kind: ExtractorKind) -> EGraphConfig {
+    EGraphConfig {
+        enabled: true,
+        extractor: kind,
+        ..EGraphConfig::default()
+    }
+}
+
+/// Assert `a` and `b` evaluate identically under **every** assignment
+/// to the free variables of `a` (extraction can only shrink the
+/// variable set, never grow it).
+fn assert_pointwise_equal(
+    pool: &TermPool,
+    a: TermId,
+    b: TermId,
+    ctx: &str,
+) -> Result<(), TestCaseError> {
+    let vars = pool.free_vars(a);
+    prop_assert!(vars.len() <= NVARS, "unexpected fresh variables");
+    for &v in &pool.free_vars(b) {
+        prop_assert!(
+            vars.contains(&v),
+            "{ctx}: output mentions a variable the input does not"
+        );
+    }
+    let total = 1u64 << (W as u64 * vars.len() as u64);
+    for bits in 0..total {
+        let mut env = HashMap::new();
+        for (i, &v) in vars.iter().enumerate() {
+            env.insert(v, (bits >> (W as u64 * i as u64)) & ((1 << W) - 1));
+        }
+        prop_assert_eq!(
+            pool.eval(a, &env),
+            pool.eval(b, &env),
+            "{}: {} vs {} at env {:?}",
+            ctx,
+            pool.display(a),
+            pool.display(b),
+            env
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_extractor_preserves_semantics(ast in bool_strategy()) {
+        let mut pool = TermPool::new();
+        let f = build_bool(&mut pool, &ast);
+        for kind in ExtractorKind::ALL {
+            let (out, stats) = egraph_simplify(&mut pool, f, &BitsSeeds::default(), &config(kind));
+            // The acceptance guard never hands back a costlier DAG than
+            // it was given (node-for-node the costs may differ, but the
+            // size counter it reports must be the real size).
+            prop_assert_eq!(stats.nodes_after, pool.dag_size(out) as u64);
+            assert_pointwise_equal(&pool, f, out, kind.name())?;
+        }
+    }
+
+    #[test]
+    fn extraction_is_deterministic(ast in bool_strategy()) {
+        // Same pool, same term, same config → the hash-consed output id
+        // must be identical run to run. This is what lets the fragment
+        // cache key on (function, vertex set) alone and still produce
+        // byte-identical reports.
+        let mut pool = TermPool::new();
+        let f = build_bool(&mut pool, &ast);
+        for kind in ExtractorKind::ALL {
+            let cfg = config(kind);
+            let (out1, _) = egraph_simplify(&mut pool, f, &BitsSeeds::default(), &cfg);
+            let (out2, _) = egraph_simplify(&mut pool, f, &BitsSeeds::default(), &cfg);
+            prop_assert_eq!(out1, out2, "{} not deterministic", kind.name());
+        }
+    }
+
+    #[test]
+    fn cap_hit_falls_through_to_input(ast in bool_strategy()) {
+        // A starved e-node budget must abandon the pass and return the
+        // input term *unchanged* — never a partially rewritten one.
+        let mut pool = TermPool::new();
+        let f = build_bool(&mut pool, &ast);
+        // Leaves (the pool may constant-fold the whole formula at build
+        // time) return before the cap is ever consulted.
+        prop_assume!(pool.dag_size(f) > 1);
+        let mut cfg = config(ExtractorKind::default());
+        cfg.max_enodes = 1;
+        let (out, stats) = egraph_simplify(&mut pool, f, &BitsSeeds::default(), &cfg);
+        prop_assert_eq!(out, f);
+        prop_assert_eq!(stats.cap_hits, 1);
+    }
+
+    #[test]
+    fn disabled_config_is_identity(ast in bool_strategy()) {
+        let mut pool = TermPool::new();
+        let f = build_bool(&mut pool, &ast);
+        let (out, stats) = egraph_simplify(&mut pool, f, &BitsSeeds::default(), &EGraphConfig::disabled());
+        prop_assert_eq!(out, f);
+        prop_assert_eq!(stats.rewrites, 0);
+    }
+}
+
+/// Concrete case the shift-add decomposition must win: `x * 6` becomes
+/// `(x << 2) + (x << 1)` (or any equivalent), and the result still
+/// evaluates like multiplication at every point.
+#[test]
+fn const_mul_decomposition_is_pointwise_exact() {
+    let mut pool = TermPool::new();
+    let x = pool.var("x", Sort::Bv(W));
+    let six = pool.bv_const(6, W);
+    let m = pool.bv(BvOp::Mul, x, six);
+    let y = pool.var("y", Sort::Bv(W));
+    let f = pool.eq(m, y);
+    for kind in ExtractorKind::ALL {
+        let (out, _) = egraph_simplify(
+            &mut pool,
+            f,
+            &BitsSeeds::default(),
+            &EGraphConfig {
+                enabled: true,
+                extractor: kind,
+                ..EGraphConfig::default()
+            },
+        );
+        let vars = pool.free_vars(f);
+        for bits in 0..(1u64 << (W * 2)) {
+            let mut env = HashMap::new();
+            for (i, &v) in vars.iter().enumerate() {
+                env.insert(v, (bits >> (W as u64 * i as u64)) & ((1 << W) - 1));
+            }
+            assert_eq!(
+                pool.eval(f, &env),
+                pool.eval(out, &env),
+                "{}: {}",
+                kind.name(),
+                pool.display(out)
+            );
+        }
+        // No multiplier may survive extraction for a cheap-to-shift
+        // constant: the whole point of pricing Mul near its clause cost.
+        assert!(
+            !pool.display(out).contains("bvmul"),
+            "{}: {}",
+            kind.name(),
+            pool.display(out)
+        );
+    }
+}
+
+/// Value → sanity check that `Value` equality is what the pointwise
+/// assertions rely on (a `Bool` never equals a `Bv`).
+#[test]
+fn value_discriminants_do_not_collide() {
+    assert_ne!(Value::Bool(true), Value::Bv(1));
+}
