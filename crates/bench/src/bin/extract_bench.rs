@@ -346,7 +346,7 @@ fn main() {
         strategies.push_str(&row[1..]);
     }
     let json = format!(
-        "{{\n  \"scale\": {},\n  \"iters\": {ITERS},\n  \
+        "{{\n  \"scale\": {},\n  \"threads\": 1,\n  \"iters\": {ITERS},\n  \
          \"default_strategy\": \"{}\",\n  \"strategies\": [\n    {strategies}\n  ],\n  \
          \"reduction\": {{\"blasted_terms_pct\": {:.2}, \"clauses_pct\": {:.2}}},\n  \
          \"reports_identical\": {reports_identical}\n}}\n",

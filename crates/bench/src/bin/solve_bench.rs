@@ -386,7 +386,8 @@ fn main() {
         )
     };
     let json = format!(
-        "{{\n  \"scale\": {},\n  \"cold\": {},\n  \"session\": {},\n  \
+        "{{\n  \"scale\": {},\n  \"threads\": 1,\n  \"iters\": 1,\n  \
+         \"cold\": {},\n  \"session\": {},\n  \
          \"reduction\": {{\"wall_pct\": {wall_pct:.2}, \"terms_pct\": {terms_pct:.2}, \
          \"clauses_pct\": {clause_pct:.2}}},\n  \
          \"engine\": {{\"cold_us\": {engine_cold_us}, \"incremental_us\": {engine_inc_us}, \

@@ -14,6 +14,11 @@
 //!     --solver-timeout-ms N              per-query SMT budget, millisecond precision
 //!     --json                             machine-readable output
 //!     --stats                            print PDG and cost statistics
+//!     --serve                            long-lived analysis service: line-delimited
+//!                                        JSON requests on stdin (scan / rescan /
+//!                                        query / stats / shutdown), responses on
+//!                                        stdout, with the PDG, facts, caches, and
+//!                                        verdicts resident between requests
 //!     --threads N                        parallel candidate checking
 //!     --cache / --no-cache               shared feasibility-verdict cache (default: on)
 //!     --stream / --no-stream             streaming discovery→solve pipeline for
@@ -47,6 +52,7 @@
 #![warn(missing_docs)]
 
 pub mod json;
+pub mod serve;
 
 use fusion::cache::VerdictCache;
 use fusion::checkers::{CheckKind, Checker, CheckerSet};
@@ -155,6 +161,13 @@ pub struct Options {
     /// Print the checker catalog (kind, sources, sinks, sanitizers,
     /// propagation policy) and exit without scanning.
     pub list_checkers: bool,
+    /// Run as a long-lived analysis service: read line-delimited JSON
+    /// requests from stdin (`scan`, `rescan`, `query`, `stats`,
+    /// `shutdown`) and write one JSON response line per request, keeping
+    /// the PDG, compacted view, absint facts, slice closures, and
+    /// verdict cache resident between requests so a `rescan` after an
+    /// edit re-analyzes only what the edit reaches.
+    pub serve: bool,
 }
 
 impl Default for Options {
@@ -180,6 +193,7 @@ impl Default for Options {
             unroll: 2,
             extra_sanitizers: Vec::new(),
             list_checkers: false,
+            serve: false,
         }
     }
 }
@@ -310,6 +324,7 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
             "--no-egraph" => opts.egraph = false,
             "--validate" => opts.validate = true,
             "--list-checkers" => opts.list_checkers = true,
+            "--serve" => opts.serve = true,
             "--help" | "-h" => {
                 return Err(CliError(
                     "usage: fusion-scan [--engine fusion|unopt|pinpoint|ar] \
@@ -319,7 +334,7 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
                      [--stream|--no-stream] [--no-incremental] \
                      [--absint|--no-absint] [--compact|--no-compact] \
                      [--egraph|--no-egraph] [--validate] [--dot FILE] \
-                     [--json] [--stats] FILE..."
+                     [--json] [--stats] [--serve] FILE..."
                         .into(),
                 ))
             }
@@ -329,7 +344,12 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
             file => opts.files.push(file.to_owned()),
         }
     }
-    if opts.files.is_empty() && !opts.list_checkers {
+    if opts.serve && !opts.files.is_empty() {
+        return Err(CliError(
+            "--serve reads programs from stdin requests; no input files allowed".into(),
+        ));
+    }
+    if opts.files.is_empty() && !opts.list_checkers && !opts.serve {
         return Err(CliError("no input files (try --help)".into()));
     }
     Ok(opts)
@@ -524,6 +544,17 @@ pub struct ScanReport {
     /// Term-DAG nodes removed by cost-based extraction (the
     /// extracted-term delta).
     pub egraph_nodes_saved: u64,
+    /// Per-function absint fact sets recomputed by a warm `rescan`'s
+    /// dirtiness invalidation (0 for batch scans and cold `scan`s).
+    pub facts_invalidated: u64,
+    /// Slice closures evicted by warm-rescan invalidation.
+    pub slices_invalidated: u64,
+    /// Cached verdicts evicted by warm-rescan invalidation.
+    pub verdicts_invalidated: u64,
+    /// Candidates the run actually re-discovered and re-solved: in
+    /// service mode, the affected work items' candidates (the rest
+    /// replayed recorded outcomes); 0 in the batch drivers.
+    pub candidates_reanalyzed: u64,
 }
 
 impl ScanReport {
@@ -596,7 +627,9 @@ impl ScanReport {
              \n  \"chains_collapsed\": {},\n  \"iso_hits\": {},\
              \n  \"egraph_classes\": {},\n  \"egraph_rewrites\": {},\
              \n  \"egraph_saturated\": {},\n  \"egraph_cap_hits\": {},\
-             \n  \"egraph_nodes_saved\": {}\n}}",
+             \n  \"egraph_nodes_saved\": {},\n  \"facts_invalidated\": {},\
+             \n  \"slices_invalidated\": {},\n  \"verdicts_invalidated\": {},\
+             \n  \"candidates_reanalyzed\": {}\n}}",
             self.sessions_opened,
             self.suppressed,
             self.vertices,
@@ -626,7 +659,11 @@ impl ScanReport {
             self.egraph_rewrites,
             self.egraph_saturated,
             self.egraph_cap_hits,
-            self.egraph_nodes_saved
+            self.egraph_nodes_saved,
+            self.facts_invalidated,
+            self.slices_invalidated,
+            self.verdicts_invalidated,
+            self.candidates_reanalyzed
         );
         s
     }
@@ -652,6 +689,68 @@ fn make_engine(
         EngineChoice::Unopt => Box::new(UnoptimizedGraphSolver::new(cfg)),
         EngineChoice::Pinpoint => Box::new(PinpointEngine::new(cfg)),
         EngineChoice::Ar => Box::new(ArEngine::new(cfg)),
+    }
+}
+
+/// Copies a run's stage counters, per-checker breakdowns, and findings
+/// into `report` (shared by the one-shot scan and the `--serve` loop).
+fn fill_report(report: &mut ScanReport, program: &fusion_ir::ssa::Program, run: &MultiAnalysisRun) {
+    report.cache_hits = run.cache.hits;
+    report.cache_misses = run.cache.misses;
+    report.discover_ms = run.stages.discover_wall.as_secs_f64() * 1e3;
+    report.slice_ms = run.stages.slice_wall.as_secs_f64() * 1e3;
+    report.translate_ms = run.stages.translate_wall.as_secs_f64() * 1e3;
+    report.solve_ms = run.stages.solve_wall.as_secs_f64() * 1e3;
+    report.slices_computed = run.stages.slices_computed;
+    report.slices_reused = run.stages.slices_reused;
+    report.sessions_opened = run.stages.sessions_opened;
+    report.triaged_paths = run.stages.triaged_paths;
+    report.triaged_candidates = run.stages.triaged_candidates;
+    report.sessions_skipped = run.stages.sessions_skipped;
+    report.slices_skipped = run.stages.slices_skipped;
+    report.absint_refutes = run.stages.absint_refutes;
+    report.vertices_pruned = run.stages.vertices_pruned;
+    report.edges_pruned = run.stages.edges_pruned;
+    report.chains_collapsed = run.stages.chains_collapsed;
+    report.iso_hits = run.stages.iso_hits;
+    report.egraph_classes = run.stages.egraph_classes;
+    report.egraph_rewrites = run.stages.egraph_rewrites;
+    report.egraph_saturated = run.stages.egraph_saturated;
+    report.egraph_cap_hits = run.stages.egraph_cap_hits;
+    report.egraph_nodes_saved = run.stages.egraph_nodes_saved;
+    report.facts_invalidated = run.stages.facts_invalidated;
+    report.slices_invalidated = run.stages.slices_invalidated;
+    report.verdicts_invalidated = run.stages.verdicts_invalidated;
+    report.candidates_reanalyzed = run.stages.candidates_reanalyzed;
+    // One true whole-scan peak: every engine live during the single fused
+    // pass plus the graph and caches — not a max over per-checker passes.
+    report.peak_memory_bytes = run.peak_memory;
+    for b in &run.checkers {
+        report.suppressed += b.suppressed;
+        report.checkers.push(CheckerScanStats {
+            checker: b.kind.to_string(),
+            findings: b.reports.len(),
+            suppressed: b.suppressed,
+            candidates: b.candidates,
+            queries: b.queries,
+            cache_hits: b.cache_hits,
+            cache_misses: b.cache_misses,
+            discovery_steps: b.discovery_steps,
+            solve_ms: b.solve_wall.as_secs_f64() * 1e3,
+        });
+        for r in &b.reports {
+            report.findings.push(Finding {
+                checker: b.kind.to_string(),
+                source_function: program.name(program.func(r.source.func).name).to_owned(),
+                sink_function: program.name(program.func(r.sink.func).name).to_owned(),
+                verdict: match r.verdict {
+                    Feasibility::Feasible => "feasible".into(),
+                    Feasibility::Unknown => "undecided".into(),
+                    Feasibility::Infeasible => unreachable!("not reported"),
+                },
+                path_length: r.path.nodes.len(),
+            });
+        }
     }
 }
 
@@ -730,59 +829,7 @@ pub fn scan_source(source: &str, opts: &Options) -> Result<ScanReport, CliError>
         let mut engine = make_engine(opts.engine, opts.timeout, opts.incremental, opts.egraph);
         analyze_multi_with_cache(&program, &pdg, &set, engine.as_mut(), &analysis_opts, cache)
     };
-    report.cache_hits = run.cache.hits;
-    report.cache_misses = run.cache.misses;
-    report.discover_ms = run.stages.discover_wall.as_secs_f64() * 1e3;
-    report.slice_ms = run.stages.slice_wall.as_secs_f64() * 1e3;
-    report.translate_ms = run.stages.translate_wall.as_secs_f64() * 1e3;
-    report.solve_ms = run.stages.solve_wall.as_secs_f64() * 1e3;
-    report.slices_computed = run.stages.slices_computed;
-    report.slices_reused = run.stages.slices_reused;
-    report.sessions_opened = run.stages.sessions_opened;
-    report.triaged_paths = run.stages.triaged_paths;
-    report.triaged_candidates = run.stages.triaged_candidates;
-    report.sessions_skipped = run.stages.sessions_skipped;
-    report.slices_skipped = run.stages.slices_skipped;
-    report.absint_refutes = run.stages.absint_refutes;
-    report.vertices_pruned = run.stages.vertices_pruned;
-    report.edges_pruned = run.stages.edges_pruned;
-    report.chains_collapsed = run.stages.chains_collapsed;
-    report.iso_hits = run.stages.iso_hits;
-    report.egraph_classes = run.stages.egraph_classes;
-    report.egraph_rewrites = run.stages.egraph_rewrites;
-    report.egraph_saturated = run.stages.egraph_saturated;
-    report.egraph_cap_hits = run.stages.egraph_cap_hits;
-    report.egraph_nodes_saved = run.stages.egraph_nodes_saved;
-    // One true whole-scan peak: every engine live during the single fused
-    // pass plus the graph and caches — not a max over per-checker passes.
-    report.peak_memory_bytes = run.peak_memory;
-    for b in &run.checkers {
-        report.suppressed += b.suppressed;
-        report.checkers.push(CheckerScanStats {
-            checker: b.kind.to_string(),
-            findings: b.reports.len(),
-            suppressed: b.suppressed,
-            candidates: b.candidates,
-            queries: b.queries,
-            cache_hits: b.cache_hits,
-            cache_misses: b.cache_misses,
-            discovery_steps: b.discovery_steps,
-            solve_ms: b.solve_wall.as_secs_f64() * 1e3,
-        });
-        for r in &b.reports {
-            report.findings.push(Finding {
-                checker: b.kind.to_string(),
-                source_function: program.name(program.func(r.source.func).name).to_owned(),
-                sink_function: program.name(program.func(r.sink.func).name).to_owned(),
-                verdict: match r.verdict {
-                    Feasibility::Feasible => "feasible".into(),
-                    Feasibility::Unknown => "undecided".into(),
-                    Feasibility::Infeasible => unreachable!("not reported"),
-                },
-                path_length: r.path.nodes.len(),
-            });
-        }
-    }
+    fill_report(&mut report, &program, &run);
     report.elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
     report.cache_bytes = cache.map(|c| c.bytes()).unwrap_or(0);
     report.slice_cache_bytes = slice_cache.bytes();
@@ -804,6 +851,10 @@ pub fn run(args: &[String], out: &mut dyn std::io::Write) -> i32 {
     if opts.list_checkers {
         let _ = write!(out, "{}", list_checkers_text());
         return 0;
+    }
+    if opts.serve {
+        let stdin = std::io::stdin();
+        return serve::serve_loop(&opts, stdin.lock(), out);
     }
     let mut source = String::new();
     for f in &opts.files {
@@ -922,6 +973,17 @@ pub fn run(args: &[String], out: &mut dyn std::io::Write) -> i32 {
                 report.egraph_saturated,
                 report.egraph_cap_hits,
                 report.egraph_nodes_saved
+            );
+            // Service mode: dirtiness-driven invalidation (all zero for
+            // one-shot batch scans).
+            let _ = writeln!(
+                out,
+                "incremental: {} fact set(s), {} slice(s), {} verdict(s) \
+                 invalidated; {} candidate(s) reanalyzed",
+                report.facts_invalidated,
+                report.slices_invalidated,
+                report.verdicts_invalidated,
+                report.candidates_reanalyzed
             );
         }
     }

@@ -659,6 +659,65 @@ impl ProgramFacts {
         }
     }
 
+    /// Recomputes facts after an edit, reusing every clean function's
+    /// memoized values.
+    ///
+    /// `dirty[i]` must be true for every function whose facts may have
+    /// changed: the edited functions plus their transitive *callers*
+    /// (return summaries flow bottom-up, so a callee edit can change a
+    /// caller's facts, but never vice versa — facts are keyed by
+    /// [`FuncId`], not content, so stale entries must be evicted rather
+    /// than relied on to miss). Clean functions seed the builder and are
+    /// returned unchanged; dirty ones are re-interpreted on demand.
+    ///
+    /// Returns the refreshed facts and the number of functions whose
+    /// memoized facts were invalidated.
+    pub fn recompute(
+        program: &Program,
+        prev: &ProgramFacts,
+        dirty: &[bool],
+    ) -> (ProgramFacts, u64) {
+        let n = program.functions.len();
+        assert_eq!(dirty.len(), n, "dirty mask must cover every function");
+        assert_eq!(
+            prev.num_functions, n,
+            "recompute requires matching function count"
+        );
+        let mut invalidated = 0u64;
+        let mut b = Builder {
+            program,
+            funcs: vec![None; n],
+            rets: vec![None; n],
+            visiting: vec![false; n],
+        };
+        for (i, is_dirty) in dirty.iter().enumerate() {
+            if *is_dirty {
+                invalidated += 1;
+            } else {
+                b.funcs[i] = Some(prev.funcs[i].clone());
+                b.rets[i] = Some(prev.rets[i]);
+            }
+        }
+        for f in &program.functions {
+            b.ret_fact(f.id);
+        }
+        let facts = ProgramFacts {
+            num_functions: n,
+            program_size: program.size(),
+            funcs: b
+                .funcs
+                .into_iter()
+                .map(|v| v.expect("all functions analyzed"))
+                .collect(),
+            rets: b
+                .rets
+                .into_iter()
+                .map(|r| r.expect("all functions analyzed"))
+                .collect(),
+        };
+        (facts, invalidated)
+    }
+
     /// Whether these facts were computed for a program of this identity
     /// (function count and total size) — the same staleness key the solver
     /// uses for its memoized summaries.
@@ -957,6 +1016,33 @@ mod tests {
             .flat_map(|c| c.paths.iter())
             .any(|path| !f.path_refuted(&p, path, CheckKind::NullDeref));
         assert!(any_unrefuted);
+    }
+
+    #[test]
+    fn recompute_with_dirty_callers_matches_cold_compute() {
+        let old_src = "fn callee(x) { let b = x & 3; return b; }\n\
+                       fn caller(a) { let v = callee(a); return v + 1; }\n\
+                       fn lone(y) { return y * 2; }";
+        let new_src = "fn callee(x) { let b = x & 7; return b; }\n\
+                       fn caller(a) { let v = callee(a); return v + 1; }\n\
+                       fn lone(y) { return y * 2; }";
+        let (old_p, old_f) = facts(old_src);
+        let new_p = compile(new_src, CompileOptions::default()).unwrap();
+        let cold = ProgramFacts::compute(&new_p);
+        // callee edited ⇒ callee and its transitive caller are dirty;
+        // `lone` keeps its memoized facts.
+        let callee = old_p.func_by_name("callee").unwrap().id;
+        let caller = old_p.func_by_name("caller").unwrap().id;
+        let mut dirty = vec![false; old_p.functions.len()];
+        dirty[callee.index()] = true;
+        dirty[caller.index()] = true;
+        let (warm, invalidated) = ProgramFacts::recompute(&new_p, &old_f, &dirty);
+        assert_eq!(invalidated, 2);
+        for f in &new_p.functions {
+            assert_eq!(warm.function(f.id), cold.function(f.id));
+            assert_eq!(warm.ret_fact(f.id), cold.ret_fact(f.id));
+        }
+        assert!(warm.matches(&new_p));
     }
 
     #[test]

@@ -80,7 +80,7 @@ impl Key128 {
     }
 
     /// The lock-stripe index for this key among `shards` stripes.
-    fn shard_index(self, shards: usize) -> usize {
+    pub(crate) fn shard_index(self, shards: usize) -> usize {
         (self.lo as usize) % shards
     }
 }
@@ -209,6 +209,32 @@ impl VerdictCache {
         if inserted {
             self.inserts.fetch_add(1, Ordering::Relaxed);
         }
+    }
+
+    /// Removes the given keys, returning how many were actually present.
+    /// This is the incremental-rescan invalidation hook: the dirtiness
+    /// tracker ([`crate::incremental`]) resolves which keys *can involve*
+    /// an edited function via the recorded key→functions provenance and
+    /// evicts exactly those. Eviction is **correctness-critical** here —
+    /// [`path_set_key`] hashes only on-path content, while the memoized
+    /// verdict also depends on the off-path definitions the slice closure
+    /// pulls in from every function the path traverses — so a stale entry
+    /// could silently replay a verdict the edited program no longer
+    /// warrants.
+    pub fn remove_keys(&self, keys: &[Key128]) -> u64 {
+        let mut removed = 0u64;
+        for &key in keys {
+            let shard = &self.shards[key.shard_index(self.shards.len())];
+            if shard
+                .lock()
+                .expect("cache shard poisoned")
+                .remove(&key)
+                .is_some()
+            {
+                removed += 1;
+            }
+        }
+        removed
     }
 
     /// Total retained entries across shards.

@@ -117,6 +117,32 @@ impl IsoVerdicts {
             .insert(key, verdict);
     }
 
+    /// Removes the given class keys, returning how many were present.
+    /// Unlike verdict-cache eviction this is *garbage collection with
+    /// counters*, not a correctness requirement: an iso key embeds the
+    /// recursive structural [`body sig`](CompactPdg::iso_key) of every
+    /// function a path set touches (and, transitively, their callees),
+    /// so an entry recorded against pre-edit content can never be *hit*
+    /// by a post-edit query — the edited body hashes to a different
+    /// class. The incremental layer still evicts classes whose recorded
+    /// provenance involves an edited function so the resident memo does
+    /// not accumulate unreachable classes across a long editing session.
+    pub fn remove_keys(&self, keys: &[Key128]) -> u64 {
+        let mut removed = 0u64;
+        for &key in keys {
+            if self
+                .shard(key)
+                .lock()
+                .expect("iso shard")
+                .remove(&key)
+                .is_some()
+            {
+                removed += 1;
+            }
+        }
+        removed
+    }
+
     /// Number of memoized classes.
     pub fn len(&self) -> usize {
         self.shards
@@ -186,6 +212,32 @@ impl CompactPdg {
             iso: IsoVerdicts::new(),
             stats,
         }
+    }
+
+    /// Rebuilds the compacted view for an edited program, transplanting
+    /// the previous view's isomorphic-verdict memo into the new one. The
+    /// live sets, chain tables, and body signatures are all derived from
+    /// the new program (they are cheap O(program) passes); the memo is
+    /// the only state worth carrying across an edit. The transplant is
+    /// sound because iso keys are *content-pinned*: every function a
+    /// memoized path set involves contributes its recursive structural
+    /// body signature to the key, so a class recorded against pre-edit
+    /// content can never answer a post-edit query against changed code —
+    /// the changed body produces a different key. Retained classes whose
+    /// functions are untouched answer exactly as a cold run's engine
+    /// would (definite verdicts are renaming-invariant), so reports stay
+    /// byte-identical to a cold scan while repeat queries get strictly
+    /// cheaper.
+    pub fn rebuild(
+        program: &Program,
+        pdg: &Pdg,
+        set: &CheckerSet,
+        opts: &PropagateOptions,
+        prev: CompactPdg,
+    ) -> CompactPdg {
+        let mut next = CompactPdg::build(program, pdg, set, opts);
+        next.iso = prev.iso;
+        next
     }
 
     /// What the pass removed (for `StageStats` attribution).

@@ -305,6 +305,18 @@ pub struct StageStats {
     /// Term-DAG nodes removed by cost-based extraction (the
     /// extracted-term delta).
     pub egraph_nodes_saved: u64,
+    /// Functions whose memoized absint facts a warm session run evicted
+    /// (zero outside incremental re-analysis).
+    pub facts_invalidated: u64,
+    /// Slice closures a warm session run evicted because their function
+    /// span intersected the edit's affected set.
+    pub slices_invalidated: u64,
+    /// Cached path verdicts a warm session run evicted via recorded
+    /// `path_set_key → functions` provenance.
+    pub verdicts_invalidated: u64,
+    /// Candidates actually re-discovered and re-solved by a warm session
+    /// run (retained work items replay without touching the engine).
+    pub candidates_reanalyzed: u64,
 }
 
 impl StageStats {
@@ -554,7 +566,10 @@ impl AnalysisOptions {
 }
 
 /// The outcome for one candidate: either all paths were proven
-/// infeasible (suppressed) or a report was produced.
+/// infeasible (suppressed) or a report was produced. `Clone` so a warm
+/// session run ([`analyze_multi_streaming_session`]) can replay recorded
+/// outcomes of unaffected work items without re-solving them.
+#[derive(Clone)]
 enum CandVerdict {
     Suppressed,
     Report(BugReport),
@@ -697,6 +712,13 @@ fn group_by_sink(candidates: &[Candidate]) -> Vec<(u64, Vec<usize>)> {
 /// and call sites cannot change satisfiability — no identity reaches the
 /// solver), so the query is skipped entirely. Unknown verdicts are never
 /// memoized, so budget-dependent outcomes never leak between fragments.
+///
+/// When a session provenance is supplied (warm analysis service), every
+/// verdict-cache and iso-memo *insert* also records the inserted key's
+/// on-path function span — the `path_set_key → functions` index the
+/// dirtiness tracker later uses to evict exactly the entries an edit can
+/// reach. The record holds function ids and content hashes only, never a
+/// condition (§3.2.2).
 #[allow(clippy::too_many_arguments)] // one call per driver; a params struct would only obscure
 fn solve_candidate(
     program: &Program,
@@ -705,6 +727,7 @@ fn solve_candidate(
     cache: Option<&VerdictCache>,
     facts: Option<&ProgramFacts>,
     compact: Option<&CompactPdg>,
+    prov: Option<&crate::incremental::SessionProvenance>,
     kind: CheckKind,
     cand: &Candidate,
     tally: &mut CandTally,
@@ -752,13 +775,16 @@ fn solve_candidate(
                     }
                     None => {
                         tally.cache_misses += 1;
-                        let v = query_with_iso(program, pdg, engine, compact, slice, tally);
+                        let v = query_with_iso(program, pdg, engine, compact, prov, slice, tally);
                         c.insert(key, v);
+                        if let Some(p) = prov {
+                            p.verdicts.record(key, slice);
+                        }
                         v
                     }
                 }
             }
-            None => query_with_iso(program, pdg, engine, compact, slice, tally),
+            None => query_with_iso(program, pdg, engine, compact, prov, slice, tally),
         };
         match feasibility {
             Feasibility::Feasible => {
@@ -791,6 +817,7 @@ fn query_with_iso(
     pdg: &Pdg,
     engine: &mut dyn FeasibilityEngine,
     compact: Option<&CompactPdg>,
+    prov: Option<&crate::incremental::SessionProvenance>,
     slice: &[DependencePath],
     tally: &mut CandTally,
 ) -> Feasibility {
@@ -804,6 +831,9 @@ fn query_with_iso(
     tally.solve_wall += o.duration;
     if let Some((memo, key)) = iso {
         memo.insert(key, o.feasibility);
+        if let Some(p) = prov {
+            p.iso.record(key, slice);
+        }
     }
     o.feasibility
 }
@@ -961,6 +991,7 @@ pub fn analyze_multi_with_cache(
                 cache,
                 facts.as_deref(),
                 compact.as_ref(),
+                None,
                 set.get(cand.checker).kind,
                 cand,
                 &mut tallies[cand.checker.0],
@@ -1205,6 +1236,7 @@ pub fn analyze_multi_parallel_with_cache(
                             cache,
                             facts.as_deref(),
                             compact,
+                            None,
                             set.get(cand.checker).kind,
                             cand,
                             &mut out.tallies[cand.checker.0],
@@ -1587,6 +1619,7 @@ pub fn analyze_multi_streaming_with_cache(
                             cache,
                             facts.as_deref(),
                             compact,
+                            None,
                             set.get(cand.checker).kind,
                             cand,
                             &mut out.tallies[checker_idx],
@@ -1678,6 +1711,477 @@ pub fn analyze_multi_streaming_with_cache(
         slice: slice_stats,
         stages,
     }
+}
+
+/// Recorded outcomes of one session run, keyed by `(checker, source)`
+/// work item: the canonical per-candidate verdicts and the discovery
+/// steps the item took. A later warm run replays the record of every
+/// work item the edit cannot reach — byte-identically, because a work
+/// item whose call-graph component contains no edited function discovers
+/// the same candidates and receives the same verdicts as a cold run of
+/// the edited program (dependence paths, slice closures, and compaction
+/// liveness never leave the component). Only outcomes are recorded —
+/// never a path condition (§3.2.2).
+#[derive(Default)]
+pub struct ItemOutcomes {
+    map: std::collections::HashMap<(usize, Vertex), ItemRecord>,
+}
+
+#[derive(Clone)]
+struct ItemRecord {
+    verdicts: Vec<CandVerdict>,
+    steps: u64,
+}
+
+impl ItemOutcomes {
+    fn get(&self, id: CheckerId, src: Vertex) -> Option<&ItemRecord> {
+        self.map.get(&(id.0, src))
+    }
+
+    /// Number of recorded `(checker, source)` work items.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no work item has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Resident-state inputs of [`analyze_multi_streaming_session`]. A cold
+/// scan passes empty fields (no retained outcomes, no affected mask, so
+/// every work item runs live); a warm rescan passes the session's
+/// resident facts, compacted view, recorded outcomes, the edit's
+/// affected-function mask, and the provenance recorder.
+#[derive(Default)]
+pub struct SessionParams<'a> {
+    /// Precomputed abstract facts (`None` = absint off for this run).
+    /// The session driver never computes facts itself — the resident
+    /// session owns them and recomputes only dirty functions.
+    pub facts: Option<Arc<ProgramFacts>>,
+    /// Resident compacted view (`None` = compaction off).
+    pub compact: Option<&'a CompactPdg>,
+    /// Outcomes recorded by the previous session run.
+    pub retained: Option<&'a ItemOutcomes>,
+    /// Per-function "the edit can reach this" mask — the connected
+    /// component of the edited functions over the symmetric
+    /// caller∪callee adjacency (of the old and new programs). A work
+    /// item whose source function is unaffected replays its retained
+    /// record instead of re-running discovery and solving.
+    pub affected: Option<&'a [bool]>,
+    /// Provenance recorder for verdict/iso-memo inserts (the
+    /// `path_set_key → functions` index the next edit's invalidation
+    /// uses).
+    pub prov: Option<&'a crate::incremental::SessionProvenance>,
+}
+
+/// The session driver behind the warm analysis service: the fused
+/// streaming pipeline of [`analyze_multi_streaming_with_cache`], run
+/// over only the **live** `(checker, source)` work items — those the
+/// edit's affected set can reach, or that have no retained record —
+/// while every other item replays its recorded outcome. Returns the run
+/// plus the refreshed [`ItemOutcomes`] for the next rescan.
+///
+/// Reports are byte-identical to a cold batch scan of the same program
+/// at any thread count: live items go through the exact cold machinery
+/// (same discovery, same solve path, same caches), and replayed items
+/// are sound because an unaffected component is untouched by the edit.
+/// Counters differ by design — that is the point: replayed items
+/// contribute their recorded candidates and discovery steps, but zero
+/// queries, cache traffic, and engine wall.
+#[allow(clippy::too_many_arguments)] // mirrors the other drivers' signatures plus session state
+pub fn analyze_multi_streaming_session(
+    program: &Program,
+    pdg: &Pdg,
+    set: &CheckerSet,
+    factory: &(dyn Fn() -> Box<dyn FeasibilityEngine> + Sync),
+    threads: usize,
+    options: &AnalysisOptions,
+    cache: Option<&VerdictCache>,
+    params: SessionParams<'_>,
+) -> (MultiAnalysisRun, ItemOutcomes) {
+    debug_validate(program);
+    let threads = threads.max(1);
+    let facts = params.facts;
+    let compact = params.compact;
+    let prov = params.prov;
+    let items = multi_source_vertices(program, set);
+
+    // Partition the work list: an item replays iff its source function is
+    // provably unaffected by the edit *and* a retained record exists.
+    // Out-of-range functions (the program grew) count as affected.
+    let replay: Vec<Option<ItemRecord>> = items
+        .iter()
+        .map(|(id, src)| {
+            let unaffected = params
+                .affected
+                .is_some_and(|a| !a.get(src.func.index()).copied().unwrap_or(true));
+            if unaffected {
+                params.retained.and_then(|r| r.get(*id, *src)).cloned()
+            } else {
+                None
+            }
+        })
+        .collect();
+    let live: Vec<usize> = (0..items.len()).filter(|&i| replay[i].is_none()).collect();
+
+    let slice_before = options
+        .slice_cache
+        .as_ref()
+        .map(|c| c.stats())
+        .unwrap_or_default();
+    let cache_before = cache.map(|c| c.stats()).unwrap_or_default();
+
+    /// One unit of streamed work (same shape as the cold streaming
+    /// driver's), tagged with the *original* work-item index.
+    struct StreamGroup {
+        item_idx: usize,
+        sink_key: u64,
+        cands: Vec<(usize, Candidate)>,
+    }
+
+    struct WorkerOut {
+        name: &'static str,
+        results: Vec<((usize, usize), CandVerdict)>,
+        tallies: Vec<CandTally>,
+        memory: MemoryAccountant,
+        stages: EngineStages,
+        sessions_skipped: u64,
+    }
+
+    let item_steps: Mutex<Vec<(usize, u64)>> = Mutex::new(Vec::new());
+    let discovery_accts: Mutex<Vec<MemoryAccountant>> = Mutex::new(Vec::new());
+
+    let t0 = Instant::now();
+    let (outputs, propagate_time, shards): (Vec<WorkerOut>, Duration, usize) = if threads == 1 {
+        // Inline sequential path: one engine, live items in work-item
+        // order, per-item sink grouping (identical reports to the global
+        // grouping — verdicts never depend on group boundaries).
+        let mut engine = factory();
+        if let Some(sc) = &options.slice_cache {
+            engine.attach_slice_cache(Arc::clone(sc));
+        }
+        if let Some(f) = &facts {
+            engine.attach_absint(Arc::clone(f));
+        }
+        let mut out = WorkerOut {
+            name: engine.name(),
+            results: Vec::new(),
+            tallies: vec![CandTally::default(); set.len()],
+            memory: MemoryAccountant::new(),
+            stages: EngineStages::default(),
+            sessions_skipped: 0,
+        };
+        let mut acct = MemoryAccountant::new();
+        let mut discover_wall = Duration::ZERO;
+        let mut last_key: Option<u64> = None;
+        for &i in &live {
+            let (id, src) = items[i];
+            let td = Instant::now();
+            let d = discover_source_for_compact(
+                program,
+                pdg,
+                set.get(id),
+                id,
+                &options.propagate,
+                src,
+                compact,
+            );
+            discover_wall += td.elapsed();
+            acct.charge(Category::Graph, d.state_bytes);
+            acct.release(Category::Graph, d.state_bytes);
+            item_steps.lock().expect("steps lock").push((i, d.steps));
+            let mut order: Vec<(u64, Vec<(usize, Candidate)>)> = Vec::new();
+            let mut slot: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+            for (local, cand) in d.candidates.into_iter().enumerate() {
+                let key = cand.sink.func.0 as u64;
+                match slot.get(&key) {
+                    Some(&g) => order[g].1.push((local, cand)),
+                    None => {
+                        slot.insert(key, order.len());
+                        order.push((key, vec![(local, cand)]));
+                    }
+                }
+            }
+            for (key, cands) in order {
+                if last_key != Some(key) {
+                    engine.begin_group(key);
+                    last_key = Some(key);
+                }
+                let (q_before, tr_before) = tally_totals(&out.tallies);
+                for (local, cand) in &cands {
+                    let v = solve_candidate(
+                        program,
+                        pdg,
+                        engine.as_mut(),
+                        cache,
+                        facts.as_deref(),
+                        compact,
+                        prov,
+                        set.get(cand.checker).kind,
+                        cand,
+                        &mut out.tallies[cand.checker.0],
+                    );
+                    out.results.push(((i, *local), v));
+                }
+                let (q_after, tr_after) = tally_totals(&out.tallies);
+                if q_after == q_before && tr_after > tr_before {
+                    out.sessions_skipped += 1;
+                }
+            }
+        }
+        out.memory = engine.memory().clone();
+        out.stages = engine.stage_totals();
+        discovery_accts.lock().expect("acct lock").push(acct);
+        (vec![out], discover_wall, 1)
+    } else {
+        // Streaming pipeline over the live items only (same machinery as
+        // the cold streaming driver: sticky sink routing, bounded queues,
+        // deterministic merge keys).
+        let producers = options
+            .discover_shards
+            .unwrap_or(threads)
+            .clamp(1, live.len().max(1));
+        let queues: Vec<BoundedQueue<StreamGroup>> = (0..threads)
+            .map(|_| BoundedQueue::new(2, producers))
+            .collect();
+        let live_cursor = AtomicUsize::new(0);
+        let producers_left = AtomicUsize::new(producers);
+        let discover_span: Mutex<Duration> = Mutex::new(Duration::ZERO);
+        let outputs: Vec<WorkerOut> = std::thread::scope(|scope| {
+            for _ in 0..producers {
+                let queues = &queues;
+                let live = &live;
+                let items = &items;
+                let live_cursor = &live_cursor;
+                let producers_left = &producers_left;
+                let discover_span = &discover_span;
+                let item_steps = &item_steps;
+                let discovery_accts = &discovery_accts;
+                scope.spawn(move || {
+                    let mut acct = MemoryAccountant::new();
+                    let mut consumers_live = true;
+                    while consumers_live {
+                        let n = live_cursor.fetch_add(1, Ordering::Relaxed);
+                        if n >= live.len() {
+                            break;
+                        }
+                        let i = live[n];
+                        let (id, src) = items[i];
+                        let d = discover_source_for_compact(
+                            program,
+                            pdg,
+                            set.get(id),
+                            id,
+                            &options.propagate,
+                            src,
+                            compact,
+                        );
+                        acct.charge(Category::Graph, d.state_bytes);
+                        acct.release(Category::Graph, d.state_bytes);
+                        item_steps.lock().expect("steps lock").push((i, d.steps));
+                        let mut order: Vec<StreamGroup> = Vec::new();
+                        let mut slot: std::collections::HashMap<u64, usize> =
+                            std::collections::HashMap::new();
+                        for (local, cand) in d.candidates.into_iter().enumerate() {
+                            let key = cand.sink.func.0 as u64;
+                            match slot.get(&key) {
+                                Some(&g) => order[g].cands.push((local, cand)),
+                                None => {
+                                    slot.insert(key, order.len());
+                                    order.push(StreamGroup {
+                                        item_idx: i,
+                                        sink_key: key,
+                                        cands: vec![(local, cand)],
+                                    });
+                                }
+                            }
+                        }
+                        for group in order {
+                            let worker = (group.sink_key as usize) % queues.len();
+                            if !queues[worker].send(group) {
+                                consumers_live = false;
+                                break;
+                            }
+                        }
+                    }
+                    if producers_left.fetch_sub(1, Ordering::SeqCst) == 1 {
+                        *discover_span.lock().expect("span lock") = t0.elapsed();
+                    }
+                    for queue in queues {
+                        queue.producer_done();
+                    }
+                    discovery_accts.lock().expect("acct lock").push(acct);
+                });
+            }
+            let mut handles = Vec::new();
+            for queue in queues.iter().take(threads) {
+                let slice_cache = options.slice_cache.clone();
+                let facts = facts.clone();
+                handles.push(scope.spawn(move || {
+                    let mut engine = factory();
+                    if let Some(sc) = slice_cache {
+                        engine.attach_slice_cache(sc);
+                    }
+                    if let Some(f) = &facts {
+                        engine.attach_absint(Arc::clone(f));
+                    }
+                    let mut out = WorkerOut {
+                        name: engine.name(),
+                        results: Vec::new(),
+                        tallies: vec![CandTally::default(); set.len()],
+                        memory: MemoryAccountant::new(),
+                        stages: EngineStages::default(),
+                        sessions_skipped: 0,
+                    };
+                    let _close_guard = CloseGuard::new(queue);
+                    let mut last_key: Option<u64> = None;
+                    while let Some(group) = queue.recv() {
+                        if last_key != Some(group.sink_key) {
+                            engine.begin_group(group.sink_key);
+                            last_key = Some(group.sink_key);
+                        }
+                        let (q_before, tr_before) = tally_totals(&out.tallies);
+                        for (local_idx, cand) in &group.cands {
+                            let v = solve_candidate(
+                                program,
+                                pdg,
+                                engine.as_mut(),
+                                cache,
+                                facts.as_deref(),
+                                compact,
+                                prov,
+                                set.get(cand.checker).kind,
+                                cand,
+                                &mut out.tallies[cand.checker.0],
+                            );
+                            out.results.push(((group.item_idx, *local_idx), v));
+                        }
+                        let (q_after, tr_after) = tally_totals(&out.tallies);
+                        if q_after == q_before && tr_after > tr_before {
+                            out.sessions_skipped += 1;
+                        }
+                    }
+                    out.memory = engine.memory().clone();
+                    out.stages = engine.stage_totals();
+                    out
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("solve worker"))
+                .collect()
+        });
+        let span = *discover_span.lock().expect("span lock");
+        (outputs, span, producers)
+    };
+    let pipeline_wall = t0.elapsed();
+    let solve_time = pipeline_wall.saturating_sub(propagate_time);
+
+    let mut merged: Vec<((usize, usize), CandVerdict)> = Vec::new();
+    let mut tallies = vec![CandTally::default(); set.len()];
+    let engine_name = outputs.first().map(|o| o.name).unwrap_or("session");
+    let mut memories: Vec<MemoryAccountant> = Vec::with_capacity(outputs.len());
+    let mut stages = StageStats::default();
+    let mut sessions_skipped = 0u64;
+    for o in outputs {
+        for (t, wt) in tallies.iter_mut().zip(&o.tallies) {
+            t.add(wt);
+        }
+        memories.push(o.memory);
+        stages.add_engine(&o.stages);
+        sessions_skipped += o.sessions_skipped;
+        merged.extend(o.results);
+    }
+    merged.sort_by_key(|(key, _)| *key);
+
+    // Reassemble the canonical per-item verdict lists: replayed records
+    // verbatim, live results in (item, local) order.
+    let mut per_item: Vec<Vec<CandVerdict>> = Vec::with_capacity(items.len());
+    let mut steps_per_item: Vec<u64> = Vec::with_capacity(items.len());
+    for r in replay {
+        match r {
+            Some(rec) => {
+                steps_per_item.push(rec.steps);
+                per_item.push(rec.verdicts);
+            }
+            None => {
+                steps_per_item.push(0);
+                per_item.push(Vec::new());
+            }
+        }
+    }
+    let live_candidates = merged.len() as u64;
+    for ((item, _local), v) in merged {
+        per_item[item].push(v);
+    }
+    for (i, s) in item_steps.into_inner().expect("steps lock") {
+        steps_per_item[i] = s;
+    }
+
+    let mut outcomes = ItemOutcomes::default();
+    for (i, (id, src)) in items.iter().enumerate() {
+        outcomes.map.insert(
+            (id.0, *src),
+            ItemRecord {
+                verdicts: per_item[i].clone(),
+                steps: steps_per_item[i],
+            },
+        );
+    }
+
+    let mut per_checker_steps = vec![0u64; set.len()];
+    for (i, (id, _)) in items.iter().enumerate() {
+        per_checker_steps[id.0] += steps_per_item[i];
+    }
+    stages.discover_wall = propagate_time;
+    stages.discovery_steps = steps_per_item.iter().sum();
+    stages.discovery_shards = shards;
+    stages.candidates_reanalyzed = live_candidates;
+    fill_triage_stats(&mut stages, &tallies, sessions_skipped);
+    fill_compact_stats(&mut stages, compact);
+
+    let graph_bytes = program.size() as u64 * BYTES_PER_DEF;
+    let cache_bytes = cache.map(|c| c.bytes()).unwrap_or(0)
+        + options.slice_cache.as_ref().map(|c| c.bytes()).unwrap_or(0);
+    let discovery_accts = discovery_accts.into_inner().expect("acct lock");
+    let mem = run_accounting(
+        memories.iter().chain(discovery_accts.iter()),
+        graph_bytes,
+        cache_bytes,
+    );
+    let cache_stats = cache
+        .map(|c| c.stats().since(&cache_before))
+        .unwrap_or_default();
+    let slice_stats = options
+        .slice_cache
+        .as_ref()
+        .map(|c| c.stats().since(&slice_before))
+        .unwrap_or_default();
+
+    let candidates_total: usize = per_item.iter().map(|v| v.len()).sum();
+    let ordered: Vec<(CheckerId, CandVerdict)> = items
+        .iter()
+        .zip(per_item)
+        .flat_map(|(&(id, _), vs)| vs.into_iter().map(move |v| (id, v)))
+        .collect();
+    let queries = tallies.iter().map(|t| t.queries).sum();
+    let checkers = assemble_breakdowns(set, ordered, &tallies, &per_checker_steps);
+
+    let run = MultiAnalysisRun {
+        engine: format!("{engine_name}×{threads}"),
+        checkers,
+        candidates: candidates_total,
+        queries,
+        propagate_time,
+        solve_time,
+        peak_memory: mem.peak_total(),
+        cache: cache_stats,
+        slice: slice_stats,
+        stages,
+    };
+    (run, outcomes)
 }
 
 #[cfg(test)]

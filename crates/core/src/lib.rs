@@ -29,6 +29,10 @@
 //!   verdict sharing, all over dependence structure only;
 //! * [`slice_cache`] — the sharded LRU memo of slice *closures* (dependence
 //!   structure only — never formulas, preserving §3.2.2's discipline);
+//! * [`incremental`] — the warm analysis service: per-function content
+//!   fingerprints, the dirtiness tracker, eviction provenance, and the
+//!   resident [`incremental::AnalysisSession`] behind `fusion-scan
+//!   --serve`;
 //! * [`stream`] — the bounded channel behind the streaming
 //!   discovery→solve pipeline;
 //! * [`memory`] — categorized byte accounting behind every memory number
@@ -65,6 +69,7 @@ pub mod checkers;
 pub mod compact;
 pub mod engine;
 pub mod graph_solver;
+pub mod incremental;
 pub mod memory;
 pub mod propagate;
 pub mod quickpath;
@@ -83,6 +88,10 @@ pub use engine::{
     analyze_with_cache, AnalysisOptions, AnalysisRun, BugReport, CheckOutcome, CheckerBreakdown,
     Feasibility, FeasibilityEngine, MultiAnalysisRun, SolveRecord, StageStats,
 };
+pub use engine::{analyze_multi_streaming_session, ItemOutcomes, SessionParams};
 pub use graph_solver::{FusionSolver, UnoptimizedGraphSolver};
+pub use incremental::{
+    AnalysisSession, DirtinessTracker, EditDiff, InvalidationStats, SessionProvenance,
+};
 pub use memory::{run_accounting, Category, MemoryAccountant};
 pub use slice_cache::{SliceCache, SliceCacheStats};

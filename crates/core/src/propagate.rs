@@ -49,6 +49,14 @@ pub struct PropagateOptions {
     pub max_path_len: usize,
     /// Maximum call-string depth.
     pub max_call_depth: usize,
+    /// Work-item count below which the sharded drivers discover
+    /// sequentially anyway: for small programs the scoped-thread spawn +
+    /// deterministic merge costs more than the DFS itself (the committed
+    /// small-scale pipeline bench showed sharded discovery at ~2× the
+    /// sequential wall). Candidates are byte-identical either way — the
+    /// threshold only picks the cheaper schedule. `0` disables the
+    /// fallback (always shard when asked to).
+    pub sequential_discovery_threshold: usize,
 }
 
 impl Default for PropagateOptions {
@@ -58,6 +66,7 @@ impl Default for PropagateOptions {
             max_steps_per_source: 50_000,
             max_path_len: 256,
             max_call_depth: 32,
+            sequential_discovery_threshold: 64,
         }
     }
 }
@@ -530,7 +539,14 @@ pub fn discover_all_multi_compact(
     compact: Option<&CompactPdg>,
 ) -> Discovery {
     let items = multi_source_vertices(program, set);
-    let shards = shards.clamp(1, items.len().max(1));
+    let mut shards = shards.clamp(1, items.len().max(1));
+    // Small-program fallback: below the work-size threshold the thread
+    // spawn + merge overhead dominates the DFS, so discover sequentially
+    // (byte-identical output; `discovery_prop.rs` pins the equivalence).
+    if opts.sequential_discovery_threshold != 0 && items.len() < opts.sequential_discovery_threshold
+    {
+        shards = 1;
+    }
     if shards <= 1 {
         let mut acct = MemoryAccountant::new();
         let mut candidates = Vec::new();

@@ -215,6 +215,47 @@ impl SliceCache {
         }
     }
 
+    /// Evicts every retained closure that *spans* a dirty function —
+    /// i.e. whose `BTreeMap<FuncId, FuncSlice>` contains a function
+    /// flagged in `dirty` — and returns how many were removed.
+    ///
+    /// This is the incremental-rescan invalidation hook
+    /// ([`crate::incremental`]), and it is **correctness-critical**, not
+    /// garbage collection: the cache key ([`crate::cache::path_set_key`])
+    /// hashes only the *on-path* content of a query, while the memoized
+    /// closure also contains off-path definitions (e.g. the defining
+    /// expressions of guards) of every spanned function. Editing a
+    /// spanned function can therefore change the correct closure without
+    /// changing the key. Conversely a closure spanning no dirty function
+    /// is bit-identical to what a cold computation over the edited
+    /// program produces — closure equations only ever consult the
+    /// spanned functions' own definition arrays — so retaining it is
+    /// exact. No provenance side-table is needed: the closure *is* its
+    /// own function-span record.
+    pub fn evict_dirty(&self, dirty: &[bool]) -> u64 {
+        let mut removed = 0u64;
+        for shard in &self.shards {
+            let mut shard = shard.lock().expect("slice cache poisoned");
+            let victims: Vec<Key128> = shard
+                .map
+                .iter()
+                .filter(|(_, (closure, _, _))| {
+                    closure
+                        .keys()
+                        .any(|f| dirty.get(f.index()).copied().unwrap_or(true))
+                })
+                .map(|(&k, _)| k)
+                .collect();
+            for key in victims {
+                let (_, _, freed) = shard.map.remove(&key).expect("victim present");
+                self.bytes.fetch_sub(freed, Ordering::Relaxed);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                removed += 1;
+            }
+        }
+        removed
+    }
+
     /// Total retained closures across shards.
     pub fn len(&self) -> u64 {
         self.shards

@@ -12,6 +12,7 @@
 //! vertex/edge statistics reported in Table 2.
 
 use fusion_ir::ssa::{CallSiteId, DefKind, FuncId, Program, VarId};
+use std::sync::Arc;
 
 /// A vertex of the whole-program dependence graph.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -106,56 +107,127 @@ impl PdgStats {
 }
 
 /// The whole-program dependence graph.
+///
+/// Per-function adjacency is held behind [`Arc`] so an incremental
+/// rebuild ([`Pdg::rebuild`]) can share the subgraphs of unedited
+/// functions with the previous graph instead of re-deriving them: a
+/// function's [`FuncPdg`] depends only on its *own* definition array
+/// (operand edges never look at callee bodies), so content-identical
+/// functions have bit-identical adjacency.
 #[derive(Debug, Clone)]
 pub struct Pdg {
-    funcs: Vec<FuncPdg>,
+    funcs: Vec<Arc<FuncPdg>>,
     /// `callers_of[f]` lists the call sites whose callee is `f`.
     callers_of: Vec<Vec<CallSiteId>>,
     stats: PdgStats,
+}
+
+/// Builds one function's adjacency (operand def→use edges only; the
+/// inter-procedural interpretation happens in [`Pdg::flow_targets`]).
+fn build_func_pdg(func: &fusion_ir::ssa::Function) -> FuncPdg {
+    let mut fp = FuncPdg {
+        uses: vec![Vec::new(); func.defs.len()],
+    };
+    for def in &func.defs {
+        for (slot, op) in def.kind.operands().into_iter().enumerate() {
+            fp.uses[op.index()].push((def.var, slot));
+        }
+    }
+    fp
+}
+
+/// One function's contribution to the Table 2 statistics. Unlike the
+/// adjacency this *does* consult callee extern-ness (to classify call
+/// edges), so the rebuild path recomputes it for every function — it is
+/// an O(defs) scan with no allocation.
+fn func_stats(program: &Program, func: &fusion_ir::ssa::Function) -> PdgStats {
+    let mut stats = PdgStats::default();
+    for def in &func.defs {
+        // Whether this definition's operand edges are the labeled
+        // call edges of Fig. 5 (actual → callee parameter) rather
+        // than plain intra-procedural data dependence.
+        let interproc_call = match &def.kind {
+            DefKind::Call { callee, .. } => !program.func(*callee).is_extern,
+            _ => false,
+        };
+        let operands = def.kind.operands().len();
+        if interproc_call {
+            stats.interproc_edges += operands + 1; // call edges `(ᵢ` + return edge `)ᵢ`
+        } else {
+            stats.data_edges += operands;
+        }
+        if def.guard.is_some() {
+            stats.control_edges += 1;
+        }
+        stats.vertices += 1;
+    }
+    stats
 }
 
 impl Pdg {
     /// Builds the dependence graph of a program (Fig. 5 rules).
     pub fn build(program: &Program) -> Pdg {
         let mut funcs = Vec::with_capacity(program.functions.len());
-        let mut callers_of = vec![Vec::new(); program.functions.len()];
         let mut stats = PdgStats::default();
-        for (i, cs) in program.call_sites.iter().enumerate() {
-            callers_of[cs.callee.index()].push(CallSiteId(i as u32));
-        }
         for func in &program.functions {
-            let mut fp = FuncPdg {
-                uses: vec![Vec::new(); func.defs.len()],
-            };
-            for def in &func.defs {
-                // Whether this definition's operand edges are the labeled
-                // call edges of Fig. 5 (actual → callee parameter) rather
-                // than plain intra-procedural data dependence.
-                let interproc_call = match &def.kind {
-                    DefKind::Call { callee, .. } => !program.func(*callee).is_extern,
-                    _ => false,
-                };
-                for (slot, op) in def.kind.operands().into_iter().enumerate() {
-                    fp.uses[op.index()].push((def.var, slot));
-                    if interproc_call {
-                        stats.interproc_edges += 1; // call edge `(ᵢ`
-                    } else {
-                        stats.data_edges += 1;
-                    }
-                }
-                if interproc_call {
-                    stats.interproc_edges += 1; // return edge `)ᵢ`
-                }
-                if def.guard.is_some() {
-                    stats.control_edges += 1;
-                }
-                stats.vertices += 1;
-            }
-            funcs.push(fp);
+            let fs = func_stats(program, func);
+            stats.vertices += fs.vertices;
+            stats.data_edges += fs.data_edges;
+            stats.interproc_edges += fs.interproc_edges;
+            stats.control_edges += fs.control_edges;
+            funcs.push(Arc::new(build_func_pdg(func)));
         }
         Pdg {
             funcs,
-            callers_of,
+            callers_of: build_callers_of(program),
+            stats,
+        }
+    }
+
+    /// Incrementally rebuilds the graph after an edit: functions flagged
+    /// `unchanged` (content-identical to the previous program, same
+    /// [`FuncId`] indexing) share the previous graph's [`FuncPdg`] by
+    /// [`Arc`] instead of re-deriving their adjacency. The reverse call
+    /// map and the statistics are recomputed from scratch — both are
+    /// O(program) scans with trivial constants, and the call map can
+    /// shift even for unedited functions (an edited caller may add or
+    /// drop call sites targeting them).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `unchanged` does not cover the program's function list
+    /// — identifying which functions changed (and bailing out to a full
+    /// [`Pdg::build`] when the function list itself changed shape) is
+    /// the caller's job.
+    pub fn rebuild(program: &Program, prev: &Pdg, unchanged: &[bool]) -> Pdg {
+        assert_eq!(
+            unchanged.len(),
+            program.functions.len(),
+            "unchanged mask must cover every function"
+        );
+        assert_eq!(
+            prev.funcs.len(),
+            program.functions.len(),
+            "incremental rebuild requires an unchanged function list shape"
+        );
+        let mut funcs = Vec::with_capacity(program.functions.len());
+        let mut stats = PdgStats::default();
+        for func in &program.functions {
+            let fs = func_stats(program, func);
+            stats.vertices += fs.vertices;
+            stats.data_edges += fs.data_edges;
+            stats.interproc_edges += fs.interproc_edges;
+            stats.control_edges += fs.control_edges;
+            let i = func.id.index();
+            if unchanged[i] {
+                funcs.push(Arc::clone(&prev.funcs[i]));
+            } else {
+                funcs.push(Arc::new(build_func_pdg(func)));
+            }
+        }
+        Pdg {
+            funcs,
+            callers_of: build_callers_of(program),
             stats,
         }
     }
@@ -168,6 +240,14 @@ impl Pdg {
     /// The call sites targeting function `f`.
     pub fn callers_of(&self, f: FuncId) -> &[CallSiteId] {
         &self.callers_of[f.index()]
+    }
+
+    /// Whether function `f`'s adjacency is shared (by [`Arc`]) with
+    /// another graph — true for unedited functions after an incremental
+    /// [`Pdg::rebuild`] while the previous graph is still alive. Test
+    /// and accounting hook; analysis never consults it.
+    pub fn shares_func_with(&self, other: &Pdg, f: FuncId) -> bool {
+        Arc::ptr_eq(&self.funcs[f.index()], &other.funcs[f.index()])
     }
 
     /// Intra-procedural uses of a definition.
@@ -221,6 +301,16 @@ impl Pdg {
         }
         out
     }
+}
+
+/// The reverse call map: `callers_of[f]` lists the call sites whose
+/// callee is `f`, in call-site-id order.
+fn build_callers_of(program: &Program) -> Vec<Vec<CallSiteId>> {
+    let mut callers_of = vec![Vec::new(); program.functions.len()];
+    for (i, cs) in program.call_sites.iter().enumerate() {
+        callers_of[cs.callee.index()].push(CallSiteId(i as u32));
+    }
+    callers_of
 }
 
 #[cfg(test)]
@@ -292,6 +382,38 @@ mod tests {
         assert!(targets
             .iter()
             .any(|t| matches!(t, FlowTarget::ThroughExtern { .. })));
+    }
+
+    #[test]
+    fn rebuild_shares_unchanged_subgraphs_and_matches_full_build() {
+        let src_a = "fn bar(x) { return x + 1; } fn foo(a) { let c = bar(a); return c; }";
+        let src_b = "fn bar(x) { return x + 2; } fn foo(a) { let c = bar(a); return c; }";
+        let pa = program(src_a);
+        let pb = program(src_b);
+        let ga = Pdg::build(&pa);
+        // `bar` edited, `foo` unchanged.
+        let bar = pb.func_by_name("bar").unwrap().id;
+        let foo = pb.func_by_name("foo").unwrap().id;
+        let mut unchanged = vec![true; pb.functions.len()];
+        unchanged[bar.index()] = false;
+        let gb = Pdg::rebuild(&pb, &ga, &unchanged);
+        let gb_full = Pdg::build(&pb);
+        assert_eq!(gb.stats(), gb_full.stats());
+        assert!(gb.shares_func_with(&ga, foo), "foo's subgraph is reused");
+        assert!(!gb.shares_func_with(&ga, bar), "bar's subgraph is rebuilt");
+        for f in &pb.functions {
+            for d in &f.defs {
+                assert_eq!(
+                    gb.uses(f.id, d.var),
+                    gb_full.uses(f.id, d.var),
+                    "adjacency must match the full build"
+                );
+                assert_eq!(
+                    gb.flow_targets(&pb, Vertex::new(f.id, d.var)),
+                    gb_full.flow_targets(&pb, Vertex::new(f.id, d.var)),
+                );
+            }
+        }
     }
 
     #[test]

@@ -70,7 +70,12 @@ proptest! {
             compile_ast(&subject.surface, &mut subject.interner, CompileOptions::default())
                 .expect("compile");
         let pdg = Pdg::build(&program);
-        let opts = PropagateOptions::default();
+        // Disable the small-program sequential fallback so the sharded
+        // code path stays exercised regardless of work-item count.
+        let opts = PropagateOptions {
+            sequential_discovery_threshold: 0,
+            ..PropagateOptions::default()
+        };
         for checker in [Checker::null_deref(), Checker::cwe402()] {
             let sequential = discover_all(&program, &pdg, &checker, &opts, 1);
             let want = keys(&sequential.candidates);
