@@ -34,6 +34,15 @@
 //!     --sink NAME                        extra taint-sink function (repeatable)
 //!     --unroll N                         loop/recursion unroll factor (default 2)
 //!     --sanitizer NAME                   extra taint-killing function (repeatable)
+//!     --shards K                         partition the call graph into K shards and
+//!                                        analyze each against an on-disk snapshot;
+//!                                        the merged report is byte-identical to the
+//!                                        unsharded scan
+//!     --shard-workers N                  run shards in N separate fusion-scan
+//!                                        --shard-worker processes (out-of-core:
+//!                                        no process ever holds the whole program)
+//!     --snapshot-dir DIR                 where the partitioned scan keeps its
+//!                                        snapshot containers (default: temp dir)
 //! ```
 //!
 //! Multiple files are concatenated into one translation unit, so flows may
@@ -53,6 +62,7 @@
 
 pub mod json;
 pub mod serve;
+pub mod shards;
 
 use fusion::cache::VerdictCache;
 use fusion::checkers::{CheckKind, Checker, CheckerSet};
@@ -168,6 +178,25 @@ pub struct Options {
     /// verdict cache resident between requests so a `rescan` after an
     /// edit re-analyzes only what the edit reaches.
     pub serve: bool,
+    /// Partition the call graph into this many shards and analyze each
+    /// against an on-disk snapshot, merging per-shard outcomes into a
+    /// report byte-identical to the unsharded scan. 0 (the default)
+    /// disables partitioning.
+    pub shards: usize,
+    /// Run shards as separate `fusion-scan --shard-worker` processes
+    /// instead of in-process (requires `--shards`). 0 (the default)
+    /// keeps every shard in this process.
+    pub shard_workers: usize,
+    /// Directory for the on-disk snapshot a partitioned scan routes its
+    /// program, facts, and per-shard outcomes through. Defaults to a
+    /// scan-scoped directory under the system temp dir.
+    pub snapshot_dir: Option<String>,
+    /// Run as a shard worker: read one line-delimited JSON job
+    /// (`{"snapshot", "shard", "shards", "out"}`) from stdin, analyze
+    /// that shard of the snapshot, write its outcomes to `out`, and
+    /// respond with the shard's counters. Spawned by the coordinator;
+    /// not meant for interactive use.
+    pub shard_worker: bool,
 }
 
 impl Default for Options {
@@ -194,6 +223,10 @@ impl Default for Options {
             extra_sanitizers: Vec::new(),
             list_checkers: false,
             serve: false,
+            shards: 0,
+            shard_workers: 0,
+            snapshot_dir: None,
+            shard_worker: false,
         }
     }
 }
@@ -325,6 +358,32 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
             "--validate" => opts.validate = true,
             "--list-checkers" => opts.list_checkers = true,
             "--serve" => opts.serve = true,
+            "--shards" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError("--shards needs a value".into()))?;
+                opts.shards = v
+                    .parse()
+                    .map_err(|_| CliError(format!("invalid shard count `{v}`")))?;
+                if opts.shards == 0 {
+                    return Err(CliError("--shards must be at least 1".into()));
+                }
+            }
+            "--shard-workers" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError("--shard-workers needs a value".into()))?;
+                opts.shard_workers = v
+                    .parse()
+                    .map_err(|_| CliError(format!("invalid worker count `{v}`")))?;
+            }
+            "--snapshot-dir" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError("--snapshot-dir needs a value".into()))?;
+                opts.snapshot_dir = Some(v.clone());
+            }
+            "--shard-worker" => opts.shard_worker = true,
             "--help" | "-h" => {
                 return Err(CliError(
                     "usage: fusion-scan [--engine fusion|unopt|pinpoint|ar] \
@@ -334,6 +393,7 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
                      [--stream|--no-stream] [--no-incremental] \
                      [--absint|--no-absint] [--compact|--no-compact] \
                      [--egraph|--no-egraph] [--validate] [--dot FILE] \
+                     [--shards K] [--shard-workers N] [--snapshot-dir DIR] \
                      [--json] [--stats] [--serve] FILE..."
                         .into(),
                 ))
@@ -349,7 +409,18 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
             "--serve reads programs from stdin requests; no input files allowed".into(),
         ));
     }
-    if opts.files.is_empty() && !opts.list_checkers && !opts.serve {
+    if opts.shard_workers > 0 && opts.shards == 0 {
+        return Err(CliError("--shard-workers requires --shards".into()));
+    }
+    if opts.shard_worker && !opts.files.is_empty() {
+        return Err(CliError(
+            "--shard-worker reads its job from stdin; no input files allowed".into(),
+        ));
+    }
+    if opts.shard_worker && opts.serve {
+        return Err(CliError("--shard-worker conflicts with --serve".into()));
+    }
+    if opts.files.is_empty() && !opts.list_checkers && !opts.serve && !opts.shard_worker {
         return Err(CliError("no input files (try --help)".into()));
     }
     Ok(opts)
@@ -555,6 +626,20 @@ pub struct ScanReport {
     /// service mode, the affected work items' candidates (the rest
     /// replayed recorded outcomes); 0 in the batch drivers.
     pub candidates_reanalyzed: u64,
+    /// Shards the partitioned scan was split into (0 for unsharded
+    /// scans).
+    pub shards: u64,
+    /// Owned-function summaries the shards produced for the cross-shard
+    /// interface.
+    pub summaries_exported: u64,
+    /// Facts/summaries shards imported from the snapshot instead of
+    /// recomputing (non-owned closure functions).
+    pub summaries_imported: u64,
+    /// Bytes of snapshot containers written by the partitioned scan.
+    pub snapshot_bytes_written: u64,
+    /// Bytes of snapshot sections actually read back (lazy loading makes
+    /// this less than what was written).
+    pub snapshot_bytes_read: u64,
 }
 
 impl ScanReport {
@@ -629,7 +714,9 @@ impl ScanReport {
              \n  \"egraph_saturated\": {},\n  \"egraph_cap_hits\": {},\
              \n  \"egraph_nodes_saved\": {},\n  \"facts_invalidated\": {},\
              \n  \"slices_invalidated\": {},\n  \"verdicts_invalidated\": {},\
-             \n  \"candidates_reanalyzed\": {}\n}}",
+             \n  \"candidates_reanalyzed\": {},\n  \"shards\": {},\
+             \n  \"summaries_exported\": {},\n  \"summaries_imported\": {},\
+             \n  \"snapshot_bytes_written\": {},\n  \"snapshot_bytes_read\": {}\n}}",
             self.sessions_opened,
             self.suppressed,
             self.vertices,
@@ -663,7 +750,12 @@ impl ScanReport {
             self.facts_invalidated,
             self.slices_invalidated,
             self.verdicts_invalidated,
-            self.candidates_reanalyzed
+            self.candidates_reanalyzed,
+            self.shards,
+            self.summaries_exported,
+            self.summaries_imported,
+            self.snapshot_bytes_written,
+            self.snapshot_bytes_read
         );
         s
     }
@@ -722,6 +814,11 @@ fn fill_report(report: &mut ScanReport, program: &fusion_ir::ssa::Program, run: 
     report.slices_invalidated = run.stages.slices_invalidated;
     report.verdicts_invalidated = run.stages.verdicts_invalidated;
     report.candidates_reanalyzed = run.stages.candidates_reanalyzed;
+    report.shards = run.stages.shards;
+    report.summaries_exported = run.stages.summaries_exported;
+    report.summaries_imported = run.stages.summaries_imported;
+    report.snapshot_bytes_written = run.stages.snapshot_bytes_written;
+    report.snapshot_bytes_read = run.stages.snapshot_bytes_read;
     // One true whole-scan peak: every engine live during the single fused
     // pass plus the graph and caches — not a max over per-checker passes.
     report.peak_memory_bytes = run.peak_memory;
@@ -798,7 +895,36 @@ pub fn scan_source(source: &str, opts: &Options) -> Result<ScanReport, CliError>
     let mut analysis_opts = AnalysisOptions::new().with_slice_cache(Arc::clone(&slice_cache));
     analysis_opts.absint = opts.absint;
     analysis_opts.compact = opts.compact;
-    let run: MultiAnalysisRun = if opts.threads > 1 {
+    let run: MultiAnalysisRun = if opts.shards > 0 {
+        let engine_choice = opts.engine;
+        let timeout = opts.timeout;
+        let incremental = opts.incremental;
+        let egraph = opts.egraph;
+        let factory = move || make_engine(engine_choice, timeout, incremental, egraph);
+        let sharded = if opts.shard_workers > 0 {
+            shards::analyze_sharded_multiprocess(
+                &program,
+                &set,
+                &factory,
+                opts,
+                &analysis_opts,
+                cache,
+            )?
+        } else {
+            fusion::shard::analyze_sharded(
+                &program,
+                &set,
+                &factory,
+                opts.threads,
+                &analysis_opts,
+                cache,
+                opts.shards,
+                opts.snapshot_dir.as_deref().map(std::path::Path::new),
+            )
+            .map_err(|e| CliError(format!("partitioned scan failed: {e}")))?
+        };
+        sharded.run
+    } else if opts.threads > 1 {
         let engine_choice = opts.engine;
         let timeout = opts.timeout;
         let incremental = opts.incremental;
@@ -855,6 +981,10 @@ pub fn run(args: &[String], out: &mut dyn std::io::Write) -> i32 {
     if opts.serve {
         let stdin = std::io::stdin();
         return serve::serve_loop(&opts, stdin.lock(), out);
+    }
+    if opts.shard_worker {
+        let stdin = std::io::stdin();
+        return shards::shard_worker_loop(&opts, stdin.lock(), out);
     }
     let mut source = String::new();
     for f in &opts.files {
@@ -984,6 +1114,18 @@ pub fn run(args: &[String], out: &mut dyn std::io::Write) -> i32 {
                 report.slices_invalidated,
                 report.verdicts_invalidated,
                 report.candidates_reanalyzed
+            );
+            // Partitioned scans: the out-of-core sharding counters (all
+            // zero for unsharded scans).
+            let _ = writeln!(
+                out,
+                "sharding: {} shard(s), {} summary(ies) exported / {} imported; \
+                 snapshot {} B written, {} B read",
+                report.shards,
+                report.summaries_exported,
+                report.summaries_imported,
+                report.snapshot_bytes_written,
+                report.snapshot_bytes_read
             );
         }
     }

@@ -14,6 +14,8 @@
 //! {"cmd": "scan",   "source": "<program text>"}
 //! {"cmd": "rescan", "source": "<program text>", "edited_fns": ["f"]}
 //! {"cmd": "query",  "source": "f", "sink": "g"}
+//! {"cmd": "save",   "path": "/tmp/session.fsnp"}
+//! {"cmd": "load",   "path": "/tmp/session.fsnp"}
 //! {"cmd": "stats"}
 //! {"cmd": "shutdown"}
 //! ```
@@ -25,8 +27,13 @@
 //! edits are always self-detected from the fingerprint diff, so a wrong
 //! or missing hint cannot cause a stale result). `query` filters the
 //! resident findings by source and/or sink function name without
-//! re-analyzing. `stats` reports resident-state and last-invalidation
-//! counters. `shutdown` (or stdin EOF) ends the loop.
+//! re-analyzing. `save` persists the whole resident session — program,
+//! PDG, facts, outcomes, verdicts, provenance; never a path condition —
+//! to a [`fusion::snapshot`] container; `load` restores it, so a
+//! `rescan` of the unchanged program after a process restart replays
+//! every recorded outcome without a single solver query. `stats`
+//! reports resident-state and last-invalidation counters. `shutdown`
+//! (or stdin EOF) ends the loop.
 //!
 //! ## Responses
 //!
@@ -93,6 +100,7 @@ pub fn serve_loop(opts: &Options, input: impl BufRead, out: &mut dyn Write) -> i
         recursion_unroll: opts.unroll,
     };
     let mut last_report: Option<ScanReport> = None;
+    let (mut saved_bytes, mut loaded_bytes) = (0u64, 0u64);
     for line in input.lines() {
         let Ok(line) = line else { break };
         if line.trim().is_empty() {
@@ -186,6 +194,49 @@ pub fn serve_loop(opts: &Options, input: impl BufRead, out: &mut dyn Write) -> i
                 s.push_str("]}");
                 respond(out, &s);
             }
+            "save" => {
+                let Some(path) = req.get("path").and_then(|v| v.as_str()) else {
+                    respond_err(out, "`save` needs a string `path` member");
+                    continue;
+                };
+                match session.save(std::path::Path::new(path)) {
+                    Ok(bytes) => {
+                        saved_bytes = bytes;
+                        respond(
+                            out,
+                            &format!(
+                                "{{\"ok\": true, \"event\": \"save\", \"bytes_written\": {bytes}}}"
+                            ),
+                        );
+                    }
+                    Err(e) => respond_err(out, &format!("save failed: {e}")),
+                }
+            }
+            "load" => {
+                let Some(path) = req.get("path").and_then(|v| v.as_str()) else {
+                    respond_err(out, "`load` needs a string `path` member");
+                    continue;
+                };
+                match session.load(std::path::Path::new(path)) {
+                    Ok(bytes) => {
+                        loaded_bytes = bytes;
+                        // Findings are reassembled by the next (re)scan's
+                        // replay; a stale query answer would be worse
+                        // than none.
+                        last_report = None;
+                        respond(
+                            out,
+                            &format!(
+                                "{{\"ok\": true, \"event\": \"load\", \"bytes_read\": {bytes}, \
+                                 \"items_resident\": {}, \"verdicts_resident\": {}}}",
+                                session.items_resident(),
+                                session.verdicts_resident()
+                            ),
+                        );
+                    }
+                    Err(e) => respond_err(out, &format!("load failed: {e}")),
+                }
+            }
             "stats" => {
                 let inv = session.last_invalidation();
                 let mut s = format!(
@@ -207,7 +258,8 @@ pub fn serve_loop(opts: &Options, input: impl BufRead, out: &mut dyn Write) -> i
                     s,
                     "\"verdicts_resident\": {}, \"slices_resident\": {}, \
                      \"items_resident\": {}, \"cache_bytes\": {}, \
-                     \"slice_cache_bytes\": {}, \"last_invalidation\": {{\
+                     \"slice_cache_bytes\": {}, \"snapshot_bytes_written\": {}, \
+                     \"snapshot_bytes_read\": {}, \"last_invalidation\": {{\
                      \"functions_edited\": {}, \"functions_affected\": {}, \
                      \"facts_invalidated\": {}, \"facts_retained\": {}, \
                      \"slices_invalidated\": {}, \"slices_retained\": {}, \
@@ -218,6 +270,8 @@ pub fn serve_loop(opts: &Options, input: impl BufRead, out: &mut dyn Write) -> i
                     session.items_resident(),
                     session.cache_bytes(),
                     session.slice_cache_bytes(),
+                    saved_bytes,
+                    loaded_bytes,
                     inv.functions_edited,
                     inv.functions_affected,
                     inv.facts_invalidated,
@@ -238,7 +292,9 @@ pub fn serve_loop(opts: &Options, input: impl BufRead, out: &mut dyn Write) -> i
             "" => respond_err(out, "request needs a string `cmd` member"),
             other => respond_err(
                 out,
-                &format!("unknown cmd `{other}` (scan, rescan, query, stats, shutdown)"),
+                &format!(
+                    "unknown cmd `{other}` (scan, rescan, query, save, load, stats, shutdown)"
+                ),
             ),
         }
     }
@@ -386,6 +442,85 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn save_load_across_restart_replays_without_queries() {
+        let path =
+            std::env::temp_dir().join(format!("fusion_serve_save_{}.fsnp", std::process::id()));
+        let path_s = path.display().to_string();
+        let opts = Options {
+            serve: true,
+            ..Default::default()
+        };
+        // First service life: scan, save, shutdown.
+        let (_, resp) = drive(
+            &opts,
+            &[
+                request("scan", Some(BASE)),
+                format!("{{\"cmd\": \"save\", \"path\": \"{}\"}}", escape(&path_s)),
+                request("shutdown", None),
+            ],
+        );
+        assert_eq!(resp[1].get("ok"), Some(&json::Value::Bool(true)));
+        assert!(resp[1].get("bytes_written").unwrap().as_f64().unwrap() > 0.0);
+        let cold = resp[0].get("report").unwrap();
+        let cold_findings = cold.get("findings").unwrap().as_array().unwrap().len();
+        // Second service life (a fresh loop stands in for a process
+        // restart): load, then rescan the unchanged program — pure
+        // replay, zero candidates reanalyzed, zero solver queries.
+        let (_, resp2) = drive(
+            &opts,
+            &[
+                format!("{{\"cmd\": \"load\", \"path\": \"{}\"}}", escape(&path_s)),
+                request("rescan", Some(BASE)),
+                request("stats", None),
+            ],
+        );
+        assert_eq!(resp2[0].get("ok"), Some(&json::Value::Bool(true)));
+        assert!(resp2[0].get("bytes_read").unwrap().as_f64().unwrap() > 0.0);
+        assert!(resp2[0].get("items_resident").unwrap().as_f64().unwrap() >= 1.0);
+        let warm = resp2[1].get("report").unwrap();
+        assert_eq!(
+            warm.get("findings").unwrap().as_array().unwrap().len(),
+            cold_findings
+        );
+        assert_eq!(
+            warm.get("candidates_reanalyzed").unwrap().as_f64(),
+            Some(0.0)
+        );
+        for c in warm.get("checkers").unwrap().as_array().unwrap() {
+            assert_eq!(c.get("queries").unwrap().as_f64(), Some(0.0));
+        }
+        assert_eq!(
+            resp2[1].get("functions_edited").unwrap().as_f64(),
+            Some(0.0)
+        );
+        assert!(
+            resp2[2]
+                .get("snapshot_bytes_read")
+                .unwrap()
+                .as_f64()
+                .unwrap()
+                > 0.0
+        );
+        // Error paths: loading a missing file fails; saving with no
+        // resident program fails; neither kills the loop.
+        let (_, resp3) = drive(
+            &opts,
+            &[
+                format!(
+                    "{{\"cmd\": \"load\", \"path\": \"{}.gone\"}}",
+                    escape(&path_s)
+                ),
+                format!("{{\"cmd\": \"save\", \"path\": \"{}\"}}", escape(&path_s)),
+                request("save", None),
+            ],
+        );
+        assert_eq!(resp3[0].get("ok"), Some(&json::Value::Bool(false)));
+        assert_eq!(resp3[1].get("ok"), Some(&json::Value::Bool(false)));
+        assert_eq!(resp3[2].get("ok"), Some(&json::Value::Bool(false)));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

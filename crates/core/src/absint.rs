@@ -630,6 +630,23 @@ pub struct ProgramFacts {
 }
 
 impl ProgramFacts {
+    /// Reassembles facts from snapshot sections ([`crate::snapshot`]).
+    /// The caller supplies exactly the vectors `compute` would have
+    /// produced for the same program; `matches` still guards staleness.
+    pub(crate) fn from_parts(
+        num_functions: usize,
+        program_size: usize,
+        funcs: Vec<Vec<AbsVal>>,
+        rets: Vec<AbsVal>,
+    ) -> ProgramFacts {
+        ProgramFacts {
+            num_functions,
+            program_size,
+            funcs,
+            rets,
+        }
+    }
+
     /// Runs the abstract interpreter over every function, bottom-up over
     /// the (acyclic, post-unrolling) call graph.
     pub fn compute(program: &Program) -> ProgramFacts {

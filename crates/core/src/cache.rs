@@ -255,6 +255,22 @@ impl VerdictCache {
         self.len() * BYTES_PER_CACHE_ENTRY
     }
 
+    /// A point-in-time copy of every retained entry, for snapshot
+    /// serialization ([`crate::snapshot`]). Order is unspecified; the
+    /// writer sorts by key before encoding.
+    pub fn entries(&self) -> Vec<(Key128, Feasibility)> {
+        self.shards
+            .iter()
+            .flat_map(|s| {
+                s.lock()
+                    .expect("cache shard poisoned")
+                    .iter()
+                    .map(|(k, v)| (*k, *v))
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    }
+
     /// A consistent-enough snapshot of the counters and retention.
     pub fn stats(&self) -> CacheStats {
         let entries = self.len();

@@ -106,6 +106,21 @@ impl IsoVerdicts {
             .copied()
     }
 
+    /// A point-in-time copy of every memoized class verdict, for
+    /// snapshot serialization ([`crate::snapshot`]).
+    pub fn entries(&self) -> Vec<(Key128, Feasibility)> {
+        self.shards
+            .iter()
+            .flat_map(|s| {
+                s.lock()
+                    .expect("iso shard")
+                    .iter()
+                    .map(|(k, v)| (*k, *v))
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    }
+
     /// Stores a definite verdict for the class; Unknown is dropped.
     pub fn insert(&self, key: Key128, verdict: Feasibility) {
         if verdict == Feasibility::Unknown {

@@ -317,6 +317,21 @@ pub struct StageStats {
     /// Candidates actually re-discovered and re-solved by a warm session
     /// run (retained work items replay without touching the engine).
     pub candidates_reanalyzed: u64,
+    /// Call-graph shards a partitioned scan ran (zero for unsharded).
+    pub shards: u64,
+    /// Function summaries (absint facts + return summary) exported by
+    /// shards for their owned functions.
+    pub summaries_exported: u64,
+    /// Function summaries imported by shards for closure functions they
+    /// analyze but don't own — demand-driven, so across any one shard
+    /// this stays below the total function count.
+    pub summaries_imported: u64,
+    /// Snapshot-container bytes written by a partitioned scan or a serve
+    /// `save`.
+    pub snapshot_bytes_written: u64,
+    /// Snapshot-container bytes read (lazily, per section) by shard
+    /// workers or a serve `load`.
+    pub snapshot_bytes_read: u64,
 }
 
 impl StageStats {
@@ -570,7 +585,7 @@ impl AnalysisOptions {
 /// session run ([`analyze_multi_streaming_session`]) can replay recorded
 /// outcomes of unaffected work items without re-solving them.
 #[derive(Clone)]
-enum CandVerdict {
+pub(crate) enum CandVerdict {
     Suppressed,
     Report(BugReport),
 }
@@ -1728,13 +1743,13 @@ pub struct ItemOutcomes {
 }
 
 #[derive(Clone)]
-struct ItemRecord {
-    verdicts: Vec<CandVerdict>,
-    steps: u64,
+pub(crate) struct ItemRecord {
+    pub(crate) verdicts: Vec<CandVerdict>,
+    pub(crate) steps: u64,
 }
 
 impl ItemOutcomes {
-    fn get(&self, id: CheckerId, src: Vertex) -> Option<&ItemRecord> {
+    pub(crate) fn get(&self, id: CheckerId, src: Vertex) -> Option<&ItemRecord> {
         self.map.get(&(id.0, src))
     }
 
@@ -1746,6 +1761,19 @@ impl ItemOutcomes {
     /// Whether no work item has been recorded yet.
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
+    }
+
+    /// Iterates the recorded items (snapshot serialization sorts them
+    /// before writing, so map order never leaks into bytes).
+    pub(crate) fn records(&self) -> impl Iterator<Item = (&(usize, Vertex), &ItemRecord)> {
+        self.map.iter()
+    }
+
+    /// Inserts (or overwrites) one recorded item. Used by the snapshot
+    /// reader and the shard merge, which combine per-shard outcome sets
+    /// into one replayable whole.
+    pub(crate) fn insert_record(&mut self, key: (usize, Vertex), rec: ItemRecord) {
+        self.map.insert(key, rec);
     }
 }
 

@@ -49,6 +49,7 @@ use crate::engine::{
     MultiAnalysisRun, SessionParams,
 };
 use crate::slice_cache::SliceCache;
+use crate::snapshot::{self, SnapshotError, SnapshotWriter};
 use fusion_ir::ssa::{DefKind, FuncId, Program};
 use fusion_pdg::graph::{Pdg, Vertex};
 use fusion_pdg::paths::DependencePath;
@@ -261,6 +262,30 @@ impl Provenance {
             .lock()
             .expect("provenance poisoned")
             .insert(key, funcs.into_boxed_slice());
+    }
+
+    /// A point-in-time copy of every recorded span, for snapshot
+    /// serialization ([`crate::snapshot`]).
+    pub(crate) fn entries(&self) -> Vec<(Key128, Box<[u32]>)> {
+        self.shards
+            .iter()
+            .flat_map(|s| {
+                s.lock()
+                    .expect("provenance poisoned")
+                    .iter()
+                    .map(|(k, v)| (*k, v.clone()))
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    }
+
+    /// Re-inserts a span decoded from a snapshot.
+    pub(crate) fn insert_raw(&self, key: Key128, funcs: Box<[u32]>) {
+        let shard = &self.shards[key.shard_index(self.shards.len())];
+        shard
+            .lock()
+            .expect("provenance poisoned")
+            .insert(key, funcs);
     }
 
     /// Removes and returns every recorded key whose span meets
@@ -560,6 +585,85 @@ impl AnalysisSession {
         }
     }
 
+    /// Persists the resident state — program, facts, PDG partitions,
+    /// recorded outcomes, verdict cache, iso memo, and eviction
+    /// provenance — into one snapshot container at `path` (serve-mode
+    /// `save`). Slice closures are deliberately not serialized: they are
+    /// a pure memo the next live run refills, and replay never needs
+    /// them. Returns bytes written. No path condition is serialized
+    /// (§3.2.2: structure, facts, verdicts only).
+    pub fn save(&self, path: &std::path::Path) -> Result<u64, SnapshotError> {
+        let program = self.program.as_ref().ok_or_else(|| SnapshotError {
+            offset: 0,
+            what: "no resident program to save".to_string(),
+        })?;
+        let pdg = self.pdg.as_ref().expect("resident program implies pdg");
+        let mut w = SnapshotWriter::new();
+        snapshot::write_program(&mut w, program);
+        snapshot::write_pdg(&mut w, program, pdg);
+        if let Some(facts) = &self.facts {
+            snapshot::write_facts(&mut w, program, facts);
+        }
+        if let Some(outcomes) = &self.outcomes {
+            snapshot::write_outcomes(&mut w, outcomes);
+        }
+        snapshot::write_verdicts(&mut w, &self.cache);
+        if let Some(compact) = &self.compact {
+            snapshot::write_iso(&mut w, compact.iso());
+        }
+        snapshot::write_provenance(&mut w, snapshot::tag::PROV_VERDICTS, &self.prov.verdicts);
+        snapshot::write_provenance(&mut w, snapshot::tag::PROV_ISO, &self.prov.iso);
+        w.write_to(path)
+    }
+
+    /// Restores a session saved by [`Self::save`], replacing any
+    /// resident state (serve-mode `load`). After a load, a `rescan` with
+    /// unchanged sources is pure replay — every work item answers from
+    /// the restored outcomes with zero solver queries — and a rescan
+    /// with edits evicts exactly what changed, through the restored
+    /// provenance. Returns bytes read (lazily, per section).
+    pub fn load(&mut self, path: &std::path::Path) -> Result<u64, SnapshotError> {
+        let snap = snapshot::open_file(path)?;
+        let program = snapshot::read_program(&snap)?;
+        let pdg = Pdg::build(&program);
+        self.flush();
+        if self.options.absint {
+            let facts = if snap.has(snapshot::tag::FACTS, 0) {
+                snapshot::read_facts(&snap, &program)?
+            } else {
+                // Saved by an absint-off session; recompute once.
+                ProgramFacts::compute(&program)
+            };
+            self.facts = Some(Arc::new(facts));
+        }
+        if self.options.compact {
+            let compact = CompactPdg::build(&program, &pdg, &self.set, &self.options.propagate);
+            if snap.has(snapshot::tag::ISO, 0) {
+                for (k, v) in snapshot::read_iso(&snap)? {
+                    compact.iso().insert(k, v);
+                }
+            }
+            self.compact = Some(compact);
+        }
+        if snap.has(snapshot::tag::VERDICTS, 0) {
+            self.cache = snapshot::read_verdicts(&snap)?;
+        }
+        if snap.has(snapshot::tag::OUTCOMES, 0) {
+            self.outcomes = Some(snapshot::read_outcomes(&snap)?);
+        }
+        if snap.has(snapshot::tag::PROV_VERDICTS, 0) {
+            self.prov.verdicts = snapshot::read_provenance(&snap, snapshot::tag::PROV_VERDICTS)?;
+        }
+        if snap.has(snapshot::tag::PROV_ISO, 0) {
+            self.prov.iso = snapshot::read_provenance(&snap, snapshot::tag::PROV_ISO)?;
+        }
+        self.tracker = Some(DirtinessTracker::new(&program));
+        self.pdg = Some(pdg);
+        self.program = Some(program);
+        self.last = InvalidationStats::default();
+        Ok(snap.bytes_read())
+    }
+
     /// Runs the session driver against the resident state.
     fn drive(
         &self,
@@ -751,6 +855,64 @@ mod tests {
         assert_eq!(keys(&warm), keys(&cold));
         assert_eq!(warm.queries, 0);
         assert_eq!(session.last_invalidation().candidates_reanalyzed, 0);
+    }
+
+    #[test]
+    fn save_load_rescan_is_pure_replay() {
+        let dir = std::env::temp_dir().join(format!("fusion-session-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("session.fsnp");
+        let mut session = AnalysisSession::new(
+            CheckerSet::single(Checker::null_deref()),
+            AnalysisOptions::new(),
+            2,
+        );
+        let cold = session.scan(compile_src(BASE), &factory);
+        let written = session.save(&path).expect("save");
+        assert!(written > 0);
+        // A fresh session — simulating a process restart — restores the
+        // saved state and replays an unchanged rescan without a single
+        // solver query.
+        let mut restored = AnalysisSession::new(
+            CheckerSet::single(Checker::null_deref()),
+            AnalysisOptions::new(),
+            2,
+        );
+        let read = restored.load(&path).expect("load");
+        assert!(read > 0);
+        assert!(restored.is_resident());
+        assert_eq!(restored.items_resident(), session.items_resident());
+        assert_eq!(restored.verdicts_resident(), session.verdicts_resident());
+        let warm = restored.rescan(compile_src(BASE), &factory);
+        assert_eq!(keys(&warm), keys(&cold));
+        assert_eq!(warm.queries, 0, "loaded session must replay");
+        assert_eq!(restored.last_invalidation().candidates_reanalyzed, 0);
+        // And an *edited* rescan after load still evicts exactly what
+        // changed, through the restored provenance.
+        let warm_edit = restored.rescan(compile_src(CALLEE_EDIT), &factory);
+        let cold_edit = analyze_multi_streaming(
+            &compile_src(CALLEE_EDIT),
+            &Pdg::build(&compile_src(CALLEE_EDIT)),
+            &CheckerSet::single(Checker::null_deref()),
+            &|| factory(),
+            2,
+            &AnalysisOptions::new(),
+        );
+        assert_eq!(keys(&warm_edit), keys(&cold_edit));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn save_without_resident_program_errors() {
+        let session = AnalysisSession::new(
+            CheckerSet::single(Checker::null_deref()),
+            AnalysisOptions::new(),
+            1,
+        );
+        let err = session
+            .save(std::path::Path::new("/nonexistent/never.fsnp"))
+            .expect_err("empty session cannot save");
+        assert!(err.what.contains("no resident program"), "{err}");
     }
 
     #[test]

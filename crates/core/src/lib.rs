@@ -35,6 +35,13 @@
 //!   --serve`;
 //! * [`stream`] — the bounded channel behind the streaming
 //!   discovery→solve pipeline;
+//! * [`snapshot`] — the versioned, checksummed on-disk container for
+//!   PDG partitions, facts, summaries, verdicts, and outcomes (never a
+//!   path condition);
+//! * [`partition`] — the bottom-up SCC-respecting call-graph
+//!   partitioner behind `--shards`;
+//! * [`shard`] — per-shard sub-program extraction, demand-driven
+//!   summary import, and the deterministic merge/replay coordinator;
 //! * [`memory`] — categorized byte accounting behind every memory number
 //!   in the reproduced tables.
 //!
@@ -71,10 +78,13 @@ pub mod engine;
 pub mod graph_solver;
 pub mod incremental;
 pub mod memory;
+pub mod partition;
 pub mod propagate;
 pub mod quickpath;
 pub mod report;
+pub mod shard;
 pub mod slice_cache;
+pub mod snapshot;
 pub mod stream;
 
 pub use absint::{AbsVal, ProgramFacts};
@@ -94,4 +104,7 @@ pub use incremental::{
     AnalysisSession, DirtinessTracker, EditDiff, InvalidationStats, SessionProvenance,
 };
 pub use memory::{run_accounting, Category, MemoryAccountant};
+pub use partition::ShardPlan;
+pub use shard::{analyze_sharded, ShardedRun};
 pub use slice_cache::{SliceCache, SliceCacheStats};
+pub use snapshot::{Snapshot, SnapshotError, SnapshotWriter};

@@ -574,6 +574,67 @@ pub fn generate(cfg: &GenConfig) -> GeneratedSubject {
     }
 }
 
+/// Replaces identifier tokens per `map`, leaving everything else (and
+/// identifiers not in the map) untouched. Operates on whole tokens, so
+/// `fn1` never rewrites inside `fn12`.
+fn rename_idents(text: &str, map: &std::collections::HashMap<String, String>) -> String {
+    let mut out = String::with_capacity(text.len() + text.len() / 8);
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            let word = &text[start..i];
+            match map.get(word) {
+                Some(r) => out.push_str(r),
+                None => out.push_str(word),
+            }
+        } else {
+            out.push(c as char);
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Generates `modules` independent subjects and merges them into one
+/// translation unit of *disconnected* call-graph components: module `m`
+/// is generated from `cfg.seed + m` and every one of its non-extern
+/// function names is prefixed `m{m}_`, so the only symbols the modules
+/// share are the extern library declarations (which carry no
+/// definitions and never weld components together). This is the shape
+/// partitioned scans need to show a real per-shard memory win — a
+/// single generated module is one connected component, so its shard
+/// closure would be the whole program.
+pub fn generate_multi(cfg: &GenConfig, modules: usize) -> String {
+    let mut out = String::new();
+    for m in 0..modules.max(1) {
+        let sub = generate(&GenConfig {
+            seed: cfg.seed.wrapping_add(m as u64),
+            ..cfg.clone()
+        });
+        let mut map = std::collections::HashMap::new();
+        for f in sub.surface.functions.iter().filter(|f| !f.is_extern) {
+            let name = sub.interner.resolve(f.name);
+            map.insert(name.to_owned(), format!("m{m}_{name}"));
+        }
+        let text = rename_idents(&sub.to_source(), &map);
+        for line in text.lines() {
+            // Every module declares the same externs; keep one copy.
+            if m > 0 && line.trim_start().starts_with("extern fn") {
+                continue;
+            }
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -649,6 +710,36 @@ mod tests {
 mod source_tests {
     use super::*;
     use fusion_ir::parser::parse;
+
+    #[test]
+    fn multi_module_merge_compiles_into_disconnected_components() {
+        let cfg = GenConfig {
+            functions: 6,
+            ..Default::default()
+        };
+        let text = generate_multi(&cfg, 3);
+        let program =
+            fusion_ir::compile(&text, fusion_ir::CompileOptions::default()).expect("compiles");
+        let errs = fusion_ir::validate::check_program(&program);
+        assert!(errs.is_empty(), "{errs:?}");
+        // Each module's functions survive under their prefixes, and the
+        // single shared extern block didn't triple.
+        let names: Vec<&str> = program
+            .functions
+            .iter()
+            .map(|f| program.name(f.name))
+            .collect();
+        for m in 0..3 {
+            assert!(
+                names.iter().any(|n| n.starts_with(&format!("m{m}_"))),
+                "module {m} missing"
+            );
+        }
+        assert_eq!(names.iter().filter(|n| **n == "deref").count(), 1);
+        // Roughly three modules' worth of functions.
+        let single = generate(&cfg).surface.functions.len();
+        assert!(program.functions.len() > 2 * single);
+    }
 
     #[test]
     fn emitted_source_reparses_and_matches() {

@@ -16,5 +16,5 @@ pub mod genprog;
 pub mod spec;
 
 pub use bugseed::{score, BugSite, Score, SeededBug};
-pub use genprog::{generate, GenConfig, GeneratedSubject};
+pub use genprog::{generate, generate_multi, GenConfig, GeneratedSubject};
 pub use spec::{large_subjects, SubjectSpec, SUBJECTS};
